@@ -1,0 +1,79 @@
+// Ablation — Jaccard estimator variants.  The paper's pseudo-code computes
+// the set-based Jaccard of minwise values (Algorithm 1 line 9), while the
+// textbook estimator counts matching components; Equation 5's literal outer
+// modulus m = 4^k degrades both for small k.  This bench quantifies all
+// three decisions on one dataset: estimate RMSE vs exact Jaccard and
+// end-to-end greedy clustering quality.
+//
+//   ./ablation_estimator [--reads=300] [--pairs=1500] [--seed=42]
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bio/kmer.hpp"
+
+using namespace mrmc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::size_t reads = flags.num("reads", 300);
+  const std::size_t pairs = flags.num("pairs", 1500);
+  const std::uint64_t seed = flags.num("seed", 42);
+
+  const auto sample = simdata::build_16s_simulated(
+      {.reads = reads, .error_rate = 0.03, .seed = seed});
+
+  std::vector<std::vector<std::uint64_t>> feature_sets;
+  for (const auto& read : sample.reads) {
+    feature_sets.push_back(bio::kmer_set(read.seq, {.k = 15}));
+  }
+
+  struct Config {
+    const char* name;
+    std::uint64_t modulus;
+    core::SketchEstimator estimator;
+    double theta;
+  };
+  const std::vector<Config> configs = {
+      {"component, full-range hash", 0, core::SketchEstimator::kComponentMatch,
+       0.08},
+      {"set-based, full-range hash", 0, core::SketchEstimator::kSetBased, 0.08},
+      {"component, m=4^k (paper-literal)", bio::kmer_space_size(15),
+       core::SketchEstimator::kComponentMatch, 0.08},
+      {"set-based, m=4^k (paper-literal)", bio::kmer_space_size(15),
+       core::SketchEstimator::kSetBased, 0.08},
+  };
+
+  common::TextTable table({"estimator", "RMSE", "# Cluster", "W.Acc"});
+  for (const auto& config : configs) {
+    const core::MinHasher hasher({.kmer = 15, .num_hashes = 50, .seed = seed,
+                                  .modulus = config.modulus});
+    std::vector<core::Sketch> sketches;
+    for (const auto& read : sample.reads) sketches.push_back(hasher.sketch(read.seq));
+
+    common::Xoshiro256 rng(seed ^ config.modulus);
+    double squared = 0;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const std::size_t i = rng.bounded(sample.size());
+      const std::size_t j = rng.bounded(sample.size());
+      const double exact = bio::exact_jaccard(feature_sets[i], feature_sets[j]);
+      const double estimate =
+          core::sketch_similarity(sketches[i], sketches[j], config.estimator);
+      squared += (estimate - exact) * (estimate - exact);
+    }
+
+    const auto greedy = core::greedy_cluster(
+        sketches, {.theta = config.theta, .estimator = config.estimator});
+    table.add_row({config.name,
+                   common::fmt_f(std::sqrt(squared / static_cast<double>(pairs)), 4),
+                   std::to_string(greedy.num_clusters),
+                   common::fmt_pct(eval::weighted_cluster_accuracy(
+                       greedy.labels, sample.labels))});
+  }
+
+  std::cout << "Ablation — Jaccard estimator variants (16S 3% error, " << reads
+            << " reads, ground truth " << sample.species.size()
+            << " clusters)\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation — the LSH-indexed greedy extension (DESIGN.md §6): comparisons
+// and wall time of indexed vs exhaustive greedy clustering as the input
+// grows, with agreement between the two labelings.  Demonstrates the
+// near-linear scaling path the paper's conclusion gestures at.
+//
+//   ./ablation_lsh_index [--max-reads=3200] [--seed=42]
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/lsh_index.hpp"
+#include "eval/external_indices.hpp"
+
+using namespace mrmc;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::size_t max_reads = flags.num("max-reads", 3200);
+  const std::uint64_t seed = flags.num("seed", 42);
+
+  common::TextTable table({"# Reads", "exact cmp", "indexed cmp", "speedup",
+                           "exact s", "indexed s", "ARI(exact,indexed)"});
+
+  for (std::size_t reads = 400; reads <= max_reads; reads *= 2) {
+    // Rich community: many OTUs so the exhaustive scan has many clusters.
+    const auto genes = simdata::generate_16s_genes(reads / 10, {}, seed);
+    simdata::AmpliconParams amplicon;
+    amplicon.errors = simdata::ErrorModel::uniform(0.01);
+    amplicon.read_length = 80;
+    const auto sample = simdata::amplicon_reads(
+        genes, std::vector<double>(genes.size(), 1.0), reads, amplicon,
+        seed + 1);
+
+    const core::MinHasher hasher({.kmer = 12, .num_hashes = 40, .seed = seed});
+    std::vector<core::Sketch> sketches;
+    for (const auto& read : sample.reads) sketches.push_back(hasher.sketch(read.seq));
+
+    const core::GreedyParams params{
+        .theta = 0.4, .estimator = core::SketchEstimator::kComponentMatch};
+
+    common::Stopwatch exact_watch;
+    const auto exact = core::greedy_cluster(sketches, params);
+    const double exact_s = exact_watch.seconds();
+
+    common::Stopwatch indexed_watch;
+    const auto indexed =
+        core::greedy_cluster_indexed(sketches, params, {.bands = 20});
+    const double indexed_s = indexed_watch.seconds();
+
+    table.add_row(
+        {std::to_string(reads), std::to_string(exact.comparisons),
+         std::to_string(indexed.comparisons),
+         common::fmt_f(static_cast<double>(exact.comparisons) /
+                           static_cast<double>(std::max<std::size_t>(
+                               1, indexed.comparisons)),
+                       1) + "x",
+         common::fmt_f(exact_s, 3), common::fmt_f(indexed_s, 3),
+         common::fmt_f(eval::adjusted_rand_index(exact.labels, indexed.labels), 3)});
+  }
+
+  std::cout << "Ablation — LSH-indexed greedy vs exhaustive greedy\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Shared helpers for the table/figure harnesses: a tiny flag parser and the
+// method runners that execute MrMC-MinH and every comparator on a sample
+// with the per-dataset parameter sets used by the paper.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "baselines/cdhit_like.hpp"
+#include "baselines/hclust_family.hpp"
+#include "baselines/mc_lsh.hpp"
+#include "baselines/metacluster_like.hpp"
+#include "baselines/uclust_like.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "simdata/datasets.hpp"
+
+namespace mrmc::bench {
+
+/// Minimal --key=value / --flag parser.
+class Flags {
+ public:
+  // GCC 12 emits a -Wrestrict false positive (PR105329) for the inlined
+  // std::string copies below at -O2; the code is plain substring handling.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      // (iterator construction avoids a GCC-12 -Wrestrict false positive)
+      const std::string body(arg.begin() + 2, arg.end());
+      const auto eq = body.find('=');
+      if (eq == std::string::npos) {
+        values_[body] = "1";
+      } else {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    }
+  }
+#pragma GCC diagnostic pop
+
+  [[nodiscard]] std::string str(const std::string& key, std::string fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long num(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+  [[nodiscard]] double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// One table row worth of results for a method on a sample.
+struct MethodResult {
+  std::string method;
+  std::vector<int> labels;
+  std::size_t clusters_reported = 0;  ///< after the min-size filter
+  double wall_s = 0.0;
+  double sim_s = -1.0;  ///< simulated cluster time (MrMC variants only)
+};
+
+/// Evaluate one labeling: reported cluster count, W.Acc (if truth), W.Sim.
+struct Evaluated {
+  std::size_t clusters = 0;
+  double wacc = -1.0;
+  double wsim = 0.0;
+};
+
+/// `count_min_size` filters the reported cluster count (0 = same as
+/// `min_cluster_size`); W.Acc/W.Sim always use `min_cluster_size`.
+inline Evaluated evaluate(const MethodResult& result,
+                          const simdata::LabeledReads& sample,
+                          std::size_t min_cluster_size,
+                          std::size_t wsim_pairs = 16,
+                          std::size_t count_min_size = 0) {
+  Evaluated out;
+  out.clusters = eval::clusters_at_least(
+      result.labels, count_min_size == 0 ? min_cluster_size : count_min_size);
+  if (sample.has_labels()) {
+    out.wacc = eval::weighted_cluster_accuracy(
+        result.labels, sample.labels, {.min_cluster_size = min_cluster_size});
+  }
+  eval::SimilarityOptions options;
+  options.min_cluster_size = std::max<std::size_t>(2, min_cluster_size);
+  options.max_pairs_per_cluster = wsim_pairs;
+  out.wsim = eval::weighted_similarity(result.labels, sample.reads, options);
+  return out;
+}
+
+/// The paper's scaled min-size reporting rule: Tables III-V only count
+/// clusters above a size floor (50 sequences at paper scale).
+inline std::size_t scaled_min_cluster_size(std::size_t reads,
+                                           std::size_t paper_reads) {
+  if (paper_reads == 0) return 2;
+  const double scaled = 50.0 * static_cast<double>(reads) /
+                        static_cast<double>(paper_reads);
+  return std::max<std::size_t>(2, static_cast<std::size_t>(scaled + 0.5));
+}
+
+/// Run MrMC-MinH (hierarchical or greedy) through the distributed pipeline.
+inline MethodResult run_mrmc(const simdata::LabeledReads& sample,
+                             core::Mode mode, int kmer, std::size_t hashes,
+                             double theta, std::size_t nodes,
+                             std::uint64_t seed, bool canonical = true) {
+  core::PipelineParams params;
+  params.minhash = {.kmer = kmer, .num_hashes = hashes, .canonical = canonical,
+                    .seed = seed};
+  params.mode = mode;
+  params.theta = theta;
+  core::ExecutionOptions exec;
+  exec.cluster.nodes = nodes;
+
+  MethodResult result;
+  result.method = mode == core::Mode::kHierarchical ? "MrMC-MinH^h" : "MrMC-MinH^g";
+  common::Stopwatch watch;
+  auto pipeline = core::run_pipeline(sample.reads, params, exec);
+  result.wall_s = watch.seconds();
+  result.sim_s = pipeline.sim_total_s;
+  result.labels = std::move(pipeline.labels);
+  return result;
+}
+
+inline MethodResult wrap_baseline(std::string name,
+                                  baselines::BaselineResult&& result) {
+  MethodResult out;
+  out.method = std::move(name);
+  out.labels = std::move(result.labels);
+  out.wall_s = result.wall_s;
+  return out;
+}
+
+}  // namespace mrmc::bench

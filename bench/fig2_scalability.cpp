@@ -1,0 +1,146 @@
+// Figure 2 reproduction — runtime of MrMC-MinH^h versus number of cluster
+// nodes (2..12) and input size (1 K .. 10 M reads from benchmark S1).
+//
+// Two modes:
+//  * analytic (default): the pipeline's deterministic cost models
+//    (core::cost) generate the sketch-job and similarity-job task lists for
+//    each (nodes, reads) point and the SimScheduler computes the makespan —
+//    this is how we sweep to 10 M reads on one machine.  The model is the
+//    same one the executed pipeline uses, validated against real execution
+//    by tests and by --validate.
+//  * --validate: additionally *executes* the pipeline at small sizes and
+//    prints simulated vs measured wall time so the model's shape can be
+//    checked end to end.
+//
+// Expected shape (paper): small inputs are flat in node count (no
+// parallelism to exploit); large inputs keep improving through 12 nodes.
+//
+//   ./fig2_scalability [--max-reads=10000000] [--read-length=1000]
+//       [--hashes=100] [--validate] [--seed=42]
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mr/cluster.hpp"
+
+using namespace mrmc;
+
+namespace {
+
+/// Simulated end-to-end hierarchical-pipeline time for `reads` reads on
+/// `nodes` nodes, built from the same cost models the executed pipeline
+/// uses (sketch map work, similarity row work, dendrogram reduce work).
+double simulate_hierarchical(std::size_t reads, std::size_t read_length,
+                             std::size_t hashes, std::size_t nodes) {
+  mr::ClusterConfig cluster;
+  cluster.nodes = nodes;
+  const mr::SimScheduler scheduler(cluster);
+
+  const double read_bytes = static_cast<double>(read_length) + 48.0;
+  const double sketch_bytes = core::cost::sketch_bytes(hashes);
+
+  // --- Job 1: sketch.  One map task per 1024-read split.
+  const std::size_t sketch_splits = std::max<std::size_t>(1, reads / 1024);
+  const double reads_per_split =
+      static_cast<double>(reads) / static_cast<double>(sketch_splits);
+  std::vector<mr::TaskSpec> sketch_maps(
+      sketch_splits,
+      {reads_per_split * core::cost::sketch_work(read_length, hashes),
+       reads_per_split * read_bytes, reads_per_split * sketch_bytes, -1});
+  std::vector<mr::TaskSpec> sketch_reduces(
+      cluster.reduce_slots(),
+      {1e-6, static_cast<double>(reads) * sketch_bytes /
+                 static_cast<double>(cluster.reduce_slots()),
+       static_cast<double>(reads) * sketch_bytes /
+           static_cast<double>(cluster.reduce_slots()),
+       -1});
+  const auto job1 =
+      simulate_job(scheduler, sketch_maps, static_cast<double>(reads) * sketch_bytes,
+                   sketch_reduces);
+
+  // --- Job 2: similarity matrix, row-partitioned.  Each map split covers a
+  // contiguous row range; work is the number of pairs in the range.
+  const std::size_t row_splits = cluster.map_slots() * 4;
+  std::vector<mr::TaskSpec> sim_maps;
+  sim_maps.reserve(row_splits);
+  const double n = static_cast<double>(reads);
+  double row_begin = 0;
+  for (std::size_t s = 0; s < row_splits; ++s) {
+    const double row_end = n * static_cast<double>(s + 1) /
+                           static_cast<double>(row_splits);
+    // sum over rows r in [begin,end) of (n - r - 1)
+    const double rows = row_end - row_begin;
+    const double pairs = rows * n - (row_end * row_end - row_begin * row_begin) / 2.0;
+    sim_maps.push_back({pairs * core::cost::compare_work(hashes),
+                        rows * sketch_bytes, pairs * 4.0, -1});
+    row_begin = row_end;
+  }
+  const double matrix_bytes = n * (n - 1) / 2.0 * 4.0;
+  std::vector<mr::TaskSpec> sim_reduces(
+      cluster.reduce_slots(),
+      {1e-6, matrix_bytes / static_cast<double>(cluster.reduce_slots()),
+       matrix_bytes / static_cast<double>(cluster.reduce_slots()), -1});
+  const auto job2 = simulate_job(scheduler, sim_maps, matrix_bytes, sim_reduces);
+
+  // --- Job 3: clustering, single GROUP-ALL reducer.
+  std::vector<mr::TaskSpec> cluster_reduce{
+      {core::cost::dendrogram_work(reads), matrix_bytes, n * 8.0, -1}};
+  const auto job3 = simulate_job(scheduler, {}, matrix_bytes, cluster_reduce);
+
+  return job1.total_s + job2.total_s + job3.total_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::size_t max_reads = flags.num("max-reads", 10'000'000);
+  const std::size_t read_length = flags.num("read-length", 1000);
+  const std::size_t hashes = flags.num("hashes", 100);
+  const std::uint64_t seed = flags.num("seed", 42);
+
+  const std::vector<std::size_t> node_counts{2, 4, 6, 8, 10, 12};
+  std::vector<std::size_t> read_counts;
+  for (std::size_t reads = 1000; reads <= max_reads; reads *= 10) {
+    read_counts.push_back(reads);
+  }
+
+  common::TextTable table({"# Reads", "2 nodes", "4 nodes", "6 nodes",
+                           "8 nodes", "10 nodes", "12 nodes"});
+  for (const std::size_t reads : read_counts) {
+    std::vector<std::string> row{std::to_string(reads)};
+    for (const std::size_t nodes : node_counts) {
+      const double seconds =
+          simulate_hierarchical(reads, read_length, hashes, nodes);
+      row.push_back(common::format_duration(seconds));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "Figure 2 — simulated MrMC-MinH^h runtime vs nodes and reads\n"
+            << "(S1-style reads of " << read_length << " bp, " << hashes
+            << " hash functions; EMR M1-Large-calibrated cost model)\n";
+  table.print(std::cout);
+
+  if (flags.flag("validate")) {
+    std::cout << "\nValidation — executed pipeline vs analytic model\n";
+    common::TextTable check({"# Reads", "Nodes", "Model", "Pipeline sim",
+                             "Wall (this host)"});
+    for (const std::size_t reads : {400u, 800u}) {
+      const auto& spec = simdata::whole_metagenome_spec("S1");
+      const auto sample = simdata::build_whole_metagenome(
+          spec, {.reads = reads, .read_length = read_length, .seed = seed});
+      for (const std::size_t nodes : {2u, 8u}) {
+        const auto result = bench::run_mrmc(sample, core::Mode::kHierarchical, 5,
+                                            hashes, 0.5, nodes, seed);
+        check.add_row(
+            {std::to_string(reads), std::to_string(nodes),
+             common::format_duration(
+                 simulate_hierarchical(reads, read_length, hashes, nodes)),
+             common::format_duration(result.sim_s),
+             common::format_duration(result.wall_s)});
+      }
+    }
+    check.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// k-mer extraction, universal hashing / sketching, sketch comparison,
+// global alignment, similarity-matrix assembly, dendrogram construction,
+// and MapReduce engine overhead.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bio/alignment.hpp"
+#include "bio/kmer.hpp"
+#include "common/prng.hpp"
+#include "core/greedy.hpp"
+#include "core/hierarchical.hpp"
+#include "core/minhash.hpp"
+#include "mr/job.hpp"
+#include "simdata/genome.hpp"
+
+namespace {
+
+using namespace mrmc;
+
+std::string random_seq(std::size_t length, std::uint64_t seed) {
+  return simdata::random_genome("b", length, 0.5, seed).seq;
+}
+
+void BM_KmerExtraction(benchmark::State& state) {
+  const auto seq = random_seq(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::extract_kmers(seq, {.k = 15}));
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_KmerExtraction)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_KmerSetCanonical(benchmark::State& state) {
+  const auto seq = random_seq(1000, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::kmer_set(seq, {.k = 5, .canonical = true}));
+  }
+}
+BENCHMARK(BM_KmerSetCanonical);
+
+void BM_MinHashSketch(benchmark::State& state) {
+  const core::MinHasher hasher(
+      {.kmer = 15, .num_hashes = static_cast<std::size_t>(state.range(0)), .seed = 3});
+  const auto seq = random_seq(1000, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.sketch(seq));
+  }
+}
+BENCHMARK(BM_MinHashSketch)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SketchCompareComponent(benchmark::State& state) {
+  const core::MinHasher hasher({.kmer = 15, .num_hashes = 100, .seed = 5});
+  const auto a = hasher.sketch(random_seq(500, 6));
+  const auto b = hasher.sketch(random_seq(500, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::component_match_similarity(a, b));
+  }
+}
+BENCHMARK(BM_SketchCompareComponent);
+
+void BM_SketchCompareSetBased(benchmark::State& state) {
+  const core::MinHasher hasher({.kmer = 15, .num_hashes = 100, .seed = 5});
+  const auto a = hasher.sketch(random_seq(500, 6));
+  const auto b = hasher.sketch(random_seq(500, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::set_based_similarity(a, b));
+  }
+}
+BENCHMARK(BM_SketchCompareSetBased);
+
+void BM_GlobalAlignment(benchmark::State& state) {
+  const auto a = random_seq(static_cast<std::size_t>(state.range(0)), 8);
+  const auto b = random_seq(static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::global_identity(a, b));
+  }
+}
+BENCHMARK(BM_GlobalAlignment)->Arg(60)->Arg(100)->Arg(300);
+
+void BM_GlobalAlignmentBanded(benchmark::State& state) {
+  const auto a = random_seq(300, 10);
+  std::string b = a;
+  b[10] = 'A';
+  b[200] = 'C';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::global_identity(a, b, {.band = 16}));
+  }
+}
+BENCHMARK(BM_GlobalAlignmentBanded);
+
+std::vector<core::Sketch> bench_sketches(std::size_t count) {
+  common::Xoshiro256 rng(11);
+  const core::MinHasher hasher({.kmer = 15, .num_hashes = 50, .seed = 12});
+  std::vector<core::Sketch> sketches;
+  sketches.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sketches.push_back(hasher.sketch(random_seq(100, rng())));
+  }
+  return sketches;
+}
+
+void BM_SimilarityMatrix(benchmark::State& state) {
+  const auto sketches = bench_sketches(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pairwise_similarity_matrix(
+        sketches, core::SketchEstimator::kComponentMatch, nullptr));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimilarityMatrix)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_Agglomerate(benchmark::State& state) {
+  const auto sketches = bench_sketches(static_cast<std::size_t>(state.range(0)));
+  const auto matrix = core::pairwise_similarity_matrix(
+      sketches, core::SketchEstimator::kComponentMatch, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::agglomerate(matrix, core::Linkage::kAverage));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Agglomerate)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+void BM_GreedyCluster(benchmark::State& state) {
+  const auto sketches = bench_sketches(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_cluster(sketches, {.theta = 0.3}));
+  }
+}
+BENCHMARK(BM_GreedyCluster)->Arg(100)->Arg(400);
+
+void BM_MapReduceOverhead(benchmark::State& state) {
+  // Fixed-size identity job: measures the engine's per-job overhead.
+  using IdJob = mr::Job<int, int, int, std::pair<int, int>>;
+  std::vector<int> input(1000);
+  for (int i = 0; i < 1000; ++i) input[i] = i;
+  for (auto _ : state) {
+    mr::JobConfig config;
+    config.threads = 1;
+    IdJob job(
+        config,
+        [](const int& record, mr::Emitter<int, int>& emit) {
+          emit.emit(record, record);
+        },
+        [](const int& key, std::vector<int>& values,
+           std::vector<std::pair<int, int>>& out) {
+          out.emplace_back(key, values.front());
+        });
+    benchmark::DoNotOptimize(job.run(input));
+  }
+}
+BENCHMARK(BM_MapReduceOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

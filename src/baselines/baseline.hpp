@@ -1,0 +1,25 @@
+// Common result type for the comparator algorithms of Tables III-V.
+// Each baseline re-implements the published method's core algorithm (see
+// DESIGN.md §4 for fidelity notes); all of them consume FASTA records and
+// produce flat cluster labels so the bench harnesses can evaluate every
+// method identically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bio/fasta.hpp"
+
+namespace mrmc::baselines {
+
+struct BaselineResult {
+  std::vector<int> labels;
+  std::size_t num_clusters = 0;
+  double wall_s = 0.0;          ///< real measured runtime of the algorithm
+  std::size_t alignments = 0;   ///< full alignments performed (cost driver)
+  std::size_t comparisons = 0;  ///< cheap (word/sketch) comparisons
+};
+
+}  // namespace mrmc::baselines

@@ -1,0 +1,68 @@
+#include "baselines/cdhit_like.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/word_stats.hpp"
+#include "bio/alignment.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace mrmc::baselines {
+
+BaselineResult cdhit_cluster(std::span<const bio::FastaRecord> reads,
+                             const CdHitParams& params) {
+  MRMC_REQUIRE(params.identity > 0.0 && params.identity <= 1.0,
+               "identity in (0, 1]");
+  common::Stopwatch watch;
+  BaselineResult result;
+  result.labels.assign(reads.size(), -1);
+  if (reads.empty()) return result;
+
+  // Longest-first processing order (CD-HIT's defining heuristic: long
+  // sequences become representatives, short ones fold into them).
+  std::vector<std::size_t> order(reads.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return reads[a].seq.size() > reads[b].seq.size();
+  });
+
+  struct Representative {
+    std::size_t read = 0;
+    std::vector<std::uint16_t> words;
+  };
+  std::vector<Representative> reps;
+
+  for (const std::size_t query : order) {
+    const auto query_words = word_counts(reads[query].seq, params.word_size);
+    int assigned = -1;
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      ++result.comparisons;
+      const std::size_t needed =
+          required_common_words(reads[reps[r].read].seq.size(),
+                                reads[query].seq.size(), params.word_size,
+                                params.identity);
+      if (common_words(reps[r].words, query_words) < needed) continue;
+
+      ++result.alignments;
+      const double identity =
+          bio::global_identity(reads[reps[r].read].seq, reads[query].seq,
+                               {.band = params.band});
+      if (identity >= params.identity) {
+        assigned = static_cast<int>(r);
+        break;  // CD-HIT joins the first qualifying representative
+      }
+    }
+    if (assigned < 0) {
+      assigned = static_cast<int>(reps.size());
+      reps.push_back({query, query_words});
+    }
+    result.labels[query] = assigned;
+  }
+
+  result.num_clusters = reps.size();
+  result.wall_s = watch.seconds();
+  return result;
+}
+
+}  // namespace mrmc::baselines

@@ -1,0 +1,27 @@
+// CD-HIT-style greedy clustering (Li & Godzik 2006).
+//
+// Sequences are processed longest-first.  Each query is checked against
+// existing cluster representatives; a cheap short-word filter (counting
+// common k-words against the bound implied by the identity threshold)
+// prunes candidates before the banded global alignment that decides
+// membership.  The first representative reaching the identity threshold
+// absorbs the query; otherwise the query founds a new cluster.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "baselines/baseline.hpp"
+
+namespace mrmc::baselines {
+
+struct CdHitParams {
+  double identity = 0.95;  ///< alignment-identity threshold
+  int word_size = 5;       ///< short-word filter size (CD-HIT default for DNA)
+  int band = 16;           ///< alignment band half-width
+};
+
+BaselineResult cdhit_cluster(std::span<const bio::FastaRecord> reads,
+                             const CdHitParams& params = {});
+
+}  // namespace mrmc::baselines

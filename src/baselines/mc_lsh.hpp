@@ -1,0 +1,31 @@
+// MC-LSH — the authors' earlier greedy clustering with locality-sensitive
+// hashing (Rasheed, Rangwala & Barbara 2012; refs [17, 18] of the paper).
+//
+// Each sequence gets a minhash signature; signatures are split into
+// `bands` bands of equal width, and a query is a candidate for a cluster
+// if any band hashes into the same bucket as the cluster representative.
+// Candidates are verified with the *exact* k-mer-set Jaccard similarity
+// (not the sketch estimate) — which is why MC-LSH matches MrMC-MinH's
+// quality in Tables IV/V while being ~50-80x slower than the sketch-only
+// greedy variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "baselines/baseline.hpp"
+
+namespace mrmc::baselines {
+
+struct McLshParams {
+  double theta = 0.95;        ///< exact-Jaccard join threshold
+  int kmer = 15;              ///< feature word size
+  std::size_t num_hashes = 50;
+  std::size_t bands = 10;     ///< must divide num_hashes
+  std::uint64_t seed = 1;
+};
+
+BaselineResult mclsh_cluster(std::span<const bio::FastaRecord> reads,
+                             const McLshParams& params = {});
+
+}  // namespace mrmc::baselines

@@ -1,0 +1,32 @@
+// MetaCluster-style two-phase composition binning (Yang et al. 2010).
+//
+// Phase 1 (top-down): reads are represented by k-mer (default k=4)
+// frequency vectors and recursively bisected (2-medoid splits under
+// Spearman rank-correlation distance) until groups are small.
+// Phase 2 (bottom-up): group centroids are merged agglomeratively while
+// their Spearman distance stays below the merge threshold.
+//
+// Composition signals (GC / tetranucleotide bias) are what MetaCluster
+// exploits, so it wins when genomes differ in composition and degrades at
+// close taxonomic distance — the behaviour Table III reproduces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "baselines/baseline.hpp"
+
+namespace mrmc::baselines {
+
+struct MetaClusterParams {
+  int word_size = 4;            ///< tetranucleotide composition
+  std::size_t max_group = 64;   ///< phase-1 leaf size
+  double merge_distance = 0.05; ///< phase-2 centroid Spearman threshold
+  std::size_t kmeans_rounds = 8;
+  std::uint64_t seed = 17;
+};
+
+BaselineResult metacluster_cluster(std::span<const bio::FastaRecord> reads,
+                                   const MetaClusterParams& params = {});
+
+}  // namespace mrmc::baselines

@@ -1,0 +1,68 @@
+#include "baselines/uclust_like.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/word_stats.hpp"
+#include "bio/alignment.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace mrmc::baselines {
+
+BaselineResult uclust_cluster(std::span<const bio::FastaRecord> reads,
+                              const UclustParams& params) {
+  MRMC_REQUIRE(params.identity > 0.0 && params.identity <= 1.0,
+               "identity in (0, 1]");
+  common::Stopwatch watch;
+  BaselineResult result;
+  result.labels.assign(reads.size(), -1);
+  if (reads.empty()) return result;
+
+  struct Representative {
+    std::size_t read = 0;
+    std::vector<std::uint16_t> words;
+  };
+  std::vector<Representative> reps;
+
+  for (std::size_t query = 0; query < reads.size(); ++query) {
+    const auto query_words = word_counts(reads[query].seq, params.word_size);
+
+    // U-sort: rank representatives by common-word count, descending.
+    std::vector<std::pair<std::size_t, std::size_t>> ranked;  // (words, rep)
+    ranked.reserve(reps.size());
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      ++result.comparisons;
+      const std::size_t shared = common_words(reps[r].words, query_words);
+      if (shared > 0) ranked.emplace_back(shared, r);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first || (a.first == b.first && a.second < b.second);
+    });
+
+    int assigned = -1;
+    std::size_t rejects = 0;
+    for (const auto& [shared, r] : ranked) {
+      if (rejects >= params.max_rejects) break;
+      ++result.alignments;
+      const double identity = bio::global_identity(
+          reads[reps[r].read].seq, reads[query].seq, {.band = params.band});
+      if (identity >= params.identity) {
+        assigned = static_cast<int>(r);
+        break;
+      }
+      ++rejects;
+    }
+    if (assigned < 0) {
+      assigned = static_cast<int>(reps.size());
+      reps.push_back({query, query_words});
+    }
+    result.labels[query] = assigned;
+  }
+
+  result.num_clusters = reps.size();
+  result.wall_s = watch.seconds();
+  return result;
+}
+
+}  // namespace mrmc::baselines

@@ -1,0 +1,28 @@
+// UCLUST-style greedy clustering (Edgar 2010).
+//
+// Queries are processed in input order.  Candidate representatives are
+// ranked by shared-unique-word count with the query (USEARCH's U-sort) and
+// only the top `max_accepts + max_rejects` candidates are aligned: the
+// first alignment reaching the identity threshold accepts the query; after
+// `max_rejects` failed alignments the query founds a new cluster.  This
+// candidate-ordering + early-termination pair is what makes UCLUST fast
+// and slightly less accurate than exhaustive methods.
+#pragma once
+
+#include <span>
+
+#include "baselines/baseline.hpp"
+
+namespace mrmc::baselines {
+
+struct UclustParams {
+  double identity = 0.95;
+  int word_size = 5;
+  std::size_t max_rejects = 8;  ///< USEARCH default
+  int band = 16;
+};
+
+BaselineResult uclust_cluster(std::span<const bio::FastaRecord> reads,
+                              const UclustParams& params = {});
+
+}  // namespace mrmc::baselines

@@ -1,0 +1,109 @@
+#include "baselines/word_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bio/kmer.hpp"
+#include "common/error.hpp"
+
+namespace mrmc::baselines {
+
+std::vector<std::uint16_t> word_counts(std::string_view seq, int k) {
+  MRMC_REQUIRE(k >= 1 && k <= 8, "dense word counts need k in [1, 8]");
+  std::vector<std::uint16_t> counts(bio::kmer_space_size(k), 0);
+  for (const std::uint64_t kmer : bio::extract_kmers(seq, {.k = k})) {
+    if (counts[kmer] < UINT16_MAX) ++counts[kmer];
+  }
+  return counts;
+}
+
+std::size_t common_words(std::span<const std::uint16_t> a,
+                         std::span<const std::uint16_t> b) noexcept {
+  std::size_t total = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t w = 0; w < n; ++w) {
+    total += std::min(a[w], b[w]);
+  }
+  return total;
+}
+
+double kmer_distance(std::span<const std::uint16_t> a, std::size_t len_a,
+                     std::span<const std::uint16_t> b, std::size_t len_b,
+                     int k) noexcept {
+  const std::size_t min_len = std::min(len_a, len_b);
+  if (min_len < static_cast<std::size_t>(k)) return 1.0;
+  const std::size_t max_common = min_len - static_cast<std::size_t>(k) + 1;
+  const std::size_t common = common_words(a, b);
+  return 1.0 - static_cast<double>(std::min(common, max_common)) /
+                   static_cast<double>(max_common);
+}
+
+std::vector<double> word_frequencies(std::string_view seq, int k) {
+  const auto counts = word_counts(seq, k);
+  const double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  std::vector<double> freqs(counts.size(), 0.0);
+  if (total > 0) {
+    for (std::size_t w = 0; w < counts.size(); ++w) {
+      freqs[w] = static_cast<double>(counts[w]) / total;
+    }
+  }
+  return freqs;
+}
+
+namespace {
+
+/// Midrank assignment: equal values share the average of their positions.
+std::vector<double> midranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && values[order[j]] == values[order[i]]) ++j;
+    const double rank = 0.5 * static_cast<double>(i + j - 1) + 1.0;
+    for (std::size_t p = i; p < j; ++p) ranks[order[p]] = rank;
+    i = j;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_distance(std::span<const double> a, std::span<const double> b) {
+  MRMC_REQUIRE(a.size() == b.size() && !a.empty(),
+               "frequency vectors must be equal-length and non-empty");
+  const auto ranks_a = midranks(a);
+  const auto ranks_b = midranks(b);
+  const auto n = static_cast<double>(a.size());
+
+  // Pearson correlation of the ranks (handles ties correctly).
+  const double mean = (n + 1.0) / 2.0;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = ranks_a[i] - mean;
+    const double db = ranks_b[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;  // constant ranks: identical
+  const double rho = cov / std::sqrt(var_a * var_b);
+  return (1.0 - rho) / 2.0;
+}
+
+std::size_t required_common_words(std::size_t len_a, std::size_t len_b, int k,
+                                  double identity) noexcept {
+  const std::size_t min_len = std::min(len_a, len_b);
+  if (min_len < static_cast<std::size_t>(k)) return 1;
+  const auto words = static_cast<double>(min_len - static_cast<std::size_t>(k) + 1);
+  const double mismatches = (1.0 - identity) * static_cast<double>(min_len);
+  const double lower_bound = words - static_cast<double>(k) * mismatches;
+  return lower_bound <= 1.0 ? 1 : static_cast<std::size_t>(lower_bound);
+}
+
+}  // namespace mrmc::baselines

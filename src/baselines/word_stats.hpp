@@ -1,0 +1,39 @@
+// Shared word-counting utilities for the seed-and-filter baselines
+// (CD-HIT's short-word filter, UCLUST's U-sort, ESPRIT's k-mer distance,
+// MetaCluster's k-mer frequency vectors).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mrmc::baselines {
+
+/// Dense k-mer count vector over the full 4^k space (k <= 8 to stay small).
+std::vector<std::uint16_t> word_counts(std::string_view seq, int k);
+
+/// Number of common words counted with multiplicity: sum_w min(a[w], b[w]).
+std::size_t common_words(std::span<const std::uint16_t> a,
+                         std::span<const std::uint16_t> b) noexcept;
+
+/// ESPRIT-style k-mer distance: 1 - common / (min(len_a, len_b) - k + 1).
+double kmer_distance(std::span<const std::uint16_t> a, std::size_t len_a,
+                     std::span<const std::uint16_t> b, std::size_t len_b,
+                     int k) noexcept;
+
+/// Normalized frequency vector (counts / total), used by MetaCluster.
+std::vector<double> word_frequencies(std::string_view seq, int k);
+
+/// Spearman rank-correlation distance between two frequency vectors:
+/// d = (1 - rho) / 2 in [0, 1].  Ties receive fractional (midrank) ranks.
+double spearman_distance(std::span<const double> a, std::span<const double> b);
+
+/// CD-HIT's word-filter bound: the minimum number of common words two
+/// sequences of lengths la, lb must share to possibly reach `identity`
+/// (a sequence pair at identity p shares at least L - k*(1-p)*L words,
+/// L = min read length; clamped at 1).
+std::size_t required_common_words(std::size_t len_a, std::size_t len_b, int k,
+                                  double identity) noexcept;
+
+}  // namespace mrmc::baselines

@@ -1,0 +1,127 @@
+#include "bio/alignment.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mrmc::bio {
+
+namespace {
+
+constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
+
+struct Cell {
+  long score = kNegInf;
+  std::uint32_t matches = 0;
+  std::uint32_t columns = 0;
+};
+
+inline bool better(const Cell& a, const Cell& b) noexcept {
+  // Higher score wins; on ties prefer more matches (stable, favors diagonal).
+  return a.score > b.score || (a.score == b.score && a.matches > b.matches);
+}
+
+}  // namespace
+
+long nw_score(std::string_view a, std::string_view b, const AlignParams& params) {
+  if (a.size() > b.size()) return nw_score(b, a, params);
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<long> prev(n + 1), cur(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) prev[i] = static_cast<long>(i) * params.gap;
+  for (std::size_t j = 1; j <= m; ++j) {
+    cur[0] = static_cast<long>(j) * params.gap;
+    for (std::size_t i = 1; i <= n; ++i) {
+      const long diag =
+          prev[i - 1] + (a[i - 1] == b[j - 1] ? params.match : params.mismatch);
+      cur[i] = std::max({diag, prev[i] + params.gap, cur[i - 1] + params.gap});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+AlignResult nw_align(std::string_view a, std::string_view b,
+                     const AlignParams& params) {
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return {0, 1.0, 0};
+  if (n == 0 || m == 0) {
+    const std::size_t len = std::max(n, m);
+    return {static_cast<long>(len) * params.gap, 0.0, len};
+  }
+
+  const long band = params.band;
+  auto in_band = [&](std::size_t i, std::size_t j) {
+    if (band < 0) return true;
+    const long diff = static_cast<long>(i) - static_cast<long>(j);
+    return diff >= -band && diff <= band;
+  };
+
+  std::vector<Cell> prev(m + 1), cur(m + 1);
+  prev[0] = {0, 0, 0};
+  for (std::size_t j = 1; j <= m; ++j) {
+    prev[j] = in_band(0, j)
+                  ? Cell{static_cast<long>(j) * params.gap, 0,
+                         static_cast<std::uint32_t>(j)}
+                  : Cell{};
+  }
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = in_band(i, 0)
+                 ? Cell{static_cast<long>(i) * params.gap, 0,
+                        static_cast<std::uint32_t>(i)}
+                 : Cell{};
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (!in_band(i, j)) {
+        cur[j] = Cell{};
+        continue;
+      }
+      Cell best{};
+      if (prev[j - 1].score > kNegInf) {
+        const bool is_match = a[i - 1] == b[j - 1];
+        Cell diag{prev[j - 1].score + (is_match ? params.match : params.mismatch),
+                  prev[j - 1].matches + (is_match ? 1u : 0u),
+                  prev[j - 1].columns + 1};
+        if (better(diag, best)) best = diag;
+      }
+      if (prev[j].score > kNegInf) {
+        Cell up{prev[j].score + params.gap, prev[j].matches, prev[j].columns + 1};
+        if (better(up, best)) best = up;
+      }
+      if (cur[j - 1].score > kNegInf) {
+        Cell left{cur[j - 1].score + params.gap, cur[j - 1].matches,
+                  cur[j - 1].columns + 1};
+        if (better(left, best)) best = left;
+      }
+      cur[j] = best;
+    }
+    std::swap(prev, cur);
+  }
+
+  const Cell& corner = prev[m];
+  MRMC_CHECK(corner.score > kNegInf,
+             "banded alignment excluded the global corner; widen the band");
+  AlignResult result;
+  result.score = corner.score;
+  result.columns = corner.columns;
+  result.identity = corner.columns == 0
+                        ? 1.0
+                        : static_cast<double>(corner.matches) /
+                              static_cast<double>(corner.columns);
+  return result;
+}
+
+double global_identity(std::string_view a, std::string_view b,
+                       const AlignParams& params) {
+  AlignParams p = params;
+  if (p.band >= 0) {
+    // A band narrower than the length difference cannot reach the corner.
+    const long diff = std::labs(static_cast<long>(a.size()) -
+                                static_cast<long>(b.size()));
+    p.band = std::max<int>(p.band, static_cast<int>(diff) + 1);
+  }
+  return nw_align(a, b, p).identity;
+}
+
+}  // namespace mrmc::bio

@@ -1,0 +1,44 @@
+// Global (Needleman-Wunsch) pairwise alignment.  The paper's W.Sim metric
+// is the average global-alignment similarity of sequence pairs within a
+// cluster; the DOTUR/Mothur baselines also build their distance matrices
+// from global alignment.  We provide:
+//   * score-only, linear-memory NW with configurable match/mismatch/gap,
+//   * identity computation (matches / alignment columns) via traceback-free
+//     dual DP (score + match count), and
+//   * a banded variant for near-identical sequences.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mrmc::bio {
+
+struct AlignParams {
+  int match = 1;
+  int mismatch = -1;
+  int gap = -2;      ///< linear gap penalty per column
+  int band = -1;     ///< DP band half-width; <0 = full matrix
+};
+
+struct AlignResult {
+  long score = 0;       ///< optimal NW score
+  double identity = 0;  ///< matched columns / total alignment columns in [0,1]
+  std::size_t columns = 0;  ///< alignment length (matches+mismatches+gaps)
+};
+
+/// Optimal global alignment score, O(min(|a|,|b|)) memory.
+long nw_score(std::string_view a, std::string_view b, const AlignParams& params = {});
+
+/// Global alignment identity.  Uses a full DP with traceback over match
+/// counts; O(|a|·|b|) time, O(min) memory for the score plus one row of
+/// match-count state.  With params.band >= 0 only the diagonal band is
+/// explored (sequences outside the band get the unbanded corner value
+/// through gap-only paths).
+AlignResult nw_align(std::string_view a, std::string_view b,
+                     const AlignParams& params = {});
+
+/// Convenience: identity in [0, 1]; 1.0 for two empty strings.
+double global_identity(std::string_view a, std::string_view b,
+                       const AlignParams& params = {});
+
+}  // namespace mrmc::bio

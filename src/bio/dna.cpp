@@ -1,0 +1,43 @@
+#include "bio/dna.hpp"
+
+#include <algorithm>
+
+namespace mrmc::bio {
+
+bool is_valid_dna(std::string_view seq) noexcept {
+  return std::all_of(seq.begin(), seq.end(),
+                     [](char c) { return encode_base(c) >= 0; });
+}
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+    out.push_back(complement_base(*it));
+  }
+  return out;
+}
+
+double gc_content(std::string_view seq) noexcept {
+  std::size_t gc = 0;
+  std::size_t acgt = 0;
+  for (const char c : seq) {
+    const int code = encode_base(c);
+    if (code < 0) continue;
+    ++acgt;
+    if (code == 1 || code == 2) ++gc;
+  }
+  return acgt == 0 ? 0.0 : static_cast<double>(gc) / static_cast<double>(acgt);
+}
+
+std::string sanitize(std::string_view seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (const char c : seq) {
+    const int code = encode_base(c);
+    out.push_back(code < 0 ? 'N' : decode_base(code));
+  }
+  return out;
+}
+
+}  // namespace mrmc::bio

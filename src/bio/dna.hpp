@@ -1,0 +1,50 @@
+// DNA alphabet handling: 2-bit encoding (A=0, C=1, G=2, T=3), validation,
+// complement, and GC statistics.  This is the "StringGenerator" step of the
+// paper's pipeline (DNA characters -> integer values).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mrmc::bio {
+
+inline constexpr int kDnaAlphabetSize = 4;
+
+/// Encode one nucleotide; returns -1 for any non-ACGT character (N, gaps,
+/// IUPAC ambiguity codes).  Case-insensitive.
+constexpr int encode_base(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return -1;
+  }
+}
+
+constexpr char decode_base(int code) noexcept {
+  constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  return (code >= 0 && code < 4) ? kBases[code] : 'N';
+}
+
+constexpr int complement_code(int code) noexcept { return 3 - code; }
+
+constexpr char complement_base(char c) noexcept {
+  const int code = encode_base(c);
+  return code < 0 ? 'N' : decode_base(complement_code(code));
+}
+
+/// True iff every character is A/C/G/T (either case).
+bool is_valid_dna(std::string_view seq) noexcept;
+
+/// Reverse complement (non-ACGT characters become 'N').
+std::string reverse_complement(std::string_view seq);
+
+/// Fraction of G/C among ACGT characters; 0 if the sequence has none.
+double gc_content(std::string_view seq) noexcept;
+
+/// Uppercase copy with every non-ACGT character replaced by 'N'.
+std::string sanitize(std::string_view seq);
+
+}  // namespace mrmc::bio

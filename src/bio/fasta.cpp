@@ -1,0 +1,92 @@
+#include "bio/fasta.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mrmc::bio {
+
+namespace {
+
+std::string first_token(std::string_view line) {
+  const auto end = line.find_first_of(" \t");
+  return std::string(line.substr(0, end));
+}
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  FastaRecord current;
+  bool in_record = false;
+
+  auto flush = [&] {
+    if (!in_record) return;
+    if (current.seq.empty()) {
+      throw common::IoError("fasta: record '" + current.id + "' has no sequence");
+    }
+    records.push_back(std::move(current));
+    current = {};
+  };
+
+  while (std::getline(in, line)) {
+    strip_cr(line);
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      flush();
+      in_record = true;
+      current.header = line.substr(1);
+      current.id = first_token(current.header);
+      if (current.id.empty()) {
+        throw common::IoError("fasta: record with empty id");
+      }
+    } else {
+      if (!in_record) {
+        throw common::IoError("fasta: sequence data before first header");
+      }
+      current.seq += line;
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_string(std::string_view text) {
+  std::istringstream stream{std::string(text)};
+  return read_fasta(stream);
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw common::IoError("fasta: cannot open '" + path + "'");
+  return read_fasta(file);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t width) {
+  for (const auto& rec : records) {
+    out << '>' << (rec.header.empty() ? rec.id : rec.header) << '\n';
+    if (width == 0) {
+      out << rec.seq << '\n';
+    } else {
+      for (std::size_t pos = 0; pos < rec.seq.size(); pos += width) {
+        out << std::string_view(rec.seq).substr(pos, width) << '\n';
+      }
+    }
+  }
+}
+
+std::string write_fasta_string(const std::vector<FastaRecord>& records,
+                               std::size_t width) {
+  std::ostringstream out;
+  write_fasta(out, records, width);
+  return out.str();
+}
+
+}  // namespace mrmc::bio

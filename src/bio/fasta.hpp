@@ -1,0 +1,37 @@
+// FASTA parsing and writing.  Mirrors the paper's `FastaStorage` UDF: each
+// record carries a read id, the raw sequence and the full header line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrmc::bio {
+
+struct FastaRecord {
+  std::string id;      ///< first whitespace-delimited token of the header
+  std::string header;  ///< full header line without the leading '>'
+  std::string seq;     ///< sequence with line breaks removed
+
+  friend bool operator==(const FastaRecord&, const FastaRecord&) = default;
+};
+
+/// Parse all records from a stream.  Throws IoError on malformed input
+/// (content before the first '>', or a record with an empty sequence).
+std::vector<FastaRecord> read_fasta(std::istream& in);
+
+/// Parse all records from an in-memory string.
+std::vector<FastaRecord> read_fasta_string(std::string_view text);
+
+/// Parse all records from a file path.  Throws IoError if unreadable.
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Write records, wrapping sequence lines at `width` characters (0 = no wrap).
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t width = 70);
+
+std::string write_fasta_string(const std::vector<FastaRecord>& records,
+                               std::size_t width = 70);
+
+}  // namespace mrmc::bio

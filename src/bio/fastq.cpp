@@ -1,0 +1,137 @@
+#include "bio/fastq.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mrmc::bio {
+
+namespace {
+
+std::string first_token(std::string_view line) {
+  const auto end = line.find_first_of(" \t");
+  return std::string(line.substr(0, end));
+}
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+int phred_score(char quality_char) noexcept {
+  const int score = static_cast<unsigned char>(quality_char) - 33;
+  return score < 0 ? 0 : score;
+}
+
+double phred_error_probability(int score) noexcept {
+  return std::pow(10.0, -score / 10.0);
+}
+
+double mean_error_probability(const FastqRecord& record) {
+  if (record.quality.empty()) return 1.0;
+  double total = 0.0;
+  for (const char c : record.quality) {
+    total += phred_error_probability(phred_score(c));
+  }
+  return total / static_cast<double>(record.quality.size());
+}
+
+std::vector<FastqRecord> read_fastq(std::istream& in) {
+  std::vector<FastqRecord> records;
+  std::string header, seq, plus, quality;
+  while (std::getline(in, header)) {
+    strip_cr(header);
+    if (header.empty()) continue;
+    if (header.front() != '@') {
+      throw common::IoError("fastq: expected '@' header, got '" + header + "'");
+    }
+    if (!std::getline(in, seq)) throw common::IoError("fastq: truncated record");
+    if (!std::getline(in, plus)) throw common::IoError("fastq: truncated record");
+    if (!std::getline(in, quality)) throw common::IoError("fastq: truncated record");
+    strip_cr(seq);
+    strip_cr(plus);
+    strip_cr(quality);
+    if (plus.empty() || plus.front() != '+') {
+      throw common::IoError("fastq: expected '+' separator");
+    }
+    if (seq.size() != quality.size()) {
+      throw common::IoError("fastq: sequence/quality length mismatch for '" +
+                            header + "'");
+    }
+    FastqRecord record;
+    record.header = header.substr(1);
+    record.id = first_token(record.header);
+    if (record.id.empty()) throw common::IoError("fastq: record with empty id");
+    record.seq = std::move(seq);
+    record.quality = std::move(quality);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<FastqRecord> read_fastq_string(std::string_view text) {
+  std::istringstream stream{std::string(text)};
+  return read_fastq(stream);
+}
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw common::IoError("fastq: cannot open '" + path + "'");
+  return read_fastq(file);
+}
+
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records) {
+  for (const auto& record : records) {
+    out << '@' << (record.header.empty() ? record.id : record.header) << '\n'
+        << record.seq << "\n+\n" << record.quality << '\n';
+  }
+}
+
+std::string write_fastq_string(const std::vector<FastqRecord>& records) {
+  std::ostringstream out;
+  write_fastq(out, records);
+  return out.str();
+}
+
+std::vector<FastaRecord> to_fasta(const std::vector<FastqRecord>& records) {
+  std::vector<FastaRecord> out;
+  out.reserve(records.size());
+  for (const auto& record : records) {
+    out.push_back({record.id, record.header, record.seq});
+  }
+  return out;
+}
+
+std::vector<FastqRecord> quality_filter(const std::vector<FastqRecord>& records,
+                                        const QualityFilter& filter,
+                                        std::size_t* dropped) {
+  std::vector<FastqRecord> kept;
+  std::size_t discarded = 0;
+  for (const auto& record : records) {
+    // 3'-trim: cut at the first base whose score falls below the threshold.
+    std::size_t keep = record.seq.size();
+    for (std::size_t i = 0; i < record.quality.size(); ++i) {
+      if (phred_score(record.quality[i]) < filter.trim_quality) {
+        keep = i;
+        break;
+      }
+    }
+    FastqRecord trimmed = record;
+    trimmed.seq.resize(keep);
+    trimmed.quality.resize(keep);
+
+    if (trimmed.seq.size() < filter.min_length ||
+        mean_error_probability(trimmed) > filter.max_mean_error) {
+      ++discarded;
+      continue;
+    }
+    kept.push_back(std::move(trimmed));
+  }
+  if (dropped != nullptr) *dropped = discarded;
+  return kept;
+}
+
+}  // namespace mrmc::bio

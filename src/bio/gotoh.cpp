@@ -1,0 +1,125 @@
+#include "bio/gotoh.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mrmc::bio {
+
+namespace {
+
+constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
+
+struct Cell {
+  long score = kNegInf;
+  std::uint32_t matches = 0;
+  std::uint32_t columns = 0;
+};
+
+inline bool better(const Cell& a, const Cell& b) noexcept {
+  return a.score > b.score || (a.score == b.score && a.matches > b.matches);
+}
+
+inline Cell step(const Cell& from, long delta, bool is_match) noexcept {
+  return {from.score + delta, from.matches + (is_match ? 1u : 0u),
+          from.columns + 1};
+}
+
+/// Three-state DP row: best alignment ending in (M)atch, gap in a (F,
+/// vertical: consumes b), or gap in b (E, horizontal: consumes a).
+struct Row {
+  std::vector<Cell> m, e, f;
+  explicit Row(std::size_t width) : m(width), e(width), f(width) {}
+};
+
+}  // namespace
+
+AlignResult gotoh_align(std::string_view a, std::string_view b,
+                        const AffineParams& params) {
+  MRMC_REQUIRE(params.gap_extend <= 0 && params.gap_open <= 0,
+               "gap penalties must be non-positive");
+  const std::size_t n = a.size(), m = b.size();
+  if (n == 0 && m == 0) return {0, 1.0, 0};
+  if (n == 0 || m == 0) {
+    const std::size_t len = std::max(n, m);
+    return {params.gap_open + static_cast<long>(len) * params.gap_extend, 0.0,
+            len};
+  }
+
+  Row prev(m + 1), cur(m + 1);
+  prev.m[0] = {0, 0, 0};
+  // Top row (i = 0): only gaps consuming b -> state F.
+  for (std::size_t j = 1; j <= m; ++j) {
+    prev.f[j] = {params.gap_open + static_cast<long>(j) * params.gap_extend, 0,
+                 static_cast<std::uint32_t>(j)};
+  }
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur.m[0] = Cell{};
+    cur.f[0] = Cell{};
+    // Left column (j = 0): only gaps consuming a -> state E.
+    cur.e[0] = {params.gap_open + static_cast<long>(i) * params.gap_extend, 0,
+                static_cast<std::uint32_t>(i)};
+    for (std::size_t j = 1; j <= m; ++j) {
+      const bool is_match = a[i - 1] == b[j - 1];
+      const long sub = is_match ? params.match : params.mismatch;
+
+      // M: diagonal step from the best state at (i-1, j-1).
+      Cell best_prev = prev.m[j - 1];
+      if (better(prev.e[j - 1], best_prev)) best_prev = prev.e[j - 1];
+      if (better(prev.f[j - 1], best_prev)) best_prev = prev.f[j - 1];
+      cur.m[j] = best_prev.score > kNegInf ? step(best_prev, sub, is_match)
+                                           : Cell{};
+
+      // E: gap in b (consume a[i-1] .. horizontal over i).  Open from
+      // M/F at (i-1, j) or extend E at (i-1, j).
+      Cell open_e = prev.m[j];
+      if (better(prev.f[j], open_e)) open_e = prev.f[j];
+      Cell cand_open = open_e.score > kNegInf
+                           ? step(open_e, params.gap_open + params.gap_extend,
+                                  false)
+                           : Cell{};
+      Cell cand_ext = prev.e[j].score > kNegInf
+                          ? step(prev.e[j], params.gap_extend, false)
+                          : Cell{};
+      cur.e[j] = better(cand_open, cand_ext) ? cand_open : cand_ext;
+
+      // F: gap in a (consume b[j-1] .. vertical over j).  Open from
+      // M/E at (i, j-1) or extend F at (i, j-1).
+      Cell open_f = cur.m[j - 1];
+      if (better(cur.e[j - 1], open_f)) open_f = cur.e[j - 1];
+      Cell f_open = open_f.score > kNegInf
+                        ? step(open_f, params.gap_open + params.gap_extend,
+                               false)
+                        : Cell{};
+      Cell f_ext = cur.f[j - 1].score > kNegInf
+                       ? step(cur.f[j - 1], params.gap_extend, false)
+                       : Cell{};
+      cur.f[j] = better(f_open, f_ext) ? f_open : f_ext;
+    }
+    std::swap(prev, cur);
+  }
+
+  Cell corner = prev.m[m];
+  if (better(prev.e[m], corner)) corner = prev.e[m];
+  if (better(prev.f[m], corner)) corner = prev.f[m];
+  MRMC_CHECK(corner.score > kNegInf, "gotoh: no alignment path reached corner");
+
+  AlignResult result;
+  result.score = corner.score;
+  result.columns = corner.columns;
+  result.identity = corner.columns == 0
+                        ? 1.0
+                        : static_cast<double>(corner.matches) /
+                              static_cast<double>(corner.columns);
+  return result;
+}
+
+long gotoh_score(std::string_view a, std::string_view b,
+                 const AffineParams& params) {
+  return gotoh_align(a, b, params).score;
+}
+
+}  // namespace mrmc::bio

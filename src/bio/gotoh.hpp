@@ -1,0 +1,29 @@
+// Affine-gap global alignment (Gotoh 1982).  Real aligners penalize gap
+// openings more than extensions; DOTUR/Mothur distance pipelines and the
+// W.Sim metric in follow-up work use affine scoring.  Provides score and
+// identity like bio/alignment.hpp's linear-gap NW, via three-state DP.
+#pragma once
+
+#include <string_view>
+
+#include "bio/alignment.hpp"
+
+namespace mrmc::bio {
+
+struct AffineParams {
+  int match = 1;
+  int mismatch = -1;
+  int gap_open = -4;    ///< charged once per gap (in addition to extend)
+  int gap_extend = -1;  ///< charged per gap column
+};
+
+/// Optimal affine-gap global alignment score (Gotoh three-state DP),
+/// O(min(|a|,|b|)) memory.
+long gotoh_score(std::string_view a, std::string_view b,
+                 const AffineParams& params = {});
+
+/// Affine-gap global alignment identity (matched columns / all columns).
+AlignResult gotoh_align(std::string_view a, std::string_view b,
+                        const AffineParams& params = {});
+
+}  // namespace mrmc::bio

@@ -1,0 +1,88 @@
+#include "bio/kmer.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "bio/dna.hpp"
+#include "common/error.hpp"
+
+namespace mrmc::bio {
+
+std::uint64_t revcomp_kmer(std::uint64_t kmer, int k) noexcept {
+  std::uint64_t out = 0;
+  for (int i = 0; i < k; ++i) {
+    out = (out << 2) | (3 - (kmer & 3));
+    kmer >>= 2;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> extract_kmers(std::string_view seq,
+                                         const KmerParams& params) {
+  MRMC_REQUIRE(params.k >= 1 && params.k <= kMaxKmerK, "k must be in [1, 31]");
+  const int k = params.k;
+  std::vector<std::uint64_t> out;
+  if (seq.size() < static_cast<std::size_t>(k)) return out;
+  out.reserve(seq.size() - k + 1);
+
+  const std::uint64_t mask =
+      (k == 32) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (2 * k)) - 1);
+  std::uint64_t word = 0;
+  int filled = 0;  // valid bases currently in the rolling window
+  for (const char c : seq) {
+    const int code = encode_base(c);
+    if (code < 0) {
+      filled = 0;  // ambiguous base: restart the window after it
+      word = 0;
+      continue;
+    }
+    word = ((word << 2) | static_cast<std::uint64_t>(code)) & mask;
+    if (++filled >= k) {
+      if (params.canonical) {
+        out.push_back(std::min(word, revcomp_kmer(word, k)));
+      } else {
+        out.push_back(word);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> kmer_set(std::string_view seq, const KmerParams& params) {
+  auto kmers = extract_kmers(seq, params);
+  std::sort(kmers.begin(), kmers.end());
+  kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
+  return kmers;
+}
+
+double exact_jaccard(const std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b) noexcept {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t inter = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::string decode_kmer(std::uint64_t kmer, int k) {
+  MRMC_REQUIRE(k >= 1 && k <= kMaxKmerK, "k must be in [1, 31]");
+  std::string out(static_cast<std::size_t>(k), 'A');
+  for (int i = k - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = decode_base(static_cast<int>(kmer & 3));
+    kmer >>= 2;
+  }
+  return out;
+}
+
+}  // namespace mrmc::bio

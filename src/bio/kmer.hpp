@@ -1,0 +1,46 @@
+// k-mer extraction: each sequence is decomposed into its set of contiguous
+// length-k subwords, packed 2 bits/base into a uint64 (k <= 31).  This is
+// the paper's `TranslateToKmer` UDF and the feature-set construction
+// I_s of Section III-A.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mrmc::bio {
+
+inline constexpr int kMaxKmerK = 31;
+
+/// Feature-space size m = 4^k used as the outer modulus of the paper's
+/// universal hash (Equation 5).
+constexpr std::uint64_t kmer_space_size(int k) noexcept {
+  return std::uint64_t{1} << (2 * k);
+}
+
+struct KmerParams {
+  int k = 5;              ///< word length (paper: 5 for shotgun, 15 for 16S)
+  bool canonical = false; ///< if true, emit min(kmer, revcomp(kmer))
+};
+
+/// All k-mers of `seq` in order of occurrence, duplicates included.
+/// Windows containing a non-ACGT character are skipped (the rolling encoder
+/// restarts after each ambiguous base).  Throws InvalidArgument for k out of
+/// [1, 31].
+std::vector<std::uint64_t> extract_kmers(std::string_view seq, const KmerParams& params);
+
+/// Sorted, deduplicated k-mer set — the feature set I_s of Equation 1.
+std::vector<std::uint64_t> kmer_set(std::string_view seq, const KmerParams& params);
+
+/// Exact Jaccard similarity |A ∩ B| / |A ∪ B| of two *sorted unique* sets.
+/// Returns 1.0 when both sets are empty (two empty reads are identical).
+double exact_jaccard(const std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b) noexcept;
+
+/// Decode a packed k-mer back to its string (for debugging / tests).
+std::string decode_kmer(std::uint64_t kmer, int k);
+
+/// Reverse complement of a packed k-mer.
+std::uint64_t revcomp_kmer(std::uint64_t kmer, int k) noexcept;
+
+}  // namespace mrmc::bio

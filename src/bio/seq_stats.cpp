@@ -1,0 +1,70 @@
+#include "bio/seq_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "bio/dna.hpp"
+
+namespace mrmc::bio {
+
+SeqSetStats compute_stats(std::span<const FastaRecord> records) {
+  SeqSetStats stats;
+  if (records.empty()) return stats;
+
+  std::vector<std::size_t> lengths;
+  lengths.reserve(records.size());
+  std::size_t ambiguous = 0;
+  for (const auto& record : records) {
+    lengths.push_back(record.seq.size());
+    stats.total_bases += record.seq.size();
+    for (const char c : record.seq) {
+      const int code = encode_base(c);
+      if (code < 0) {
+        ++ambiguous;
+      } else {
+        ++stats.base_counts[static_cast<std::size_t>(code)];
+      }
+    }
+  }
+  std::sort(lengths.begin(), lengths.end());
+
+  stats.count = records.size();
+  stats.min_length = lengths.front();
+  stats.max_length = lengths.back();
+  stats.mean_length = static_cast<double>(stats.total_bases) /
+                      static_cast<double>(stats.count);
+  stats.median_length = lengths[lengths.size() / 2];
+
+  // N50: walk lengths descending until half the bases are covered.
+  std::size_t covered = 0;
+  for (auto it = lengths.rbegin(); it != lengths.rend(); ++it) {
+    covered += *it;
+    if (covered * 2 >= stats.total_bases) {
+      stats.n50 = *it;
+      break;
+    }
+  }
+
+  const std::size_t acgt = stats.total_bases - ambiguous;
+  stats.gc = acgt == 0 ? 0.0
+                       : static_cast<double>(stats.base_counts[1] +
+                                             stats.base_counts[2]) /
+                             static_cast<double>(acgt);
+  stats.ambiguous_fraction =
+      stats.total_bases == 0
+          ? 0.0
+          : static_cast<double>(ambiguous) / static_cast<double>(stats.total_bases);
+  return stats;
+}
+
+std::string SeqSetStats::summary() const {
+  std::ostringstream out;
+  out << count << " reads, " << total_bases << " bp total, length "
+      << min_length << ".." << max_length << " (mean " << mean_length
+      << ", median " << median_length << ", N50 " << n50 << "), GC "
+      << gc * 100.0 << "%";
+  return out.str();
+}
+
+}  // namespace mrmc::bio

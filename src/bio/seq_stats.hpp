@@ -1,0 +1,31 @@
+// Sequence-set statistics: length distribution, N50, GC, base composition —
+// the summary panel any read-set tool prints before clustering.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "bio/fasta.hpp"
+
+namespace mrmc::bio {
+
+struct SeqSetStats {
+  std::size_t count = 0;
+  std::size_t total_bases = 0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0.0;
+  std::size_t median_length = 0;
+  std::size_t n50 = 0;            ///< length L such that reads >= L hold half the bases
+  double gc = 0.0;                ///< overall GC fraction
+  double ambiguous_fraction = 0.0;  ///< non-ACGT bases / total
+  std::array<std::size_t, 4> base_counts{};  ///< A, C, G, T
+
+  [[nodiscard]] std::string summary() const;
+};
+
+SeqSetStats compute_stats(std::span<const FastaRecord> records);
+
+}  // namespace mrmc::bio

@@ -1,0 +1,51 @@
+// Error handling: the library throws mrmc::common::Error (derived from
+// std::runtime_error) for all recoverable failures, with MRMC_REQUIRE /
+// MRMC_CHECK macros for precondition validation at API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mrmc::common {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file or simulated DFS path is malformed or missing.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a caller violates a documented API precondition.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] inline void fail(std::string_view context, std::string_view message) {
+  throw Error(std::string(context) + ": " + std::string(message));
+}
+
+}  // namespace mrmc::common
+
+/// Validate a documented precondition at a public API boundary.
+#define MRMC_REQUIRE(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      throw ::mrmc::common::InvalidArgument(                      \
+          std::string(__func__) + ": requirement failed: " msg); \
+    }                                                             \
+  } while (false)
+
+/// Internal invariant check (kept on in all build types: cheap and load-bearing).
+#define MRMC_CHECK(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      throw ::mrmc::common::Error(                                  \
+          std::string(__func__) + ": internal invariant: " msg);   \
+    }                                                               \
+  } while (false)

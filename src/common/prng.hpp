@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for all simulators and
+// randomized algorithms in the library.  Every component that needs
+// randomness takes an explicit 64-bit seed so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mrmc::common {
+
+/// SplitMix64 — used to seed other generators and as a cheap stateless mixer.
+/// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+/// Generators" (OOPSLA 2014).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot stateless mix of a 64-bit value; handy for hashing seeds together.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality general-purpose generator.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    // Seed the four words from SplitMix64 per the authors' recommendation.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    auto mul = static_cast<__uint128_t>((*this)()) * bound;
+    auto low = static_cast<std::uint64_t>(mul);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        mul = static_cast<__uint128_t>((*this)()) * bound;
+        low = static_cast<std::uint64_t>(mul);
+      }
+    }
+    return static_cast<std::uint64_t>(mul >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fork an independent stream (for per-worker deterministic substreams).
+  constexpr Xoshiro256 fork(std::uint64_t stream_id) noexcept {
+    return Xoshiro256{mix64(state_[0] ^ mix64(stream_id ^ 0xa0761d6478bd642fULL))};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace mrmc::common

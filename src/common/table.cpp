@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace mrmc::common {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MRMC_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MRMC_REQUIRE(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_f(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  return fmt_f(fraction * 100.0, decimals);
+}
+
+}  // namespace mrmc::common

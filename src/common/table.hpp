@@ -1,0 +1,32 @@
+// Minimal fixed-column text table printer used by the bench harnesses to
+// emit rows in the same layout as the paper's tables.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrmc::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content, pipe-separated.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_f(double value, int decimals = 2);
+std::string fmt_pct(double fraction, int decimals = 2);  // 0.9042 -> "90.42"
+
+}  // namespace mrmc::common

@@ -1,0 +1,42 @@
+// Wall-clock stopwatch and human-readable duration formatting in the style
+// used by the paper's tables ("4m 25s", "8.4s").
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace mrmc::common {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Format a duration the way the paper's tables print it:
+/// >= 60 s -> "4m 25s"; otherwise "8.4s".
+inline std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 60.0) {
+    const auto mins = static_cast<long>(seconds) / 60;
+    const auto secs = static_cast<long>(seconds) % 60;
+    std::snprintf(buf, sizeof buf, "%ldm %02lds", mins, secs);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace mrmc::common

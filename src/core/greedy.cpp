@@ -1,0 +1,75 @@
+#include "core/greedy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mrmc::core {
+
+namespace {
+
+/// Sorted unique view of each sketch, precomputed so the set-based estimator
+/// does not re-sort per comparison.
+std::vector<Sketch> sorted_unique_sketches(std::span<const Sketch> sketches) {
+  std::vector<Sketch> out;
+  out.reserve(sketches.size());
+  for (const auto& sketch : sketches) {
+    Sketch s = sketch;
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+GreedyResult greedy_cluster(std::span<const Sketch> sketches,
+                            const GreedyParams& params) {
+  MRMC_REQUIRE(params.theta >= 0.0 && params.theta <= 1.0, "theta in [0, 1]");
+  const std::size_t n = sketches.size();
+  GreedyResult result;
+  result.labels.assign(n, -1);
+  if (n == 0) return result;
+
+  const bool set_based = params.estimator == SketchEstimator::kSetBased;
+  const std::vector<Sketch> sorted =
+      set_based ? sorted_unique_sketches(sketches) : std::vector<Sketch>{};
+
+  auto similarity = [&](std::size_t i, std::size_t j) {
+    return set_based ? bio::exact_jaccard(sorted[i], sorted[j])
+                     : component_match_similarity(sketches[i], sketches[j]);
+  };
+
+  // `pending` holds the indices of still-unassigned sequences, in input
+  // order; each pass removes the new representative and everything it
+  // absorbs (Algorithm 1 lines 5-14).
+  std::vector<std::size_t> pending(n);
+  for (std::size_t i = 0; i < n; ++i) pending[i] = i;
+
+  int next_label = 0;
+  while (!pending.empty()) {
+    const std::size_t rep = pending.front();
+    const int label = next_label++;
+    result.labels[rep] = label;
+    result.representatives.push_back(rep);
+
+    std::vector<std::size_t> still_pending;
+    still_pending.reserve(pending.size());
+    for (std::size_t idx = 1; idx < pending.size(); ++idx) {
+      const std::size_t candidate = pending[idx];
+      ++result.comparisons;
+      if (similarity(rep, candidate) >= params.theta) {
+        result.labels[candidate] = label;
+      } else {
+        still_pending.push_back(candidate);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+
+  result.num_clusters = static_cast<std::size_t>(next_label);
+  return result;
+}
+
+}  // namespace mrmc::core

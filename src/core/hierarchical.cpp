@@ -1,0 +1,241 @@
+#include "core/hierarchical.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace mrmc::core {
+
+const char* linkage_name(Linkage linkage) noexcept {
+  switch (linkage) {
+    case Linkage::kSingle: return "single";
+    case Linkage::kAverage: return "average";
+    case Linkage::kComplete: return "complete";
+  }
+  return "?";
+}
+
+SimilarityMatrix::SimilarityMatrix(std::size_t n, float fill)
+    : n_(n), data_(n * n, fill) {}
+
+SimilarityMatrix pairwise_similarity_matrix(std::span<const Sketch> sketches,
+                                            SketchEstimator estimator,
+                                            common::ThreadPool* pool) {
+  const std::size_t n = sketches.size();
+  SimilarityMatrix matrix(n, 0.0F);
+
+  // Pre-sort for the set-based estimator so each comparison is a linear merge.
+  std::vector<Sketch> sorted;
+  if (estimator == SketchEstimator::kSetBased) {
+    sorted.reserve(n);
+    for (const auto& sketch : sketches) {
+      Sketch s = sketch;
+      std::sort(s.begin(), s.end());
+      s.erase(std::unique(s.begin(), s.end()), s.end());
+      sorted.push_back(std::move(s));
+    }
+  }
+
+  auto fill_row = [&](std::size_t i) {
+    matrix.set(i, i, 1.0F);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double sim =
+          estimator == SketchEstimator::kSetBased
+              ? bio::exact_jaccard(sorted[i], sorted[j])
+              : component_match_similarity(sketches[i], sketches[j]);
+      matrix.set(i, j, static_cast<float>(sim));
+    }
+  };
+
+  if (pool != nullptr && n > 64) {
+    pool->parallel_for(n, fill_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fill_row(i);
+  }
+  return matrix;
+}
+
+Dendrogram agglomerate(const SimilarityMatrix& matrix, Linkage linkage) {
+  const std::size_t n = matrix.size();
+  Dendrogram dendrogram;
+  dendrogram.num_leaves = n;
+  if (n <= 1) return dendrogram;
+  dendrogram.merges.reserve(n - 1);
+
+  // Working distance matrix, mutated in place by Lance-Williams updates.
+  std::vector<double> dist(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dist[i * n + j] = 1.0 - static_cast<double>(matrix.at(i, j));
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> cluster_size(n, 1);
+  std::vector<int> node_id(n);  // dendrogram node currently in each slot
+  std::iota(node_id.begin(), node_id.end(), 0);
+
+  auto nearest = [&](std::size_t slot) {
+    std::size_t best = n;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t other = 0; other < n; ++other) {
+      if (other == slot || !active[other]) continue;
+      const double d = dist[slot * n + other];
+      if (d < best_dist) {
+        best_dist = d;
+        best = other;
+      }
+    }
+    MRMC_CHECK(best < n, "no active neighbour found");
+    return std::pair{best, best_dist};
+  };
+
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+  std::size_t merges_done = 0;
+  std::size_t scan_start = 0;  // earliest possibly-active slot
+
+  while (merges_done < n - 1) {
+    if (chain.empty()) {
+      while (!active[scan_start]) ++scan_start;
+      chain.push_back(scan_start);
+    }
+    // Grow the chain until a reciprocal nearest-neighbour pair appears.
+    for (;;) {
+      const std::size_t tip = chain.back();
+      const auto [nn, d] = nearest(tip);
+      if (chain.size() >= 2 && nn == chain[chain.size() - 2]) {
+        // Reciprocal pair (tip, nn): merge.
+        const std::size_t a = std::min(tip, nn);
+        const std::size_t b = std::max(tip, nn);
+
+        Dendrogram::Merge merge;
+        merge.left = node_id[a];
+        merge.right = node_id[b];
+        merge.distance = d;
+        merge.size = cluster_size[a] + cluster_size[b];
+        dendrogram.merges.push_back(merge);
+
+        // Lance-Williams update into slot a; slot b dies.
+        const auto size_a = static_cast<double>(cluster_size[a]);
+        const auto size_b = static_cast<double>(cluster_size[b]);
+        for (std::size_t k = 0; k < n; ++k) {
+          if (!active[k] || k == a || k == b) continue;
+          const double dak = dist[a * n + k];
+          const double dbk = dist[b * n + k];
+          double updated = 0;
+          switch (linkage) {
+            case Linkage::kSingle: updated = std::min(dak, dbk); break;
+            case Linkage::kComplete: updated = std::max(dak, dbk); break;
+            case Linkage::kAverage:
+              updated = (size_a * dak + size_b * dbk) / (size_a + size_b);
+              break;
+          }
+          dist[a * n + k] = updated;
+          dist[k * n + a] = updated;
+        }
+        active[b] = false;
+        cluster_size[a] += cluster_size[b];
+        node_id[a] = static_cast<int>(n + merges_done);
+        ++merges_done;
+
+        chain.pop_back();
+        chain.pop_back();
+        break;
+      }
+      chain.push_back(nn);
+    }
+  }
+
+  // Merges are recorded in creation order: children always precede parents
+  // (node n + i exists only after merge i).  Heights may interleave across
+  // chain restarts; consumers that need height order sort by distance.
+  return dendrogram;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<int> cut_dendrogram(const Dendrogram& dendrogram, double theta) {
+  MRMC_REQUIRE(theta >= 0.0 && theta <= 1.0, "theta in [0, 1]");
+  const std::size_t n = dendrogram.num_leaves;
+  const double max_distance = 1.0 - theta + 1e-12;
+
+  // Merges are in creation order (children precede parents: node n + i only
+  // exists after merge i), so one forward pass resolves every node to a
+  // representative leaf.  A merge within the cutoff unites its two sides.
+  UnionFind uf(n);
+  std::vector<int> rep(n + dendrogram.merges.size(), -1);
+  for (std::size_t i = 0; i < n; ++i) rep[i] = static_cast<int>(i);
+
+  for (std::size_t idx = 0; idx < dendrogram.merges.size(); ++idx) {
+    const auto& merge = dendrogram.merges[idx];
+    const int left_rep = rep[merge.left];
+    const int right_rep = rep[merge.right];
+    MRMC_CHECK(left_rep >= 0 && right_rep >= 0,
+               "dendrogram children must precede parents");
+    if (merge.distance <= max_distance) {
+      uf.unite(static_cast<std::size_t>(left_rep),
+               static_cast<std::size_t>(right_rep));
+    }
+    rep[n + idx] = left_rep;
+  }
+
+  // Compact labels in order of first appearance.
+  std::vector<int> labels(n, -1);
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = uf.find(i);
+    auto it = std::find(roots.begin(), roots.end(), root);
+    if (it == roots.end()) {
+      roots.push_back(root);
+      labels[i] = static_cast<int>(roots.size() - 1);
+    } else {
+      labels[i] = static_cast<int>(it - roots.begin());
+    }
+  }
+  return labels;
+}
+
+
+HierarchicalResult hierarchical_cluster(std::span<const Sketch> sketches,
+                                        const HierarchicalParams& params,
+                                        common::ThreadPool* pool) {
+  HierarchicalResult result;
+  if (sketches.empty()) return result;
+  const SimilarityMatrix matrix =
+      pairwise_similarity_matrix(sketches, params.estimator, pool);
+  result.dendrogram = agglomerate(matrix, params.linkage);
+  result.labels = cut_dendrogram(result.dendrogram, params.theta);
+  result.num_clusters = count_clusters(result.labels);
+  return result;
+}
+
+std::size_t count_clusters(std::span<const int> labels) {
+  std::unordered_set<int> unique(labels.begin(), labels.end());
+  return unique.size();
+}
+
+}  // namespace mrmc::core

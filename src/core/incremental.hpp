@@ -1,0 +1,53 @@
+// Incremental clustering — absorb new reads into an existing clustering
+// without re-running it, the operational mode for longitudinal studies
+// where samples arrive sequencing-run by sequencing-run.  New reads are
+// matched against existing cluster representatives through the LSH index
+// (greedy semantics); unmatched reads found new clusters.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/lsh_index.hpp"
+#include "core/minhash.hpp"
+
+namespace mrmc::core {
+
+class IncrementalClusterer {
+ public:
+  /// `hasher` defines the sketch space; `theta` and `estimator` follow
+  /// Algorithm 1's join rule.
+  IncrementalClusterer(MinHashParams hasher, GreedyParams greedy,
+                       LshParams lsh = {});
+
+  /// Add one read; returns its (possibly new) cluster label.
+  int add(std::string_view seq);
+
+  /// Add many reads; returns their labels in order.
+  std::vector<int> add_all(std::span<const std::string_view> seqs);
+
+  [[nodiscard]] std::size_t num_clusters() const noexcept {
+    return representatives_.size();
+  }
+  [[nodiscard]] std::size_t num_reads() const noexcept { return reads_added_; }
+
+  /// Sketch of the representative anchoring `label`.
+  [[nodiscard]] const Sketch& representative_sketch(int label) const;
+
+  /// Current per-cluster sizes, indexed by label.
+  [[nodiscard]] const std::vector<std::size_t>& cluster_sizes() const noexcept {
+    return sizes_;
+  }
+
+ private:
+  MinHasher hasher_;
+  GreedyParams greedy_;
+  LshIndex index_;
+  std::vector<Sketch> representatives_;        // raw sketches
+  std::vector<Sketch> sorted_representatives_; // sorted-unique (set estimator)
+  std::vector<std::size_t> sizes_;
+  std::size_t reads_added_ = 0;
+};
+
+}  // namespace mrmc::core

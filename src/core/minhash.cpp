@@ -1,0 +1,110 @@
+#include "core/minhash.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::core {
+
+namespace {
+
+/// (a * x + b) mod (2^61 - 1) without overflow, exploiting the Mersenne
+/// structure: for p = 2^61 - 1, (hi·2^61 + lo) ≡ hi + lo (mod p).
+constexpr std::uint64_t mod_mersenne61(__uint128_t value) noexcept {
+  constexpr std::uint64_t p = UniversalHashFamily::kPrime;
+  // value < 2^125; two folds bring it under 2^61 + epsilon, then one
+  // conditional subtraction completes the reduction.  (A single fold is NOT
+  // enough: for 64-bit inputs the high part alone exceeds p.)
+  value = (value & p) + (value >> 61);  // < 2^64 + 2^61
+  value = (value & p) + (value >> 61);  // < 2^61 + 8
+  auto reduced = static_cast<std::uint64_t>(value);
+  if (reduced >= p) reduced -= p;
+  return reduced;
+}
+
+}  // namespace
+
+UniversalHashFamily::UniversalHashFamily(std::size_t count, std::uint64_t m,
+                                         std::uint64_t seed)
+    : m_(m) {
+  MRMC_REQUIRE(count >= 1, "need at least one hash function");
+  MRMC_REQUIRE(m == 0 || m <= kPrime, "outer modulus must be < p");
+  a_.reserve(count);
+  b_.reserve(count);
+  common::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    a_.push_back(1 + rng.bounded(kPrime - 1));  // a in [1, p)
+    b_.push_back(rng.bounded(kPrime));          // b in [0, p)
+  }
+}
+
+std::uint64_t UniversalHashFamily::hash(std::size_t i, std::uint64_t x) const noexcept {
+  const __uint128_t prod = static_cast<__uint128_t>(a_[i]) * x + b_[i];
+  const std::uint64_t mod_p = mod_mersenne61(prod);
+  return m_ == 0 ? mod_p : mod_p % m_;
+}
+
+MinHasher::MinHasher(MinHashParams params)
+    : params_(params), family_(params.num_hashes, params.modulus, params.seed) {
+  MRMC_REQUIRE(params.kmer >= 1 && params.kmer <= bio::kMaxKmerK,
+               "kmer size must be in [1, 31]");
+}
+
+Sketch MinHasher::sketch_features(std::span<const std::uint64_t> features) const {
+  Sketch sketch(family_.size(), kEmptyMin);
+  for (const std::uint64_t x : features) {
+    for (std::size_t i = 0; i < family_.size(); ++i) {
+      const std::uint64_t h = family_.hash(i, x);
+      if (h < sketch[i]) sketch[i] = h;
+    }
+  }
+  return sketch;
+}
+
+Sketch MinHasher::sketch(std::string_view seq) const {
+  const auto features =
+      bio::kmer_set(seq, {.k = params_.kmer, .canonical = params_.canonical});
+  return sketch_features(features);
+}
+
+std::vector<Sketch> MinHasher::sketch_all(
+    std::span<const std::string_view> seqs) const {
+  std::vector<Sketch> sketches;
+  sketches.reserve(seqs.size());
+  for (const auto seq : seqs) sketches.push_back(sketch(seq));
+  return sketches;
+}
+
+double component_match_similarity(const Sketch& a, const Sketch& b) noexcept {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(a.size());
+}
+
+double set_based_similarity(const Sketch& a, const Sketch& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  Sketch sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  return bio::exact_jaccard(sa, sb);
+}
+
+double sketch_similarity(const Sketch& a, const Sketch& b,
+                         SketchEstimator estimator) {
+  MRMC_REQUIRE(a.size() == b.size(), "sketches must have equal length");
+  switch (estimator) {
+    case SketchEstimator::kComponentMatch:
+      return component_match_similarity(a, b);
+    case SketchEstimator::kSetBased:
+      return set_based_similarity(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace mrmc::core

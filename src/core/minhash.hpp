@@ -1,0 +1,109 @@
+// Minwise hashing (Section III-A/B of the paper).
+//
+// A sequence's k-mer feature set I_s is sketched with n universal hash
+// functions h_i(x) = ((a_i·x + b_i) mod p) mod m (Carter-Wegman; Equation 5)
+// — the i-th sketch component is min_{x in I_s} h_i(x).  By the minwise
+// property (Equation 3) the probability that two sets share a component
+// equals their Jaccard similarity, so sketches give an unbiased similarity
+// estimate in O(n) instead of O(|I_s1| + |I_s2|).
+//
+// The paper describes two estimators and we implement both:
+//  * kComponentMatch — fraction of positions i with equal minima (the
+//    textbook estimator; unbiased),
+//  * kSetBased — |set(s1^) ∩ set(s2^)| / |set(s1^) ∪ set(s2^)| over the
+//    multisets of minwise values (Algorithm 1, line 9 — what the paper's
+//    pseudo-code literally computes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bio/kmer.hpp"
+
+namespace mrmc::core {
+
+/// Fixed-size sketch: the n minwise hash values of one sequence.
+using Sketch = std::vector<std::uint64_t>;
+
+/// Sentinel component for a sequence with an empty feature set (shorter than
+/// k or all-ambiguous): no x exists to minimize over.
+inline constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
+
+enum class SketchEstimator {
+  kComponentMatch,  ///< mean of [min_i(A) == min_i(B)]
+  kSetBased,        ///< Jaccard of the sets of minwise values
+};
+
+/// Carter-Wegman universal hash family with p = 2^61 - 1 (Mersenne prime).
+/// Parameters a_i ∈ [1, p), b_i ∈ [0, p) are drawn from a seeded PRNG.
+class UniversalHashFamily {
+ public:
+  /// `m` is the outer modulus — the k-mer feature-space size 4^k per the
+  /// paper; pass 0 to skip the outer mod (full 61-bit range, fewer
+  /// collisions; used by the LSH baseline).
+  UniversalHashFamily(std::size_t count, std::uint64_t m, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return a_.size(); }
+  [[nodiscard]] std::uint64_t modulus() const noexcept { return m_; }
+
+  /// h_i(x).
+  [[nodiscard]] std::uint64_t hash(std::size_t i, std::uint64_t x) const noexcept;
+
+  static constexpr std::uint64_t kPrime = (std::uint64_t{1} << 61) - 1;
+
+ private:
+  std::vector<std::uint64_t> a_;
+  std::vector<std::uint64_t> b_;
+  std::uint64_t m_;
+};
+
+struct MinHashParams {
+  int kmer = 5;             ///< k-mer size (paper: 5 shotgun, 15 for 16S)
+  std::size_t num_hashes = 100;  ///< sketch length n (paper: 100 / 50)
+  bool canonical = false;   ///< strand-insensitive k-mers
+  std::uint64_t seed = 1;   ///< hash-family seed
+  /// Outer modulus m of Equation 5.  The paper sets m = 4^k (the feature-
+  /// space size), but for small k that collapses all minima toward 0 and
+  /// destroys the estimator (see DESIGN.md); 0 = full 61-bit hash range
+  /// (recommended, default).  Set to bio::kmer_space_size(k) for
+  /// paper-literal behaviour.
+  std::uint64_t modulus = 0;
+};
+
+/// Computes sketches for sequences.  Thread-safe after construction.
+class MinHasher {
+ public:
+  explicit MinHasher(MinHashParams params);
+
+  [[nodiscard]] const MinHashParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t sketch_size() const noexcept { return family_.size(); }
+
+  /// Sketch of one sequence (Equation 4).
+  [[nodiscard]] Sketch sketch(std::string_view seq) const;
+
+  /// Sketch of an explicit feature set.
+  [[nodiscard]] Sketch sketch_features(std::span<const std::uint64_t> features) const;
+
+  /// Sketches for many sequences.
+  [[nodiscard]] std::vector<Sketch> sketch_all(
+      std::span<const std::string_view> seqs) const;
+
+ private:
+  MinHashParams params_;
+  UniversalHashFamily family_;
+};
+
+/// Estimated Jaccard similarity of two sketches (must be equal length).
+[[nodiscard]] double sketch_similarity(const Sketch& a, const Sketch& b,
+                                       SketchEstimator estimator);
+
+/// Component-match estimator (cheapest; used by the similarity matrix).
+[[nodiscard]] double component_match_similarity(const Sketch& a,
+                                                const Sketch& b) noexcept;
+
+/// Set-based estimator of Algorithm 1 line 9.
+[[nodiscard]] double set_based_similarity(const Sketch& a, const Sketch& b);
+
+}  // namespace mrmc::core

@@ -1,0 +1,314 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace mrmc::core {
+
+const char* mode_name(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kGreedy: return "greedy";
+    case Mode::kHierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+namespace cost {
+
+// Calibrated to an EMR M1 Large-class node (cpu_rate = 1 work unit / sim
+// second): ~25 ns per k-mer x hash-function evaluation, ~1.5 ns per sketch
+// component comparison, ~40 ns per dendrogram matrix cell.
+double sketch_work(std::size_t length, std::size_t num_hashes) noexcept {
+  return static_cast<double>(length) * static_cast<double>(num_hashes) * 25e-9;
+}
+double compare_work(std::size_t num_hashes) noexcept {
+  return static_cast<double>(num_hashes) * 1.5e-9;
+}
+double dendrogram_work(std::size_t n) noexcept {
+  return static_cast<double>(n) * static_cast<double>(n) * 40e-9;
+}
+double sketch_bytes(std::size_t num_hashes) noexcept {
+  return static_cast<double>(num_hashes) * 8.0 + 8.0;
+}
+
+}  // namespace cost
+
+namespace {
+
+struct IndexedRead {
+  std::uint32_t index = 0;
+  std::string seq;
+};
+
+/// Job 1: sketch every read (map-only; identity reduce gathers by index).
+std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
+                                   const PipelineParams& params,
+                                   const ExecutionOptions& exec,
+                                   mr::JobStats& stats) {
+  auto hasher = std::make_shared<MinHasher>(params.minhash);
+  const std::size_t num_hashes = params.minhash.num_hashes;
+
+  using SketchJob = mr::Job<IndexedRead, std::uint32_t, Sketch,
+                            std::pair<std::uint32_t, Sketch>>;
+  mr::JobConfig config;
+  config.name = "sketch";
+  config.num_reducers = std::max<std::size_t>(1, exec.cluster.reduce_slots());
+  config.records_per_split = exec.records_per_split;
+  config.threads = exec.threads;
+  config.cluster = exec.cluster;
+
+  SketchJob job(
+      config,
+      [hasher](const IndexedRead& read, mr::Emitter<std::uint32_t, Sketch>& emit) {
+        emit.emit(read.index, hasher->sketch(read.seq));
+        emit.count("reads.sketched");
+      },
+      [](const std::uint32_t& key, std::vector<Sketch>& values,
+         std::vector<std::pair<std::uint32_t, Sketch>>& out) {
+        MRMC_CHECK(values.size() == 1, "one sketch per read index");
+        out.emplace_back(key, std::move(values.front()));
+      });
+  job.with_map_work([num_hashes](const IndexedRead& read) {
+    return cost::sketch_work(read.seq.size(), num_hashes);
+  });
+
+  std::vector<IndexedRead> input;
+  input.reserve(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    input.push_back({static_cast<std::uint32_t>(i), reads[i].seq});
+  }
+
+  auto result = job.run(input);
+  stats = std::move(result.stats);
+
+  std::vector<Sketch> sketches(reads.size());
+  for (auto& [index, sketch] : result.output) {
+    sketches[index] = std::move(sketch);
+  }
+  return sketches;
+}
+
+/// Job 2: all-pairs similarity, one matrix row per map record (the paper's
+/// row-wise partition).  The sketch table plays the role of Pig's GROUP-ALL
+/// broadcast relation.
+SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> sketches,
+                                    const PipelineParams& params,
+                                    const ExecutionOptions& exec,
+                                    mr::JobStats& stats) {
+  const std::size_t n = sketches->size();
+  const std::size_t num_hashes = params.minhash.num_hashes;
+  const SketchEstimator estimator = params.estimator;
+
+  using Row = std::vector<float>;
+  using SimJob =
+      mr::Job<std::uint32_t, std::uint32_t, Row, std::pair<std::uint32_t, Row>>;
+
+  mr::JobConfig config;
+  config.name = "similarity";
+  config.num_reducers = std::max<std::size_t>(1, exec.cluster.reduce_slots());
+  config.records_per_split =
+      std::max<std::size_t>(1, n / std::max<std::size_t>(1, exec.cluster.map_slots() * 4));
+  config.threads = exec.threads;
+  config.cluster = exec.cluster;
+
+  SimJob job(
+      config,
+      [sketches, estimator](const std::uint32_t& row,
+                            mr::Emitter<std::uint32_t, Row>& emit) {
+        const auto& all = *sketches;
+        Row sims;
+        sims.reserve(all.size() - row - 1);
+        for (std::size_t j = row + 1; j < all.size(); ++j) {
+          sims.push_back(static_cast<float>(
+              sketch_similarity(all[row], all[j], estimator)));
+        }
+        emit.emit(row, std::move(sims));
+        emit.count("matrix.rows");
+      },
+      [](const std::uint32_t& key, std::vector<Row>& values,
+         std::vector<std::pair<std::uint32_t, Row>>& out) {
+        MRMC_CHECK(values.size() == 1, "one similarity row per index");
+        out.emplace_back(key, std::move(values.front()));
+      });
+  job.with_map_work([n, num_hashes](const std::uint32_t& row) {
+    return static_cast<double>(n - row - 1) * cost::compare_work(num_hashes);
+  });
+
+  std::vector<std::uint32_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = static_cast<std::uint32_t>(i);
+
+  auto result = job.run(rows);
+  stats = std::move(result.stats);
+
+  SimilarityMatrix matrix(n, 0.0F);
+  for (auto& [row, sims] : result.output) {
+    matrix.set(row, row, 1.0F);
+    for (std::size_t j = 0; j < sims.size(); ++j) {
+      matrix.set(row, row + 1 + j, sims[j]);
+    }
+  }
+  return matrix;
+}
+
+/// Job 3 (greedy): GROUP ALL -> one reducer runs Algorithm 1 over the
+/// sketch table (Algorithm 3, step 9).
+std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketches,
+                                const PipelineParams& params,
+                                const ExecutionOptions& exec, mr::JobStats& stats) {
+  const std::size_t n = sketches->size();
+  const GreedyParams greedy{params.theta, params.greedy_estimator};
+
+  using Value = std::uint32_t;  // read index; sketches travel via the table
+  using GreedyJob = mr::Job<std::uint32_t, int, Value, std::pair<std::uint32_t, int>>;
+
+  mr::JobConfig config;
+  config.name = "greedy-cluster";
+  config.num_reducers = 1;  // GROUP ALL semantics
+  config.records_per_split = exec.records_per_split;
+  config.threads = exec.threads;
+  config.cluster = exec.cluster;
+
+  GreedyJob job(
+      config,
+      [](const std::uint32_t& index, mr::Emitter<int, Value>& emit) {
+        emit.emit(0, index);
+      },
+      [sketches, greedy](const int&, std::vector<Value>& indices,
+                         std::vector<std::pair<std::uint32_t, int>>& out) {
+        // Keep input order: values arrive in map-task order which follows
+        // the original read order for our deterministic shuffle.
+        std::sort(indices.begin(), indices.end());
+        const GreedyResult result = greedy_cluster(*sketches, greedy);
+        for (const std::uint32_t index : indices) {
+          out.emplace_back(index, result.labels[index]);
+        }
+      });
+  job.with_map_work([](const std::uint32_t&) { return 1e-7; });  // emit only
+  job.with_reduce_work([n](const int&, std::size_t) {
+    // Greedy comparisons are data dependent; model the observed ~N*sqrt(N)
+    // envelope with the per-comparison sketch cost.
+    return static_cast<double>(n) * std::max(1.0, std::sqrt(static_cast<double>(n))) *
+           cost::compare_work(100);
+  });
+
+  std::vector<std::uint32_t> input(n);
+  for (std::size_t i = 0; i < n; ++i) input[i] = static_cast<std::uint32_t>(i);
+  auto result = job.run(input);
+  stats = std::move(result.stats);
+
+  std::vector<int> labels(n, -1);
+  for (const auto& [index, label] : result.output) labels[index] = label;
+  return labels;
+}
+
+/// Job 3 (hierarchical): GROUP ALL over matrix rows -> one reducer builds
+/// the dendrogram and cuts it at theta (Algorithm 3, step 8).
+std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
+                                      const PipelineParams& params,
+                                      const ExecutionOptions& exec,
+                                      mr::JobStats& stats) {
+  const std::size_t n = matrix.size();
+
+  using HierJob = mr::Job<std::uint32_t, int, std::uint32_t,
+                          std::pair<std::uint32_t, int>>;
+  mr::JobConfig config;
+  config.name = "hierarchical-cluster";
+  config.num_reducers = 1;  // GROUP ALL semantics
+  config.records_per_split = std::max<std::size_t>(1, n / 8);
+  config.threads = exec.threads;
+  config.cluster = exec.cluster;
+
+  const Linkage linkage = params.linkage;
+  const double theta = params.theta;
+  HierJob job(
+      config,
+      [](const std::uint32_t& row, mr::Emitter<int, std::uint32_t>& emit) {
+        emit.emit(0, row);
+      },
+      [&matrix, linkage, theta](const int&, std::vector<std::uint32_t>& rows,
+                                std::vector<std::pair<std::uint32_t, int>>& out) {
+        const Dendrogram dendrogram = agglomerate(matrix, linkage);
+        const std::vector<int> labels = cut_dendrogram(dendrogram, theta);
+        std::sort(rows.begin(), rows.end());
+        for (const std::uint32_t row : rows) out.emplace_back(row, labels[row]);
+      });
+  job.with_map_work([](const std::uint32_t&) { return 1e-7; });  // emit only
+  job.with_reduce_work(
+      [n](const int&, std::size_t) { return cost::dendrogram_work(n); });
+
+  std::vector<std::uint32_t> input(n);
+  for (std::size_t i = 0; i < n; ++i) input[i] = static_cast<std::uint32_t>(i);
+  auto result = job.run(input);
+  stats = std::move(result.stats);
+
+  std::vector<int> labels(n, -1);
+  for (const auto& [index, label] : result.output) labels[index] = label;
+  return labels;
+}
+
+}  // namespace
+
+FastqPipelineResult run_pipeline_fastq(std::span<const bio::FastqRecord> reads,
+                                       const bio::QualityFilter& qc,
+                                       const PipelineParams& params,
+                                       const ExecutionOptions& exec) {
+  FastqPipelineResult result;
+  const std::vector<bio::FastqRecord> input(reads.begin(), reads.end());
+  const auto filtered = bio::quality_filter(input, qc, &result.dropped);
+  result.kept = bio::to_fasta(filtered);
+  result.clustering = run_pipeline(result.kept, params, exec);
+  return result;
+}
+
+PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
+                            const PipelineParams& params,
+                            const ExecutionOptions& exec) {
+  common::Stopwatch watch;
+  PipelineResult result;
+  if (reads.empty()) return result;
+
+  if (exec.distributed) {
+    auto sketches = std::make_shared<std::vector<Sketch>>(
+        run_sketch_job(reads, params, exec, result.sketch_stats));
+    result.sim_total_s += result.sketch_stats.timeline.total_s;
+
+    if (params.mode == Mode::kGreedy) {
+      result.labels = run_greedy_job(sketches, params, exec, result.cluster_stats);
+      result.sim_total_s += result.cluster_stats.timeline.total_s;
+    } else {
+      const SimilarityMatrix matrix =
+          run_similarity_job(sketches, params, exec, result.similarity_stats);
+      result.sim_total_s += result.similarity_stats.timeline.total_s;
+      result.labels =
+          run_hierarchical_job(matrix, params, exec, result.cluster_stats);
+      result.sim_total_s += result.cluster_stats.timeline.total_s;
+    }
+  } else {
+    const MinHasher hasher(params.minhash);
+    std::vector<Sketch> sketches;
+    sketches.reserve(reads.size());
+    for (const auto& read : reads) sketches.push_back(hasher.sketch(read.seq));
+
+    common::ThreadPool pool(exec.threads);
+    if (params.mode == Mode::kGreedy) {
+      result.labels =
+          greedy_cluster(sketches, {params.theta, params.greedy_estimator}).labels;
+    } else {
+      result.labels = hierarchical_cluster(
+                          sketches,
+                          {params.theta, params.linkage, params.estimator}, &pool)
+                          .labels;
+    }
+  }
+
+  result.num_clusters = count_clusters(result.labels);
+  result.wall_s = watch.seconds();
+  return result;
+}
+
+}  // namespace mrmc::core

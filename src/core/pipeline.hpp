@@ -1,0 +1,90 @@
+// End-to-end MrMC-MinH pipeline (Figure 1 of the paper): FASTA records ->
+// integer encoding -> k-mer feature sets -> minwise sketches -> greedy or
+// agglomerative hierarchical clustering, with each stage runnable either
+// locally or as a MapReduce job on the simulated cluster:
+//
+//   Job 1 "sketch"      map: read -> (read_index, sketch)   [map-heavy]
+//   Job 2 "similarity"  map: row  -> (row, sims[row+1..N))  [hierarchical only;
+//                        the paper's row-wise partition of the matrix]
+//   Job 3 "cluster"     GROUP ALL -> single reducer runs Algorithm 1 or the
+//                        dendrogram build + θ-cut (Algorithm 3, steps 6-9)
+//
+// Simulated job timelines accumulate into PipelineResult::sim_total_s, the
+// number the paper's Table III/V "Time" columns report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "bio/fastq.hpp"
+#include "core/greedy.hpp"
+#include "core/hierarchical.hpp"
+#include "mr/job.hpp"
+
+namespace mrmc::core {
+
+enum class Mode { kGreedy, kHierarchical };
+
+[[nodiscard]] const char* mode_name(Mode mode) noexcept;
+
+struct PipelineParams {
+  MinHashParams minhash{};
+  Mode mode = Mode::kHierarchical;
+  double theta = 0.9;
+  Linkage linkage = Linkage::kAverage;          ///< hierarchical only
+  SketchEstimator estimator = SketchEstimator::kComponentMatch;
+  SketchEstimator greedy_estimator = SketchEstimator::kSetBased;
+};
+
+struct ExecutionOptions {
+  bool distributed = true;       ///< stage the pipeline as MapReduce jobs
+  mr::ClusterConfig cluster{};
+  std::size_t threads = 0;       ///< real execution threads (0 = hardware)
+  std::size_t records_per_split = 512;
+};
+
+struct PipelineResult {
+  std::vector<int> labels;
+  std::size_t num_clusters = 0;
+  double wall_s = 0.0;       ///< real elapsed time of this process
+  double sim_total_s = 0.0;  ///< simulated cluster time across all jobs
+  mr::JobStats sketch_stats;
+  mr::JobStats similarity_stats;  ///< hierarchical mode only
+  mr::JobStats cluster_stats;
+};
+
+/// Cluster reads end to end.
+PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
+                            const PipelineParams& params,
+                            const ExecutionOptions& exec = {});
+
+/// Raw-sequencer entry point: quality-filter FASTQ reads (3'-trim + length +
+/// mean-error filters), then cluster the survivors.  `result.labels` aligns
+/// with the *returned* `kept` reads; `dropped` counts QC discards.
+struct FastqPipelineResult {
+  PipelineResult clustering;
+  std::vector<bio::FastaRecord> kept;  ///< post-QC reads, label-aligned
+  std::size_t dropped = 0;
+};
+
+FastqPipelineResult run_pipeline_fastq(std::span<const bio::FastqRecord> reads,
+                                       const bio::QualityFilter& qc,
+                                       const PipelineParams& params,
+                                       const ExecutionOptions& exec = {});
+
+/// Deterministic work models (simulated seconds on a reference node) used by
+/// the pipeline's jobs and by the Figure-2 analytic scalability bench.
+namespace cost {
+/// Sketching one read of `length` bases with `num_hashes` hash functions.
+double sketch_work(std::size_t length, std::size_t num_hashes) noexcept;
+/// Comparing two sketches of `num_hashes` components.
+double compare_work(std::size_t num_hashes) noexcept;
+/// Building + cutting a dendrogram over n sequences.
+double dendrogram_work(std::size_t n) noexcept;
+/// Serialized bytes of one sketch.
+double sketch_bytes(std::size_t num_hashes) noexcept;
+}  // namespace cost
+
+}  // namespace mrmc::core

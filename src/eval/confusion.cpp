@@ -1,0 +1,93 @@
+#include "eval/confusion.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mrmc::eval {
+
+ConfusionReport confusion_report(std::span<const int> labels,
+                                 std::span<const int> truth) {
+  MRMC_REQUIRE(labels.size() == truth.size(), "labelings must align");
+  ConfusionReport report;
+  if (labels.empty()) return report;
+
+  int max_class = 0;
+  for (const int cls : truth) {
+    MRMC_REQUIRE(cls >= 0, "classes must be non-negative");
+    max_class = std::max(max_class, cls);
+  }
+  report.classes = static_cast<std::size_t>(max_class) + 1;
+
+  std::map<int, ConfusionRow> rows;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    MRMC_REQUIRE(labels[i] >= 0, "labels must be non-negative");
+    auto& row = rows[labels[i]];
+    if (row.class_counts.empty()) {
+      row.cluster = labels[i];
+      row.class_counts.resize(report.classes, 0);
+    }
+    ++row.class_counts[truth[i]];
+    ++row.size;
+  }
+
+  for (auto& [cluster, row] : rows) {
+    const auto majority =
+        std::max_element(row.class_counts.begin(), row.class_counts.end());
+    row.majority_class = static_cast<int>(majority - row.class_counts.begin());
+    row.purity = static_cast<double>(*majority) / static_cast<double>(row.size);
+    report.rows.push_back(row);
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const ConfusionRow& a, const ConfusionRow& b) {
+              return a.size > b.size ||
+                     (a.size == b.size && a.cluster < b.cluster);
+            });
+
+  // Per-class recall: members of class c that sit in clusters designating c.
+  std::vector<std::size_t> class_total(report.classes, 0);
+  std::vector<std::size_t> class_recovered(report.classes, 0);
+  for (const int cls : truth) ++class_total[cls];
+  for (const auto& row : report.rows) {
+    class_recovered[row.majority_class] +=
+        row.class_counts[row.majority_class];
+  }
+  report.class_recall.resize(report.classes, 0.0);
+  for (std::size_t c = 0; c < report.classes; ++c) {
+    if (class_total[c] > 0) {
+      report.class_recall[c] = static_cast<double>(class_recovered[c]) /
+                               static_cast<double>(class_total[c]);
+    }
+  }
+  return report;
+}
+
+std::string ConfusionReport::to_text(
+    std::span<const std::string> class_names) const {
+  auto name_of = [&](int cls) {
+    return static_cast<std::size_t>(cls) < class_names.size()
+               ? class_names[cls]
+               : "class" + std::to_string(cls);
+  };
+  std::ostringstream out;
+  out << "cluster\tsize\tpurity\tmajority\tcounts\n";
+  for (const auto& row : rows) {
+    out << row.cluster << '\t' << row.size << '\t' << row.purity << '\t'
+        << name_of(row.majority_class) << '\t';
+    for (std::size_t c = 0; c < row.class_counts.size(); ++c) {
+      if (c) out << ',';
+      out << row.class_counts[c];
+    }
+    out << '\n';
+  }
+  out << "recall:";
+  for (std::size_t c = 0; c < class_recall.size(); ++c) {
+    out << ' ' << name_of(static_cast<int>(c)) << '=' << class_recall[c];
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace mrmc::eval

@@ -1,0 +1,35 @@
+// Cluster-vs-class confusion reporting: the drill-down view behind W.Acc —
+// which ground-truth classes each cluster absorbed, per-class recall, and a
+// printable matrix for bench debugging.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mrmc::eval {
+
+struct ConfusionRow {
+  int cluster = 0;
+  std::size_t size = 0;
+  int majority_class = 0;
+  double purity = 0.0;                 ///< majority fraction
+  std::vector<std::size_t> class_counts;  ///< indexed by truth class
+};
+
+struct ConfusionReport {
+  std::vector<ConfusionRow> rows;        ///< sorted by descending cluster size
+  std::vector<double> class_recall;      ///< per truth class: fraction of its
+                                         ///< members inside clusters that
+                                         ///< designate it
+  std::size_t classes = 0;
+
+  [[nodiscard]] std::string to_text(
+      std::span<const std::string> class_names = {}) const;
+};
+
+/// Build the report; labels and truth must be non-negative and aligned.
+ConfusionReport confusion_report(std::span<const int> labels,
+                                 std::span<const int> truth);
+
+}  // namespace mrmc::eval

@@ -1,0 +1,162 @@
+#include "eval/external_indices.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace mrmc::eval {
+
+namespace {
+
+/// Contingency table between two labelings plus the marginals.
+struct Contingency {
+  std::map<std::pair<int, int>, std::size_t> cells;
+  std::map<int, std::size_t> row_sums;   // per predicted cluster
+  std::map<int, std::size_t> col_sums;   // per truth class
+  std::size_t total = 0;
+};
+
+Contingency build_contingency(std::span<const int> labels,
+                              std::span<const int> truth) {
+  MRMC_REQUIRE(labels.size() == truth.size(), "labelings must align");
+  Contingency table;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ++table.cells[{labels[i], truth[i]}];
+    ++table.row_sums[labels[i]];
+    ++table.col_sums[truth[i]];
+  }
+  table.total = labels.size();
+  return table;
+}
+
+constexpr double choose2(double n) noexcept { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double purity(std::span<const int> labels, std::span<const int> truth) {
+  if (labels.empty()) return 0.0;
+  const Contingency table = build_contingency(labels, truth);
+  std::map<int, std::size_t> majority;
+  for (const auto& [cell, count] : table.cells) {
+    auto& best = majority[cell.first];
+    best = std::max(best, count);
+  }
+  std::size_t correct = 0;
+  for (const auto& [cluster, count] : majority) correct += count;
+  return static_cast<double>(correct) / static_cast<double>(table.total);
+}
+
+double pairwise_f_measure(std::span<const int> labels, std::span<const int> truth) {
+  if (labels.empty()) return 0.0;
+  const Contingency table = build_contingency(labels, truth);
+
+  double together_both = 0;  // pairs co-clustered in both partitions
+  for (const auto& [cell, count] : table.cells) {
+    together_both += choose2(static_cast<double>(count));
+  }
+  double together_pred = 0;
+  for (const auto& [cluster, count] : table.row_sums) {
+    together_pred += choose2(static_cast<double>(count));
+  }
+  double together_true = 0;
+  for (const auto& [cls, count] : table.col_sums) {
+    together_true += choose2(static_cast<double>(count));
+  }
+  if (together_pred == 0.0 || together_true == 0.0) return 0.0;
+  const double precision = together_both / together_pred;
+  const double recall = together_both / together_true;
+  return precision + recall == 0.0
+             ? 0.0
+             : 2.0 * precision * recall / (precision + recall);
+}
+
+double normalized_mutual_information(std::span<const int> labels,
+                                     std::span<const int> truth) {
+  if (labels.empty()) return 0.0;
+  const Contingency table = build_contingency(labels, truth);
+  const auto n = static_cast<double>(table.total);
+
+  double mutual = 0.0;
+  for (const auto& [cell, count] : table.cells) {
+    const double joint = static_cast<double>(count) / n;
+    const double p_row = static_cast<double>(table.row_sums.at(cell.first)) / n;
+    const double p_col = static_cast<double>(table.col_sums.at(cell.second)) / n;
+    mutual += joint * std::log(joint / (p_row * p_col));
+  }
+  auto entropy = [n](const std::map<int, std::size_t>& marginal) {
+    double h = 0.0;
+    for (const auto& [key, count] : marginal) {
+      const double p = static_cast<double>(count) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double h_labels = entropy(table.row_sums);
+  const double h_truth = entropy(table.col_sums);
+  if (h_labels == 0.0 || h_truth == 0.0) return 0.0;
+  return mutual / std::sqrt(h_labels * h_truth);
+}
+
+double adjusted_rand_index(std::span<const int> labels, std::span<const int> truth) {
+  if (labels.empty()) return 0.0;
+  const Contingency table = build_contingency(labels, truth);
+
+  double sum_cells = 0;
+  for (const auto& [cell, count] : table.cells) {
+    sum_cells += choose2(static_cast<double>(count));
+  }
+  double sum_rows = 0;
+  for (const auto& [cluster, count] : table.row_sums) {
+    sum_rows += choose2(static_cast<double>(count));
+  }
+  double sum_cols = 0;
+  for (const auto& [cls, count] : table.col_sums) {
+    sum_cols += choose2(static_cast<double>(count));
+  }
+  const double pairs = choose2(static_cast<double>(table.total));
+  if (pairs == 0.0) return 1.0;
+  const double expected = sum_rows * sum_cols / pairs;
+  const double maximum = 0.5 * (sum_rows + sum_cols);
+  if (maximum == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+std::vector<double> rarefaction_curve(std::span<const int> labels,
+                                      std::size_t steps) {
+  MRMC_REQUIRE(steps >= 1, "need at least one rarefaction point");
+  std::vector<double> curve;
+  if (labels.empty()) return curve;
+
+  std::map<int, std::size_t> sizes;
+  for (const int label : labels) ++sizes[label];
+  const auto n = static_cast<double>(labels.size());
+
+  curve.reserve(steps);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double subsample = n * static_cast<double>(step) /
+                             static_cast<double>(steps);
+    // E[#clusters seen] = sum over clusters of 1 - P(cluster missed).
+    // P(missed) under without-replacement sampling approximated by the
+    // standard hypergeometric product, computed in log space.
+    double expected = 0.0;
+    for (const auto& [label, size] : sizes) {
+      // log P(none of `size` members among `subsample` draws)
+      double log_miss = 0.0;
+      const auto s = static_cast<double>(size);
+      bool impossible = false;
+      if (n - s < subsample) {
+        impossible = true;  // subsample larger than the complement
+      } else {
+        for (double d = 0; d < subsample; ++d) {
+          log_miss += std::log((n - s - d) / (n - d));
+        }
+      }
+      expected += impossible ? 1.0 : 1.0 - std::exp(log_miss);
+    }
+    curve.push_back(expected);
+  }
+  return curve;
+}
+
+}  // namespace mrmc::eval

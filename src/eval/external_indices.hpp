@@ -1,0 +1,37 @@
+// Standard external clustering indices complementing the paper's W.Acc:
+// purity, F-measure, normalized mutual information (NMI), adjusted Rand
+// index (ARI), and rarefaction curves for diversity analysis.  These are
+// the metrics later minhash-clustering papers report, so the bench
+// harnesses can be extended beyond the paper's own columns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mrmc::eval {
+
+/// Fraction of sequences assigned to their cluster's majority class
+/// (unweighted overall purity; equals W.Acc with min_cluster_size = 1).
+double purity(std::span<const int> labels, std::span<const int> truth);
+
+/// Pairwise F-measure: harmonic mean of pair precision and recall, where a
+/// "positive" is a sequence pair placed in the same cluster.
+double pairwise_f_measure(std::span<const int> labels, std::span<const int> truth);
+
+/// Normalized mutual information: I(labels; truth) / sqrt(H(labels) H(truth)),
+/// in [0, 1]; 0 when either partition carries no information.
+double normalized_mutual_information(std::span<const int> labels,
+                                     std::span<const int> truth);
+
+/// Adjusted Rand index (Hubert & Arabie); 1 = identical partitions,
+/// ~0 = random agreement, can be negative.
+double adjusted_rand_index(std::span<const int> labels, std::span<const int> truth);
+
+/// Expected number of distinct clusters observed in a uniform random
+/// subsample of `subsample` sequences (analytic rarefaction).  Points for
+/// `steps` evenly spaced subsample sizes up to labels.size().
+std::vector<double> rarefaction_curve(std::span<const int> labels,
+                                      std::size_t steps = 10);
+
+}  // namespace mrmc::eval

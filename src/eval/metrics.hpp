@@ -1,0 +1,64 @@
+// Clustering evaluation metrics from Section IV-B of the paper:
+//
+//  * W.Acc — weighted cluster accuracy: each cluster is designated by its
+//    most frequent ground-truth class; accuracy is the fraction of member
+//    sequences of that class, averaged over clusters weighted by cluster
+//    size.
+//  * W.Sim — weighted within-cluster sequence similarity: the average
+//    global-alignment identity of sequence pairs inside each cluster,
+//    weighted by cluster size.  Exhaustive pair enumeration is quadratic,
+//    so pairs are sampled (deterministically) above a configurable budget.
+//
+// Both metrics can ignore clusters below a minimum size, mirroring the
+// paper's "clusters having number of sequences greater than 50" rule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bio/alignment.hpp"
+#include "bio/fasta.hpp"
+
+namespace mrmc::eval {
+
+/// Sizes of each cluster, indexed by label (labels must be >= 0).
+std::vector<std::size_t> cluster_sizes(std::span<const int> labels);
+
+struct AccuracyOptions {
+  std::size_t min_cluster_size = 1;
+};
+
+/// Weighted cluster accuracy in [0, 1].  `truth[i]` is the ground-truth
+/// class of sequence i.  Returns 0 for empty input.
+double weighted_cluster_accuracy(std::span<const int> labels,
+                                 std::span<const int> truth,
+                                 const AccuracyOptions& options = {});
+
+struct SimilarityOptions {
+  std::size_t min_cluster_size = 1;
+  std::size_t max_pairs_per_cluster = 30;  ///< sampling budget
+  bio::AlignParams align{};
+  std::uint64_t seed = 99;
+  std::size_t threads = 0;  ///< alignment parallelism (0 = hardware)
+};
+
+/// Weighted within-cluster global-alignment similarity in [0, 1].
+double weighted_similarity(std::span<const int> labels,
+                           std::span<const bio::FastaRecord> reads,
+                           const SimilarityOptions& options = {});
+
+/// Number of clusters meeting the minimum-size filter.
+std::size_t clusters_at_least(std::span<const int> labels, std::size_t min_size);
+
+// ---------------------------------------------------------------- diversity
+
+/// Shannon diversity index H' = -sum p_i ln p_i over cluster abundances.
+double shannon_index(std::span<const int> labels);
+
+/// Chao1 richness estimate: S_obs + F1^2 / (2 F2), with the standard
+/// bias-corrected form when F2 == 0.
+double chao1_richness(std::span<const int> labels);
+
+}  // namespace mrmc::eval

@@ -1,0 +1,51 @@
+// Approximate serialized-size accounting used for shuffle-volume and disk
+// I/O modeling.  Matches what a Hadoop Writable would roughly occupy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mrmc::mr {
+
+template <typename T>
+double approx_bytes(const T& value);
+
+namespace detail {
+
+template <typename T>
+struct is_pair : std::false_type {};
+template <typename A, typename B>
+struct is_pair<std::pair<A, B>> : std::true_type {};
+
+template <typename T>
+struct is_vector : std::false_type {};
+template <typename T, typename A>
+struct is_vector<std::vector<T, A>> : std::true_type {};
+
+}  // namespace detail
+
+/// Size estimate: arithmetic types by sizeof, strings by length + header,
+/// vectors and pairs recursively.  Unknown aggregates fall back to sizeof.
+template <typename T>
+double approx_bytes(const T& value) {
+  if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+    (void)value;
+    return static_cast<double>(sizeof(T));
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    return static_cast<double>(value.size()) + 8.0;
+  } else if constexpr (detail::is_pair<T>::value) {
+    return approx_bytes(value.first) + approx_bytes(value.second);
+  } else if constexpr (detail::is_vector<T>::value) {
+    double total = 8.0;
+    for (const auto& element : value) total += approx_bytes(element);
+    return total;
+  } else {
+    (void)value;
+    return static_cast<double>(sizeof(T));
+  }
+}
+
+}  // namespace mrmc::mr

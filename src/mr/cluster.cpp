@@ -1,0 +1,153 @@
+#include "mr/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace mrmc::mr {
+
+SimScheduler::SimScheduler(ClusterConfig config) : config_(config) {
+  MRMC_REQUIRE(config_.nodes >= 1, "cluster needs at least one node");
+  MRMC_REQUIRE(config_.map_slots_per_node >= 1, "need at least one map slot");
+  MRMC_REQUIRE(config_.reduce_slots_per_node >= 1, "need at least one reduce slot");
+  MRMC_REQUIRE(config_.node.cpu_rate > 0, "cpu_rate must be positive");
+  MRMC_REQUIRE(config_.node.disk_bw > 0 && config_.node.net_bw > 0,
+               "bandwidths must be positive");
+}
+
+double SimScheduler::task_duration(const TaskSpec& task, bool data_local) const {
+  const NodeSpec& node = config_.node;
+  const double input_bw = data_local ? node.disk_bw : node.net_bw;
+  return config_.task_startup_s + task.work / node.cpu_rate +
+         task.input_bytes / input_bw + task.output_bytes / node.disk_bw;
+}
+
+double SimScheduler::shuffle_time(double total_bytes) const {
+  if (total_bytes <= 0) return 0.0;
+  const double remote_fraction =
+      config_.nodes <= 1
+          ? 0.0
+          : 1.0 - 1.0 / static_cast<double>(config_.nodes);
+  const double aggregate_bw =
+      static_cast<double>(config_.nodes) * config_.node.net_bw;
+  const double local_part = total_bytes * (1.0 - remote_fraction) /
+                            (static_cast<double>(config_.nodes) * config_.node.disk_bw);
+  return total_bytes * remote_fraction / aggregate_bw + local_part;
+}
+
+PhaseTimeline SimScheduler::schedule_phase(std::span<const TaskSpec> tasks,
+                                           std::size_t slots_per_node) const {
+  PhaseTimeline timeline;
+  timeline.tasks.resize(tasks.size());
+  if (tasks.empty()) return timeline;
+
+  // Longest-processing-time-first order for a tighter makespan.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return task_duration(tasks[a], true) > task_duration(tasks[b], true);
+  });
+
+  // slot_free[node][slot] = time the slot becomes available.
+  std::vector<std::vector<double>> slot_free(
+      config_.nodes, std::vector<double>(slots_per_node, 0.0));
+
+  auto earliest_slot = [&](int node) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < slot_free[node].size(); ++s) {
+      if (slot_free[node][s] < slot_free[node][best]) best = s;
+    }
+    return best;
+  };
+
+  for (const std::size_t idx : order) {
+    const TaskSpec& task = tasks[idx];
+    // Find the globally earliest slot.
+    int best_node = 0;
+    std::size_t best_slot = earliest_slot(0);
+    for (int n = 1; n < static_cast<int>(config_.nodes); ++n) {
+      const std::size_t s = earliest_slot(n);
+      if (slot_free[n][s] < slot_free[best_node][best_slot]) {
+        best_node = n;
+        best_slot = s;
+      }
+    }
+    // Prefer the replica holder if it is nearly as available (delay-scheduling
+    // heuristic: tolerate up to one task startup of extra wait for locality).
+    if (task.preferred_node >= 0 &&
+        task.preferred_node < static_cast<int>(config_.nodes)) {
+      const std::size_t s = earliest_slot(task.preferred_node);
+      if (slot_free[task.preferred_node][s] <=
+          slot_free[best_node][best_slot] + config_.task_startup_s) {
+        best_node = task.preferred_node;
+        best_slot = s;
+      }
+    }
+
+    const bool local =
+        task.preferred_node < 0 || task.preferred_node == best_node;
+    const double start = slot_free[best_node][best_slot];
+    const double end = start + task_duration(task, local);
+    slot_free[best_node][best_slot] = end;
+
+    timeline.tasks[idx] = {best_node, start, end, local};
+    if (local) ++timeline.data_local_tasks;
+  }
+
+  if (config_.speculative_execution && timeline.tasks.size() >= 3) {
+    // Median duration of the phase defines the straggler threshold.
+    std::vector<double> durations;
+    durations.reserve(timeline.tasks.size());
+    for (const auto& task : timeline.tasks) {
+      durations.push_back(task.end_s - task.start_s);
+    }
+    std::nth_element(durations.begin(),
+                     durations.begin() + static_cast<long>(durations.size() / 2),
+                     durations.end());
+    const double median = durations[durations.size() / 2];
+    for (auto& task : timeline.tasks) {
+      const double duration = task.end_s - task.start_s;
+      if (duration > config_.speculation_factor * median) {
+        const double rescued_end =
+            task.start_s + (config_.speculation_factor + 1.0) * median;
+        if (rescued_end < task.end_s) {
+          task.end_s = rescued_end;
+          ++timeline.speculated_tasks;
+        }
+      }
+    }
+  }
+
+  for (const auto& task : timeline.tasks) {
+    timeline.makespan_s = std::max(timeline.makespan_s, task.end_s);
+  }
+  return timeline;
+}
+
+JobTimeline simulate_job(const SimScheduler& scheduler,
+                         std::span<const TaskSpec> map_tasks,
+                         double shuffle_bytes,
+                         std::span<const TaskSpec> reduce_tasks) {
+  JobTimeline timeline;
+  timeline.map_phase =
+      scheduler.schedule_phase(map_tasks, scheduler.config().map_slots_per_node);
+  timeline.shuffle_s = scheduler.shuffle_time(shuffle_bytes);
+  timeline.reduce_phase = scheduler.schedule_phase(
+      reduce_tasks, scheduler.config().reduce_slots_per_node);
+  timeline.total_s = scheduler.config().job_startup_s +
+                     timeline.map_phase.makespan_s + timeline.shuffle_s +
+                     timeline.reduce_phase.makespan_s;
+  return timeline;
+}
+
+std::string JobTimeline::summary() const {
+  return "map=" + common::format_duration(map_phase.makespan_s) +
+         " shuffle=" + common::format_duration(shuffle_s) +
+         " reduce=" + common::format_duration(reduce_phase.makespan_s) +
+         " total=" + common::format_duration(total_s);
+}
+
+}  // namespace mrmc::mr

@@ -1,0 +1,93 @@
+#include "mr/input_format.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mrmc::mr {
+
+namespace {
+
+/// Byte offset of each record start, given a predicate that recognizes a
+/// record-start position in the raw content.
+template <typename IsStart>
+std::vector<std::size_t> record_starts(const std::string& content, IsStart&& is_start) {
+  std::vector<std::size_t> starts;
+  for (std::size_t pos = 0; pos < content.size(); ++pos) {
+    if (is_start(pos)) starts.push_back(pos);
+  }
+  return starts;
+}
+
+/// Assign records to blocks by their start offset, parse each record text
+/// with `parse`, and attach primary-replica locality.
+template <typename Record, typename Parse>
+InputSplits<Record> assign_to_blocks(const SimDfs& dfs, const std::string& path,
+                                     const std::string& content,
+                                     const std::vector<std::size_t>& starts,
+                                     Parse&& parse) {
+  const DfsFileInfo& info = dfs.stat(path);
+  InputSplits<Record> out;
+  out.splits.resize(std::max<std::size_t>(1, info.blocks.size()));
+  out.preferred_nodes.resize(out.splits.size(), 0);
+  for (std::size_t b = 0; b < info.blocks.size(); ++b) {
+    out.preferred_nodes[b] = info.blocks[b].replicas.empty()
+                                 ? 0
+                                 : info.blocks[b].replicas.front();
+  }
+
+  for (std::size_t r = 0; r < starts.size(); ++r) {
+    const std::size_t begin = starts[r];
+    const std::size_t end = r + 1 < starts.size() ? starts[r + 1] : content.size();
+    // Find the block containing `begin`.
+    std::size_t block = 0;
+    if (!info.blocks.empty()) {
+      block = std::min(begin / dfs.block_size(), info.blocks.size() - 1);
+    }
+    out.splits[block].push_back(parse(content.substr(begin, end - begin)));
+  }
+  return out;
+}
+
+}  // namespace
+
+InputSplits<std::string> text_input_splits(const SimDfs& dfs,
+                                           const std::string& path) {
+  const std::string content = dfs.read(path);
+  const auto starts = record_starts(content, [&](std::size_t pos) {
+    return pos == 0 || content[pos - 1] == '\n';
+  });
+  auto splits = assign_to_blocks<std::string>(
+      dfs, path, content, starts, [](std::string text) {
+        while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+          text.pop_back();
+        }
+        return text;
+      });
+  // Drop empty lines (trailing newline artifacts).
+  for (auto& split : splits.splits) {
+    split.erase(std::remove_if(split.begin(), split.end(),
+                               [](const std::string& s) { return s.empty(); }),
+                split.end());
+  }
+  return splits;
+}
+
+InputSplits<bio::FastaRecord> fasta_input_splits(const SimDfs& dfs,
+                                                 const std::string& path) {
+  const std::string content = dfs.read(path);
+  const auto starts = record_starts(content, [&](std::size_t pos) {
+    return content[pos] == '>' && (pos == 0 || content[pos - 1] == '\n');
+  });
+  if (!content.empty() && starts.empty()) {
+    throw common::IoError("fasta input: no records in '" + path + "'");
+  }
+  return assign_to_blocks<bio::FastaRecord>(
+      dfs, path, content, starts, [](const std::string& text) {
+        const auto records = bio::read_fasta_string(text);
+        MRMC_CHECK(records.size() == 1, "record slice must hold one record");
+        return records.front();
+      });
+}
+
+}  // namespace mrmc::mr

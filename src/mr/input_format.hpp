@@ -1,0 +1,36 @@
+// Input formats over SimDfs — the HDFS-style split logic Hadoop's
+// InputFormat implements.  A file's blocks become map splits, but records
+// straddle block boundaries, so each reader consumes from its block's first
+// record boundary through the first boundary of the next block:
+//
+//  * TextInputFormat — newline-delimited records,
+//  * FastaInputFormat — '>'-delimited multi-line records (the paper's
+//    FastaStorage loader).
+//
+// Every record is assigned to exactly one split, and each split carries the
+// primary-replica node for locality-aware scheduling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "mr/simdfs.hpp"
+
+namespace mrmc::mr {
+
+template <typename Record>
+struct InputSplits {
+  std::vector<std::vector<Record>> splits;  ///< one per DFS block
+  std::vector<int> preferred_nodes;         ///< primary replica per split
+};
+
+/// Newline-delimited records.  A line belongs to the block where it starts.
+InputSplits<std::string> text_input_splits(const SimDfs& dfs,
+                                           const std::string& path);
+
+/// FASTA records; a record belongs to the block holding its '>' header.
+InputSplits<bio::FastaRecord> fasta_input_splits(const SimDfs& dfs,
+                                                 const std::string& path);
+
+}  // namespace mrmc::mr

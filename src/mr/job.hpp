@@ -1,0 +1,349 @@
+// Typed MapReduce job runner — the library's Hadoop substitute.
+//
+// Contract (identical to Hadoop's):
+//   map    : In -> [(K, V)]            (one call per input record)
+//   combine: (K, [V]) -> [(K, V)]      (optional, per map task)
+//   reduce : (K, [V]) -> [Out]         (one call per key group)
+//
+// Execution is real (tasks run on a thread pool and produce the actual
+// output); *cluster time* is simulated: every task yields a TaskSpec
+// (deterministic work model + byte accounting) which the SimScheduler
+// places onto the configured nodes, giving the job a reproducible
+// simulated makespan (JobStats::timeline).  Map-task failures can be
+// injected; a failed attempt is retried and its cost double-counted,
+// like a speculative re-execution.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "mr/bytes.hpp"
+#include "mr/cluster.hpp"
+
+namespace mrmc::mr {
+
+using Counters = std::map<std::string, long>;
+
+/// Collects (key, value) pairs and named counters from map/combine calls.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void emit(K key, V value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  void count(const std::string& counter, long delta = 1) { counters_[counter] += delta; }
+
+  [[nodiscard]] std::vector<std::pair<K, V>>& pairs() noexcept { return pairs_; }
+  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+  Counters counters_;
+};
+
+struct JobConfig {
+  std::string name = "job";
+  std::size_t num_reducers = 4;
+  std::size_t records_per_split = 1024;  ///< map input split granularity
+  std::size_t threads = 0;               ///< real execution threads (0 = hw)
+  ClusterConfig cluster{};
+  double map_failure_rate = 0.0;  ///< injected per-map-task failure probability
+  /// Injected stragglers: with this probability a map task's modeled work
+  /// is multiplied by `straggler_slowdown` (a slow node / data skew).
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 4.0;
+  std::uint64_t seed = 1;
+};
+
+struct JobStats {
+  std::size_t map_tasks = 0;
+  std::size_t reduce_tasks = 0;
+  std::size_t input_records = 0;
+  std::size_t map_output_records = 0;     ///< after the combiner, if any
+  std::size_t pre_combine_records = 0;    ///< before the combiner
+  std::size_t reduce_groups = 0;
+  std::size_t output_records = 0;
+  std::size_t map_retries = 0;
+  double shuffle_bytes = 0.0;
+  double map_cpu_s = 0.0;     ///< real measured CPU, informational
+  double reduce_cpu_s = 0.0;
+  Counters counters;
+  JobTimeline timeline;       ///< deterministic simulated cluster time
+};
+
+template <typename Out>
+struct JobResult {
+  std::vector<Out> output;
+  JobStats stats;
+};
+
+template <typename In, typename K, typename V, typename Out>
+class Job {
+ public:
+  using Mapper = std::function<void(const In&, Emitter<K, V>&)>;
+  using Reducer =
+      std::function<void(const K&, std::vector<V>&, std::vector<Out>&)>;
+  using Combiner = std::function<void(const K&, std::vector<V>&, Emitter<K, V>&)>;
+  using Partitioner = std::function<std::size_t(const K&)>;
+  using MapWorkModel = std::function<double(const In&)>;
+  using ReduceWorkModel = std::function<double(const K&, std::size_t)>;
+
+  Job(JobConfig config, Mapper mapper, Reducer reducer)
+      : config_(std::move(config)),
+        mapper_(std::move(mapper)),
+        reducer_(std::move(reducer)) {
+    MRMC_REQUIRE(config_.num_reducers >= 1, "need at least one reducer");
+    MRMC_REQUIRE(config_.records_per_split >= 1, "split size must be positive");
+    MRMC_CHECK(mapper_ != nullptr, "mapper required");
+    MRMC_CHECK(reducer_ != nullptr, "reducer required");
+  }
+
+  Job& with_combiner(Combiner combiner) {
+    combiner_ = std::move(combiner);
+    return *this;
+  }
+  Job& with_partitioner(Partitioner partitioner) {
+    partitioner_ = std::move(partitioner);
+    return *this;
+  }
+  /// Deterministic per-record CPU work estimate (sim-time units).
+  Job& with_map_work(MapWorkModel model) {
+    map_work_ = std::move(model);
+    return *this;
+  }
+  Job& with_reduce_work(ReduceWorkModel model) {
+    reduce_work_ = std::move(model);
+    return *this;
+  }
+
+  /// Run with automatic input splitting (round-robin locality like a DFS
+  /// writing splits across nodes).
+  JobResult<Out> run(const std::vector<In>& input) {
+    std::vector<std::vector<In>> splits;
+    std::vector<int> locality;
+    const std::size_t per_split = config_.records_per_split;
+    for (std::size_t begin = 0; begin < input.size(); begin += per_split) {
+      const std::size_t end = std::min(begin + per_split, input.size());
+      splits.emplace_back(input.begin() + static_cast<long>(begin),
+                          input.begin() + static_cast<long>(end));
+      locality.push_back(static_cast<int>((begin / per_split) %
+                                          config_.cluster.nodes));
+    }
+    if (splits.empty()) splits.emplace_back();
+    if (locality.empty()) locality.push_back(0);
+    return run_splits(splits, locality);
+  }
+
+  /// Run with caller-provided splits (e.g. SimDfs blocks) and their
+  /// preferred replica nodes.
+  JobResult<Out> run_splits(const std::vector<std::vector<In>>& splits,
+                            const std::vector<int>& preferred_nodes) {
+    MRMC_REQUIRE(splits.size() == preferred_nodes.size(),
+                 "one preferred node per split");
+    JobResult<Out> result;
+    JobStats& stats = result.stats;
+    stats.map_tasks = splits.size();
+    stats.reduce_tasks = config_.num_reducers;
+
+    // ----------------------------------------------------------- map phase
+    std::vector<MapTaskOutput> map_outputs(splits.size());
+
+    common::ThreadPool pool(config_.threads);
+    pool.parallel_for(splits.size(), [&](std::size_t t) {
+      map_outputs[t] = run_map_task(splits[t], preferred_nodes[t], t);
+    });
+
+    std::vector<TaskSpec> map_specs;
+    map_specs.reserve(map_outputs.size());
+    double shuffle_bytes = 0.0;
+    for (auto& task : map_outputs) {
+      stats.input_records += task.records_in;
+      stats.pre_combine_records += task.records_pre_combine;
+      stats.map_output_records += task.records_out;
+      stats.map_cpu_s += task.cpu_s;
+      if (task.retried) ++stats.map_retries;
+      for (const auto& [name, value] : task.counters) stats.counters[name] += value;
+      shuffle_bytes += task.spec.output_bytes;
+      map_specs.push_back(task.spec);
+    }
+    stats.shuffle_bytes = shuffle_bytes;
+
+    // ------------------------------------------------------------- shuffle
+    // Gather each reducer's input from every map task, in task order so the
+    // overall run is deterministic regardless of thread scheduling.
+    std::vector<std::vector<std::pair<K, V>>> reducer_inputs(config_.num_reducers);
+    for (auto& task : map_outputs) {
+      for (std::size_t r = 0; r < config_.num_reducers; ++r) {
+        auto& bucket = task.partitions[r];
+        reducer_inputs[r].insert(reducer_inputs[r].end(),
+                                 std::make_move_iterator(bucket.begin()),
+                                 std::make_move_iterator(bucket.end()));
+      }
+    }
+
+    // -------------------------------------------------------- reduce phase
+    std::vector<ReduceTaskOutput> reduce_outputs(config_.num_reducers);
+    pool.parallel_for(config_.num_reducers, [&](std::size_t r) {
+      reduce_outputs[r] = run_reduce_task(reducer_inputs[r]);
+    });
+
+    std::vector<TaskSpec> reduce_specs;
+    reduce_specs.reserve(reduce_outputs.size());
+    for (auto& task : reduce_outputs) {
+      stats.reduce_groups += task.groups;
+      stats.reduce_cpu_s += task.cpu_s;
+      reduce_specs.push_back(task.spec);
+      stats.output_records += task.output.size();
+      result.output.insert(result.output.end(),
+                           std::make_move_iterator(task.output.begin()),
+                           std::make_move_iterator(task.output.end()));
+    }
+
+    // --------------------------------------------------- simulated timeline
+    const SimScheduler scheduler(config_.cluster);
+    stats.timeline =
+        simulate_job(scheduler, map_specs, shuffle_bytes, reduce_specs);
+    return result;
+  }
+
+ private:
+  struct MapTaskOutput {
+    std::vector<std::vector<std::pair<K, V>>> partitions;
+    TaskSpec spec;
+    Counters counters;
+    double cpu_s = 0.0;
+    std::size_t records_in = 0;
+    std::size_t records_pre_combine = 0;
+    std::size_t records_out = 0;
+    bool retried = false;
+  };
+  struct ReduceTaskOutput {
+    std::vector<Out> output;
+    TaskSpec spec;
+    double cpu_s = 0.0;
+    std::size_t groups = 0;
+  };
+
+  [[nodiscard]] std::size_t partition_of(const K& key) const {
+    if (partitioner_) return partitioner_(key) % config_.num_reducers;
+    return std::hash<K>{}(key) % config_.num_reducers;
+  }
+
+  /// Sort pairs by key and fold each group through `fn`.
+  template <typename Fn>
+  static void for_each_group(std::vector<std::pair<K, V>>& pairs, Fn&& fn) {
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t begin = 0;
+    while (begin < pairs.size()) {
+      std::size_t end = begin + 1;
+      while (end < pairs.size() && !(pairs[begin].first < pairs[end].first)) ++end;
+      std::vector<V> values;
+      values.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        values.push_back(std::move(pairs[i].second));
+      }
+      fn(pairs[begin].first, values);
+      begin = end;
+    }
+  }
+
+  MapTaskOutput run_map_task(const std::vector<In>& split, int preferred_node,
+                             std::size_t task_index) {
+    MapTaskOutput task;
+
+    common::Stopwatch watch;
+    Emitter<K, V> emitter;
+    double input_bytes = 0.0;
+    double work = 0.0;
+    for (const In& record : split) {
+      mapper_(record, emitter);
+      input_bytes += approx_bytes(record);
+      // Default work model: 1 microsecond of reference-node CPU per record
+      // (typical lightweight Hadoop record processing).
+      work += map_work_ ? map_work_(record) : 1e-6;
+    }
+    task.records_in = split.size();
+    task.records_pre_combine = emitter.pairs().size();
+
+    std::vector<std::pair<K, V>> pairs = std::move(emitter.pairs());
+    if (combiner_) {
+      Emitter<K, V> combined;
+      for_each_group(pairs, [&](const K& key, std::vector<V>& values) {
+        combiner_(key, values, combined);
+      });
+      pairs = std::move(combined.pairs());
+      for (const auto& [name, value] : combined.counters()) {
+        emitter.counters()[name] += value;
+      }
+    }
+    task.records_out = pairs.size();
+
+    task.partitions.resize(config_.num_reducers);
+    double output_bytes = 0.0;
+    for (auto& pair : pairs) {
+      output_bytes += approx_bytes(pair);
+      task.partitions[partition_of(pair.first)].push_back(std::move(pair));
+    }
+
+    task.cpu_s = watch.seconds();
+    task.counters = std::move(emitter.counters());
+    task.spec = TaskSpec{work, input_bytes, output_bytes, preferred_node};
+
+    if (config_.map_failure_rate > 0.0 || config_.straggler_rate > 0.0) {
+      common::Xoshiro256 rng(common::mix64(config_.seed ^ (task_index + 1)));
+      if (rng.chance(config_.map_failure_rate)) {
+        // The failed attempt's cost is paid again by the retry.
+        task.retried = true;
+        task.spec.work *= 2.0;
+        task.spec.input_bytes *= 2.0;
+      }
+      if (rng.chance(config_.straggler_rate)) {
+        task.spec.work *= config_.straggler_slowdown;
+      }
+    }
+    return task;
+  }
+
+  ReduceTaskOutput run_reduce_task(std::vector<std::pair<K, V>>& pairs) {
+    ReduceTaskOutput task;
+
+    common::Stopwatch watch;
+    double input_bytes = 0.0;
+    for (const auto& pair : pairs) input_bytes += approx_bytes(pair);
+
+    double work = 0.0;
+    for_each_group(pairs, [&](const K& key, std::vector<V>& values) {
+      ++task.groups;
+      work += reduce_work_ ? reduce_work_(key, values.size())
+                           : 1e-6 * static_cast<double>(values.size());
+      reducer_(key, values, task.output);
+    });
+
+    double output_bytes = 0.0;
+    for (const Out& out : task.output) output_bytes += approx_bytes(out);
+    task.cpu_s = watch.seconds();
+    task.spec = TaskSpec{work, input_bytes, output_bytes, -1};
+    return task;
+  }
+
+  JobConfig config_;
+  Mapper mapper_;
+  Reducer reducer_;
+  Combiner combiner_;
+  Partitioner partitioner_;
+  MapWorkModel map_work_;
+  ReduceWorkModel reduce_work_;
+};
+
+}  // namespace mrmc::mr

@@ -1,0 +1,131 @@
+#include "mr/simdfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::mr {
+
+SimDfs::SimDfs(Options options) : options_(options) {
+  MRMC_REQUIRE(options_.nodes >= 1, "SimDfs needs at least one node");
+  MRMC_REQUIRE(options_.block_size >= 1, "block_size must be positive");
+  MRMC_REQUIRE(options_.replication >= 1, "replication must be positive");
+  options_.replication = std::min(options_.replication, options_.nodes);
+}
+
+std::vector<int> SimDfs::place_block(std::uint64_t block_id) const {
+  // Primary advances round-robin (captured by caller via next_primary_);
+  // secondaries are a seeded pseudo-random walk over the remaining nodes,
+  // mirroring HDFS's rack-aware-ish spread without racks.
+  std::vector<int> replicas;
+  replicas.reserve(options_.replication);
+  const int primary = static_cast<int>(next_primary_ % options_.nodes);
+  replicas.push_back(primary);
+  common::Xoshiro256 rng(common::mix64(options_.seed ^ block_id));
+  while (replicas.size() < options_.replication) {
+    const int candidate = static_cast<int>(rng.bounded(options_.nodes));
+    if (std::find(replicas.begin(), replicas.end(), candidate) == replicas.end()) {
+      replicas.push_back(candidate);
+    }
+  }
+  return replicas;
+}
+
+void SimDfs::write(const std::string& path, std::string content) {
+  MRMC_REQUIRE(!path.empty(), "path must be non-empty");
+  File file;
+  file.info.path = path;
+  file.info.size = content.size();
+  for (std::size_t offset = 0; offset < content.size();
+       offset += options_.block_size) {
+    DfsBlock block;
+    block.id = next_block_id_++;
+    block.offset = offset;
+    block.size = std::min(options_.block_size, content.size() - offset);
+    block.replicas = place_block(block.id);
+    ++next_primary_;
+    file.info.blocks.push_back(std::move(block));
+  }
+  if (content.empty()) {
+    // Zero-byte files still get an entry (no blocks).
+  }
+  file.content = std::move(content);
+  files_[path] = std::move(file);
+}
+
+void SimDfs::append(const std::string& path, std::string_view content) {
+  if (!exists(path)) {
+    write(path, std::string(content));
+    return;
+  }
+  std::string merged = files_.at(path).content;
+  merged.append(content);
+  write(path, std::move(merged));
+}
+
+bool SimDfs::exists(const std::string& path) const noexcept {
+  return files_.contains(path);
+}
+
+std::string SimDfs::read(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw common::IoError("SimDfs: no such file '" + path + "'");
+  return it->second.content;
+}
+
+std::string SimDfs::read_block(const std::string& path,
+                               std::size_t block_index) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw common::IoError("SimDfs: no such file '" + path + "'");
+  const auto& blocks = it->second.info.blocks;
+  MRMC_REQUIRE(block_index < blocks.size(), "block index out of range");
+  const DfsBlock& block = blocks[block_index];
+  return it->second.content.substr(block.offset, block.size);
+}
+
+const DfsFileInfo& SimDfs::stat(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw common::IoError("SimDfs: no such file '" + path + "'");
+  return it->second.info;
+}
+
+std::vector<std::string> SimDfs::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<std::string> SimDfs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void SimDfs::remove(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    throw common::IoError("SimDfs: no such file '" + path + "'");
+  }
+}
+
+std::vector<std::size_t> SimDfs::node_usage() const {
+  std::vector<std::size_t> usage(options_.nodes, 0);
+  for (const auto& [path, file] : files_) {
+    for (const auto& block : file.info.blocks) {
+      for (const int node : block.replicas) usage[node] += block.size;
+    }
+  }
+  return usage;
+}
+
+std::size_t SimDfs::total_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [path, file] : files_) total += file.info.size;
+  return total;
+}
+
+}  // namespace mrmc::mr

@@ -1,0 +1,91 @@
+// SimDfs — an in-memory stand-in for HDFS.  Files are split into fixed-size
+// blocks; each block is replicated onto `replication` distinct simulated
+// nodes chosen deterministically (round-robin primary + seeded secondaries).
+// MapReduce jobs use the block table both for input splits and for the
+// scheduler's locality preferences, exactly the role HDFS plays for Hadoop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrmc::mr {
+
+struct DfsBlock {
+  std::uint64_t id = 0;
+  std::size_t offset = 0;     ///< byte offset within the file
+  std::size_t size = 0;
+  std::vector<int> replicas;  ///< node ids holding a copy (first = primary)
+};
+
+struct DfsFileInfo {
+  std::string path;
+  std::size_t size = 0;
+  std::vector<DfsBlock> blocks;
+};
+
+class SimDfs {
+ public:
+  struct Options {
+    std::size_t nodes = 4;
+    std::size_t block_size = 64 * 1024;  ///< scaled-down HDFS 64 MB default
+    std::size_t replication = 3;
+    std::uint64_t seed = 7;
+  };
+
+  SimDfs() : SimDfs(Options{}) {}
+  explicit SimDfs(Options options);
+
+  /// Create or overwrite a file.  Content is chunked into blocks and placed.
+  void write(const std::string& path, std::string content);
+
+  /// Append to an existing file (creates it if absent).
+  void append(const std::string& path, std::string_view content);
+
+  [[nodiscard]] bool exists(const std::string& path) const noexcept;
+
+  /// Full content; throws IoError if the path is missing.
+  [[nodiscard]] std::string read(const std::string& path) const;
+
+  /// Content of one block.
+  [[nodiscard]] std::string read_block(const std::string& path,
+                                       std::size_t block_index) const;
+
+  [[nodiscard]] const DfsFileInfo& stat(const std::string& path) const;
+
+  /// All paths, sorted.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Paths with the given prefix, sorted.
+  [[nodiscard]] std::vector<std::string> list(const std::string& prefix) const;
+
+  void remove(const std::string& path);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return options_.nodes; }
+  [[nodiscard]] std::size_t block_size() const noexcept {
+    return options_.block_size;
+  }
+
+  /// Bytes stored per node (replicas counted) — used in balance tests.
+  [[nodiscard]] std::vector<std::size_t> node_usage() const;
+
+  /// Total logical bytes across all files (one copy each).
+  [[nodiscard]] std::size_t total_bytes() const noexcept;
+
+ private:
+  struct File {
+    DfsFileInfo info;
+    std::string content;
+  };
+
+  std::vector<int> place_block(std::uint64_t block_id) const;
+
+  Options options_;
+  std::map<std::string, File> files_;
+  std::uint64_t next_block_id_ = 1;
+  std::size_t next_primary_ = 0;
+};
+
+}  // namespace mrmc::mr

@@ -1,0 +1,266 @@
+#include "pig/pig.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bio/fasta.hpp"
+#include "common/error.hpp"
+
+namespace mrmc::pig {
+
+namespace {
+
+/// Room for FLATTEN fan-out per input tuple in the composite ordering key.
+constexpr long kFlattenStride = 1L << 20;
+
+struct IndexedTuple {
+  long index = 0;
+  Tuple tuple;
+};
+
+}  // namespace
+
+std::string to_text(const Tuple& tuple) {
+  std::ostringstream out;
+  for (std::size_t f = 0; f < tuple.fields.size(); ++f) {
+    if (f > 0) out << '\t';
+    const Value& value = tuple.fields[f];
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      out << *s;
+    } else if (const auto* l = std::get_if<long>(&value)) {
+      out << *l;
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      out << *d;
+    } else if (const auto* ll = std::get_if<std::vector<long>>(&value)) {
+      for (std::size_t i = 0; i < ll->size(); ++i) {
+        if (i > 0) out << ',';
+        out << (*ll)[i];
+      }
+    } else if (const auto* dl = std::get_if<std::vector<double>>(&value)) {
+      for (std::size_t i = 0; i < dl->size(); ++i) {
+        if (i > 0) out << ',';
+        out << (*dl)[i];
+      }
+    } else if (const auto* bag = std::get_if<Bag>(&value)) {
+      out << "{bag:" << bag->size() << "}";
+    }
+  }
+  return out.str();
+}
+
+PigContext::PigContext(mr::SimDfs* dfs, mr::ClusterConfig cluster,
+                       std::size_t threads)
+    : dfs_(dfs), cluster_(cluster), threads_(threads) {
+  MRMC_REQUIRE(dfs != nullptr, "PigContext needs a DFS");
+}
+
+mr::JobConfig PigContext::make_config(const std::string& name,
+                                      std::size_t reducers) const {
+  mr::JobConfig config;
+  config.name = name;
+  config.num_reducers = reducers;
+  config.records_per_split = 512;
+  config.threads = threads_;
+  config.cluster = cluster_;
+  return config;
+}
+
+Relation PigContext::load_fasta(const std::string& path) {
+  const auto records = bio::read_fasta_string(dfs_->read(path));
+  Relation relation;
+  relation.reserve(records.size());
+  for (const auto& record : records) {
+    Tuple tuple;
+    tuple.fields.emplace_back(record.seq);
+    tuple.fields.emplace_back(record.id);
+    relation.push_back(std::move(tuple));
+  }
+  return relation;
+}
+
+Relation PigContext::foreach_generate(const Relation& input, const Udf& udf) {
+  using ForeachJob = mr::Job<IndexedTuple, long, Tuple, std::pair<long, Tuple>>;
+
+  const Udf* udf_ptr = &udf;
+  ForeachJob job(
+      make_config(std::string("foreach-") + udf.name(),
+                  std::max<std::size_t>(1, cluster_.reduce_slots())),
+      [udf_ptr](const IndexedTuple& record, mr::Emitter<long, Tuple>& emit) {
+        Bag outputs = udf_ptr->exec(record.tuple);
+        MRMC_CHECK(outputs.size() < static_cast<std::size_t>(kFlattenStride),
+                   "FLATTEN fan-out exceeds ordering key stride");
+        long sub = 0;
+        for (Tuple& out : outputs) {
+          emit.emit(record.index * kFlattenStride + sub++, std::move(out));
+        }
+      },
+      [](const long& key, std::vector<Tuple>& values,
+         std::vector<std::pair<long, Tuple>>& out) {
+        MRMC_CHECK(values.size() == 1, "ordering keys are unique");
+        out.emplace_back(key, std::move(values.front()));
+      });
+
+  std::vector<IndexedTuple> indexed;
+  indexed.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    indexed.push_back({static_cast<long>(i), input[i]});
+  }
+  auto result = job.run(indexed);
+  sim_time_s_ += result.stats.timeline.total_s;
+  jobs_.push_back(std::move(result.stats));
+
+  std::sort(result.output.begin(), result.output.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Relation relation;
+  relation.reserve(result.output.size());
+  for (auto& [key, tuple] : result.output) relation.push_back(std::move(tuple));
+  return relation;
+}
+
+Relation PigContext::group_all(const Relation& input) {
+  using GroupJob =
+      mr::Job<IndexedTuple, int, std::pair<long, Tuple>, Tuple>;
+
+  GroupJob job(
+      make_config("group-all", 1),
+      [](const IndexedTuple& record, mr::Emitter<int, std::pair<long, Tuple>>& emit) {
+        emit.emit(0, {record.index, record.tuple});
+      },
+      [](const int&, std::vector<std::pair<long, Tuple>>& values,
+         std::vector<Tuple>& out) {
+        std::sort(values.begin(), values.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        Bag bag;
+        bag.reserve(values.size());
+        for (auto& [index, tuple] : values) bag.push_back(std::move(tuple));
+        Tuple group;
+        group.fields.emplace_back(std::move(bag));
+        out.push_back(std::move(group));
+      });
+
+  std::vector<IndexedTuple> indexed;
+  indexed.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    indexed.push_back({static_cast<long>(i), input[i]});
+  }
+  auto result = job.run(indexed);
+  sim_time_s_ += result.stats.timeline.total_s;
+  jobs_.push_back(std::move(result.stats));
+  return std::move(result.output);
+}
+
+namespace {
+
+/// Grouping key for GROUP BY: string and long fields grouped by value,
+/// doubles by exact value; other field types are rejected.
+std::string group_key(const Tuple& tuple, std::size_t field) {
+  MRMC_REQUIRE(field < tuple.fields.size(), "group field out of range");
+  const Value& value = tuple.fields[field];
+  if (const auto* s = std::get_if<std::string>(&value)) return "s:" + *s;
+  if (const auto* l = std::get_if<long>(&value)) {
+    return "l:" + std::to_string(*l);
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return "d:" + std::to_string(*d);
+  }
+  throw common::InvalidArgument("GROUP BY supports atom fields only");
+}
+
+}  // namespace
+
+Relation PigContext::group_by(const Relation& input, std::size_t field) {
+  using GroupByJob =
+      mr::Job<IndexedTuple, std::string, std::pair<long, Tuple>, Tuple>;
+
+  GroupByJob job(
+      make_config("group-by", std::max<std::size_t>(1, cluster_.reduce_slots())),
+      [field](const IndexedTuple& record,
+              mr::Emitter<std::string, std::pair<long, Tuple>>& emit) {
+        emit.emit(group_key(record.tuple, field), {record.index, record.tuple});
+      },
+      [field](const std::string&, std::vector<std::pair<long, Tuple>>& values,
+              std::vector<Tuple>& out) {
+        std::sort(values.begin(), values.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        Tuple group;
+        group.fields.push_back(values.front().second.fields.at(field));
+        Bag bag;
+        bag.reserve(values.size());
+        for (auto& [index, tuple] : values) bag.push_back(std::move(tuple));
+        group.fields.emplace_back(std::move(bag));
+        out.push_back(std::move(group));
+      });
+
+  std::vector<IndexedTuple> indexed;
+  indexed.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    indexed.push_back({static_cast<long>(i), input[i]});
+  }
+  auto result = job.run(indexed);
+  sim_time_s_ += result.stats.timeline.total_s;
+  jobs_.push_back(std::move(result.stats));
+
+  // Reducer partitions emit in partition order; normalize by key for
+  // deterministic output.
+  std::sort(result.output.begin(), result.output.end(),
+            [field](const Tuple& a, const Tuple& b) {
+              return group_key(a, 0) < group_key(b, 0);
+            });
+  return std::move(result.output);
+}
+
+void PigContext::store(const Relation& relation, const std::string& path) {
+  std::ostringstream out;
+  for (const Tuple& tuple : relation) out << to_text(tuple) << '\n';
+  dfs_->write(path, out.str());
+}
+
+Algorithm3Result run_algorithm3(mr::SimDfs& dfs, const std::string& input_path,
+                                const std::string& out_hier,
+                                const std::string& out_greedy,
+                                const Algorithm3Params& params,
+                                const mr::ClusterConfig& cluster,
+                                std::size_t threads) {
+  PigContext ctx(&dfs, cluster, threads);
+
+  // Step 1: A = LOAD '$INPUT' USING FastaStorage ...
+  const Relation a = ctx.load_fasta(input_path);
+  // Step 2: B = FOREACH A GENERATE FLATTEN(StringGenerator(seq, readid))
+  const Relation b = ctx.foreach_generate(a, StringGenerator{});
+  // Step 3: C = FOREACH B GENERATE FLATTEN(TranslateToKmer(seq, id, $KMER))
+  const Relation c = ctx.foreach_generate(b, TranslateToKmer{params.kmer});
+  // Step 4: E = FOREACH C GENERATE FLATTEN(CalculateMinwiseHash(...))
+  const Relation e = ctx.foreach_generate(
+      c, CalculateMinwiseHash{params.num_hashes, params.kmer, params.seed});
+  // Step 6: I = GROUP E ALL
+  const Relation grouped = ctx.group_all(e);
+  // Step 7: J = FOREACH I GENERATE FLATTEN(CalculatePairwiseSimilarity(...))
+  const Relation j = ctx.foreach_generate(
+      grouped, CalculatePairwiseSimilarity{params.estimator});
+  // Step 8: K = FOREACH (GROUP J ALL) GENERATE
+  //             FLATTEN(AgglomerativeHierarchicalClustering(...))
+  const Relation k = ctx.foreach_generate(
+      ctx.group_all(j),
+      AgglomerativeHierarchicalClustering{params.linkage, params.cutoff});
+  // Step 9: L = FOREACH I GENERATE FLATTEN(GreedyClustering(...))
+  const Relation l = ctx.foreach_generate(
+      grouped, GreedyClustering{params.cutoff, params.greedy_estimator});
+  // Steps 10-11: STORE K INTO '$OUTPUT1'; STORE L INTO '$OUTPUT2'
+  ctx.store(k, out_hier);
+  ctx.store(l, out_greedy);
+
+  Algorithm3Result result;
+  result.sim_time_s = ctx.sim_time_s();
+  result.jobs_run = ctx.job_history().size();
+  for (const Tuple& tuple : k) {
+    result.hierarchical.emplace_back(tuple.get<std::string>(0),
+                                     static_cast<int>(tuple.get<long>(1)));
+  }
+  for (const Tuple& tuple : l) {
+    result.greedy.emplace_back(tuple.get<std::string>(0),
+                               static_cast<int>(tuple.get<long>(1)));
+  }
+  return result;
+}
+
+}  // namespace mrmc::pig

@@ -1,0 +1,500 @@
+#include "pig/script.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mrmc::pig {
+
+namespace {
+
+[[noreturn]] void syntax_error(std::size_t line, const std::string& message) {
+  throw common::InvalidArgument("pig script line " + std::to_string(line) +
+                                ": " + message);
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string upper(std::string text) {
+  for (char& c : text) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return text;
+}
+
+/// Split a statement into whitespace tokens, keeping quoted strings and
+/// parenthesized argument lists intact.
+std::vector<std::string> tokenize(const std::string& text, std::size_t line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      const auto end = text.find('\'', i + 1);
+      if (end == std::string::npos) syntax_error(line, "unterminated string");
+      tokens.push_back(text.substr(i, end - i + 1));
+      i = end + 1;
+      continue;
+    }
+    if (c == '(') {
+      int depth = 0;
+      std::size_t j = i;
+      for (; j < text.size(); ++j) {
+        if (text[j] == '(') ++depth;
+        if (text[j] == ')' && --depth == 0) break;
+      }
+      if (depth != 0) syntax_error(line, "unbalanced parentheses");
+      tokens.push_back(text.substr(i, j - i + 1));
+      i = j + 1;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < text.size() && !std::isspace(static_cast<unsigned char>(text[j])) &&
+           text[j] != '(' && text[j] != '\'') {
+      ++j;
+    }
+    tokens.push_back(text.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+std::string unquote(const std::string& token, std::size_t line) {
+  if (token.size() < 2 || token.front() != '\'' || token.back() != '\'') {
+    syntax_error(line, "expected quoted path, got '" + token + "'");
+  }
+  return token.substr(1, token.size() - 2);
+}
+
+/// Parse "FLATTEN(Udf(a, b, c))" or "Udf(a, b, c)".
+void parse_udf_call(std::string call, Statement& statement, std::size_t line) {
+  call = trim(call);
+  if (upper(call).rfind("FLATTEN", 0) == 0) {
+    const auto open = call.find('(');
+    const auto close = call.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      syntax_error(line, "malformed FLATTEN");
+    }
+    call = trim(call.substr(open + 1, close - open - 1));
+  }
+  const auto open = call.find('(');
+  const auto close = call.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    syntax_error(line, "expected Udf(args)");
+  }
+  statement.udf_name = trim(call.substr(0, open));
+  std::istringstream args(call.substr(open + 1, close - open - 1));
+  std::string arg;
+  while (std::getline(args, arg, ',')) {
+    statement.udf_args.push_back(trim(arg));
+  }
+}
+
+Statement parse_statement(const std::string& text, std::size_t line) {
+  Statement statement;
+  const auto tokens = tokenize(text, line);
+  MRMC_CHECK(!tokens.empty(), "tokenizer returned nothing");
+
+  if (upper(tokens[0]) == "STORE") {
+    // STORE <rel> INTO '<path>'
+    if (tokens.size() < 4 || upper(tokens[2]) != "INTO") {
+      syntax_error(line, "expected STORE <rel> INTO '<path>'");
+    }
+    statement.kind = Statement::Kind::kStore;
+    statement.source = tokens[1];
+    statement.udf_name = unquote(tokens[3], line);  // reuse: path
+    return statement;
+  }
+
+  // <alias> = <OP> ...
+  if (tokens.size() < 3 || tokens[1] != "=") {
+    syntax_error(line, "expected '<alias> = <operator> ...'");
+  }
+  statement.target = tokens[0];
+  const std::string op = upper(tokens[2]);
+
+  if (op == "LOAD") {
+    statement.kind = Statement::Kind::kLoad;
+    if (tokens.size() < 4) syntax_error(line, "LOAD needs a path");
+    statement.source = unquote(tokens[3], line);
+    return statement;
+  }
+  if (op == "GROUP") {
+    if (tokens.size() >= 6 && upper(tokens[4]) == "BY" && !tokens[5].empty() &&
+        tokens[5][0] == '$') {
+      statement.kind = Statement::Kind::kGroupBy;
+      statement.source = tokens[3];
+      statement.field = std::stoul(tokens[5].substr(1));
+      return statement;
+    }
+    if (tokens.size() < 5 || upper(tokens[4]) != "ALL") {
+      syntax_error(line, "expected GROUP <rel> ALL or GROUP <rel> BY $<field>");
+    }
+    statement.kind = Statement::Kind::kGroupAll;
+    statement.source = tokens[3];
+    return statement;
+  }
+  if (op == "DISTINCT") {
+    statement.kind = Statement::Kind::kDistinct;
+    if (tokens.size() < 4) syntax_error(line, "DISTINCT needs a relation");
+    statement.source = tokens[3];
+    return statement;
+  }
+  if (op == "LIMIT") {
+    statement.kind = Statement::Kind::kLimit;
+    if (tokens.size() < 5) syntax_error(line, "LIMIT needs <rel> <count>");
+    statement.source = tokens[3];
+    statement.literal = std::stod(tokens[4]);
+    return statement;
+  }
+  if (op == "ORDER") {
+    // X = ORDER <rel> BY $<field> [DESC]
+    if (tokens.size() < 6 || upper(tokens[4]) != "BY" || tokens[5].empty() ||
+        tokens[5][0] != '$') {
+      syntax_error(line, "expected ORDER <rel> BY $<field> [DESC]");
+    }
+    statement.kind = Statement::Kind::kOrderBy;
+    statement.source = tokens[3];
+    statement.field = std::stoul(tokens[5].substr(1));
+    statement.descending = tokens.size() > 6 && upper(tokens[6]) == "DESC";
+    return statement;
+  }
+  if (op == "FILTER") {
+    // X = FILTER <rel> BY $<field> <op> <literal>
+    if (tokens.size() < 8 || upper(tokens[4]) != "BY" || tokens[5].empty() ||
+        tokens[5][0] != '$') {
+      syntax_error(line, "expected FILTER <rel> BY $<field> <op> <value>");
+    }
+    statement.kind = Statement::Kind::kFilter;
+    statement.source = tokens[3];
+    statement.field = std::stoul(tokens[5].substr(1));
+    statement.comparison = tokens[6];
+    statement.literal = std::stod(tokens[7]);
+    return statement;
+  }
+  if (op == "FOREACH") {
+    // X = FOREACH <rel | (GROUP rel ALL)> GENERATE FLATTEN(Udf(args))
+    statement.kind = Statement::Kind::kForeach;
+    if (tokens.size() < 5) syntax_error(line, "malformed FOREACH");
+    std::size_t generate_index = 4;
+    if (tokens[3].front() == '(') {
+      // (GROUP rel ALL)
+      const auto inner = tokenize(tokens[3].substr(1, tokens[3].size() - 2), line);
+      if (inner.size() != 3 || upper(inner[0]) != "GROUP" ||
+          upper(inner[2]) != "ALL") {
+        syntax_error(line, "only (GROUP <rel> ALL) subexpressions are supported");
+      }
+      statement.source = inner[1];
+      statement.inner_group_all = true;
+    } else {
+      statement.source = tokens[3];
+    }
+    if (tokens.size() <= generate_index ||
+        upper(tokens[generate_index]) != "GENERATE") {
+      syntax_error(line, "FOREACH needs GENERATE");
+    }
+    std::string call;
+    for (std::size_t t = generate_index + 1; t < tokens.size(); ++t) {
+      call += tokens[t];
+    }
+    parse_udf_call(call, statement, line);
+    return statement;
+  }
+  syntax_error(line, "unknown operator '" + op + "'");
+}
+
+}  // namespace
+
+std::vector<Statement> parse_script(std::string_view text) {
+  std::vector<Statement> statements;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto comment = line.find("--");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    // Strip a trailing semicolon.
+    std::string body = trim(line);
+    if (!body.empty() && body.back() == ';') body.pop_back();
+    body = trim(body);
+    if (body.empty()) continue;
+    statements.push_back(parse_statement(body, line_number));
+  }
+  return statements;
+}
+
+std::string substitute_parameters(std::string_view text,
+                                  const std::map<std::string, std::string>& params) {
+  // Longest name first so $OUTPUT1 is not clobbered by $OUTPUT.
+  std::vector<std::pair<std::string, std::string>> ordered(params.begin(),
+                                                           params.end());
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return a.first.size() > b.first.size();
+  });
+  std::string out{text};
+  for (const auto& [name, value] : ordered) {
+    const std::string token = "$" + name;
+    std::size_t pos = 0;
+    while ((pos = out.find(token, pos)) != std::string::npos) {
+      out.replace(pos, token.size(), value);
+      pos += value.size();
+    }
+  }
+  const auto leftover = out.find('$');
+  if (leftover != std::string::npos) {
+    // Field references like $0 inside ORDER/FILTER are legitimate.
+    const char next = leftover + 1 < out.size() ? out[leftover + 1] : ' ';
+    if (!std::isdigit(static_cast<unsigned char>(next))) {
+      throw common::InvalidArgument("pig script: unresolved parameter near '" +
+                                    out.substr(leftover, 16) + "'");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Instantiate one of the paper's UDFs from its script call.  Numeric
+/// arguments configure the UDF; field-name arguments are ignored (the UDFs
+/// read positional fields, as in the paper's Java implementations).
+std::unique_ptr<Udf> make_udf(const Statement& statement, std::uint64_t seed,
+                              int* last_kmer) {
+  const std::string& name = statement.udf_name;
+  std::vector<double> numeric;
+  std::vector<std::string> words;
+  for (const auto& arg : statement.udf_args) {
+    if (arg.empty()) continue;
+    if (std::isdigit(static_cast<unsigned char>(arg.front())) ||
+        arg.front() == '.' || arg.front() == '-') {
+      numeric.push_back(std::stod(arg));
+    } else {
+      words.push_back(arg);
+    }
+  }
+
+  if (name == "StringGenerator") return std::make_unique<StringGenerator>();
+  if (name == "TranslateToKmer") {
+    MRMC_REQUIRE(!numeric.empty(), "TranslateToKmer needs $KMER");
+    *last_kmer = static_cast<int>(numeric[0]);
+    return std::make_unique<TranslateToKmer>(*last_kmer);
+  }
+  if (name == "CalculateMinwiseHash") {
+    MRMC_REQUIRE(!numeric.empty(), "CalculateMinwiseHash needs $NUMHASH");
+    // The paper's $DIV (a prime > feature-set size) parameterizes the hash
+    // family; we fold it into the seed of our fixed-prime family.
+    const auto div_seed =
+        numeric.size() > 1 ? static_cast<std::uint64_t>(numeric[1]) : 0;
+    return std::make_unique<CalculateMinwiseHash>(
+        static_cast<std::size_t>(numeric[0]), *last_kmer, seed ^ div_seed);
+  }
+  if (name == "CalculatePairwiseSimilarity") {
+    return std::make_unique<CalculatePairwiseSimilarity>(
+        core::SketchEstimator::kComponentMatch);
+  }
+  if (name == "AgglomerativeHierarchicalClustering") {
+    core::Linkage linkage = core::Linkage::kAverage;
+    for (const auto& word : words) {
+      if (word == "single") linkage = core::Linkage::kSingle;
+      if (word == "average") linkage = core::Linkage::kAverage;
+      if (word == "complete") linkage = core::Linkage::kComplete;
+    }
+    MRMC_REQUIRE(!numeric.empty(),
+                 "AgglomerativeHierarchicalClustering needs $CUTOFF");
+    return std::make_unique<AgglomerativeHierarchicalClustering>(
+        linkage, numeric.back());
+  }
+  if (name == "GreedyClustering") {
+    MRMC_REQUIRE(!numeric.empty(), "GreedyClustering needs $CUTOFF");
+    return std::make_unique<GreedyClustering>(numeric.back(),
+                                              core::SketchEstimator::kSetBased);
+  }
+  throw common::InvalidArgument("pig script: unknown UDF '" + name + "'");
+}
+
+bool tuples_equal(const Tuple& a, const Tuple& b);
+
+bool values_equal(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return false;
+  return std::visit(
+      [&b](const auto& va) {
+        using T = std::decay_t<decltype(va)>;
+        const auto& vb = std::get<T>(b);
+        if constexpr (std::is_same_v<T, Bag>) {
+          if (va.size() != vb.size()) return false;
+          for (std::size_t i = 0; i < va.size(); ++i) {
+            if (!tuples_equal(va[i], vb[i])) return false;
+          }
+          return true;
+        } else {
+          return va == vb;
+        }
+      },
+      a);
+}
+
+bool tuples_equal(const Tuple& a, const Tuple& b) {
+  if (a.fields.size() != b.fields.size()) return false;
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    if (!values_equal(a.fields[i], b.fields[i])) return false;
+  }
+  return true;
+}
+
+double numeric_field(const Tuple& tuple, std::size_t field) {
+  MRMC_REQUIRE(field < tuple.fields.size(), "field index out of range");
+  const Value& value = tuple.fields[field];
+  if (const auto* l = std::get_if<long>(&value)) return static_cast<double>(*l);
+  if (const auto* d = std::get_if<double>(&value)) return *d;
+  throw common::InvalidArgument("pig script: field is not numeric");
+}
+
+bool compare_values(const Value& a, const Value& b) {
+  // Order: by type index first, then by value for comparable types.
+  if (a.index() != b.index()) return a.index() < b.index();
+  if (const auto* s = std::get_if<std::string>(&a)) return *s < std::get<std::string>(b);
+  if (const auto* l = std::get_if<long>(&a)) return *l < std::get<long>(b);
+  if (const auto* d = std::get_if<double>(&a)) return *d < std::get<double>(b);
+  return false;  // lists/bags: stable order
+}
+
+}  // namespace
+
+ScriptResult run_script(PigContext& context, std::string_view text,
+                        const std::map<std::string, std::string>& params,
+                        std::uint64_t udf_seed) {
+  const std::string resolved = substitute_parameters(text, params);
+  const auto statements = parse_script(resolved);
+
+  ScriptResult result;
+  int last_kmer = 5;  // TranslateToKmer updates this for CalculateMinwiseHash
+
+  auto relation_of = [&](const std::string& alias) -> const Relation& {
+    const auto it = result.relations.find(alias);
+    if (it == result.relations.end()) {
+      throw common::InvalidArgument("pig script: unknown alias '" + alias + "'");
+    }
+    return it->second;
+  };
+
+  for (const auto& statement : statements) {
+    switch (statement.kind) {
+      case Statement::Kind::kLoad:
+        result.relations[statement.target] = context.load_fasta(statement.source);
+        break;
+      case Statement::Kind::kForeach: {
+        const Relation* input = &relation_of(statement.source);
+        Relation grouped;
+        if (statement.inner_group_all) {
+          grouped = context.group_all(*input);
+          input = &grouped;
+        }
+        const auto udf = make_udf(statement, udf_seed, &last_kmer);
+        result.relations[statement.target] = context.foreach_generate(*input, *udf);
+        break;
+      }
+      case Statement::Kind::kGroupAll:
+        result.relations[statement.target] =
+            context.group_all(relation_of(statement.source));
+        break;
+      case Statement::Kind::kGroupBy:
+        result.relations[statement.target] =
+            context.group_by(relation_of(statement.source), statement.field);
+        break;
+      case Statement::Kind::kDistinct: {
+        const Relation& input = relation_of(statement.source);
+        Relation output;
+        for (const Tuple& tuple : input) {
+          const bool seen = std::any_of(
+              output.begin(), output.end(),
+              [&](const Tuple& existing) { return tuples_equal(existing, tuple); });
+          if (!seen) output.push_back(tuple);
+        }
+        result.relations[statement.target] = std::move(output);
+        break;
+      }
+      case Statement::Kind::kOrderBy: {
+        Relation output = relation_of(statement.source);
+        std::stable_sort(output.begin(), output.end(),
+                         [&](const Tuple& a, const Tuple& b) {
+                           const bool less = compare_values(
+                               a.fields.at(statement.field),
+                               b.fields.at(statement.field));
+                           const bool greater = compare_values(
+                               b.fields.at(statement.field),
+                               a.fields.at(statement.field));
+                           return statement.descending ? greater : less;
+                         });
+        result.relations[statement.target] = std::move(output);
+        break;
+      }
+      case Statement::Kind::kLimit: {
+        Relation output = relation_of(statement.source);
+        const auto count = static_cast<std::size_t>(statement.literal);
+        if (output.size() > count) output.resize(count);
+        result.relations[statement.target] = std::move(output);
+        break;
+      }
+      case Statement::Kind::kFilter: {
+        const Relation& input = relation_of(statement.source);
+        Relation output;
+        for (const Tuple& tuple : input) {
+          const double value = numeric_field(tuple, statement.field);
+          const double rhs = statement.literal;
+          bool keep = false;
+          if (statement.comparison == ">") keep = value > rhs;
+          else if (statement.comparison == "<") keep = value < rhs;
+          else if (statement.comparison == ">=") keep = value >= rhs;
+          else if (statement.comparison == "<=") keep = value <= rhs;
+          else if (statement.comparison == "==") keep = value == rhs;
+          else if (statement.comparison == "!=") keep = value != rhs;
+          else {
+            throw common::InvalidArgument("pig script: bad comparison '" +
+                                          statement.comparison + "'");
+          }
+          if (keep) output.push_back(tuple);
+        }
+        result.relations[statement.target] = std::move(output);
+        break;
+      }
+      case Statement::Kind::kStore:
+        context.store(relation_of(statement.source), statement.udf_name);
+        result.stored_paths.push_back(statement.udf_name);
+        break;
+    }
+  }
+  result.sim_time_s = context.sim_time_s();
+  result.jobs_run = context.job_history().size();
+  return result;
+}
+
+std::string_view algorithm3_script() {
+  return R"(-- MrMC-MinH, Algorithm 3 (Rasheed & Rangwala 2013)
+A = LOAD '$INPUT' USING FastaStorage;
+B = FOREACH A GENERATE FLATTEN(StringGenerator(seq, readid));
+C = FOREACH B GENERATE FLATTEN(TranslateToKmer(seq, seqid, $KMER));
+E = FOREACH C GENERATE FLATTEN(CalculateMinwiseHash(seqkmer, seqid2, $NUMHASH, $DIV));
+I = GROUP E ALL;
+J = FOREACH I GENERATE FLATTEN(CalculatePairwiseSimilarity(minwise, F));
+K = FOREACH (GROUP J ALL) GENERATE FLATTEN(AgglomerativeHierarchicalClustering(similaritymatrix, $LINK, $NUMHASH, $CUTOFF));
+L = FOREACH I GENERATE FLATTEN(GreedyClustering(F, $NUMHASH, $CUTOFF));
+STORE K INTO '$OUTPUT1';
+STORE L INTO '$OUTPUT2';
+)";
+}
+
+}  // namespace mrmc::pig

@@ -1,0 +1,101 @@
+// The paper's User Defined Functions (Algorithm 3).  Each UDF maps one
+// input tuple to zero or more output tuples (Pig's FOREACH ... GENERATE
+// FLATTEN semantics).
+//
+//   StringGenerator        (seq:chararray, id) -> (codes:list, id)
+//   TranslateToKmer        (codes:list, id)    -> (kmers:list, id)
+//   CalculateMinwiseHash   (kmers:list, id)    -> (minwise:list, id)
+//   CalculatePairwiseSimilarity  group bag     -> (row:long, sims:list, id...)
+//   AgglomerativeHierarchicalClustering  bag   -> (id, label:long) per read
+//   GreedyClustering                     bag   -> (id, label:long) per read
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/hierarchical.hpp"
+#include "core/minhash.hpp"
+#include "pig/tuple.hpp"
+
+namespace mrmc::pig {
+
+class Udf {
+ public:
+  virtual ~Udf() = default;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  /// FLATTEN semantics: each input tuple may yield several output tuples.
+  virtual Bag exec(const Tuple& input) const = 0;
+};
+
+/// DNA characters -> integer codes (A=0 C=1 G=2 T=3, ambiguous = -1).
+class StringGenerator final : public Udf {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "StringGenerator"; }
+  Bag exec(const Tuple& input) const override;
+};
+
+/// Integer codes -> packed k-mer feature set (sorted unique).
+class TranslateToKmer final : public Udf {
+ public:
+  explicit TranslateToKmer(int k);
+  [[nodiscard]] const char* name() const noexcept override { return "TranslateToKmer"; }
+  Bag exec(const Tuple& input) const override;
+
+ private:
+  int k_;
+};
+
+/// k-mer set -> minwise sketch via the universal hash family (Equation 5).
+class CalculateMinwiseHash final : public Udf {
+ public:
+  CalculateMinwiseHash(std::size_t num_hashes, int kmer, std::uint64_t seed);
+  [[nodiscard]] const char* name() const noexcept override {
+    return "CalculateMinwiseHash";
+  }
+  Bag exec(const Tuple& input) const override;
+
+ private:
+  std::shared_ptr<core::MinHasher> hasher_;
+};
+
+/// Grouped sketches -> one similarity-matrix row per read (row-partitioned,
+/// j > row only).
+class CalculatePairwiseSimilarity final : public Udf {
+ public:
+  explicit CalculatePairwiseSimilarity(core::SketchEstimator estimator);
+  [[nodiscard]] const char* name() const noexcept override {
+    return "CalculatePairwiseSimilarity";
+  }
+  Bag exec(const Tuple& input) const override;
+
+ private:
+  core::SketchEstimator estimator_;
+};
+
+/// Grouped similarity rows -> (id, label) per read.
+class AgglomerativeHierarchicalClustering final : public Udf {
+ public:
+  AgglomerativeHierarchicalClustering(core::Linkage linkage, double cutoff);
+  [[nodiscard]] const char* name() const noexcept override {
+    return "AgglomerativeHierarchicalClustering";
+  }
+  Bag exec(const Tuple& input) const override;
+
+ private:
+  core::Linkage linkage_;
+  double cutoff_;
+};
+
+/// Grouped sketches -> (id, label) per read via Algorithm 1.
+class GreedyClustering final : public Udf {
+ public:
+  GreedyClustering(double cutoff, core::SketchEstimator estimator);
+  [[nodiscard]] const char* name() const noexcept override { return "GreedyClustering"; }
+  Bag exec(const Tuple& input) const override;
+
+ private:
+  double cutoff_;
+  core::SketchEstimator estimator_;
+};
+
+}  // namespace mrmc::pig

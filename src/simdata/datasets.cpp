@@ -1,0 +1,245 @@
+#include "simdata/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::simdata {
+
+using common::mix64;
+
+// ---------------------------------------------------------------- Table II
+
+const std::vector<WholeMetagenomeSpec>& whole_metagenome_registry() {
+  // Branch lengths place each species at the paper's stated taxonomic
+  // separation: pairwise divergence ~ branch_i + branch_j, matched against
+  // taxon_divergence() (species 0.04, genus 0.10, family 0.18, order 0.28,
+  // phylum 0.42, kingdom 0.60).
+  static const std::vector<WholeMetagenomeSpec> registry = {
+      {"S1",
+       {{"Bacillus halodurans", 0.44, 0.02, 1}, {"Bacillus subtilis", 0.44, 0.02, 1}},
+       "Species", 49998, 2, true},
+      {"S2",
+       {{"Gluconobacter oxydans", 0.61, 0.05, 1},
+        {"Granulobacter bethesdensis", 0.59, 0.05, 1}},
+       "Genus", 49998, 2, true},
+      {"S3",
+       {{"Escherichia coli", 0.51, 0.05, 1}, {"Yersinia pestis", 0.48, 0.05, 1}},
+       "Genus", 49998, 2, true},
+      {"S4",
+       {{"Rhodopirellula baltica", 0.55, 0.05, 1},
+        {"Blastopirellula marina", 0.57, 0.05, 1}},
+       "Genus", 49998, 2, true},
+      {"S5",
+       {{"Bacillus anthracis", 0.35, 0.09, 1},
+        {"Listeria monocytogenes", 0.38, 0.09, 2}},
+       "Family", 49998, 2, true},
+      {"S6",
+       {{"Methanocaldococcus jannaschii", 0.31, 0.09, 1},
+        {"Methanococcus mariplaudis", 0.33, 0.09, 1}},
+       "Family", 49998, 2, true},
+      {"S7",
+       {{"Thermofilum pendens", 0.58, 0.09, 1},
+        {"Pyrobaculum aerophilum", 0.51, 0.09, 1}},
+       "Family", 49998, 2, true},
+      {"S8",
+       {{"Gluconobacter oxydans", 0.61, 0.14, 1},
+        {"Rhodospirillum rubrum", 0.65, 0.14, 1}},
+       "Order", 49998, 2, true},
+      {"S9",
+       {{"Gluconobacter oxydans", 0.61, 0.09, 1},
+        {"Granulobacter bethesdensis", 0.59, 0.09, 1},
+        {"Nitrobacter hamburgensis", 0.62, 0.19, 8}},
+       "Family,Order", 49996, 3, true},
+      {"S10",
+       {{"Escherichia coli", 0.51, 0.14, 1},
+        {"Pseudomonas putida", 0.62, 0.14, 1},
+        {"Bacillus anthracis", 0.35, 0.28, 8}},
+       "Order,Phylum", 49996, 3, true},
+      {"S11",
+       {{"Gluconobacter oxydans", 0.61, 0.09, 1},
+        {"Granulobacter bethesdensis", 0.59, 0.09, 1},
+        {"Nitrobacter hamburgensis", 0.62, 0.19, 4},
+        {"Rhodospirillum rubrum", 0.65, 0.19, 4}},
+       "Family,Order", 99998, 4, true},
+      {"S12",
+       {{"Escherichia coli", 0.51, 0.02, 1},
+        {"Pseudomonas putida", 0.62, 0.14, 1},
+        {"Thermofilum pendens", 0.58, 0.30, 1},
+        {"Pyrobaculum aerophilum", 0.51, 0.30, 1},
+        {"Bacillus anthracis", 0.35, 0.21, 2},
+        {"Bacillus subtilis", 0.44, 0.02, 14}},
+       "Species,Order,Family,Phylum,Kingdom", 99994, 6, true},
+      {"S13",
+       {{"Acinetobacter baumannii SDF", 0.39, 0.15, 1},
+        {"Pseudomonas entomophila L48", 0.64, 0.15, 1}},
+       "-", 4000, 2, true},
+      {"S14",
+       {{"Ehrlichia ruminantium Gardel", 0.27, 0.08, 1},
+        {"Anaplasma centrale Israel", 0.30, 0.08, 1},
+        {"Neorickettsia sennetsu Miyayama", 0.41, 0.08, 1}},
+       "-", 6000, 3, true},
+      {"R1",
+       {{"Endosymbiont A", 0.33, 0.20, 10},
+        {"Endosymbiont B", 0.40, 0.20, 3},
+        {"Endosymbiont C", 0.52, 0.20, 1}},
+       "-", 7137, -1, false},
+  };
+  return registry;
+}
+
+const WholeMetagenomeSpec& whole_metagenome_spec(const std::string& sid) {
+  for (const auto& spec : whole_metagenome_registry()) {
+    if (spec.sid == sid) return spec;
+  }
+  throw common::InvalidArgument("unknown whole-metagenome sample '" + sid + "'");
+}
+
+namespace {
+
+/// Flip weak (A/T) bases to strong (G/C) or vice versa until the genome's GC
+/// content reaches `target_gc` (within one base's worth of resolution).
+void shift_gc(Genome& genome, double target_gc, std::uint64_t seed) {
+  const double current = genome.gc();
+  const auto length = static_cast<double>(genome.seq.size());
+  const auto flips_needed =
+      static_cast<long>(std::lround((target_gc - current) * length));
+  if (flips_needed == 0) return;
+
+  common::Xoshiro256 rng(seed);
+  long remaining = std::labs(flips_needed);
+  const bool to_strong = flips_needed > 0;
+  // Bounded random probing: expected O(remaining / fraction-of-candidates).
+  std::size_t attempts = genome.seq.size() * 8;
+  while (remaining > 0 && attempts-- > 0) {
+    auto& base = genome.seq[rng.bounded(genome.seq.size())];
+    const bool is_strong = base == 'G' || base == 'C';
+    if (to_strong && !is_strong) {
+      base = rng.chance(0.5) ? 'G' : 'C';
+      --remaining;
+    } else if (!to_strong && is_strong) {
+      base = rng.chance(0.5) ? 'A' : 'T';
+      --remaining;
+    }
+  }
+}
+
+}  // namespace
+
+LabeledReads build_whole_metagenome(const WholeMetagenomeSpec& spec,
+                                    const WholeMetagenomeOptions& options) {
+  MRMC_REQUIRE(options.genome_length >= 1000, "genome_length too small");
+  // Common ancestor GC = mean of the species' published GC contents.
+  double mean_gc = 0;
+  for (const auto& sp : spec.species) mean_gc += sp.gc;
+  mean_gc /= static_cast<double>(spec.species.size());
+
+  const std::uint64_t base_seed = mix64(options.seed ^ mix64(spec.paper_reads));
+  // Species genomes are sampled from divergence-scaled Markov composition
+  // models: close taxa share oligonucleotide composition (so their reads'
+  // k-mer sets overlap), distant taxa do not — the signal the paper's k=5
+  // whole-metagenome clustering relies on (see DESIGN.md §2).
+  const MarkovGenomeModel ancestor(mean_gc, 0.20, base_seed);
+
+  std::vector<Genome> genomes;
+  std::vector<int> ratios;
+  genomes.reserve(spec.species.size());
+  for (std::size_t i = 0; i < spec.species.size(); ++i) {
+    const auto& sp = spec.species[i];
+    const MarkovGenomeModel model = ancestor.derive_child(
+        branch_to_composition_mix(sp.branch),
+        mix64(base_seed ^ (i * 0x517cc1b727220a95ULL + 3)));
+    Genome genome = model.sample(sp.name, options.genome_length,
+                                 mix64(base_seed ^ (i * 0x2545f4914f6cdd1dULL + 7)));
+    shift_gc(genome, sp.gc, mix64(base_seed ^ (i + 0xda3e39cb94b95bdbULL)));
+    genomes.push_back(std::move(genome));
+    ratios.push_back(sp.ratio);
+  }
+
+  std::size_t total = options.reads;
+  if (total == 0) {
+    total = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(spec.paper_reads) * options.scale));
+  }
+
+  ShotgunParams params;
+  params.read_length = options.read_length;
+  params.errors = ErrorModel::uniform(options.error_rate);
+  LabeledReads reads = mix_shotgun(genomes, ratios, total, params,
+                                   mix64(base_seed ^ 0x2545f4914f6cdd1dULL));
+  if (!spec.has_ground_truth) reads.labels.clear();
+  return reads;
+}
+
+// ----------------------------------------------------------------- Table I
+
+const std::vector<EnvSampleSpec>& environmental_registry() {
+  static const std::vector<EnvSampleSpec> registry = {
+      {"53R", "Labrador seawater", 58.300, -29.133, 1400, 3.5, 11218, 56},
+      {"55R", "Oxygen minimum", 58.300, -29.133, 500, 7.1, 8680, 43},
+      {"112R", "Lower deep water", 50.400, -25.000, 4121, 2.3, 11132, 84},
+      {"115R", "Oxygen minimum", 50.400, -25.000, 550, 7.0, 13441, 61},
+      {"137", "Labrador seawater", 60.900, -38.516, 1710, 3.0, 12259, 51},
+      {"138", "Labrador seawater", 60.900, -38.516, 710, 3.5, 11554, 53},
+      {"FS312", "Bag City", 45.916, -129.983, 1529, 31.2, 52569, 99},
+      {"FS396", "Marker 52", 45.943, -129.985, 1537, 24.4, 73657, 68},
+  };
+  return registry;
+}
+
+const EnvSampleSpec& environmental_spec(const std::string& sid) {
+  for (const auto& spec : environmental_registry()) {
+    if (spec.sid == sid) return spec;
+  }
+  throw common::InvalidArgument("unknown environmental sample '" + sid + "'");
+}
+
+LabeledReads build_environmental(const EnvSampleSpec& spec,
+                                 const Env16sOptions& options) {
+  std::size_t total = options.reads;
+  if (total == 0) {
+    total = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(spec.paper_reads) * options.scale));
+  }
+  const std::uint64_t base_seed =
+      mix64(options.seed ^ mix64(spec.paper_reads * 31 + spec.latent_otus));
+
+  Marker16sParams gene_params;  // defaults model a 16S gene
+  const auto genes = generate_16s_genes(spec.latent_otus, gene_params, base_seed);
+  const auto abundances = lognormal_abundances(spec.latent_otus,
+                                               options.abundance_sigma,
+                                               mix64(base_seed ^ 0xabcdULL));
+
+  AmpliconParams amp;
+  amp.read_length = options.read_length;
+  amp.length_jitter = 0.08;  // 454 length CV ~10%; global identity punishes spread
+  amp.errors = ErrorModel::uniform(options.error_rate);
+  return amplicon_reads(genes, abundances, total, amp,
+                        mix64(base_seed ^ 0x1234567ULL));
+}
+
+// ------------------------------------------------- 16S simulated benchmark
+
+LabeledReads build_16s_simulated(const Sim16sOptions& options) {
+  const std::uint64_t base_seed = mix64(options.seed ^ 0x343fd0ULL);
+  Marker16sParams gene_params;
+  const auto genes = generate_16s_genes(options.genomes, gene_params, base_seed);
+
+  AmpliconParams amp;
+  amp.read_length = options.read_length;
+  // 100 bp reads anchored at 505 cover variable block 7 (bases 525-599)
+  // flanked by short conserved stretches — a realistic V-region amplicon.
+  amp.window_start = 505;
+  amp.window_span = 150;
+  amp.length_jitter = 0.15;
+  amp.errors = ErrorModel::uniform(options.error_rate);
+  amp.uniform_error_rate = true;  // Huse et al.: reads with *up to* X% error
+
+  const std::vector<double> uniform(options.genomes, 1.0);
+  return amplicon_reads(genes, uniform, options.reads, amp,
+                        mix64(base_seed ^ 0x77777ULL));
+}
+
+}  // namespace mrmc::simdata

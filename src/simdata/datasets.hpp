@@ -1,0 +1,105 @@
+// Benchmark dataset builders reproducing the paper's Tables I and II:
+//  * 16S simulated samples (43 reference genes, 3% / 5% read error) —
+//    the Huse et al. benchmark of Section IV-A1,
+//  * 8 environmental seawater samples (Sogin et al., Table I),
+//  * 14 simulated + 1 real whole-metagenome mixtures (Chatterji et al. +
+//    sharpshooter gut, Table II).
+// Each registry entry carries the paper's published parameters (GC content,
+// abundance ratios, read counts, taxonomic separation) and a builder that
+// synthesizes an equivalent sample at a configurable scale (see DESIGN.md §2
+// for why the substitution preserves the evaluated behaviour).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simdata/genome.hpp"
+#include "simdata/marker16s.hpp"
+#include "simdata/reads.hpp"
+
+namespace mrmc::simdata {
+
+// ---------------------------------------------------------------- Table II
+
+struct SpeciesSpec {
+  std::string name;
+  double gc = 0.5;       ///< paper's bracketed GC content
+  double branch = 0.05;  ///< divergence from the sample's common ancestor
+  int ratio = 1;         ///< abundance ratio component
+};
+
+struct WholeMetagenomeSpec {
+  std::string sid;                   ///< "S1".."S14", "R1"
+  std::vector<SpeciesSpec> species;
+  std::string taxonomic_difference;  ///< Table II display string
+  std::size_t paper_reads = 0;
+  int ground_truth_clusters = -1;    ///< -1 when unknown (R1)
+  bool has_ground_truth = true;
+};
+
+/// All 15 rows of Table II (S1-S14 plus real sample R1).
+const std::vector<WholeMetagenomeSpec>& whole_metagenome_registry();
+
+/// Look up a registry entry by SID; throws InvalidArgument if absent.
+const WholeMetagenomeSpec& whole_metagenome_spec(const std::string& sid);
+
+struct WholeMetagenomeOptions {
+  std::size_t genome_length = 100'000;  ///< synthetic genome size (paper: Mbp-scale)
+  std::size_t reads = 0;                ///< 0 -> paper_reads * scale
+  double scale = 0.04;                  ///< fraction of the paper's read count
+  std::size_t read_length = 600;        ///< paper: ~1000 bp (scaled for runtime)
+  double error_rate = 0.01;             ///< shotgun per-base error
+  std::uint64_t seed = 42;
+};
+
+/// Build the reads for one Table II sample.  For R1 (no ground truth) the
+/// returned labels vector is empty.
+LabeledReads build_whole_metagenome(const WholeMetagenomeSpec& spec,
+                                    const WholeMetagenomeOptions& options = {});
+
+// ----------------------------------------------------------------- Table I
+
+struct EnvSampleSpec {
+  std::string sid;    ///< "53R" ... "FS396"
+  std::string site;
+  double lat = 0, lon = 0;
+  int depth_m = 0;
+  double temp_c = 0;
+  std::size_t paper_reads = 0;
+  std::size_t latent_otus = 0;  ///< latent community richness for the simulator
+};
+
+/// All 8 rows of Table I.
+const std::vector<EnvSampleSpec>& environmental_registry();
+const EnvSampleSpec& environmental_spec(const std::string& sid);
+
+struct Env16sOptions {
+  std::size_t reads = 0;          ///< 0 -> paper_reads * scale
+  double scale = 1.0 / 60.0;
+  double abundance_sigma = 1.2;   ///< log-normal rare-biosphere skew
+  double error_rate = 0.005;      ///< 454 amplicon error
+  std::size_t read_length = 60;   ///< Table I: average 60 bp
+  std::uint64_t seed = 42;
+};
+
+/// Build one environmental sample.  Labels are retained (latent OTU of each
+/// read) for diagnostics but the paper treats these samples as unlabeled.
+LabeledReads build_environmental(const EnvSampleSpec& spec,
+                                 const Env16sOptions& options = {});
+
+// ------------------------------------------------- 16S simulated benchmark
+
+struct Sim16sOptions {
+  std::size_t genomes = 43;       ///< Huse et al.: 43 known 16S fragments
+  std::size_t reads = 1000;       ///< paper: 345,000 (scaled for runtime)
+  double error_rate = 0.03;       ///< 0.03 or 0.05 per the two Table IV columns
+  std::size_t read_length = 100;  ///< GS20 pyrosequencing read length
+  std::uint64_t seed = 42;
+};
+
+/// Build the simulated 16S benchmark: reads drawn uniformly from `genomes`
+/// reference genes with the given per-base error rate.
+LabeledReads build_16s_simulated(const Sim16sOptions& options = {});
+
+}  // namespace mrmc::simdata

@@ -1,0 +1,98 @@
+#include "simdata/fastq_sim.hpp"
+
+#include <algorithm>
+
+#include "bio/dna.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::simdata {
+
+using common::Xoshiro256;
+
+std::vector<bio::FastqRecord> attach_qualities(
+    const std::vector<bio::FastaRecord>& reads,
+    const std::vector<std::vector<std::size_t>>& error_positions,
+    const QualityModel& model, std::uint64_t seed) {
+  MRMC_REQUIRE(reads.size() == error_positions.size(),
+               "one error-position list per read");
+  MRMC_REQUIRE(model.clean_quality > model.error_quality,
+               "clean bases must score above error bases");
+
+  Xoshiro256 rng(seed);
+  std::vector<bio::FastqRecord> out;
+  out.reserve(reads.size());
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    bio::FastqRecord record;
+    record.id = reads[r].id;
+    record.header = reads[r].header;
+    record.seq = reads[r].seq;
+    record.quality.resize(record.seq.size());
+
+    std::vector<bool> is_error(record.seq.size(), false);
+    for (const std::size_t pos : error_positions[r]) {
+      if (pos < is_error.size()) is_error[pos] = true;
+    }
+    for (std::size_t i = 0; i < record.seq.size(); ++i) {
+      const bool looks_clean =
+          !is_error[i] || rng.chance(model.miscalibrated);
+      int score = looks_clean ? model.clean_quality : model.error_quality;
+      score += static_cast<int>(rng.bounded(2 * model.jitter + 1)) - model.jitter;
+      score = std::clamp(score, 0, 41);
+      record.quality[i] = static_cast<char>(33 + score);
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+FastqSimResult simulate_fastq(const std::vector<bio::FastaRecord>& templates,
+                              const ErrorModel& errors, const QualityModel& model,
+                              std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  FastqSimResult result;
+  result.reads.reserve(templates.size());
+  result.error_positions.resize(templates.size());
+
+  std::vector<bio::FastaRecord> noisy;
+  noisy.reserve(templates.size());
+  for (std::size_t r = 0; r < templates.size(); ++r) {
+    // Inline error application that records positions (apply_errors() is
+    // position-blind, so re-implemented here with bookkeeping).
+    bio::FastaRecord read = templates[r];
+    std::string seq;
+    std::vector<std::size_t>& positions = result.error_positions[r];
+    for (const char c : templates[r].seq) {
+      const double roll = rng.uniform();
+      if (roll < errors.del_rate) {
+        // Deletion: mark the neighbouring output position as suspect.
+        if (!seq.empty()) positions.push_back(seq.size() - 1);
+        continue;
+      }
+      if (roll < errors.del_rate + errors.ins_rate) {
+        positions.push_back(seq.size());
+        seq.push_back(bio::decode_base(static_cast<int>(rng.bounded(4))));
+        seq.push_back(c);
+        continue;
+      }
+      if (roll < errors.del_rate + errors.ins_rate + errors.subst_rate) {
+        int code = bio::encode_base(c);
+        if (code < 0) code = 0;
+        positions.push_back(seq.size());
+        seq.push_back(
+            bio::decode_base((code + 1 + static_cast<int>(rng.bounded(3))) % 4));
+        continue;
+      }
+      seq.push_back(c);
+    }
+    if (seq.empty()) seq = templates[r].seq;
+    read.seq = std::move(seq);
+    noisy.push_back(std::move(read));
+  }
+
+  result.reads = attach_qualities(noisy, result.error_positions, model,
+                                  common::mix64(seed ^ 0xfa57'0000ULL));
+  return result;
+}
+
+}  // namespace mrmc::simdata

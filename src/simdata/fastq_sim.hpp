@@ -1,0 +1,41 @@
+// FASTQ emission for the read simulators: attaches Phred qualities that are
+// *calibrated to the injected errors* — bases that were substituted or
+// inserted get low scores with high probability, clean bases get high
+// scores — so the bio::quality_filter pre-processing stage has a realistic
+// signal to work with (the full raw-sequencer → QC → clustering pipeline).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/fastq.hpp"
+#include "simdata/reads.hpp"
+
+namespace mrmc::simdata {
+
+struct QualityModel {
+  int clean_quality = 38;      ///< Phred score of a correct base (454 peak)
+  int error_quality = 8;       ///< Phred score of a miscalled base
+  int jitter = 4;              ///< +/- uniform noise on every score
+  double miscalibrated = 0.1;  ///< fraction of error bases that look clean
+};
+
+/// Wrap FASTA reads as FASTQ.  `error_positions[i]` lists the 0-based
+/// positions in read i that carry an injected error (may be empty).
+std::vector<bio::FastqRecord> attach_qualities(
+    const std::vector<bio::FastaRecord>& reads,
+    const std::vector<std::vector<std::size_t>>& error_positions,
+    const QualityModel& model, std::uint64_t seed);
+
+/// Re-run an error model over template reads, recording where errors land,
+/// and emit FASTQ.  This is the FASTQ-producing twin of apply_errors().
+struct FastqSimResult {
+  std::vector<bio::FastqRecord> reads;
+  std::vector<std::vector<std::size_t>> error_positions;
+};
+
+FastqSimResult simulate_fastq(const std::vector<bio::FastaRecord>& templates,
+                              const ErrorModel& errors, const QualityModel& model,
+                              std::uint64_t seed);
+
+}  // namespace mrmc::simdata

@@ -1,0 +1,199 @@
+#include "simdata/genome.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "bio/dna.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::simdata {
+
+using common::Xoshiro256;
+
+const char* taxon_rank_name(TaxonRank rank) noexcept {
+  switch (rank) {
+    case TaxonRank::kStrain: return "Strain";
+    case TaxonRank::kSpecies: return "Species";
+    case TaxonRank::kGenus: return "Genus";
+    case TaxonRank::kFamily: return "Family";
+    case TaxonRank::kOrder: return "Order";
+    case TaxonRank::kPhylum: return "Phylum";
+    case TaxonRank::kKingdom: return "Kingdom";
+  }
+  return "?";
+}
+
+double taxon_divergence(TaxonRank rank) noexcept {
+  switch (rank) {
+    case TaxonRank::kStrain: return 0.01;
+    case TaxonRank::kSpecies: return 0.04;
+    case TaxonRank::kGenus: return 0.10;
+    case TaxonRank::kFamily: return 0.18;
+    case TaxonRank::kOrder: return 0.28;
+    case TaxonRank::kPhylum: return 0.42;
+    case TaxonRank::kKingdom: return 0.60;
+  }
+  return 0.0;
+}
+
+double Genome::gc() const noexcept { return bio::gc_content(seq); }
+
+namespace {
+
+/// Draw a base with P(G or C) = gc; A/T and G/C symmetric.
+char draw_base(Xoshiro256& rng, double gc) {
+  const bool strong = rng.chance(gc);  // G or C
+  if (strong) return rng.chance(0.5) ? 'G' : 'C';
+  return rng.chance(0.5) ? 'A' : 'T';
+}
+
+/// Draw a base different from `original`, still GC-weighted.
+char draw_substitute(Xoshiro256& rng, double gc, char original) {
+  for (;;) {
+    const char b = draw_base(rng, gc);
+    if (b != original) return b;
+  }
+}
+
+}  // namespace
+
+Genome random_genome(std::string name, std::size_t length, double gc,
+                     std::uint64_t seed) {
+  MRMC_REQUIRE(gc >= 0.0 && gc <= 1.0, "gc must be in [0, 1]");
+  Xoshiro256 rng(seed);
+  Genome genome;
+  genome.name = std::move(name);
+  genome.seq.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) genome.seq.push_back(draw_base(rng, gc));
+  return genome;
+}
+
+Genome mutate_genome(const Genome& parent, std::string name, double subst_rate,
+                     double indel_rate, std::uint64_t seed) {
+  MRMC_REQUIRE(subst_rate >= 0.0 && subst_rate <= 1.0, "subst_rate in [0, 1]");
+  MRMC_REQUIRE(indel_rate >= 0.0 && indel_rate <= 1.0, "indel_rate in [0, 1]");
+  Xoshiro256 rng(seed);
+  const double gc = parent.gc();
+
+  Genome genome;
+  genome.name = std::move(name);
+  genome.seq.reserve(parent.seq.size() + 16);
+  for (const char c : parent.seq) {
+    if (indel_rate > 0.0 && rng.chance(indel_rate)) {
+      if (rng.chance(0.5)) {
+        genome.seq.push_back(draw_base(rng, gc));  // insertion before c
+        genome.seq.push_back(c);
+      }
+      // else: deletion of c
+      continue;
+    }
+    if (subst_rate > 0.0 && rng.chance(subst_rate)) {
+      genome.seq.push_back(draw_substitute(rng, gc, c));
+    } else {
+      genome.seq.push_back(c);
+    }
+  }
+  return genome;
+}
+
+namespace {
+
+/// Draw a Dirichlet(concentration) row of 4 weights via Gamma sampling
+/// (Marsaglia-Tsang for shape < 1 uses the boost trick u^(1/a)).
+void draw_dirichlet_row(double row[4], double concentration, double gc_bias,
+                        Xoshiro256& rng) {
+  double total = 0.0;
+  for (int b = 0; b < 4; ++b) {
+    // Gamma(a) sample via Johnk-ish approximation adequate for composition
+    // modeling: X = -log(u1) * u2^(1/a) has the right sparsity behaviour.
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = std::max(rng.uniform(), 1e-12);
+    double x = -std::log(u1) * std::pow(u2, 1.0 / concentration);
+    // GC bias: scale strong (C=1, G=2) bases.
+    const bool strong = (b == 1 || b == 2);
+    x *= strong ? gc_bias : (1.0 - gc_bias);
+    row[b] = x;
+    total += x;
+  }
+  for (int b = 0; b < 4; ++b) row[b] /= total;
+}
+
+}  // namespace
+
+MarkovGenomeModel::MarkovGenomeModel(double gc, double concentration,
+                                     std::uint64_t seed) {
+  MRMC_REQUIRE(gc > 0.0 && gc < 1.0, "gc in (0, 1)");
+  MRMC_REQUIRE(concentration > 0.0, "concentration must be positive");
+  gc_ = gc;
+  Xoshiro256 rng(seed);
+  for (std::size_t context = 0; context < kContexts; ++context) {
+    draw_dirichlet_row(rows_[context], concentration, gc, rng);
+  }
+}
+
+MarkovGenomeModel MarkovGenomeModel::derive_child(double mix,
+                                                  std::uint64_t seed) const {
+  MRMC_REQUIRE(mix >= 0.0 && mix <= 1.0, "mix in [0, 1]");
+  MarkovGenomeModel child;
+  child.gc_ = gc_;
+  Xoshiro256 rng(seed);
+  for (std::size_t context = 0; context < kContexts; ++context) {
+    double fresh[4];
+    draw_dirichlet_row(fresh, 0.5, gc_, rng);
+    double total = 0.0;
+    for (int b = 0; b < 4; ++b) {
+      child.rows_[context][b] = (1.0 - mix) * rows_[context][b] + mix * fresh[b];
+      total += child.rows_[context][b];
+    }
+    for (int b = 0; b < 4; ++b) child.rows_[context][b] /= total;
+  }
+  return child;
+}
+
+Genome MarkovGenomeModel::sample(std::string name, std::size_t length,
+                                 std::uint64_t seed) const {
+  Xoshiro256 rng(seed);
+  Genome genome;
+  genome.name = std::move(name);
+  genome.seq.reserve(length);
+  std::size_t context = rng.bounded(kContexts);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    int base = 3;
+    for (int b = 0; b < 4; ++b) {
+      acc += rows_[context][b];
+      if (u < acc) {
+        base = b;
+        break;
+      }
+    }
+    genome.seq.push_back(bio::decode_base(base));
+    context = ((context << 2) | static_cast<std::size_t>(base)) & (kContexts - 1);
+  }
+  return genome;
+}
+
+double branch_to_composition_mix(double branch) noexcept {
+  return std::min(0.95, branch * 8.0);
+}
+
+std::vector<Genome> related_genomes(const std::string& base_name, std::size_t count,
+                                    std::size_t length, double ancestor_gc,
+                                    TaxonRank rank, std::uint64_t seed) {
+  const Genome ancestor =
+      random_genome(base_name + "_ancestor", length, ancestor_gc, seed);
+  const double per_branch = taxon_divergence(rank) / 2.0;
+  std::vector<Genome> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(mutate_genome(ancestor, base_name + "_" + std::to_string(i),
+                                per_branch, per_branch / 20.0,
+                                common::mix64(seed ^ (0x9e37ULL + i))));
+  }
+  return out;
+}
+
+}  // namespace mrmc::simdata

@@ -1,0 +1,104 @@
+// Synthetic genome models.  The paper's benchmarks mix reads from real
+// genomes whose relevant properties are (a) GC content, (b) pairwise
+// sequence divergence scaled by taxonomic distance, and (c) length.  We
+// reproduce those knobs: iid/GC-controlled base generation plus
+// ancestor-derived mutation so that two "species of the same genus" share
+// more k-mers than two "orders apart" (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrmc::simdata {
+
+/// Taxonomic separation between two genomes, ordered from closest to
+/// farthest.  Values follow Table II's "Taxonomic Difference" column.
+enum class TaxonRank : int {
+  kStrain = 0,
+  kSpecies = 1,
+  kGenus = 2,
+  kFamily = 3,
+  kOrder = 4,
+  kPhylum = 5,
+  kKingdom = 6,
+};
+
+[[nodiscard]] const char* taxon_rank_name(TaxonRank rank) noexcept;
+
+/// Approximate per-base substitution divergence between two genomes
+/// separated at `rank` (each derived from the common ancestor with half of
+/// this divergence).  Values chosen so k-mer Jaccard ordering matches
+/// published whole-genome ANI ranges: species ~0.04 ... kingdom ~0.60.
+[[nodiscard]] double taxon_divergence(TaxonRank rank) noexcept;
+
+struct Genome {
+  std::string name;
+  std::string seq;
+
+  [[nodiscard]] double gc() const noexcept;
+};
+
+/// iid genome with expected GC fraction `gc` (P(G)=P(C)=gc/2).
+Genome random_genome(std::string name, std::size_t length, double gc,
+                     std::uint64_t seed);
+
+/// Derive a genome from `parent` with per-base substitution rate
+/// `subst_rate` and per-base indel rate `indel_rate`.  Substitutions respect
+/// the parent's GC content in expectation (a substituted base is drawn from
+/// the same GC-weighted distribution, excluding the original base).
+Genome mutate_genome(const Genome& parent, std::string name, double subst_rate,
+                     double indel_rate, std::uint64_t seed);
+
+/// A family of genomes at a given taxonomic separation: generates a common
+/// ancestor, then derives `count` descendants each `taxon_divergence(rank)/2`
+/// away from it.  Each descendant's GC content can be nudged toward a target
+/// by biased substitution.
+std::vector<Genome> related_genomes(const std::string& base_name, std::size_t count,
+                                    std::size_t length, double ancestor_gc,
+                                    TaxonRank rank, std::uint64_t seed);
+
+/// Order-`kOrder` Markov composition model of a genome.  Real genomes carry
+/// strong species-specific oligonucleotide composition (codon usage, GC
+/// skew, restriction-site avoidance), which is the signal composition-based
+/// binning — and k-mer-set similarity between non-overlapping reads of the
+/// same genome — actually exploits.  Transition rows are Dirichlet-sampled
+/// (sparse at low concentration), and a child model diverges from its
+/// parent by re-mixing each row toward a freshly drawn one with weight
+/// proportional to the branch length.
+class MarkovGenomeModel {
+ public:
+  static constexpr int kOrder = 3;
+  static constexpr std::size_t kContexts = 64;  ///< 4^kOrder
+
+  /// Fresh model: rows ~ Dirichlet(concentration), base weights biased so
+  /// the stationary GC fraction approximates `gc`.
+  MarkovGenomeModel(double gc, double concentration, std::uint64_t seed);
+
+  /// Diverged child: each context row mixes toward a freshly drawn row with
+  /// weight `mix` in [0, 1] (0 = identical composition, 1 = unrelated).
+  [[nodiscard]] MarkovGenomeModel derive_child(double mix, std::uint64_t seed) const;
+
+  /// Sample a genome of `length` bases from the model.
+  [[nodiscard]] Genome sample(std::string name, std::size_t length,
+                              std::uint64_t seed) const;
+
+  /// Transition probability P(base | context); context packs kOrder bases
+  /// 2 bits each.
+  [[nodiscard]] double probability(std::size_t context, int base) const noexcept {
+    return rows_[context][static_cast<std::size_t>(base)];
+  }
+
+ private:
+  MarkovGenomeModel() = default;
+  // rows_[context][base]
+  double rows_[kContexts][4] = {};
+  double gc_ = 0.5;
+};
+
+/// Mapping from a phylogenetic branch length (per-base divergence from the
+/// common ancestor) to the Markov-row mix weight used by derive_child:
+/// composition diverges ~3x faster than point divergence, saturating at 0.95.
+double branch_to_composition_mix(double branch) noexcept;
+
+}  // namespace mrmc::simdata

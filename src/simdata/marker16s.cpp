@@ -1,0 +1,125 @@
+#include "simdata/marker16s.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::simdata {
+
+using common::mix64;
+using common::Xoshiro256;
+
+std::vector<Genome> generate_16s_genes(std::size_t count,
+                                       const Marker16sParams& params,
+                                       std::uint64_t seed) {
+  MRMC_REQUIRE(params.gene_length >= params.block_length,
+               "gene must hold at least one block");
+  const Genome scaffold =
+      random_genome("16s_scaffold", params.gene_length, params.gc, seed);
+
+  std::vector<Genome> genes;
+  genes.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    Genome gene;
+    gene.name = "OTU_" + std::to_string(t);
+    gene.seq.reserve(scaffold.seq.size());
+    // Mutate block-by-block: even blocks conserved, odd blocks variable.
+    std::size_t block_index = 0;
+    for (std::size_t pos = 0; pos < scaffold.seq.size();
+         pos += params.block_length, ++block_index) {
+      const std::size_t len =
+          std::min(params.block_length, scaffold.seq.size() - pos);
+      Genome block{"block", scaffold.seq.substr(pos, len)};
+      const bool variable = (block_index % 2) == 1;
+      const double rate = variable ? params.variable_divergence
+                                   : params.conserved_divergence;
+      const Genome mutated =
+          mutate_genome(block, "block", rate, rate / 25.0,
+                        mix64(seed ^ (t * 1315423911ULL + block_index)));
+      gene.seq += mutated.seq;
+    }
+    genes.push_back(std::move(gene));
+  }
+  return genes;
+}
+
+LabeledReads amplicon_reads(const std::vector<Genome>& genes,
+                            const std::vector<double>& abundances,
+                            std::size_t total, const AmpliconParams& params,
+                            std::uint64_t seed) {
+  MRMC_REQUIRE(!genes.empty(), "need at least one gene");
+  MRMC_REQUIRE(genes.size() == abundances.size(), "one abundance per gene");
+  const double mass = std::accumulate(abundances.begin(), abundances.end(), 0.0);
+  MRMC_REQUIRE(mass > 0.0, "abundances must have positive mass");
+
+  // Cumulative distribution for gene selection.
+  std::vector<double> cdf(abundances.size());
+  double acc = 0.0;
+  for (std::size_t g = 0; g < abundances.size(); ++g) {
+    MRMC_REQUIRE(abundances[g] >= 0.0, "abundances must be non-negative");
+    acc += abundances[g] / mass;
+    cdf[g] = acc;
+  }
+  cdf.back() = 1.0;
+
+  Xoshiro256 rng(seed);
+  LabeledReads out;
+  out.reads.reserve(total);
+  out.labels.reserve(total);
+  for (const auto& gene : genes) out.species.push_back(gene.name);
+
+  for (std::size_t i = 0; i < total; ++i) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto g = static_cast<std::size_t>(it - cdf.begin());
+    const Genome& gene = genes[g];
+
+    const double jitter = rng.uniform(-params.length_jitter, params.length_jitter);
+    auto len = static_cast<std::size_t>(std::max(
+        1.0, static_cast<double>(params.read_length) * (1.0 + jitter)));
+    const std::size_t start_lo = std::min(params.window_start, gene.seq.size() - 1);
+    const std::size_t span = std::min(params.window_span, gene.seq.size() - start_lo);
+    len = std::min(len, span);
+    const std::size_t max_offset =
+        params.primer_anchored ? std::min(span - len, params.start_jitter)
+                               : span - len;
+    const std::size_t pos = start_lo + rng.bounded(max_offset + 1);
+
+    ErrorModel errors = params.errors;
+    if (params.uniform_error_rate) {
+      const double scale = rng.uniform();
+      errors.subst_rate *= scale;
+      errors.ins_rate *= scale;
+      errors.del_rate *= scale;
+    }
+    bio::FastaRecord rec;
+    rec.id = "amp_r" + std::to_string(i);
+    rec.header = rec.id + " source=" + gene.name + " label=" + std::to_string(g);
+    rec.seq = apply_errors(gene.seq.substr(pos, len), errors, rng());
+    if (rec.seq.empty()) rec.seq = gene.seq.substr(pos, len);
+    out.reads.push_back(std::move(rec));
+    out.labels.push_back(static_cast<int>(g));
+  }
+  return out;
+}
+
+std::vector<double> lognormal_abundances(std::size_t count, double sigma,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Box-Muller normal from two uniforms.
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    out.push_back(std::exp(sigma * z));
+  }
+  return out;
+}
+
+}  // namespace mrmc::simdata

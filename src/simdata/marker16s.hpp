@@ -1,0 +1,64 @@
+// 16S rRNA marker-gene model.  Real 16S genes interleave conserved regions
+// (shared across taxa, used for PCR primers) with hypervariable regions
+// (V1..V9) that carry the taxonomic signal.  We reproduce that structure:
+// a reference scaffold whose alternating blocks mutate at very different
+// rates per taxon, plus an amplicon read simulator that targets a window
+// (the paper's environmental reads average 60 bp from a V-region).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simdata/genome.hpp"
+#include "simdata/reads.hpp"
+
+namespace mrmc::simdata {
+
+struct Marker16sParams {
+  std::size_t gene_length = 1500;      ///< full-length 16S ~1.5 kb
+  std::size_t block_length = 75;       ///< alternating conserved/variable blocks
+  double conserved_divergence = 0.02;  ///< per-taxon divergence in conserved blocks
+  double variable_divergence = 0.25;   ///< per-taxon divergence in variable blocks
+  double gc = 0.55;                    ///< 16S genes are GC-rich
+};
+
+/// Generate `count` distinct 16S-like genes derived from one reference
+/// scaffold.  Gene i's conserved blocks stay near the scaffold while its
+/// variable blocks diverge independently — so any two genes are ~2x the
+/// per-taxon divergence apart in variable regions but nearly identical in
+/// conserved regions, as in real 16S data.
+std::vector<Genome> generate_16s_genes(std::size_t count, const Marker16sParams& params,
+                                       std::uint64_t seed);
+
+struct AmpliconParams {
+  /// First base of the targeted region.  Default anchors inside a
+  /// hypervariable block (odd blocks are variable under the default
+  /// Marker16sParams), which is where V-region primers point.
+  std::size_t window_start = 520;
+  std::size_t window_span = 110;    ///< amplified span within the gene
+  std::size_t read_length = 60;     ///< mean read length (paper env. avg 60 bp)
+  double length_jitter = 0.25;      ///< uniform +/- fraction of length noise
+  /// 454 pyrosequencing reads start at the PCR primer: when true, each read
+  /// begins within `start_jitter` bases of window_start, so reads of one
+  /// OTU overlap nearly fully (the regime the paper's θ thresholds assume).
+  bool primer_anchored = true;
+  std::size_t start_jitter = 6;
+  ErrorModel errors{};
+  /// When true, each read's error rate is drawn uniformly from
+  /// [0, errors.total()] (the Huse benchmark's "reads with up to X% error");
+  /// when false every read uses `errors` as-is.
+  bool uniform_error_rate = false;
+};
+
+/// Sample amplicon reads from the genes with the given per-gene relative
+/// abundances (need not be normalized).  Labels = gene index.
+LabeledReads amplicon_reads(const std::vector<Genome>& genes,
+                            const std::vector<double>& abundances, std::size_t total,
+                            const AmpliconParams& params, std::uint64_t seed);
+
+/// Log-normal community abundances for `count` latent OTUs (rare-biosphere
+/// shape of Sogin et al.): a few dominant organisms plus a long tail.
+std::vector<double> lognormal_abundances(std::size_t count, double sigma,
+                                         std::uint64_t seed);
+
+}  // namespace mrmc::simdata

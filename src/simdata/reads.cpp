@@ -1,0 +1,127 @@
+#include "simdata/reads.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+
+#include "bio/dna.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::simdata {
+
+using common::Xoshiro256;
+
+std::string apply_errors(const std::string& tmpl, const ErrorModel& errors,
+                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string out;
+  out.reserve(tmpl.size() + 8);
+  for (const char c : tmpl) {
+    const double roll = rng.uniform();
+    if (roll < errors.del_rate) {
+      continue;  // base dropped
+    }
+    if (roll < errors.del_rate + errors.ins_rate) {
+      out.push_back(bio::decode_base(static_cast<int>(rng.bounded(4))));
+      out.push_back(c);
+      continue;
+    }
+    if (roll < errors.del_rate + errors.ins_rate + errors.subst_rate) {
+      int code = bio::encode_base(c);
+      if (code < 0) code = 0;
+      const int shifted = (code + 1 + static_cast<int>(rng.bounded(3))) % 4;
+      out.push_back(bio::decode_base(shifted));
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<bio::FastaRecord> shotgun_reads(const Genome& genome, std::size_t count,
+                                            const ShotgunParams& params,
+                                            const std::string& prefix,
+                                            std::uint64_t seed) {
+  MRMC_REQUIRE(params.read_length >= 1, "read_length must be positive");
+  MRMC_REQUIRE(!genome.seq.empty(), "cannot sample from an empty genome");
+  Xoshiro256 rng(seed);
+  std::vector<bio::FastaRecord> reads;
+  reads.reserve(count);
+
+  // Read ids must survive FASTA round-trips, where the id is the first
+  // whitespace-delimited token — sanitize the prefix.
+  std::string safe_prefix = prefix;
+  for (char& c : safe_prefix) {
+    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+  }
+
+  const auto mean_len = static_cast<double>(params.read_length);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double jitter = rng.uniform(-params.length_jitter, params.length_jitter);
+    auto len = static_cast<std::size_t>(
+        std::max(1.0, mean_len * (1.0 + jitter)));
+    len = std::min(len, genome.seq.size());
+    const std::size_t pos = rng.bounded(genome.seq.size() - len + 1);
+    std::string tmpl = genome.seq.substr(pos, len);
+    if (params.both_strands && rng.chance(0.5)) {
+      tmpl = bio::reverse_complement(tmpl);
+    }
+    bio::FastaRecord rec;
+    rec.id = safe_prefix + "_r" + std::to_string(i);
+    rec.header = rec.id + " source=" + genome.name + " pos=" + std::to_string(pos);
+    rec.seq = apply_errors(tmpl, params.errors, rng());
+    if (rec.seq.empty()) rec.seq = tmpl;  // degenerate deletion-only outcome
+    reads.push_back(std::move(rec));
+  }
+  return reads;
+}
+
+LabeledReads mix_shotgun(const std::vector<Genome>& genomes,
+                         const std::vector<int>& ratios, std::size_t total,
+                         const ShotgunParams& params, std::uint64_t seed) {
+  MRMC_REQUIRE(!genomes.empty(), "need at least one genome");
+  MRMC_REQUIRE(genomes.size() == ratios.size(), "one ratio per genome");
+  const long ratio_sum = std::accumulate(ratios.begin(), ratios.end(), 0L);
+  MRMC_REQUIRE(ratio_sum > 0, "ratios must sum to a positive value");
+
+  LabeledReads out;
+  out.reads.reserve(total);
+  out.labels.reserve(total);
+  for (const auto& genome : genomes) out.species.push_back(genome.name);
+
+  // Deterministic largest-remainder apportionment of `total` over ratios.
+  std::vector<std::size_t> counts(genomes.size());
+  std::size_t assigned = 0;
+  for (std::size_t g = 0; g < genomes.size(); ++g) {
+    counts[g] = total * static_cast<std::size_t>(ratios[g]) /
+                static_cast<std::size_t>(ratio_sum);
+    assigned += counts[g];
+  }
+  for (std::size_t g = 0; assigned < total; g = (g + 1) % genomes.size()) {
+    ++counts[g];
+    ++assigned;
+  }
+
+  for (std::size_t g = 0; g < genomes.size(); ++g) {
+    auto reads = shotgun_reads(genomes[g], counts[g], params,
+                               genomes[g].name,
+                               common::mix64(seed ^ (g * 0x9e3779b9ULL + 1)));
+    for (auto& rec : reads) {
+      rec.header += " label=" + std::to_string(g);
+      out.reads.push_back(std::move(rec));
+      out.labels.push_back(static_cast<int>(g));
+    }
+  }
+
+  // Shuffle reads and labels together so input order carries no signal.
+  Xoshiro256 rng(common::mix64(seed ^ 0xabcdef1234567890ULL));
+  for (std::size_t i = out.reads.size(); i > 1; --i) {
+    const std::size_t j = rng.bounded(i);
+    std::swap(out.reads[i - 1], out.reads[j]);
+    std::swap(out.labels[i - 1], out.labels[j]);
+  }
+  return out;
+}
+
+}  // namespace mrmc::simdata

@@ -1,0 +1,67 @@
+// Read simulation: shotgun sampling from genomes with a 454-style error
+// model (substitutions + indels), strand flips, and length variation.
+// Reproduces the properties of the paper's Roche GS20 / 454 benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "simdata/genome.hpp"
+
+namespace mrmc::simdata {
+
+/// Sequencing error model applied independently to each read.
+struct ErrorModel {
+  double subst_rate = 0.0;   ///< per-base substitution probability
+  double ins_rate = 0.0;     ///< per-base insertion probability
+  double del_rate = 0.0;     ///< per-base deletion probability
+
+  /// Uniform total error rate split 80/10/10 between subst/ins/del, matching
+  /// the dominance of substitutions in the Huse et al. pyrosequencing study.
+  static ErrorModel uniform(double total_rate) noexcept {
+    return {0.8 * total_rate, 0.1 * total_rate, 0.1 * total_rate};
+  }
+
+  [[nodiscard]] double total() const noexcept {
+    return subst_rate + ins_rate + del_rate;
+  }
+};
+
+/// Apply the error model to a template sequence.
+std::string apply_errors(const std::string& tmpl, const ErrorModel& errors,
+                         std::uint64_t seed);
+
+struct ShotgunParams {
+  std::size_t read_length = 300;    ///< mean read length
+  double length_jitter = 0.1;       ///< +/- fraction of uniform length noise
+  bool both_strands = true;         ///< sample reverse-complement half the time
+  ErrorModel errors{};              ///< per-read sequencing errors
+};
+
+/// Reads plus ground-truth labels (index into `species`).  `labels` is empty
+/// for datasets without ground truth (environmental samples).
+struct LabeledReads {
+  std::vector<bio::FastaRecord> reads;
+  std::vector<int> labels;
+  std::vector<std::string> species;
+
+  [[nodiscard]] std::size_t size() const noexcept { return reads.size(); }
+  [[nodiscard]] bool has_labels() const noexcept { return !labels.empty(); }
+};
+
+/// Sample `count` shotgun reads from `genome` at uniformly random positions.
+/// Read ids are "<prefix>_r<i>".
+std::vector<bio::FastaRecord> shotgun_reads(const Genome& genome, std::size_t count,
+                                            const ShotgunParams& params,
+                                            const std::string& prefix,
+                                            std::uint64_t seed);
+
+/// Mix shotgun reads from several genomes according to integer abundance
+/// ratios (e.g. {1, 1, 8}); produces `total` reads, shuffled, with labels.
+LabeledReads mix_shotgun(const std::vector<Genome>& genomes,
+                         const std::vector<int>& ratios, std::size_t total,
+                         const ShotgunParams& params, std::uint64_t seed);
+
+}  // namespace mrmc::simdata

@@ -1,0 +1,115 @@
+#include "baselines/word_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mrmc::baselines {
+namespace {
+
+TEST(WordCounts, CountsWithMultiplicity) {
+  // "AAAA" has three overlapping "AA" words.
+  const auto counts = word_counts("AAAA", 2);
+  EXPECT_EQ(counts.size(), 16u);
+  EXPECT_EQ(counts[0], 3u);  // AA = 0
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 3);
+}
+
+TEST(WordCounts, RejectsLargeK) {
+  EXPECT_THROW(word_counts("ACGT", 9), common::InvalidArgument);
+  EXPECT_THROW(word_counts("ACGT", 0), common::InvalidArgument);
+}
+
+TEST(CommonWords, MinOfCounts) {
+  const auto a = word_counts("AAAA", 2);   // AA x3
+  const auto b = word_counts("AAA", 2);    // AA x2
+  EXPECT_EQ(common_words(a, b), 2u);
+  const auto c = word_counts("TTTT", 2);
+  EXPECT_EQ(common_words(a, c), 0u);
+}
+
+TEST(KmerDistance, IdenticalIsZeroDisjointIsOne) {
+  const auto a = word_counts("ACGTACGTAC", 3);
+  EXPECT_DOUBLE_EQ(kmer_distance(a, 10, a, 10, 3), 0.0);
+  const auto b = word_counts("GGGGGGGGGG", 3);
+  const auto c = word_counts("ACACACACAC", 3);
+  EXPECT_DOUBLE_EQ(kmer_distance(b, 10, c, 10, 3), 1.0);
+}
+
+TEST(KmerDistance, ShortSequencesAreFar) {
+  const auto a = word_counts("AC", 3);
+  EXPECT_DOUBLE_EQ(kmer_distance(a, 2, a, 2, 3), 1.0);
+}
+
+TEST(KmerDistance, InUnitInterval) {
+  const auto a = word_counts("ACGTTGCAACGGT", 4);
+  const auto b = word_counts("ACGTTGCATCGGA", 4);
+  const double d = kmer_distance(a, 13, b, 13, 4);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(WordFrequencies, SumToOne) {
+  const auto freqs = word_frequencies("ACGTACGGTTAC", 2);
+  EXPECT_NEAR(std::accumulate(freqs.begin(), freqs.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(WordFrequencies, EmptySequenceAllZero) {
+  const auto freqs = word_frequencies("A", 2);  // shorter than k
+  EXPECT_DOUBLE_EQ(std::accumulate(freqs.begin(), freqs.end(), 0.0), 0.0);
+}
+
+TEST(SpearmanDistance, IdenticalVectorsAreZero) {
+  const std::vector<double> v{0.1, 0.4, 0.2, 0.3};
+  EXPECT_NEAR(spearman_distance(v, v), 0.0, 1e-12);
+}
+
+TEST(SpearmanDistance, ReversedRanksAreOne) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{4, 3, 2, 1};
+  EXPECT_NEAR(spearman_distance(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanDistance, SymmetricAndBounded) {
+  const std::vector<double> a{0.5, 0.1, 0.9, 0.2, 0.7};
+  const std::vector<double> b{0.3, 0.8, 0.1, 0.6, 0.4};
+  EXPECT_DOUBLE_EQ(spearman_distance(a, b), spearman_distance(b, a));
+  EXPECT_GE(spearman_distance(a, b), 0.0);
+  EXPECT_LE(spearman_distance(a, b), 1.0);
+}
+
+TEST(SpearmanDistance, HandlesTiesViaMidranks) {
+  const std::vector<double> a{1, 1, 2, 2};
+  const std::vector<double> b{2, 2, 1, 1};
+  EXPECT_NEAR(spearman_distance(a, b), 1.0, 1e-12);
+  // Constant vector: defined as distance 0 (no ordering information).
+  const std::vector<double> c{3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(spearman_distance(a, c), 0.0);
+}
+
+TEST(SpearmanDistance, RejectsMismatchedLengths) {
+  EXPECT_THROW(spearman_distance(std::vector<double>{1.0},
+                                 std::vector<double>{1.0, 2.0}),
+               common::InvalidArgument);
+}
+
+TEST(RequiredCommonWords, TightensWithIdentity) {
+  const std::size_t loose = required_common_words(100, 100, 5, 0.80);
+  const std::size_t strict = required_common_words(100, 100, 5, 0.99);
+  EXPECT_GT(strict, loose);
+  EXPECT_GE(loose, 1u);
+}
+
+TEST(RequiredCommonWords, PerfectIdentityNeedsAllWords) {
+  EXPECT_EQ(required_common_words(100, 100, 5, 1.0), 96u);
+}
+
+TEST(RequiredCommonWords, NeverBelowOne) {
+  EXPECT_EQ(required_common_words(100, 100, 5, 0.1), 1u);
+  EXPECT_EQ(required_common_words(3, 100, 5, 0.9), 1u);
+}
+
+}  // namespace
+}  // namespace mrmc::baselines

@@ -1,0 +1,169 @@
+#include "bio/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "bio/dna.hpp"
+
+namespace mrmc::bio {
+namespace {
+
+TEST(NwScore, IdenticalSequences) {
+  EXPECT_EQ(nw_score("ACGT", "ACGT"), 4);
+}
+
+TEST(NwScore, SingleMismatch) {
+  // 3 matches + 1 mismatch = 3 - 1 = 2.
+  EXPECT_EQ(nw_score("ACGT", "ACGA"), 2);
+}
+
+TEST(NwScore, GapIsPreferredWhenCheaper) {
+  // "ACGT" vs "AGT": best is one gap: 3*1 + 1*(-2) = 1.
+  EXPECT_EQ(nw_score("ACGT", "AGT"), 1);
+}
+
+TEST(NwScore, EmptyAgainstNonEmpty) {
+  EXPECT_EQ(nw_score("", "ACG"), -6);
+  EXPECT_EQ(nw_score("ACG", ""), -6);
+  EXPECT_EQ(nw_score("", ""), 0);
+}
+
+TEST(NwScore, IsSymmetric) {
+  EXPECT_EQ(nw_score("ACGGTA", "AGGT"), nw_score("AGGT", "ACGGTA"));
+}
+
+TEST(NwScore, CustomParams) {
+  const AlignParams params{.match = 2, .mismatch = -3, .gap = -4};
+  EXPECT_EQ(nw_score("AC", "AC", params), 4);
+  EXPECT_EQ(nw_score("AC", "AG", params), -1);
+}
+
+TEST(NwAlign, IdenticalGivesFullIdentity) {
+  const auto result = nw_align("ACGTACGT", "ACGTACGT");
+  EXPECT_DOUBLE_EQ(result.identity, 1.0);
+  EXPECT_EQ(result.columns, 8u);
+  EXPECT_EQ(result.score, 8);
+}
+
+TEST(NwAlign, CompletelyDifferent) {
+  const auto result = nw_align("AAAA", "TTTT");
+  EXPECT_DOUBLE_EQ(result.identity, 0.0);
+}
+
+TEST(NwAlign, HalfIdentity) {
+  const auto result = nw_align("AATT", "AAGG");
+  EXPECT_DOUBLE_EQ(result.identity, 0.5);
+  EXPECT_EQ(result.columns, 4u);
+}
+
+TEST(NwAlign, ScoreMatchesNwScore) {
+  const std::string a = "ACGGTTACG";
+  const std::string b = "ACGTTTAG";
+  EXPECT_EQ(nw_align(a, b).score, nw_score(a, b));
+}
+
+TEST(NwAlign, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(nw_align("", "").identity, 1.0);
+  const auto result = nw_align("", "ACG");
+  EXPECT_DOUBLE_EQ(result.identity, 0.0);
+  EXPECT_EQ(result.columns, 3u);
+}
+
+TEST(NwAlign, GapColumnsCountedInIdentityDenominator) {
+  // "AAAA" vs "AA": 2 matches over >= 4 columns.
+  const auto result = nw_align("AAAA", "AA");
+  EXPECT_EQ(result.columns, 4u);
+  EXPECT_DOUBLE_EQ(result.identity, 0.5);
+}
+
+TEST(NwAlign, BandedMatchesFullForSimilarSequences) {
+  const std::string a = "ACGGTTACGATCGATCGAAGTACCA";
+  std::string b = a;
+  b[5] = 'A';
+  b[12] = 'T';
+  const auto full = nw_align(a, b);
+  const auto banded = nw_align(a, b, {.band = 4});
+  EXPECT_EQ(full.score, banded.score);
+  EXPECT_DOUBLE_EQ(full.identity, banded.identity);
+}
+
+TEST(GlobalIdentity, WidensBandForLengthDifference) {
+  // Band 1 could not reach the corner for a length gap of 6; the wrapper
+  // widens it instead of throwing.
+  const std::string a(30, 'A');
+  const std::string b(24, 'A');
+  EXPECT_NO_THROW(global_identity(a, b, {.band = 1}));
+  EXPECT_DOUBLE_EQ(global_identity(a, b, {.band = 1}), 24.0 / 30.0);
+}
+
+TEST(GlobalIdentity, ReflectsErrorRate) {
+  // A read with exactly 5% substitutions aligns at ~95% identity.
+  common::Xoshiro256 rng(7);
+  std::string a;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+  }
+  std::string b = a;
+  for (int e = 0; e < 10; ++e) {
+    const std::size_t pos = rng.bounded(b.size());
+    b[pos] = complement_base(b[pos]);
+  }
+  const double identity = global_identity(a, b);
+  EXPECT_GE(identity, 0.94);
+  EXPECT_LE(identity, 1.0);
+}
+
+TEST(GlobalIdentity, SymmetricOnRandomPairs) {
+  common::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a, b;
+    const std::size_t la = 20 + rng.bounded(30);
+    const std::size_t lb = 20 + rng.bounded(30);
+    for (std::size_t i = 0; i < la; ++i) {
+      a.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    for (std::size_t i = 0; i < lb; ++i) {
+      b.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    EXPECT_DOUBLE_EQ(global_identity(a, b), global_identity(b, a));
+  }
+}
+
+TEST(GlobalIdentity, BoundedToUnitInterval) {
+  common::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string a, b;
+    for (int i = 0; i < 40; ++i) {
+      a.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+      b.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    const double identity = global_identity(a, b);
+    EXPECT_GE(identity, 0.0);
+    EXPECT_LE(identity, 1.0);
+  }
+}
+
+TEST(GlobalIdentity, RandomDnaBackgroundIsNearHalf) {
+  // Unrelated DNA aligns at roughly 50-60% identity with unit scores —
+  // the background level behind the paper's whole-metagenome W.Sim values.
+  common::Xoshiro256 rng(21);
+  double total = 0;
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::string a, b;
+    for (int i = 0; i < 150; ++i) {
+      a.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+      b.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    total += global_identity(a, b);
+  }
+  const double mean = total / kTrials;
+  EXPECT_GT(mean, 0.40);
+  EXPECT_LT(mean, 0.70);
+}
+
+}  // namespace
+}  // namespace mrmc::bio

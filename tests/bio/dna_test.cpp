@@ -1,0 +1,91 @@
+#include "bio/dna.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mrmc::bio {
+namespace {
+
+TEST(EncodeBase, CanonicalMapping) {
+  EXPECT_EQ(encode_base('A'), 0);
+  EXPECT_EQ(encode_base('C'), 1);
+  EXPECT_EQ(encode_base('G'), 2);
+  EXPECT_EQ(encode_base('T'), 3);
+}
+
+TEST(EncodeBase, CaseInsensitive) {
+  EXPECT_EQ(encode_base('a'), 0);
+  EXPECT_EQ(encode_base('c'), 1);
+  EXPECT_EQ(encode_base('g'), 2);
+  EXPECT_EQ(encode_base('t'), 3);
+}
+
+TEST(EncodeBase, AmbiguityCodesAreNegative) {
+  for (const char c : {'N', 'n', 'R', 'Y', '-', '.', 'X', ' ', 'U'}) {
+    EXPECT_LT(encode_base(c), 0) << c;
+  }
+}
+
+TEST(DecodeBase, RoundTripsEncode) {
+  for (const char c : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(decode_base(encode_base(c)), c);
+  }
+}
+
+TEST(DecodeBase, OutOfRangeIsN) {
+  EXPECT_EQ(decode_base(-1), 'N');
+  EXPECT_EQ(decode_base(4), 'N');
+}
+
+TEST(Complement, PairsBases) {
+  EXPECT_EQ(complement_base('A'), 'T');
+  EXPECT_EQ(complement_base('T'), 'A');
+  EXPECT_EQ(complement_base('C'), 'G');
+  EXPECT_EQ(complement_base('G'), 'C');
+  EXPECT_EQ(complement_base('N'), 'N');
+}
+
+TEST(ComplementCode, IsInvolution) {
+  for (int code = 0; code < 4; ++code) {
+    EXPECT_EQ(complement_code(complement_code(code)), code);
+  }
+}
+
+TEST(IsValidDna, AcceptsAcgtOnly) {
+  EXPECT_TRUE(is_valid_dna("ACGTacgt"));
+  EXPECT_TRUE(is_valid_dna(""));
+  EXPECT_FALSE(is_valid_dna("ACGTN"));
+  EXPECT_FALSE(is_valid_dna("ACG T"));
+}
+
+TEST(ReverseComplement, KnownSequence) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AACC"), "GGTT");
+  EXPECT_EQ(reverse_complement(""), "");
+  EXPECT_EQ(reverse_complement("ANT"), "ANT");
+}
+
+TEST(ReverseComplement, IsInvolutionOnValidDna) {
+  const std::string seq = "ACGGTTACGATCGATCG";
+  EXPECT_EQ(reverse_complement(reverse_complement(seq)), seq);
+}
+
+TEST(GcContent, KnownValues) {
+  EXPECT_DOUBLE_EQ(gc_content("GGCC"), 1.0);
+  EXPECT_DOUBLE_EQ(gc_content("AATT"), 0.0);
+  EXPECT_DOUBLE_EQ(gc_content("ACGT"), 0.5);
+  EXPECT_DOUBLE_EQ(gc_content(""), 0.0);
+}
+
+TEST(GcContent, IgnoresAmbiguousBases) {
+  EXPECT_DOUBLE_EQ(gc_content("GNNNC"), 1.0);
+  EXPECT_DOUBLE_EQ(gc_content("NNN"), 0.0);
+}
+
+TEST(Sanitize, UppercasesAndMasks) {
+  EXPECT_EQ(sanitize("acgt"), "ACGT");
+  EXPECT_EQ(sanitize("AC-GT"), "ACNGT");
+  EXPECT_EQ(sanitize("ryswkm"), "NNNNNN");
+}
+
+}  // namespace
+}  // namespace mrmc::bio

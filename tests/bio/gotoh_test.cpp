@@ -1,0 +1,121 @@
+#include "bio/gotoh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/dna.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::bio {
+namespace {
+
+TEST(Gotoh, IdenticalSequences) {
+  const auto result = gotoh_align("ACGTACGT", "ACGTACGT");
+  EXPECT_EQ(result.score, 8);
+  EXPECT_DOUBLE_EQ(result.identity, 1.0);
+  EXPECT_EQ(result.columns, 8u);
+}
+
+TEST(Gotoh, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(gotoh_align("", "").identity, 1.0);
+  // 3-base gap: open -4 + 3 * extend -1 = -7.
+  EXPECT_EQ(gotoh_align("", "ACG").score, -7);
+  EXPECT_EQ(gotoh_align("ACG", "").score, -7);
+}
+
+TEST(Gotoh, SingleMismatchMatchesLinear) {
+  EXPECT_EQ(gotoh_score("ACGT", "ACGA"), 2);  // 3 - 1
+}
+
+TEST(Gotoh, OneLongGapBeatsScatteredGaps) {
+  // Affine scoring prefers one contiguous 3-gap (open once) over three
+  // isolated gaps (open three times).  Verify the score equals the single
+  // contiguous interpretation: 7 matches + open + 3 extends.
+  const auto result = gotoh_align("AAACCCTTTT", "AAATTTT");
+  EXPECT_EQ(result.score, 7 * 1 + (-4) + 3 * (-1));
+  EXPECT_DOUBLE_EQ(result.identity, 0.7);  // 7 matches / 10 columns
+}
+
+TEST(Gotoh, GapOpenCostDiscouragesFragmentation) {
+  // With linear gaps (open=0 equivalent), two isolated gaps cost the same
+  // as one 2-gap; with affine, the contiguous arrangement scores higher.
+  const AffineParams affine{.match = 1, .mismatch = -2, .gap_open = -5,
+                            .gap_extend = -1};
+  const long contiguous = gotoh_score("AAAATTTT", "AAAACCTTTT", affine);
+  // 8 matches, one 2-gap: 8 - 5 - 2 = 1.
+  EXPECT_EQ(contiguous, 1);
+}
+
+TEST(Gotoh, IsSymmetric) {
+  common::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a, b;
+    const std::size_t la = 10 + rng.bounded(20);
+    const std::size_t lb = 10 + rng.bounded(20);
+    for (std::size_t i = 0; i < la; ++i) {
+      a.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    for (std::size_t i = 0; i < lb; ++i) {
+      b.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    EXPECT_EQ(gotoh_score(a, b), gotoh_score(b, a));
+    EXPECT_DOUBLE_EQ(gotoh_align(a, b).identity, gotoh_align(b, a).identity);
+  }
+}
+
+TEST(Gotoh, ReducesToLinearWhenOpenIsZero) {
+  // gap_open = 0 makes affine scoring equal to NW with gap = gap_extend.
+  const AffineParams affine{.match = 1, .mismatch = -1, .gap_open = 0,
+                            .gap_extend = -2};
+  const AlignParams linear{.match = 1, .mismatch = -1, .gap = -2};
+  common::Xoshiro256 rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a, b;
+    for (int i = 0; i < 15; ++i) {
+      a.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+      b.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    EXPECT_EQ(gotoh_score(a, b, affine), nw_score(a, b, linear));
+  }
+}
+
+TEST(Gotoh, ScoreNeverExceedsLinearEquivalent) {
+  // Affine adds an opening penalty on top of per-column costs, so the
+  // affine score is <= the linear-gap score with gap = gap_extend.
+  common::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a, b;
+    const std::size_t la = 10 + rng.bounded(15);
+    const std::size_t lb = 10 + rng.bounded(15);
+    for (std::size_t i = 0; i < la; ++i) {
+      a.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    for (std::size_t i = 0; i < lb; ++i) {
+      b.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    EXPECT_LE(gotoh_score(a, b), nw_score(a, b, {.match = 1, .mismatch = -1,
+                                                 .gap = -1}));
+  }
+}
+
+TEST(Gotoh, IdentityBounded) {
+  common::Xoshiro256 rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a, b;
+    for (int i = 0; i < 25; ++i) {
+      a.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+      b.push_back(decode_base(static_cast<int>(rng.bounded(4))));
+    }
+    const double identity = gotoh_align(a, b).identity;
+    EXPECT_GE(identity, 0.0);
+    EXPECT_LE(identity, 1.0);
+  }
+}
+
+TEST(Gotoh, RejectsPositiveGapPenalties) {
+  EXPECT_THROW(gotoh_align("AC", "AC", {.gap_open = 1}),
+               common::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrmc::bio

@@ -1,0 +1,135 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mrmc::common {
+namespace {
+
+TEST(SplitMix64, AdvancesStateDeterministically) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);  // streams stay in lockstep
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  std::uint64_t a = 1, b = 2;
+  EXPECT_NE(splitmix64(a), splitmix64(b));
+}
+
+TEST(Mix64, IsAPureFunction) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, SeedsProduceDistinctStreams) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedZeroReturnsZero) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro256, BoundedOneReturnsZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedCoversRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, UniformInHalfOpenUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Xoshiro256, ChanceFrequencyTracksProbability) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Xoshiro256, ForkedStreamsAreIndependentAndDeterministic) {
+  Xoshiro256 parent1(23), parent2(23);
+  Xoshiro256 fork1 = parent1.fork(5);
+  Xoshiro256 fork2 = parent2.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fork1(), fork2());
+
+  Xoshiro256 parent3(23);
+  Xoshiro256 other = parent3.fork(6);
+  Xoshiro256 base = parent3.fork(5);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (other() == base()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(1);
+  std::vector<int> values{5, 4, 3, 2, 1};
+  std::shuffle(values.begin(), values.end(), rng);  // compiles & runs
+  EXPECT_EQ(values.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mrmc::common

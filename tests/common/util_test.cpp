@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace mrmc::common {
+namespace {
+
+// ------------------------------------------------------------------- timer
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch watch;
+  EXPECT_GE(watch.seconds(), 0.0);
+  EXPECT_GE(watch.millis(), 0.0);
+}
+
+TEST(Stopwatch, ResetRestartsClock) {
+  Stopwatch watch;
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 1.0);
+}
+
+TEST(FormatDuration, SecondsStyle) {
+  EXPECT_EQ(format_duration(8.44), "8.4s");
+  EXPECT_EQ(format_duration(0.0), "0.0s");
+  EXPECT_EQ(format_duration(59.96), "60.0s");
+}
+
+TEST(FormatDuration, MinutesStyleMatchesPaperTables) {
+  EXPECT_EQ(format_duration(265.0), "4m 25s");   // Table III S1 hierarchical
+  EXPECT_EQ(format_duration(155.0), "2m 35s");   // Table III S1 greedy
+  EXPECT_EQ(format_duration(60.0), "1m 00s");
+  EXPECT_EQ(format_duration(3600.0), "60m 00s");
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"SID", "W.Acc"});
+  table.add_row({"S1", "90.42"});
+  table.add_row({"S12", "97.54"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| SID "), std::string::npos);
+  EXPECT_NE(text.find("| S12 "), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TableFormat, FixedDecimals) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_f(3.14159, 0), "3");
+  EXPECT_EQ(fmt_pct(0.9042), "90.42");
+  EXPECT_EQ(fmt_pct(1.0, 1), "100.0");
+}
+
+// ------------------------------------------------------------------- error
+
+TEST(Error, HierarchyAndMessages) {
+  const IoError io("missing file");
+  EXPECT_STREQ(io.what(), "missing file");
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("y"), Error);
+}
+
+TEST(Error, RequireMacroThrowsInvalidArgument) {
+  auto f = [](int v) { MRMC_REQUIRE(v > 0, "v must be positive"); };
+  EXPECT_NO_THROW(f(1));
+  EXPECT_THROW(f(0), InvalidArgument);
+}
+
+TEST(Error, CheckMacroThrowsError) {
+  auto f = [](bool ok) { MRMC_CHECK(ok, "invariant"); };
+  EXPECT_NO_THROW(f(true));
+  EXPECT_THROW(f(false), Error);
+}
+
+TEST(Error, FailHelperIncludesContext) {
+  try {
+    fail("parser", "bad token");
+    FAIL() << "fail() must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("parser"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad token"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mrmc::common

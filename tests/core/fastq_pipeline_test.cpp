@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "simdata/fastq_sim.hpp"
+#include "simdata/marker16s.hpp"
+
+namespace mrmc::core {
+namespace {
+
+/// FASTQ sample: two OTUs of clean reads plus garbage reads whose qualities
+/// flag them for the QC stage.
+std::vector<bio::FastqRecord> fastq_sample(std::size_t per_otu,
+                                           std::size_t garbage,
+                                           std::uint64_t seed) {
+  const auto genes = simdata::generate_16s_genes(2, {}, seed);
+  simdata::AmpliconParams params;
+  params.read_length = 80;
+  params.length_jitter = 0.05;
+  const auto clean = simdata::amplicon_reads(genes, {1.0, 1.0}, 2 * per_otu,
+                                             params, seed + 1);
+  auto fastq = simdata::attach_qualities(
+      clean.reads, std::vector<std::vector<std::size_t>>(clean.size()), {},
+      seed + 2);
+
+  // Garbage reads: heavily corrupted with matching low qualities.
+  const auto noisy = simdata::simulate_fastq(
+      std::vector<bio::FastaRecord>(garbage,
+                                    {"junk", "junk", clean.reads[0].seq}),
+      {.subst_rate = 0.4}, {.miscalibrated = 0.0}, seed + 3);
+  for (const auto& record : noisy.reads) fastq.push_back(record);
+  return fastq;
+}
+
+PipelineParams params_16s() {
+  PipelineParams params;
+  params.minhash = {.kmer = 12, .num_hashes = 40, .seed = 5};
+  params.theta = 0.4;
+  return params;
+}
+
+TEST(FastqPipeline, QcDropsGarbageAndClustersSurvivors) {
+  const auto fastq = fastq_sample(10, 6, 50);
+  ExecutionOptions exec;
+  exec.distributed = false;
+  const auto result = run_pipeline_fastq(
+      fastq, {.trim_quality = 15, .min_length = 40, .max_mean_error = 0.01},
+      params_16s(), exec);
+
+  EXPECT_EQ(result.dropped, 6u);  // every garbage read trimmed to oblivion
+  EXPECT_EQ(result.kept.size(), 20u);
+  EXPECT_EQ(result.clustering.labels.size(), result.kept.size());
+  EXPECT_EQ(result.clustering.num_clusters, 2u);  // the two OTUs
+}
+
+TEST(FastqPipeline, NoFilteringMatchesPlainPipeline) {
+  const auto fastq = fastq_sample(8, 0, 51);
+  ExecutionOptions exec;
+  exec.distributed = false;
+  bio::QualityFilter lenient;
+  lenient.trim_quality = 0;
+  lenient.min_length = 1;
+  lenient.max_mean_error = 1.0;
+
+  const auto via_fastq = run_pipeline_fastq(fastq, lenient, params_16s(), exec);
+  const auto direct = run_pipeline(bio::to_fasta(fastq), params_16s(), exec);
+  EXPECT_EQ(via_fastq.dropped, 0u);
+  EXPECT_EQ(via_fastq.clustering.labels, direct.labels);
+}
+
+TEST(FastqPipeline, EmptyInput) {
+  const auto result = run_pipeline_fastq({}, {}, params_16s());
+  EXPECT_TRUE(result.kept.empty());
+  EXPECT_EQ(result.clustering.num_clusters, 0u);
+}
+
+}  // namespace
+}  // namespace mrmc::core

@@ -1,0 +1,148 @@
+#include "core/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::core {
+namespace {
+
+/// Sketches with known structure: each "family" shares a base sketch with a
+/// controlled fraction of positions perturbed per member.
+std::vector<Sketch> family_sketches(std::size_t families, std::size_t per_family,
+                                    std::size_t length, double noise,
+                                    std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<Sketch> sketches;
+  for (std::size_t f = 0; f < families; ++f) {
+    Sketch base(length);
+    for (auto& v : base) v = rng();
+    for (std::size_t m = 0; m < per_family; ++m) {
+      Sketch member = base;
+      for (auto& v : member) {
+        if (rng.chance(noise)) v = rng();
+      }
+      sketches.push_back(std::move(member));
+    }
+  }
+  return sketches;
+}
+
+TEST(GreedyCluster, EmptyInput) {
+  const GreedyResult result = greedy_cluster({}, {});
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.num_clusters, 0u);
+}
+
+TEST(GreedyCluster, SingleSequence) {
+  const std::vector<Sketch> sketches{{1, 2, 3}};
+  const GreedyResult result = greedy_cluster(sketches, {.theta = 0.9});
+  EXPECT_EQ(result.labels, (std::vector<int>{0}));
+  EXPECT_EQ(result.num_clusters, 1u);
+  EXPECT_EQ(result.representatives, (std::vector<std::size_t>{0}));
+}
+
+TEST(GreedyCluster, ThetaZeroPutsEverythingTogether) {
+  const auto sketches = family_sketches(4, 5, 32, 0.9, 1);
+  const GreedyResult result = greedy_cluster(sketches, {.theta = 0.0});
+  EXPECT_EQ(result.num_clusters, 1u);
+  for (const int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(GreedyCluster, ThetaOneGroupsOnlyIdenticalSketches) {
+  std::vector<Sketch> sketches = {{1, 2, 3}, {1, 2, 3}, {4, 5, 6}, {1, 2, 3}};
+  const GreedyResult result = greedy_cluster(sketches, {.theta = 1.0});
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[0], result.labels[3]);
+  EXPECT_NE(result.labels[0], result.labels[2]);
+}
+
+TEST(GreedyCluster, RecoverswellSeparatedFamilies) {
+  const auto sketches = family_sketches(3, 10, 64, 0.05, 2);
+  const GreedyResult result =
+      greedy_cluster(sketches, {.theta = 0.5, .estimator = SketchEstimator::kComponentMatch});
+  EXPECT_EQ(result.num_clusters, 3u);
+  // Members of a family must share labels.
+  for (std::size_t f = 0; f < 3; ++f) {
+    for (std::size_t m = 1; m < 10; ++m) {
+      EXPECT_EQ(result.labels[f * 10 + m], result.labels[f * 10]);
+    }
+  }
+}
+
+TEST(GreedyCluster, EverySequenceGetsALabel) {
+  const auto sketches = family_sketches(5, 8, 32, 0.3, 3);
+  const GreedyResult result = greedy_cluster(sketches, {.theta = 0.6});
+  for (const int label : result.labels) EXPECT_GE(label, 0);
+  const std::set<int> labels(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(labels.size(), result.num_clusters);
+  // Labels are dense 0..k-1.
+  EXPECT_EQ(*labels.rbegin(), static_cast<int>(result.num_clusters) - 1);
+}
+
+TEST(GreedyCluster, FirstSequenceAnchorsFirstCluster) {
+  const auto sketches = family_sketches(2, 4, 32, 0.05, 4);
+  const GreedyResult result = greedy_cluster(sketches, {.theta = 0.5});
+  EXPECT_EQ(result.labels[0], 0);
+  EXPECT_EQ(result.representatives[0], 0u);
+}
+
+TEST(GreedyCluster, RepresentativesCarryTheirOwnLabel) {
+  const auto sketches = family_sketches(4, 6, 32, 0.2, 5);
+  const GreedyResult result = greedy_cluster(sketches, {.theta = 0.7});
+  ASSERT_EQ(result.representatives.size(), result.num_clusters);
+  for (std::size_t c = 0; c < result.num_clusters; ++c) {
+    EXPECT_EQ(result.labels[result.representatives[c]], static_cast<int>(c));
+  }
+}
+
+TEST(GreedyCluster, ComparisonsShrinkWithLooserThreshold) {
+  const auto sketches = family_sketches(6, 10, 32, 0.25, 6);
+  const auto strict = greedy_cluster(sketches, {.theta = 0.99});
+  const auto loose = greedy_cluster(sketches, {.theta = 0.0});
+  // Loose threshold absorbs everything in the first pass: N-1 comparisons.
+  EXPECT_EQ(loose.comparisons, sketches.size() - 1);
+  EXPECT_GT(strict.comparisons, loose.comparisons);
+}
+
+TEST(GreedyCluster, ThresholdMonotonicity) {
+  const auto sketches = family_sketches(4, 8, 64, 0.3, 7);
+  std::size_t previous = 0;
+  for (const double theta : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto result = greedy_cluster(
+        sketches, {.theta = theta, .estimator = SketchEstimator::kComponentMatch});
+    EXPECT_GE(result.num_clusters, previous) << theta;
+    previous = result.num_clusters;
+  }
+}
+
+TEST(GreedyCluster, EstimatorsCanDiffer) {
+  const auto sketches = family_sketches(3, 6, 32, 0.4, 8);
+  const auto set_based = greedy_cluster(
+      sketches, {.theta = 0.5, .estimator = SketchEstimator::kSetBased});
+  const auto component = greedy_cluster(
+      sketches, {.theta = 0.5, .estimator = SketchEstimator::kComponentMatch});
+  // Both are valid clusterings over the same data.
+  EXPECT_EQ(set_based.labels.size(), component.labels.size());
+}
+
+TEST(GreedyCluster, RejectsBadTheta) {
+  const std::vector<Sketch> sketches{{1}};
+  EXPECT_THROW(greedy_cluster(sketches, {.theta = -0.1}), common::InvalidArgument);
+  EXPECT_THROW(greedy_cluster(sketches, {.theta = 1.1}), common::InvalidArgument);
+}
+
+TEST(GreedyCluster, DeterministicAcrossCalls) {
+  const auto sketches = family_sketches(4, 10, 32, 0.3, 9);
+  const auto a = greedy_cluster(sketches, {.theta = 0.6});
+  const auto b = greedy_cluster(sketches, {.theta = 0.6});
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.comparisons, b.comparisons);
+}
+
+}  // namespace
+}  // namespace mrmc::core

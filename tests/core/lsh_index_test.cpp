@@ -1,0 +1,157 @@
+#include "core/lsh_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::core {
+namespace {
+
+std::vector<Sketch> family_sketches(std::size_t families, std::size_t per_family,
+                                    std::size_t length, double noise,
+                                    std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<Sketch> sketches;
+  for (std::size_t f = 0; f < families; ++f) {
+    Sketch base(length);
+    for (auto& v : base) v = rng();
+    for (std::size_t m = 0; m < per_family; ++m) {
+      Sketch member = base;
+      for (auto& v : member) {
+        if (rng.chance(noise)) v = rng();
+      }
+      sketches.push_back(std::move(member));
+    }
+  }
+  return sketches;
+}
+
+// ---------------------------------------------------------------- the S-curve
+
+TEST(LshCollisionProbability, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(lsh_collision_probability(0.0, 10, 5), 0.0);
+  EXPECT_DOUBLE_EQ(lsh_collision_probability(1.0, 10, 5), 1.0);
+}
+
+TEST(LshCollisionProbability, MonotoneInSimilarity) {
+  double previous = -1.0;
+  for (double j = 0.0; j <= 1.0; j += 0.1) {
+    const double p = lsh_collision_probability(j, 10, 5);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(LshCollisionProbability, MoreBandsCatchMore) {
+  EXPECT_GT(lsh_collision_probability(0.5, 20, 5),
+            lsh_collision_probability(0.5, 5, 5));
+}
+
+TEST(LshThreshold, HalfwayPointApproximation) {
+  // At J = threshold, collision probability is near 1 - (1-1/b)^b ~ 0.63.
+  const double threshold = lsh_threshold(10, 5);
+  const double p = lsh_collision_probability(threshold, 10, 5);
+  EXPECT_GT(p, 0.5);
+  EXPECT_LT(p, 0.75);
+}
+
+// -------------------------------------------------------------------- index
+
+TEST(LshIndex, RejectsBadShapes) {
+  EXPECT_THROW(LshIndex(50, {.bands = 7}), common::InvalidArgument);
+  EXPECT_THROW(LshIndex(50, {.bands = 0}), common::InvalidArgument);
+  LshIndex index(50, {.bands = 10});
+  EXPECT_THROW(index.insert(0, Sketch(49)), common::InvalidArgument);
+}
+
+TEST(LshIndex, IdenticalSketchesAlwaysCandidates) {
+  LshIndex index(40, {.bands = 8});
+  common::Xoshiro256 rng(1);
+  Sketch sketch(40);
+  for (auto& v : sketch) v = rng();
+  index.insert(7, sketch);
+  const auto candidates = index.candidates(sketch);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 7);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(LshIndex, DisjointSketchesRarelyCollide) {
+  LshIndex index(40, {.bands = 8});
+  common::Xoshiro256 rng(2);
+  for (int id = 0; id < 50; ++id) {
+    Sketch sketch(40);
+    for (auto& v : sketch) v = rng();
+    index.insert(id, sketch);
+  }
+  Sketch probe(40);
+  for (auto& v : probe) v = rng();
+  EXPECT_LT(index.candidates(probe).size(), 3u);
+}
+
+TEST(LshIndex, SimilarSketchesCollide) {
+  LshIndex index(40, {.bands = 20});  // rows=2: sensitive shape
+  common::Xoshiro256 rng(3);
+  Sketch base(40);
+  for (auto& v : base) v = rng();
+  index.insert(0, base);
+  Sketch similar = base;
+  for (std::size_t i = 0; i < 4; ++i) similar[i * 10] = rng();  // J ~ 0.9
+  const auto candidates = index.candidates(similar);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0], 0);
+}
+
+TEST(LshIndex, CandidatesDedupAcrossBands) {
+  LshIndex index(40, {.bands = 8});
+  common::Xoshiro256 rng(4);
+  Sketch sketch(40);
+  for (auto& v : sketch) v = rng();
+  index.insert(1, sketch);
+  // The same id collides in all 8 bands but must be returned once.
+  EXPECT_EQ(index.candidates(sketch).size(), 1u);
+}
+
+// ------------------------------------------------------ indexed greedy
+
+TEST(GreedyClusterIndexed, MatchesExactGreedyOnSeparatedData) {
+  const auto sketches = family_sketches(5, 12, 40, 0.05, 5);
+  const GreedyParams params{.theta = 0.5,
+                            .estimator = SketchEstimator::kComponentMatch};
+  const auto exact = greedy_cluster(sketches, params);
+  const auto indexed = greedy_cluster_indexed(sketches, params, {.bands = 20});
+  EXPECT_EQ(indexed.labels, exact.labels);
+  EXPECT_EQ(indexed.num_clusters, exact.num_clusters);
+}
+
+TEST(GreedyClusterIndexed, FarFewerComparisonsThanExact) {
+  const auto sketches = family_sketches(40, 10, 40, 0.05, 6);
+  const GreedyParams params{.theta = 0.5,
+                            .estimator = SketchEstimator::kComponentMatch};
+  const auto exact = greedy_cluster(sketches, params);
+  const auto indexed = greedy_cluster_indexed(sketches, params, {.bands = 20});
+  EXPECT_EQ(indexed.num_clusters, exact.num_clusters);
+  EXPECT_LT(indexed.comparisons, exact.comparisons / 4);
+}
+
+TEST(GreedyClusterIndexed, EmptyAndSingle) {
+  EXPECT_TRUE(greedy_cluster_indexed({}, {}).labels.empty());
+  const std::vector<Sketch> one{Sketch(40, 1)};
+  const auto result = greedy_cluster_indexed(one, {.theta = 0.5}, {.bands = 8});
+  EXPECT_EQ(result.num_clusters, 1u);
+}
+
+TEST(GreedyClusterIndexed, LabelsAreDense) {
+  const auto sketches = family_sketches(6, 6, 40, 0.3, 7);
+  const auto result =
+      greedy_cluster_indexed(sketches, {.theta = 0.6}, {.bands = 10});
+  std::set<int> labels(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(labels.size(), result.num_clusters);
+  for (const int label : result.labels) EXPECT_GE(label, 0);
+}
+
+}  // namespace
+}  // namespace mrmc::core

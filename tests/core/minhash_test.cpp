@@ -1,0 +1,242 @@
+#include "core/minhash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "bio/kmer.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::core {
+namespace {
+
+// ------------------------------------------------------ UniversalHashFamily
+
+TEST(UniversalHashFamily, DeterministicPerSeed) {
+  const UniversalHashFamily a(8, 0, 5), b(8, 0, 5), c(8, 0, 6);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.hash(i, 12345), b.hash(i, 12345));
+    EXPECT_NE(a.hash(i, 12345), c.hash(i, 12345));
+  }
+}
+
+TEST(UniversalHashFamily, FunctionsAreDistinct) {
+  const UniversalHashFamily family(16, 0, 7);
+  std::set<std::uint64_t> values;
+  for (std::size_t i = 0; i < 16; ++i) values.insert(family.hash(i, 999));
+  EXPECT_EQ(values.size(), 16u);
+}
+
+TEST(UniversalHashFamily, RespectsOuterModulus) {
+  const UniversalHashFamily family(4, 1024, 8);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::uint64_t x = 0; x < 100; ++x) {
+      EXPECT_LT(family.hash(i, x), 1024u);
+    }
+  }
+}
+
+TEST(UniversalHashFamily, FullRangeStaysBelowPrime) {
+  const UniversalHashFamily family(4, 0, 9);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_LT(family.hash(0, x * 0x9e3779b9ULL), UniversalHashFamily::kPrime);
+  }
+}
+
+TEST(UniversalHashFamily, RejectsBadArguments) {
+  EXPECT_THROW(UniversalHashFamily(0, 0, 1), common::InvalidArgument);
+  EXPECT_THROW(UniversalHashFamily(1, UniversalHashFamily::kPrime + 1, 1),
+               common::InvalidArgument);
+}
+
+TEST(UniversalHashFamily, IsRoughlyUniform) {
+  // Bucket 10k sequential keys into 16 buckets; each should get ~625.
+  const UniversalHashFamily family(1, 0, 10);
+  std::vector<int> buckets(16, 0);
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    ++buckets[family.hash(0, x) % 16];
+  }
+  for (const int count : buckets) {
+    EXPECT_GT(count, 450);
+    EXPECT_LT(count, 800);
+  }
+}
+
+// ------------------------------------------------------------------ sketches
+
+TEST(MinHasher, SketchHasRequestedLength) {
+  const MinHasher hasher({.kmer = 5, .num_hashes = 32, .seed = 1});
+  EXPECT_EQ(hasher.sketch("ACGTACGTACGTACGT").size(), 32u);
+  EXPECT_EQ(hasher.sketch_size(), 32u);
+}
+
+TEST(MinHasher, IdenticalSequencesShareSketch) {
+  const MinHasher hasher({.kmer = 4, .num_hashes = 16, .seed = 2});
+  EXPECT_EQ(hasher.sketch("ACGGTTAACCGT"), hasher.sketch("ACGGTTAACCGT"));
+}
+
+TEST(MinHasher, EmptyFeatureSetGivesSentinel) {
+  const MinHasher hasher({.kmer = 10, .num_hashes = 4, .seed = 3});
+  const Sketch sketch = hasher.sketch("ACG");  // shorter than k
+  for (const auto v : sketch) EXPECT_EQ(v, kEmptyMin);
+}
+
+TEST(MinHasher, SketchIsOrderInsensitiveOverFeatures) {
+  const MinHasher hasher({.kmer = 3, .num_hashes = 16, .seed = 4});
+  const std::vector<std::uint64_t> features{5, 17, 40, 63};
+  std::vector<std::uint64_t> reversed(features.rbegin(), features.rend());
+  EXPECT_EQ(hasher.sketch_features(features), hasher.sketch_features(reversed));
+}
+
+TEST(MinHasher, SubsetHasComponentwiseGreaterOrEqualMinima) {
+  const MinHasher hasher({.kmer = 3, .num_hashes = 32, .seed = 5});
+  const std::vector<std::uint64_t> small{1, 2, 3};
+  const std::vector<std::uint64_t> large{1, 2, 3, 4, 5, 6};
+  const Sketch sketch_small = hasher.sketch_features(small);
+  const Sketch sketch_large = hasher.sketch_features(large);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_LE(sketch_large[i], sketch_small[i]);
+  }
+}
+
+TEST(MinHasher, RejectsBadK) {
+  EXPECT_THROW(MinHasher({.kmer = 0}), common::InvalidArgument);
+  EXPECT_THROW(MinHasher({.kmer = 32}), common::InvalidArgument);
+}
+
+TEST(MinHasher, SketchAllMatchesIndividualSketches) {
+  const MinHasher hasher({.kmer = 4, .num_hashes = 8, .seed = 6});
+  const std::vector<std::string_view> seqs{"ACGTACGTAA", "TTGGCCAATT"};
+  const auto sketches = hasher.sketch_all(seqs);
+  ASSERT_EQ(sketches.size(), 2u);
+  EXPECT_EQ(sketches[0], hasher.sketch(seqs[0]));
+  EXPECT_EQ(sketches[1], hasher.sketch(seqs[1]));
+}
+
+// --------------------------------------------------------------- estimators
+
+TEST(Estimators, IdenticalSketchesGiveOne) {
+  const MinHasher hasher({.kmer = 4, .num_hashes = 32, .seed = 7});
+  const Sketch sketch = hasher.sketch("ACGGTTAACCGGTTAA");
+  EXPECT_DOUBLE_EQ(component_match_similarity(sketch, sketch), 1.0);
+  EXPECT_DOUBLE_EQ(set_based_similarity(sketch, sketch), 1.0);
+}
+
+TEST(Estimators, MismatchedLengthsHandled) {
+  EXPECT_DOUBLE_EQ(component_match_similarity({1, 2}, {1, 2, 3}), 0.0);
+  EXPECT_THROW((void)sketch_similarity({1}, {1, 2}, SketchEstimator::kComponentMatch),
+               common::InvalidArgument);
+}
+
+TEST(Estimators, KnownComponentMatchFraction) {
+  const Sketch a{1, 2, 3, 4};
+  const Sketch b{1, 2, 9, 9};
+  EXPECT_DOUBLE_EQ(component_match_similarity(a, b), 0.5);
+}
+
+TEST(Estimators, SetBasedUsesDistinctValues) {
+  // a = {1,2}, b = {2,3}: intersection {2}, union {1,2,3}.
+  const Sketch a{1, 2, 2, 1};
+  const Sketch b{2, 3, 3, 2};
+  EXPECT_NEAR(set_based_similarity(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Estimators, DispatchMatchesDirectCalls) {
+  const Sketch a{1, 2, 3, 4};
+  const Sketch b{1, 5, 3, 6};
+  EXPECT_DOUBLE_EQ(sketch_similarity(a, b, SketchEstimator::kComponentMatch),
+                   component_match_similarity(a, b));
+  EXPECT_DOUBLE_EQ(sketch_similarity(a, b, SketchEstimator::kSetBased),
+                   set_based_similarity(a, b));
+}
+
+// ------------------------------------- estimator accuracy (property sweeps)
+
+/// Random feature sets with a controlled exact Jaccard similarity.
+std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>>
+sets_with_jaccard(double jaccard, std::size_t union_size, common::Xoshiro256& rng) {
+  const auto shared = static_cast<std::size_t>(jaccard * union_size);
+  const std::size_t only = (union_size - shared) / 2;
+  std::set<std::uint64_t> pool;
+  while (pool.size() < union_size) pool.insert(rng());
+  std::vector<std::uint64_t> all(pool.begin(), pool.end());
+  std::vector<std::uint64_t> a(all.begin(), all.begin() + shared);
+  std::vector<std::uint64_t> b = a;
+  for (std::size_t i = 0; i < only; ++i) {
+    a.push_back(all[shared + i]);
+    b.push_back(all[shared + only + i]);
+  }
+  return {a, b};
+}
+
+class EstimatorAccuracy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EstimatorAccuracy, ComponentMatchConvergesToExactJaccard) {
+  const std::size_t num_hashes = GetParam();
+  const MinHasher hasher({.kmer = 5, .num_hashes = num_hashes, .seed = 11});
+  common::Xoshiro256 rng(100 + num_hashes);
+
+  for (const double target : {0.2, 0.5, 0.8}) {
+    auto [a, b] = sets_with_jaccard(target, 400, rng);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const double exact = bio::exact_jaccard(a, b);
+    const double estimate = component_match_similarity(hasher.sketch_features(a),
+                                                       hasher.sketch_features(b));
+    // Binomial std-dev of the estimator ~ sqrt(J(1-J)/n); allow 4 sigma.
+    const double sigma =
+        std::sqrt(exact * (1 - exact) / static_cast<double>(num_hashes));
+    EXPECT_NEAR(estimate, exact, 4 * sigma + 0.02)
+        << "n=" << num_hashes << " target=" << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SketchSizes, EstimatorAccuracy,
+                         ::testing::Values(25, 50, 100, 200, 400));
+
+TEST(EstimatorAccuracy, LargerSketchesEstimateBetterOnAverage) {
+  common::Xoshiro256 rng(55);
+  double error_small = 0, error_large = 0;
+  constexpr int kTrials = 20;
+  const MinHasher small({.kmer = 5, .num_hashes = 16, .seed = 12});
+  const MinHasher large({.kmer = 5, .num_hashes = 256, .seed = 12});
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto [a, b] = sets_with_jaccard(0.5, 300, rng);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const double exact = bio::exact_jaccard(a, b);
+    error_small += std::fabs(
+        component_match_similarity(small.sketch_features(a), small.sketch_features(b)) -
+        exact);
+    error_large += std::fabs(
+        component_match_similarity(large.sketch_features(a), large.sketch_features(b)) -
+        exact);
+  }
+  EXPECT_LT(error_large, error_small);
+}
+
+TEST(EstimatorAccuracy, PaperLiteralModulusDegeneratesForSmallK) {
+  // Documented pitfall: m = 4^k at k=5 collapses minima toward 0, making
+  // unrelated sequences look similar (why `modulus = 0` is the default).
+  common::Xoshiro256 rng(77);
+  const MinHasher literal({.kmer = 5,
+                           .num_hashes = 64,
+                           .seed = 13,
+                           .modulus = bio::kmer_space_size(5)});
+  const MinHasher sound({.kmer = 5, .num_hashes = 64, .seed = 13});
+  auto [a, b] = sets_with_jaccard(0.0, 2000, rng);  // two disjoint 1000-sets
+  const double literal_sim = component_match_similarity(
+      literal.sketch_features(a), literal.sketch_features(b));
+  const double sound_sim = component_match_similarity(sound.sketch_features(a),
+                                                      sound.sketch_features(b));
+  // Degenerate modulus: 1000 draws into 1024 buckets pile the minima near 0,
+  // so disjoint sets collide on many components; the sound variant does not.
+  EXPECT_GT(literal_sim, sound_sim + 0.2);
+  EXPECT_LT(sound_sim, 0.1);
+}
+
+}  // namespace
+}  // namespace mrmc::core

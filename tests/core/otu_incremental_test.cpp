@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "core/incremental.hpp"
+#include "core/otu_table.hpp"
+#include "simdata/marker16s.hpp"
+
+namespace mrmc::core {
+namespace {
+
+// --------------------------------------------------------------- OTU tables
+
+TEST(OtuTable, SortedBySizeWithAbundance) {
+  const std::vector<int> labels{0, 1, 1, 1, 2, 2};
+  const std::vector<Sketch> sketches(6, Sketch(8, 1));
+  const auto table = build_otu_table(labels, sketches);
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].label, 1);
+  EXPECT_EQ(table[0].size, 3u);
+  EXPECT_NEAR(table[0].abundance, 0.5, 1e-12);
+  EXPECT_EQ(table[1].label, 2);
+  EXPECT_EQ(table[2].label, 0);
+}
+
+TEST(OtuTable, MedoidIsTheCentralMember) {
+  // Cluster of 3: members 0 and 2 each differ from member 1 in different
+  // positions; member 1 is closest to both -> medoid.
+  std::vector<Sketch> sketches{{1, 2, 3, 9}, {1, 2, 3, 4}, {1, 2, 8, 4}};
+  const std::vector<int> labels{0, 0, 0};
+  const auto table = build_otu_table(labels, sketches);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].representative, 1u);
+}
+
+TEST(OtuTable, RejectsMismatchedInputs) {
+  EXPECT_THROW(build_otu_table(std::vector<int>{0}, std::vector<Sketch>{}),
+               common::InvalidArgument);
+  EXPECT_THROW(build_otu_table(std::vector<int>{-1},
+                               std::vector<Sketch>{Sketch{}}),
+               common::InvalidArgument);
+}
+
+TEST(OtuTable, RepresentativeReadsAreNamedByClusterAndSize) {
+  const std::vector<int> labels{0, 0, 1};
+  const std::vector<Sketch> sketches(3, Sketch(4, 7));
+  const std::vector<bio::FastaRecord> reads{
+      {"a", "a", "ACGT"}, {"b", "b", "ACGA"}, {"c", "c", "TTTT"}};
+  const auto table = build_otu_table(labels, sketches);
+  const auto reps = representative_reads(table, reads);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0].id, "OTU0_size2");
+  EXPECT_EQ(reps[1].id, "OTU1_size1");
+  EXPECT_EQ(reps[1].seq, "TTTT");
+}
+
+TEST(OtuTable, TsvHasHeaderAndOneRowPerCluster) {
+  const std::vector<int> labels{0, 1};
+  const std::vector<Sketch> sketches(2, Sketch(4, 7));
+  const std::vector<bio::FastaRecord> reads{{"x", "x", "AC"}, {"y", "y", "GT"}};
+  const auto tsv = otu_table_tsv(build_otu_table(labels, sketches), reads);
+  EXPECT_NE(tsv.find("label\tsize"), std::string::npos);
+  EXPECT_EQ(static_cast<int>(std::count(tsv.begin(), tsv.end(), '\n')), 3);
+}
+
+// ------------------------------------------------------ incremental clustering
+
+std::vector<std::string> otu_reads(std::size_t otus, std::size_t per_otu,
+                                   std::uint64_t seed) {
+  const auto genes = simdata::generate_16s_genes(otus, {}, seed);
+  simdata::AmpliconParams params;
+  params.errors = simdata::ErrorModel::uniform(0.004);
+  params.read_length = 80;
+  params.length_jitter = 0.05;
+  const auto sample = simdata::amplicon_reads(
+      genes, std::vector<double>(otus, 1.0), otus * per_otu, params, seed + 1);
+  std::vector<std::string> seqs;
+  for (const auto& read : sample.reads) seqs.push_back(read.seq);
+  return seqs;
+}
+
+IncrementalClusterer make_clusterer() {
+  return IncrementalClusterer({.kmer = 12, .num_hashes = 40, .seed = 2},
+                              {.theta = 0.4,
+                               .estimator = SketchEstimator::kComponentMatch},
+                              {.bands = 20});
+}
+
+TEST(IncrementalClusterer, GrowsClustersAcrossBatches) {
+  const auto batch1 = otu_reads(3, 5, 10);
+  const auto batch2 = otu_reads(3, 5, 10);  // same OTUs, same seed genes
+
+  auto clusterer = make_clusterer();
+  for (const auto& seq : batch1) clusterer.add(seq);
+  const std::size_t after_first = clusterer.num_clusters();
+  for (const auto& seq : batch2) clusterer.add(seq);
+
+  // Second batch reads (same gene pool) mostly join existing clusters.
+  EXPECT_LE(clusterer.num_clusters(), after_first + 2);
+  EXPECT_EQ(clusterer.num_reads(), batch1.size() + batch2.size());
+}
+
+TEST(IncrementalClusterer, SizesSumToReads) {
+  const auto reads = otu_reads(4, 6, 11);
+  auto clusterer = make_clusterer();
+  std::vector<std::string_view> views(reads.begin(), reads.end());
+  const auto labels = clusterer.add_all(views);
+  ASSERT_EQ(labels.size(), reads.size());
+
+  std::size_t total = 0;
+  for (const std::size_t size : clusterer.cluster_sizes()) total += size;
+  EXPECT_EQ(total, reads.size());
+}
+
+TEST(IncrementalClusterer, MatchesBatchIndexedGreedy) {
+  const auto reads = otu_reads(4, 6, 12);
+  const MinHasher hasher({.kmer = 12, .num_hashes = 40, .seed = 2});
+  std::vector<Sketch> sketches;
+  for (const auto& seq : reads) sketches.push_back(hasher.sketch(seq));
+  const GreedyParams greedy{.theta = 0.4,
+                            .estimator = SketchEstimator::kComponentMatch};
+  const auto batch = greedy_cluster_indexed(sketches, greedy, {.bands = 20});
+
+  auto clusterer = make_clusterer();
+  std::vector<int> incremental;
+  for (const auto& seq : reads) incremental.push_back(clusterer.add(seq));
+  EXPECT_EQ(incremental, batch.labels);
+}
+
+TEST(IncrementalClusterer, RepresentativeSketchAccessible) {
+  auto clusterer = make_clusterer();
+  const int label = clusterer.add(otu_reads(1, 1, 13).front());
+  EXPECT_EQ(clusterer.representative_sketch(label).size(), 40u);
+  EXPECT_THROW((void)clusterer.representative_sketch(99), common::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrmc::core

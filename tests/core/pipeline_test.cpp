@@ -1,0 +1,130 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simdata/datasets.hpp"
+
+namespace mrmc::core {
+namespace {
+
+simdata::LabeledReads small_sample() {
+  return simdata::build_whole_metagenome(simdata::whole_metagenome_spec("S8"),
+                                         {.reads = 80, .seed = 1});
+}
+
+PipelineParams base_params(Mode mode) {
+  PipelineParams params;
+  params.minhash = {.kmer = 5, .num_hashes = 64, .canonical = true, .seed = 1};
+  params.mode = mode;
+  params.theta = mode == Mode::kGreedy ? 0.34 : 0.5;
+  return params;
+}
+
+TEST(Pipeline, ModeNames) {
+  EXPECT_STREQ(mode_name(Mode::kGreedy), "greedy");
+  EXPECT_STREQ(mode_name(Mode::kHierarchical), "hierarchical");
+}
+
+TEST(Pipeline, EmptyInput) {
+  const PipelineResult result = run_pipeline({}, base_params(Mode::kGreedy));
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.num_clusters, 0u);
+}
+
+TEST(Pipeline, DistributedGreedyMatchesLocal) {
+  const auto sample = small_sample();
+  ExecutionOptions distributed;
+  distributed.distributed = true;
+  distributed.cluster.nodes = 4;
+  ExecutionOptions local;
+  local.distributed = false;
+
+  const auto params = base_params(Mode::kGreedy);
+  const auto a = run_pipeline(sample.reads, params, distributed);
+  const auto b = run_pipeline(sample.reads, params, local);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+}
+
+TEST(Pipeline, DistributedHierarchicalMatchesLocal) {
+  const auto sample = small_sample();
+  ExecutionOptions distributed;
+  distributed.distributed = true;
+  distributed.cluster.nodes = 3;
+  ExecutionOptions local;
+  local.distributed = false;
+
+  const auto params = base_params(Mode::kHierarchical);
+  const auto a = run_pipeline(sample.reads, params, distributed);
+  const auto b = run_pipeline(sample.reads, params, local);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Pipeline, LabelsCoverEveryRead) {
+  const auto sample = small_sample();
+  const auto result = run_pipeline(sample.reads, base_params(Mode::kHierarchical));
+  ASSERT_EQ(result.labels.size(), sample.size());
+  for (const int label : result.labels) EXPECT_GE(label, 0);
+  EXPECT_GE(result.num_clusters, 1u);
+}
+
+TEST(Pipeline, DistributedJobsReportStats) {
+  const auto sample = small_sample();
+  ExecutionOptions exec;
+  exec.distributed = true;
+  exec.cluster.nodes = 4;
+  exec.records_per_split = 16;
+
+  const auto result =
+      run_pipeline(sample.reads, base_params(Mode::kHierarchical), exec);
+  EXPECT_EQ(result.sketch_stats.input_records, sample.size());
+  EXPECT_EQ(result.sketch_stats.map_tasks, 5u);  // 80 reads / 16 per split
+  EXPECT_EQ(result.similarity_stats.input_records, sample.size());
+  EXPECT_EQ(result.cluster_stats.reduce_tasks, 1u);  // GROUP ALL
+  EXPECT_GT(result.sim_total_s, 0.0);
+  EXPECT_GT(result.sketch_stats.counters.at("reads.sketched"), 0);
+}
+
+TEST(Pipeline, GreedySkipsSimilarityJob) {
+  const auto sample = small_sample();
+  ExecutionOptions exec;
+  exec.distributed = true;
+  const auto result = run_pipeline(sample.reads, base_params(Mode::kGreedy), exec);
+  EXPECT_EQ(result.similarity_stats.input_records, 0u);
+  EXPECT_EQ(result.cluster_stats.reduce_tasks, 1u);
+}
+
+TEST(Pipeline, GreedyIsSimFasterThanHierarchical) {
+  // The paper's consistent observation (Table III): greedy ~2x faster.
+  const auto sample = simdata::build_whole_metagenome(
+      simdata::whole_metagenome_spec("S8"), {.reads = 200, .seed = 2});
+  ExecutionOptions exec;
+  exec.distributed = true;
+  const auto greedy = run_pipeline(sample.reads, base_params(Mode::kGreedy), exec);
+  const auto hier =
+      run_pipeline(sample.reads, base_params(Mode::kHierarchical), exec);
+  EXPECT_LT(greedy.sim_total_s, hier.sim_total_s);
+}
+
+TEST(Pipeline, MoreNodesLowerSimulatedTime) {
+  const auto sample = small_sample();
+  ExecutionOptions few, many;
+  few.cluster.nodes = 2;
+  many.cluster.nodes = 12;
+  const auto params = base_params(Mode::kHierarchical);
+  const auto slow = run_pipeline(sample.reads, params, few);
+  const auto fast = run_pipeline(sample.reads, params, many);
+  EXPECT_GT(slow.sim_total_s, fast.sim_total_s);
+  EXPECT_EQ(slow.labels, fast.labels);  // node count never changes results
+}
+
+TEST(PipelineCost, ModelsArePositiveAndMonotone) {
+  EXPECT_GT(cost::sketch_work(100, 50), 0.0);
+  EXPECT_GT(cost::sketch_work(200, 50), cost::sketch_work(100, 50));
+  EXPECT_GT(cost::compare_work(100), cost::compare_work(50));
+  EXPECT_GT(cost::dendrogram_work(1000), cost::dendrogram_work(100));
+  EXPECT_GT(cost::sketch_bytes(100), cost::sketch_bytes(10));
+}
+
+}  // namespace
+}  // namespace mrmc::core

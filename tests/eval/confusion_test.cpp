@@ -1,0 +1,81 @@
+#include "eval/confusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mrmc::eval {
+namespace {
+
+TEST(ConfusionReport, EmptyInput) {
+  const auto report = confusion_report({}, {});
+  EXPECT_TRUE(report.rows.empty());
+  EXPECT_EQ(report.classes, 0u);
+}
+
+TEST(ConfusionReport, PerfectClustering) {
+  const std::vector<int> labels{0, 0, 1, 1, 1};
+  const std::vector<int> truth{0, 0, 1, 1, 1};
+  const auto report = confusion_report(labels, truth);
+  ASSERT_EQ(report.rows.size(), 2u);
+  // Sorted by size: cluster 1 (3 members) first.
+  EXPECT_EQ(report.rows[0].cluster, 1);
+  EXPECT_EQ(report.rows[0].size, 3u);
+  EXPECT_DOUBLE_EQ(report.rows[0].purity, 1.0);
+  EXPECT_EQ(report.rows[0].majority_class, 1);
+  EXPECT_DOUBLE_EQ(report.class_recall[0], 1.0);
+  EXPECT_DOUBLE_EQ(report.class_recall[1], 1.0);
+}
+
+TEST(ConfusionReport, MixedClusterCountsAndPurity) {
+  // Cluster 0: 3x class0 + 1x class1.
+  const std::vector<int> labels{0, 0, 0, 0};
+  const std::vector<int> truth{0, 0, 0, 1};
+  const auto report = confusion_report(labels, truth);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].class_counts, (std::vector<std::size_t>{3, 1}));
+  EXPECT_DOUBLE_EQ(report.rows[0].purity, 0.75);
+  EXPECT_EQ(report.rows[0].majority_class, 0);
+  // Class 1's single member is trapped in a class-0 cluster: recall 0.
+  EXPECT_DOUBLE_EQ(report.class_recall[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.class_recall[0], 1.0);
+}
+
+TEST(ConfusionReport, SplitClassRecallAggregatesOverClusters) {
+  // Class 0 split over clusters 0 and 1, both designating class 0.
+  const std::vector<int> labels{0, 0, 1, 1};
+  const std::vector<int> truth{0, 0, 0, 0};
+  const auto report = confusion_report(labels, truth);
+  EXPECT_DOUBLE_EQ(report.class_recall[0], 1.0);
+}
+
+TEST(ConfusionReport, RejectsNegativeAndMisaligned) {
+  EXPECT_THROW(confusion_report(std::vector<int>{0}, std::vector<int>{}),
+               common::InvalidArgument);
+  EXPECT_THROW(
+      confusion_report(std::vector<int>{-1}, std::vector<int>{0}),
+      common::InvalidArgument);
+  EXPECT_THROW(
+      confusion_report(std::vector<int>{0}, std::vector<int>{-2}),
+      common::InvalidArgument);
+}
+
+TEST(ConfusionReport, TextRenderingUsesClassNames) {
+  const std::vector<int> labels{0, 0, 1};
+  const std::vector<int> truth{0, 0, 1};
+  const std::vector<std::string> names{"E.coli", "B.subtilis"};
+  const auto text = confusion_report(labels, truth).to_text(names);
+  EXPECT_NE(text.find("E.coli"), std::string::npos);
+  EXPECT_NE(text.find("B.subtilis"), std::string::npos);
+  EXPECT_NE(text.find("recall:"), std::string::npos);
+}
+
+TEST(ConfusionReport, TextFallsBackToClassIndices) {
+  const std::vector<int> labels{0};
+  const std::vector<int> truth{0};
+  const auto text = confusion_report(labels, truth).to_text();
+  EXPECT_NE(text.find("class0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrmc::eval

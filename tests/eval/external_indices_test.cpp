@@ -1,0 +1,145 @@
+#include "eval/external_indices.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace mrmc::eval {
+namespace {
+
+const std::vector<int> kTruth{0, 0, 0, 1, 1, 1, 2, 2, 2};
+const std::vector<int> kPerfect = kTruth;
+const std::vector<int> kMerged{0, 0, 0, 0, 0, 0, 0, 0, 0};
+const std::vector<int> kSplit{0, 1, 2, 3, 4, 5, 6, 7, 8};
+
+// --------------------------------------------------------------------- purity
+
+TEST(Purity, PerfectIsOne) { EXPECT_DOUBLE_EQ(purity(kPerfect, kTruth), 1.0); }
+
+TEST(Purity, AllMergedIsMajorityFraction) {
+  EXPECT_NEAR(purity(kMerged, kTruth), 3.0 / 9.0, 1e-12);
+}
+
+TEST(Purity, AllSplitIsTriviallyPure) {
+  EXPECT_DOUBLE_EQ(purity(kSplit, kTruth), 1.0);
+}
+
+TEST(Purity, EmptyIsZero) { EXPECT_DOUBLE_EQ(purity({}, {}), 0.0); }
+
+// ---------------------------------------------------------------- F-measure
+
+TEST(PairwiseFMeasure, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(pairwise_f_measure(kPerfect, kTruth), 1.0);
+}
+
+TEST(PairwiseFMeasure, SplitHasZeroRecall) {
+  EXPECT_DOUBLE_EQ(pairwise_f_measure(kSplit, kTruth), 0.0);
+}
+
+TEST(PairwiseFMeasure, MergedHasPerfectRecallLowPrecision) {
+  // precision = 9/36, recall = 1 -> F = 2*0.25/1.25 = 0.4.
+  EXPECT_NEAR(pairwise_f_measure(kMerged, kTruth), 0.4, 1e-12);
+}
+
+TEST(PairwiseFMeasure, PenalizesPartialErrors) {
+  std::vector<int> noisy = kTruth;
+  noisy[0] = 1;  // one misassignment
+  const double f = pairwise_f_measure(noisy, kTruth);
+  EXPECT_LT(f, 1.0);
+  EXPECT_GT(f, 0.5);
+}
+
+// ----------------------------------------------------------------------- NMI
+
+TEST(Nmi, PerfectIsOne) {
+  EXPECT_NEAR(normalized_mutual_information(kPerfect, kTruth), 1.0, 1e-12);
+}
+
+TEST(Nmi, RelabelingInvariant) {
+  const std::vector<int> relabeled{2, 2, 2, 0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(normalized_mutual_information(relabeled, kTruth), 1.0, 1e-12);
+}
+
+TEST(Nmi, TrivialPartitionIsZero) {
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(kMerged, kTruth), 0.0);
+}
+
+TEST(Nmi, BoundedToUnitInterval) {
+  common::Xoshiro256 rng(1);
+  std::vector<int> random(kTruth.size());
+  for (auto& label : random) label = static_cast<int>(rng.bounded(3));
+  const double nmi = normalized_mutual_information(random, kTruth);
+  EXPECT_GE(nmi, -1e-12);
+  EXPECT_LE(nmi, 1.0 + 1e-12);
+}
+
+// ----------------------------------------------------------------------- ARI
+
+TEST(Ari, PerfectIsOne) {
+  EXPECT_NEAR(adjusted_rand_index(kPerfect, kTruth), 1.0, 1e-12);
+}
+
+TEST(Ari, RandomIsNearZero) {
+  // Average ARI of random labelings is ~0 (individual draws jitter around it).
+  common::Xoshiro256 rng(2);
+  double total = 0.0;
+  constexpr int kTrials = 200;
+  std::vector<int> truth(60), random(60);
+  for (auto& t : truth) t = static_cast<int>(rng.bounded(4));
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (auto& label : random) label = static_cast<int>(rng.bounded(4));
+    total += adjusted_rand_index(random, truth);
+  }
+  EXPECT_NEAR(total / kTrials, 0.0, 0.02);
+}
+
+TEST(Ari, MergedIsZero) {
+  // One cluster has expected == observed agreement -> index 0.
+  EXPECT_NEAR(adjusted_rand_index(kMerged, kTruth), 0.0, 1e-12);
+}
+
+TEST(Ari, WorseThanRandomCanBeNegative) {
+  // Systematic anti-correlation: split each true class across clusters so
+  // co-clustered pairs are never same-class.
+  const std::vector<int> truth{0, 0, 1, 1, 2, 2};
+  const std::vector<int> anti{0, 1, 0, 1, 0, 1};
+  EXPECT_LT(adjusted_rand_index(anti, truth), 0.0);
+}
+
+// --------------------------------------------------------------- rarefaction
+
+TEST(Rarefaction, MonotoneAndEndsAtObservedRichness) {
+  const std::vector<int> labels{0, 0, 0, 1, 1, 2, 3, 3, 3, 3};
+  const auto curve = rarefaction_curve(labels, 5);
+  ASSERT_EQ(curve.size(), 5u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1] - 1e-9);
+  }
+  EXPECT_NEAR(curve.back(), 4.0, 1e-9);  // full sample sees all 4 clusters
+}
+
+TEST(Rarefaction, UniformCommunitySaturatesSlower) {
+  // A skewed community reveals its few dominant clusters early.
+  std::vector<int> uniform, skewed;
+  for (int i = 0; i < 40; ++i) uniform.push_back(i % 8);
+  for (int i = 0; i < 33; ++i) skewed.push_back(0);
+  for (int i = 0; i < 7; ++i) skewed.push_back(1 + i);
+  const auto curve_uniform = rarefaction_curve(uniform, 4);
+  const auto curve_skewed = rarefaction_curve(skewed, 4);
+  // At 25% subsampling the uniform community has found nearly all 8
+  // clusters; the skewed one is still missing most of its singletons.
+  EXPECT_GT(curve_uniform[0] / 8.0, curve_skewed[0] / 8.0);
+}
+
+TEST(Rarefaction, EmptyAndDegenerate) {
+  EXPECT_TRUE(rarefaction_curve({}, 3).empty());
+  EXPECT_THROW(rarefaction_curve(std::vector<int>{0}, 0), common::InvalidArgument);
+  const auto curve = rarefaction_curve(std::vector<int>{0, 0, 0}, 2);
+  EXPECT_NEAR(curve.back(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mrmc::eval

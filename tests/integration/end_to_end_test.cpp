@@ -1,0 +1,214 @@
+// Cross-module integration tests: miniature versions of the paper's
+// experiments asserting the *relationships* the tables report, plus
+// full-stack FASTA -> DFS -> Pig -> labels round trips.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baselines/hclust_family.hpp"
+#include "baselines/metacluster_like.hpp"
+#include "bio/fasta.hpp"
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "pig/pig.hpp"
+#include "simdata/datasets.hpp"
+
+namespace mrmc {
+namespace {
+
+// --------------------------------------------------- Table III relationships
+
+class TableThreeShape : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TableThreeShape, HierarchicalBeatsGreedyOnAccuracy) {
+  const auto sample = simdata::build_whole_metagenome(
+      simdata::whole_metagenome_spec(GetParam()), {.reads = 300, .seed = 3});
+
+  core::PipelineParams params;
+  params.minhash = {.kmer = 5, .num_hashes = 100, .canonical = true, .seed = 3};
+  core::ExecutionOptions exec;
+  exec.distributed = false;
+
+  params.mode = core::Mode::kHierarchical;
+  params.theta = 0.50;
+  const auto hier = core::run_pipeline(sample.reads, params, exec);
+  params.mode = core::Mode::kGreedy;
+  params.theta = 0.32;
+  const auto greedy = core::run_pipeline(sample.reads, params, exec);
+
+  const double hier_acc =
+      eval::weighted_cluster_accuracy(hier.labels, sample.labels);
+  const double greedy_acc =
+      eval::weighted_cluster_accuracy(greedy.labels, sample.labels);
+  // The paper's consistent Table III finding, with slack for sampling noise.
+  EXPECT_GE(hier_acc, greedy_acc - 0.03) << GetParam();
+  EXPECT_GT(hier_acc, 0.75) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, TableThreeShape,
+                         ::testing::Values("S5", "S8", "S9", "S10", "S12"));
+
+TEST(TableThreeShape, GreedySimTimeAboutHalfOfHierarchical) {
+  const auto sample = simdata::build_whole_metagenome(
+      simdata::whole_metagenome_spec("S8"), {.reads = 250, .seed = 4});
+  core::PipelineParams params;
+  params.minhash = {.kmer = 5, .num_hashes = 100, .canonical = true, .seed = 4};
+  core::ExecutionOptions exec;
+  exec.cluster.nodes = 8;
+
+  params.mode = core::Mode::kHierarchical;
+  params.theta = 0.5;
+  const double hier_s = core::run_pipeline(sample.reads, params, exec).sim_total_s;
+  params.mode = core::Mode::kGreedy;
+  params.theta = 0.32;
+  const double greedy_s = core::run_pipeline(sample.reads, params, exec).sim_total_s;
+  EXPECT_LT(greedy_s, hier_s);
+}
+
+// ---------------------------------------------------- Table IV relationships
+
+TEST(TableFourShape, AlignmentMethodsOverSplitVersusMinHash) {
+  const auto sample =
+      simdata::build_16s_simulated({.reads = 250, .error_rate = 0.03, .seed = 5});
+
+  core::PipelineParams params;
+  params.minhash = {.kmer = 15, .num_hashes = 50, .seed = 5};
+  params.mode = core::Mode::kHierarchical;
+  params.theta = 0.12;
+  core::ExecutionOptions exec;
+  exec.distributed = false;
+  const auto mrmc = core::run_pipeline(sample.reads, params, exec);
+
+  const auto dotur = baselines::dotur_cluster(sample.reads, {.identity = 0.95});
+  EXPECT_GT(dotur.num_clusters, mrmc.num_clusters);
+
+  // MinHash clusters land near the 43-gene ground truth.
+  const std::size_t truth = sample.species.size();
+  EXPECT_NEAR(static_cast<double>(mrmc.num_clusters), static_cast<double>(truth),
+              static_cast<double>(truth) * 0.8);
+}
+
+TEST(TableFourShape, HigherErrorLowersWithinClusterSimilarity) {
+  core::PipelineParams params;
+  params.minhash = {.kmer = 15, .num_hashes = 50, .seed = 6};
+  params.mode = core::Mode::kHierarchical;
+  params.theta = 0.12;
+  core::ExecutionOptions exec;
+  exec.distributed = false;
+
+  double wsim[2] = {0, 0};
+  int index = 0;
+  for (const double error : {0.03, 0.05}) {
+    const auto sample = simdata::build_16s_simulated(
+        {.reads = 250, .error_rate = error, .seed = 6});
+    const auto result = core::run_pipeline(sample.reads, params, exec);
+    eval::SimilarityOptions options;
+    options.min_cluster_size = 2;
+    wsim[index++] =
+        eval::weighted_similarity(result.labels, sample.reads, options);
+  }
+  EXPECT_GT(wsim[0], wsim[1]);  // 3% error clusters are tighter than 5%
+}
+
+// ----------------------------------------------------- Table V relationships
+
+TEST(TableFiveShape, ExhaustiveMethodsAreOrdersOfMagnitudeSlower) {
+  const auto sample = simdata::build_environmental(
+      simdata::environmental_spec("55R"), {.reads = 180, .seed = 7});
+
+  core::PipelineParams params;
+  params.minhash = {.kmer = 15, .num_hashes = 50, .seed = 7};
+  params.mode = core::Mode::kGreedy;
+  params.theta = 0.30;
+  core::ExecutionOptions exec;
+  exec.distributed = false;
+
+  common::Stopwatch watch;
+  const auto greedy = core::run_pipeline(sample.reads, params, exec);
+  const double greedy_s = watch.seconds();
+
+  const auto mothur = baselines::mothur_cluster(sample.reads, {.identity = 0.95});
+  EXPECT_GT(mothur.wall_s, greedy_s * 5.0);
+  EXPECT_GT(greedy.num_clusters, 1u);
+}
+
+// ------------------------------------------------------ full-stack round trip
+
+TEST(FullStack, FastaThroughDfsAndPigMatchesDirectApi) {
+  const auto sample = simdata::build_whole_metagenome(
+      simdata::whole_metagenome_spec("S7"), {.reads = 40, .seed = 8});
+
+  // Write FASTA to DFS, run the Pig script, read labels back out of DFS.
+  mr::SimDfs dfs({.nodes = 4, .block_size = 8192, .replication = 2});
+  dfs.write("/in.fa", bio::write_fasta_string(sample.reads));
+
+  pig::Algorithm3Params params;
+  params.kmer = 5;
+  params.num_hashes = 64;
+  params.seed = 9;
+  params.cutoff = 0.5;
+  const auto pig_result = pig::run_algorithm3(dfs, "/in.fa", "/h", "/g", params);
+
+  core::PipelineParams direct;
+  direct.minhash = {.kmer = 5, .num_hashes = 64, .seed = 9};
+  direct.theta = 0.5;
+  direct.mode = core::Mode::kGreedy;
+  direct.greedy_estimator = core::SketchEstimator::kSetBased;
+  const auto api_result = core::run_pipeline(sample.reads, direct);
+
+  std::map<std::string, int> pig_labels(pig_result.greedy.begin(),
+                                        pig_result.greedy.end());
+  for (std::size_t i = 0; i < sample.reads.size(); ++i) {
+    EXPECT_EQ(pig_labels.at(sample.reads[i].id), api_result.labels[i]);
+  }
+
+  // The stored DFS output is well-formed TSV, one line per read.
+  const std::string stored = dfs.read("/g");
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(stored.begin(), stored.end(), '\n')),
+            sample.reads.size());
+}
+
+TEST(FullStack, FastaRoundTripPreservesClusterInput) {
+  const auto sample = simdata::build_environmental(
+      simdata::environmental_spec("137"), {.reads = 60, .seed = 10});
+  const auto text = bio::write_fasta_string(sample.reads);
+  const auto parsed = bio::read_fasta_string(text);
+  ASSERT_EQ(parsed.size(), sample.reads.size());
+
+  core::PipelineParams params;
+  params.minhash = {.kmer = 15, .num_hashes = 50, .seed = 11};
+  params.theta = 0.35;
+  core::ExecutionOptions exec;
+  exec.distributed = false;
+  EXPECT_EQ(core::run_pipeline(parsed, params, exec).labels,
+            core::run_pipeline(sample.reads, params, exec).labels);
+}
+
+TEST(FullStack, DiversityMetricsReflectAbundanceSkew) {
+  // A skewed community has lower Shannon H' than a uniform one with the
+  // same richness — end-to-end through clustering.
+  const auto genes = simdata::generate_16s_genes(12, {}, 12);
+  simdata::AmpliconParams amplicon;
+  amplicon.errors = simdata::ErrorModel::uniform(0.003);
+
+  const auto uniform = simdata::amplicon_reads(
+      genes, std::vector<double>(12, 1.0), 240, amplicon, 13);
+  const auto skewed = simdata::amplicon_reads(
+      genes, simdata::lognormal_abundances(12, 2.0, 14), 240, amplicon, 13);
+
+  core::PipelineParams params;
+  params.minhash = {.kmer = 15, .num_hashes = 50, .seed = 15};
+  params.theta = 0.35;
+  core::ExecutionOptions exec;
+  exec.distributed = false;
+  const auto label_uniform = core::run_pipeline(uniform.reads, params, exec);
+  const auto label_skewed = core::run_pipeline(skewed.reads, params, exec);
+
+  EXPECT_GT(eval::shannon_index(label_uniform.labels),
+            eval::shannon_index(label_skewed.labels));
+}
+
+}  // namespace
+}  // namespace mrmc

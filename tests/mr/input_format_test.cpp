@@ -1,0 +1,174 @@
+#include "mr/input_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "mr/cluster.hpp"
+#include "mr/job.hpp"
+
+namespace mrmc::mr {
+namespace {
+
+SimDfs small_dfs() {
+  SimDfs::Options options;
+  options.nodes = 4;
+  options.block_size = 64;
+  options.replication = 2;
+  return SimDfs(options);
+}
+
+TEST(TextInputSplits, EveryLineExactlyOnce) {
+  SimDfs dfs = small_dfs();
+  std::string content;
+  for (int i = 0; i < 40; ++i) content += "line_" + std::to_string(i) + "\n";
+  dfs.write("/t", content);
+
+  const auto splits = text_input_splits(dfs, "/t");
+  EXPECT_EQ(splits.splits.size(), dfs.stat("/t").blocks.size());
+  std::vector<std::string> all;
+  for (const auto& split : splits.splits) {
+    all.insert(all.end(), split.begin(), split.end());
+  }
+  ASSERT_EQ(all.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(all[i], "line_" + std::to_string(i));
+}
+
+TEST(TextInputSplits, LineStraddlingBlockBoundaryStaysWhole) {
+  SimDfs dfs = small_dfs();  // block size 64
+  // A 100-char line crosses the first block boundary.
+  const std::string long_line(100, 'x');
+  dfs.write("/t", "short\n" + long_line + "\ntail\n");
+  const auto splits = text_input_splits(dfs, "/t");
+  std::vector<std::string> all;
+  for (const auto& split : splits.splits) {
+    all.insert(all.end(), split.begin(), split.end());
+  }
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[1], long_line);
+}
+
+TEST(TextInputSplits, PreferredNodesAreBlockPrimaries) {
+  SimDfs dfs = small_dfs();
+  dfs.write("/t", std::string(200, 'a') + "\n");
+  const auto splits = text_input_splits(dfs, "/t");
+  const auto& blocks = dfs.stat("/t").blocks;
+  ASSERT_EQ(splits.preferred_nodes.size(), blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    EXPECT_EQ(splits.preferred_nodes[b], blocks[b].replicas.front());
+  }
+}
+
+TEST(FastaInputSplits, RecordsAssignedByHeaderBlock) {
+  SimDfs dfs = small_dfs();
+  std::string fasta;
+  for (int i = 0; i < 12; ++i) {
+    fasta += ">read" + std::to_string(i) + "\nACGTACGTACGTACGTACGT\n";
+  }
+  dfs.write("/f", fasta);
+
+  const auto splits = fasta_input_splits(dfs, "/f");
+  std::size_t total = 0;
+  for (const auto& split : splits.splits) total += split.size();
+  EXPECT_EQ(total, 12u);
+  // Multi-block file: records spread across more than one split.
+  ASSERT_GT(splits.splits.size(), 1u);
+  std::size_t nonempty = 0;
+  for (const auto& split : splits.splits) {
+    if (!split.empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 1u);
+}
+
+TEST(FastaInputSplits, MultiLineRecordCrossingBlocksStaysWhole) {
+  SimDfs dfs = small_dfs();
+  const std::string seq(150, 'G');  // sequence spans 3 blocks
+  dfs.write("/f", ">big\n" + seq + "\n>next\nAC\n");
+  const auto splits = fasta_input_splits(dfs, "/f");
+  std::vector<bio::FastaRecord> all;
+  for (const auto& split : splits.splits) {
+    all.insert(all.end(), split.begin(), split.end());
+  }
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].id, "big");
+  EXPECT_EQ(all[0].seq, seq);
+  EXPECT_EQ(all[1].id, "next");
+}
+
+TEST(FastaInputSplits, RejectsNonFastaContent) {
+  SimDfs dfs = small_dfs();
+  dfs.write("/junk", "this is not fasta\n");
+  EXPECT_THROW(fasta_input_splits(dfs, "/junk"), common::IoError);
+}
+
+TEST(InputSplits, EmptyFileGivesOneEmptySplit) {
+  SimDfs dfs = small_dfs();
+  dfs.write("/empty", "");
+  const auto text = text_input_splits(dfs, "/empty");
+  ASSERT_EQ(text.splits.size(), 1u);
+  EXPECT_TRUE(text.splits[0].empty());
+}
+
+// ------------------------------------------------- speculation / stragglers
+
+TEST(Speculation, RescuesInjectedStraggler) {
+  ClusterConfig config;
+  config.nodes = 4;
+  std::vector<TaskSpec> tasks(16, TaskSpec{10.0, 0.0, 0.0, -1});
+  tasks[5].work = 200.0;  // one straggler
+
+  const SimScheduler plain(config);
+  const double slow = plain.schedule_phase(tasks, 2).makespan_s;
+
+  config.speculative_execution = true;
+  const SimScheduler speculative(config);
+  const auto timeline = speculative.schedule_phase(tasks, 2);
+  EXPECT_LT(timeline.makespan_s, slow);
+  EXPECT_EQ(timeline.speculated_tasks, 1u);
+}
+
+TEST(Speculation, NoEffectOnUniformTasks) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.speculative_execution = true;
+  const SimScheduler scheduler(config);
+  const std::vector<TaskSpec> tasks(12, TaskSpec{10.0, 0.0, 0.0, -1});
+  const auto timeline = scheduler.schedule_phase(tasks, 2);
+  EXPECT_EQ(timeline.speculated_tasks, 0u);
+}
+
+TEST(StragglerInjection, SlowsSimulatedTimeOnly) {
+  using IdJob = Job<int, int, int, std::pair<int, int>>;
+  std::vector<int> input(64);
+  std::iota(input.begin(), input.end(), 0);
+
+  auto make_config = [](double rate) {
+    JobConfig config;
+    config.records_per_split = 4;
+    config.straggler_rate = rate;
+    config.seed = 9;
+    return config;
+  };
+  auto mapper = [](const int& record, Emitter<int, int>& emit) {
+    emit.emit(record % 4, record);
+  };
+  auto reducer = [](const int& key, std::vector<int>& values,
+                    std::vector<std::pair<int, int>>& out) {
+    out.emplace_back(key, static_cast<int>(values.size()));
+  };
+
+  IdJob fast(make_config(0.0), mapper, reducer);
+  fast.with_map_work([](const int&) { return 0.5; });
+  IdJob slow(make_config(0.5), mapper, reducer);
+  slow.with_map_work([](const int&) { return 0.5; });
+
+  const auto fast_result = fast.run(input);
+  const auto slow_result = slow.run(input);
+  EXPECT_EQ(fast_result.output, slow_result.output);  // results unchanged
+  EXPECT_GT(slow_result.stats.timeline.total_s,
+            fast_result.stats.timeline.total_s);
+}
+
+}  // namespace
+}  // namespace mrmc::mr

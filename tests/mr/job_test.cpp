@@ -1,0 +1,240 @@
+#include "mr/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mr/bytes.hpp"
+
+namespace mrmc::mr {
+namespace {
+
+using WordCountJob = Job<std::string, std::string, long, std::pair<std::string, long>>;
+
+JobConfig test_config(std::size_t reducers = 3, std::size_t split = 2) {
+  JobConfig config;
+  config.name = "test";
+  config.num_reducers = reducers;
+  config.records_per_split = split;
+  config.threads = 2;
+  config.cluster.nodes = 4;
+  return config;
+}
+
+WordCountJob::Mapper word_mapper() {
+  return [](const std::string& line, Emitter<std::string, long>& emit) {
+    std::istringstream stream(line);
+    std::string word;
+    while (stream >> word) emit.emit(word, 1);
+  };
+}
+
+WordCountJob::Reducer sum_reducer() {
+  return [](const std::string& word, std::vector<long>& counts,
+            std::vector<std::pair<std::string, long>>& out) {
+    long total = 0;
+    for (const long c : counts) total += c;
+    out.emplace_back(word, total);
+  };
+}
+
+std::map<std::string, long> to_map(
+    const std::vector<std::pair<std::string, long>>& pairs) {
+  return {pairs.begin(), pairs.end()};
+}
+
+const std::vector<std::string> kLines = {
+    "the quick brown fox", "the lazy dog",      "the fox jumps",
+    "lazy lazy dog",       "quick brown brown", "fox"};
+
+TEST(Job, WordCountEndToEnd) {
+  WordCountJob job(test_config(), word_mapper(), sum_reducer());
+  const auto result = job.run(kLines);
+  const auto counts = to_map(result.output);
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("lazy"), 3);
+  EXPECT_EQ(counts.at("brown"), 3);
+  EXPECT_EQ(counts.at("fox"), 3);
+  EXPECT_EQ(counts.at("quick"), 2);
+  EXPECT_EQ(counts.at("dog"), 2);
+  EXPECT_EQ(counts.at("jumps"), 1);
+}
+
+TEST(Job, StatsCountRecords) {
+  WordCountJob job(test_config(3, 2), word_mapper(), sum_reducer());
+  const auto result = job.run(kLines);
+  const JobStats& stats = result.stats;
+  EXPECT_EQ(stats.input_records, 6u);
+  EXPECT_EQ(stats.map_tasks, 3u);  // 6 lines / 2 per split
+  EXPECT_EQ(stats.reduce_tasks, 3u);
+  EXPECT_EQ(stats.map_output_records, 17u);  // total words
+  EXPECT_EQ(stats.reduce_groups, 7u);        // distinct words
+  EXPECT_EQ(stats.output_records, 7u);
+  EXPECT_GT(stats.shuffle_bytes, 0.0);
+  EXPECT_GT(stats.timeline.total_s, 0.0);
+}
+
+TEST(Job, CombinerShrinksShuffleWithoutChangingOutput) {
+  WordCountJob plain(test_config(2, 3), word_mapper(), sum_reducer());
+  const auto baseline = plain.run(kLines);
+
+  WordCountJob combined(test_config(2, 3), word_mapper(), sum_reducer());
+  combined.with_combiner([](const std::string& word, std::vector<long>& counts,
+                            Emitter<std::string, long>& emit) {
+    long total = 0;
+    for (const long c : counts) total += c;
+    emit.emit(word, total);
+  });
+  const auto result = combined.run(kLines);
+
+  EXPECT_EQ(to_map(result.output), to_map(baseline.output));
+  EXPECT_LT(result.stats.map_output_records, baseline.stats.map_output_records);
+  EXPECT_LT(result.stats.shuffle_bytes, baseline.stats.shuffle_bytes);
+  EXPECT_EQ(result.stats.pre_combine_records,
+            baseline.stats.map_output_records);
+}
+
+TEST(Job, CustomPartitionerRoutesKeys) {
+  // All keys to partition 0: reducer 0 sees every group.
+  WordCountJob job(test_config(4, 2), word_mapper(), sum_reducer());
+  job.with_partitioner([](const std::string&) { return std::size_t{0}; });
+  const auto result = job.run(kLines);
+  EXPECT_EQ(result.stats.reduce_groups, 7u);
+  EXPECT_EQ(to_map(result.output).size(), 7u);
+}
+
+TEST(Job, DeterministicOutputAcrossRuns) {
+  WordCountJob job1(test_config(3, 2), word_mapper(), sum_reducer());
+  WordCountJob job2(test_config(3, 2), word_mapper(), sum_reducer());
+  const auto a = job1.run(kLines);
+  const auto b = job2.run(kLines);
+  EXPECT_EQ(a.output, b.output);  // identical ordering, not just same set
+  EXPECT_DOUBLE_EQ(a.stats.timeline.total_s, b.stats.timeline.total_s);
+}
+
+TEST(Job, EmptyInputProducesEmptyOutput) {
+  WordCountJob job(test_config(), word_mapper(), sum_reducer());
+  const auto result = job.run({});
+  EXPECT_TRUE(result.output.empty());
+  EXPECT_EQ(result.stats.input_records, 0u);
+}
+
+TEST(Job, SingleRecordSingleReducer) {
+  WordCountJob job(test_config(1, 10), word_mapper(), sum_reducer());
+  const auto result = job.run({"hello hello"});
+  ASSERT_EQ(result.output.size(), 1u);
+  EXPECT_EQ(result.output[0], (std::pair<std::string, long>{"hello", 2}));
+}
+
+TEST(Job, CountersAggregateAcrossTasks) {
+  WordCountJob job(test_config(2, 2),
+                   [](const std::string& line, Emitter<std::string, long>& emit) {
+                     emit.count("lines.seen");
+                     emit.emit(line.substr(0, 1), 1);
+                   },
+                   sum_reducer());
+  const auto result = job.run(kLines);
+  EXPECT_EQ(result.stats.counters.at("lines.seen"), 6);
+}
+
+TEST(Job, ValuesArriveGroupedAndComplete) {
+  using GroupJob = Job<int, int, int, std::pair<int, std::vector<int>>>;
+  GroupJob job(test_config(2, 3),
+               [](const int& record, Emitter<int, int>& emit) {
+                 emit.emit(record % 3, record);
+               },
+               [](const int& key, std::vector<int>& values,
+                  std::vector<std::pair<int, std::vector<int>>>& out) {
+                 std::sort(values.begin(), values.end());
+                 out.emplace_back(key, values);
+               });
+  std::vector<int> input(12);
+  for (int i = 0; i < 12; ++i) input[i] = i;
+  const auto result = job.run(input);
+  ASSERT_EQ(result.output.size(), 3u);
+  for (const auto& [key, values] : result.output) {
+    ASSERT_EQ(values.size(), 4u);
+    for (const int v : values) EXPECT_EQ(v % 3, key);
+  }
+}
+
+TEST(Job, FailureInjectionCountsRetriesAndPreservesOutput) {
+  auto config = test_config(2, 1);  // 6 map tasks
+  config.map_failure_rate = 1.0;    // every task fails once
+  WordCountJob job(config, word_mapper(), sum_reducer());
+  const auto result = job.run(kLines);
+  EXPECT_EQ(result.stats.map_retries, 6u);
+  EXPECT_EQ(to_map(result.output).at("the"), 3);
+
+  auto clean_config = test_config(2, 1);
+  WordCountJob clean(clean_config, word_mapper(), sum_reducer());
+  const auto baseline = clean.run(kLines);
+  // Retried tasks cost more simulated time.
+  EXPECT_GT(result.stats.timeline.total_s, baseline.stats.timeline.total_s);
+}
+
+TEST(Job, WorkModelsDriveSimulatedTime) {
+  auto slow_config = test_config(2, 2);
+  WordCountJob slow(slow_config, word_mapper(), sum_reducer());
+  slow.with_map_work([](const std::string&) { return 100.0; });
+  WordCountJob fast(test_config(2, 2), word_mapper(), sum_reducer());
+  fast.with_map_work([](const std::string&) { return 0.001; });
+  EXPECT_GT(slow.run(kLines).stats.timeline.total_s,
+            fast.run(kLines).stats.timeline.total_s);
+}
+
+TEST(Job, MoreNodesReduceSimulatedTime) {
+  auto small = test_config(4, 1);
+  small.cluster.nodes = 2;
+  auto large = test_config(4, 1);
+  large.cluster.nodes = 12;
+  WordCountJob job_small(small, word_mapper(), sum_reducer());
+  WordCountJob job_large(large, word_mapper(), sum_reducer());
+  job_small.with_map_work([](const std::string&) { return 50.0; });
+  job_large.with_map_work([](const std::string&) { return 50.0; });
+  EXPECT_GT(job_small.run(kLines).stats.timeline.total_s,
+            job_large.run(kLines).stats.timeline.total_s);
+}
+
+TEST(Job, RunSplitsHonorsExplicitLocality) {
+  WordCountJob job(test_config(2, 2), word_mapper(), sum_reducer());
+  const std::vector<std::vector<std::string>> splits = {{"a b"}, {"c d"}};
+  const auto result = job.run_splits(splits, {1, 3});
+  EXPECT_EQ(result.stats.map_tasks, 2u);
+  EXPECT_EQ(to_map(result.output).size(), 4u);
+  EXPECT_THROW(job.run_splits(splits, {1}), common::InvalidArgument);
+}
+
+TEST(Job, RejectsInvalidConfig) {
+  auto config = test_config();
+  config.num_reducers = 0;
+  EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+               common::InvalidArgument);
+  config = test_config();
+  config.records_per_split = 0;
+  EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+               common::InvalidArgument);
+}
+
+// ------------------------------------------------------------- approx_bytes
+
+TEST(ApproxBytes, ScalarsAndStrings) {
+  EXPECT_DOUBLE_EQ(approx_bytes(42), 4.0);
+  EXPECT_DOUBLE_EQ(approx_bytes(42L), 8.0);
+  EXPECT_DOUBLE_EQ(approx_bytes(std::string("abcd")), 12.0);
+}
+
+TEST(ApproxBytes, PairsAndVectorsRecurse) {
+  EXPECT_DOUBLE_EQ(approx_bytes(std::pair<int, long>{1, 2}), 12.0);
+  EXPECT_DOUBLE_EQ(approx_bytes(std::vector<long>{1, 2, 3}), 8.0 + 24.0);
+  const std::vector<std::string> words{"ab", "c"};
+  EXPECT_DOUBLE_EQ(approx_bytes(words), 8.0 + 10.0 + 9.0);
+}
+
+}  // namespace
+}  // namespace mrmc::mr

@@ -1,0 +1,151 @@
+#include "mr/simdfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mrmc::mr {
+namespace {
+
+SimDfs::Options small_options() {
+  SimDfs::Options options;
+  options.nodes = 4;
+  options.block_size = 100;
+  options.replication = 2;
+  return options;
+}
+
+TEST(SimDfs, WriteReadRoundTrip) {
+  SimDfs dfs(small_options());
+  dfs.write("/data/sample.fa", ">a\nACGT\n");
+  EXPECT_TRUE(dfs.exists("/data/sample.fa"));
+  EXPECT_EQ(dfs.read("/data/sample.fa"), ">a\nACGT\n");
+}
+
+TEST(SimDfs, MissingFileThrows) {
+  SimDfs dfs(small_options());
+  EXPECT_THROW((void)dfs.read("/nope"), common::IoError);
+  EXPECT_THROW((void)dfs.stat("/nope"), common::IoError);
+  EXPECT_THROW(dfs.remove("/nope"), common::IoError);
+  EXPECT_FALSE(dfs.exists("/nope"));
+}
+
+TEST(SimDfs, OverwriteReplacesContent) {
+  SimDfs dfs(small_options());
+  dfs.write("/f", "first");
+  dfs.write("/f", "second");
+  EXPECT_EQ(dfs.read("/f"), "second");
+}
+
+TEST(SimDfs, ChunksIntoBlocks) {
+  SimDfs dfs(small_options());
+  dfs.write("/big", std::string(250, 'x'));
+  const auto& info = dfs.stat("/big");
+  ASSERT_EQ(info.blocks.size(), 3u);
+  EXPECT_EQ(info.blocks[0].size, 100u);
+  EXPECT_EQ(info.blocks[1].size, 100u);
+  EXPECT_EQ(info.blocks[2].size, 50u);
+  EXPECT_EQ(info.blocks[1].offset, 100u);
+  EXPECT_EQ(info.size, 250u);
+}
+
+TEST(SimDfs, ReadBlockReturnsSlice) {
+  SimDfs dfs(small_options());
+  std::string content;
+  for (int i = 0; i < 25; ++i) content += "0123456789";
+  dfs.write("/b", content);
+  EXPECT_EQ(dfs.read_block("/b", 0), content.substr(0, 100));
+  EXPECT_EQ(dfs.read_block("/b", 2), content.substr(200, 50));
+  EXPECT_THROW((void)dfs.read_block("/b", 3), common::InvalidArgument);
+}
+
+TEST(SimDfs, ReplicationPlacesDistinctNodes) {
+  SimDfs dfs(small_options());
+  dfs.write("/r", std::string(500, 'y'));
+  for (const auto& block : dfs.stat("/r").blocks) {
+    ASSERT_EQ(block.replicas.size(), 2u);
+    EXPECT_NE(block.replicas[0], block.replicas[1]);
+    for (const int node : block.replicas) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 4);
+    }
+  }
+}
+
+TEST(SimDfs, ReplicationClampedToNodeCount) {
+  SimDfs::Options options;
+  options.nodes = 2;
+  options.replication = 5;
+  SimDfs dfs(options);
+  dfs.write("/c", "data");
+  EXPECT_EQ(dfs.stat("/c").blocks[0].replicas.size(), 2u);
+}
+
+TEST(SimDfs, PrimariesRotateAcrossNodes) {
+  SimDfs dfs(small_options());
+  dfs.write("/rot", std::string(400, 'z'));  // 4 blocks
+  const auto& blocks = dfs.stat("/rot").blocks;
+  std::set<int> primaries;
+  for (const auto& block : blocks) primaries.insert(block.replicas[0]);
+  EXPECT_EQ(primaries.size(), 4u);  // round-robin over 4 nodes
+}
+
+TEST(SimDfs, AppendExtendsAndCreates) {
+  SimDfs dfs(small_options());
+  dfs.append("/log", "one");
+  dfs.append("/log", "two");
+  EXPECT_EQ(dfs.read("/log"), "onetwo");
+}
+
+TEST(SimDfs, ListIsSortedAndPrefixed) {
+  SimDfs dfs(small_options());
+  dfs.write("/out/part-1", "a");
+  dfs.write("/in/reads.fa", "b");
+  dfs.write("/out/part-0", "c");
+  EXPECT_EQ(dfs.list(),
+            (std::vector<std::string>{"/in/reads.fa", "/out/part-0", "/out/part-1"}));
+  EXPECT_EQ(dfs.list("/out/"),
+            (std::vector<std::string>{"/out/part-0", "/out/part-1"}));
+  EXPECT_TRUE(dfs.list("/none/").empty());
+}
+
+TEST(SimDfs, RemoveDeletes) {
+  SimDfs dfs(small_options());
+  dfs.write("/f", "x");
+  dfs.remove("/f");
+  EXPECT_FALSE(dfs.exists("/f"));
+}
+
+TEST(SimDfs, NodeUsageCountsReplicas) {
+  SimDfs dfs(small_options());
+  dfs.write("/u", std::string(200, 'u'));  // 2 blocks x 2 replicas x 100 B
+  const auto usage = dfs.node_usage();
+  EXPECT_EQ(std::accumulate(usage.begin(), usage.end(), std::size_t{0}), 400u);
+}
+
+TEST(SimDfs, TotalBytesIsLogicalSize) {
+  SimDfs dfs(small_options());
+  dfs.write("/a", std::string(150, 'a'));
+  dfs.write("/b", std::string(50, 'b'));
+  EXPECT_EQ(dfs.total_bytes(), 200u);
+}
+
+TEST(SimDfs, EmptyFileAllowed) {
+  SimDfs dfs(small_options());
+  dfs.write("/empty", "");
+  EXPECT_TRUE(dfs.exists("/empty"));
+  EXPECT_EQ(dfs.read("/empty"), "");
+  EXPECT_TRUE(dfs.stat("/empty").blocks.empty());
+}
+
+TEST(SimDfs, RejectsEmptyPath) {
+  SimDfs dfs(small_options());
+  EXPECT_THROW(dfs.write("", "x"), common::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrmc::mr

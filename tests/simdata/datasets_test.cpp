@@ -1,0 +1,188 @@
+#include "simdata/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace mrmc::simdata {
+namespace {
+
+// ----------------------------------------------------------- Table II specs
+
+TEST(WholeMetagenomeRegistry, HasAllFifteenSamples) {
+  const auto& registry = whole_metagenome_registry();
+  ASSERT_EQ(registry.size(), 15u);
+  std::set<std::string> sids;
+  for (const auto& spec : registry) sids.insert(spec.sid);
+  for (const char* sid : {"S1", "S5", "S9", "S12", "S13", "S14", "R1"}) {
+    EXPECT_TRUE(sids.contains(sid)) << sid;
+  }
+}
+
+TEST(WholeMetagenomeRegistry, PaperReadCountsMatchTableII) {
+  EXPECT_EQ(whole_metagenome_spec("S1").paper_reads, 49998u);
+  EXPECT_EQ(whole_metagenome_spec("S11").paper_reads, 99998u);
+  EXPECT_EQ(whole_metagenome_spec("S12").paper_reads, 99994u);
+  EXPECT_EQ(whole_metagenome_spec("S13").paper_reads, 4000u);
+  EXPECT_EQ(whole_metagenome_spec("S14").paper_reads, 6000u);
+  EXPECT_EQ(whole_metagenome_spec("R1").paper_reads, 7137u);
+}
+
+TEST(WholeMetagenomeRegistry, SpeciesCountsMatchTableII) {
+  EXPECT_EQ(whole_metagenome_spec("S1").species.size(), 2u);
+  EXPECT_EQ(whole_metagenome_spec("S9").species.size(), 3u);
+  EXPECT_EQ(whole_metagenome_spec("S11").species.size(), 4u);
+  EXPECT_EQ(whole_metagenome_spec("S12").species.size(), 6u);
+}
+
+TEST(WholeMetagenomeRegistry, GcContentsMatchTableII) {
+  const auto& s1 = whole_metagenome_spec("S1");
+  EXPECT_DOUBLE_EQ(s1.species[0].gc, 0.44);  // Bacillus halodurans [0.44]
+  const auto& s8 = whole_metagenome_spec("S8");
+  EXPECT_DOUBLE_EQ(s8.species[1].gc, 0.65);  // Rhodospirillum rubrum [0.65]
+}
+
+TEST(WholeMetagenomeRegistry, RatiosMatchTableII) {
+  const auto& s9 = whole_metagenome_spec("S9");  // 1:1:8
+  EXPECT_EQ(s9.species[0].ratio, 1);
+  EXPECT_EQ(s9.species[2].ratio, 8);
+  const auto& s5 = whole_metagenome_spec("S5");  // 1:2
+  EXPECT_EQ(s5.species[1].ratio, 2);
+}
+
+TEST(WholeMetagenomeRegistry, R1HasNoGroundTruth) {
+  const auto& r1 = whole_metagenome_spec("R1");
+  EXPECT_FALSE(r1.has_ground_truth);
+  EXPECT_EQ(r1.ground_truth_clusters, -1);
+}
+
+TEST(WholeMetagenomeRegistry, UnknownSidThrows) {
+  EXPECT_THROW(whole_metagenome_spec("S99"), common::InvalidArgument);
+}
+
+TEST(WholeMetagenomeRegistry, BranchLengthsRespectTaxonomicOrdering) {
+  // S1 is species-level (closest), S8 order-level: S8's species must sit
+  // farther from their ancestor.
+  EXPECT_LT(whole_metagenome_spec("S1").species[0].branch,
+            whole_metagenome_spec("S8").species[0].branch);
+}
+
+// -------------------------------------------------------- Table II builder
+
+TEST(BuildWholeMetagenome, ExplicitReadCount) {
+  const auto sample =
+      build_whole_metagenome(whole_metagenome_spec("S1"), {.reads = 120});
+  EXPECT_EQ(sample.size(), 120u);
+  EXPECT_EQ(sample.labels.size(), 120u);
+  EXPECT_EQ(sample.species.size(), 2u);
+}
+
+TEST(BuildWholeMetagenome, ScaleDefaultsFromPaperReads) {
+  WholeMetagenomeOptions options;
+  options.scale = 0.01;
+  const auto sample =
+      build_whole_metagenome(whole_metagenome_spec("S1"), options);
+  EXPECT_EQ(sample.size(), 499u);  // 49998 * 0.01
+}
+
+TEST(BuildWholeMetagenome, RatioSkewIsVisible) {
+  const auto sample =
+      build_whole_metagenome(whole_metagenome_spec("S9"), {.reads = 1000});
+  // S9 is 1:1:8 -> species 2 dominates.
+  const long dominant = std::count(sample.labels.begin(), sample.labels.end(), 2);
+  EXPECT_NEAR(static_cast<double>(dominant), 800.0, 10.0);
+}
+
+TEST(BuildWholeMetagenome, R1LabelsAreCleared) {
+  const auto sample =
+      build_whole_metagenome(whole_metagenome_spec("R1"), {.reads = 50});
+  EXPECT_EQ(sample.size(), 50u);
+  EXPECT_TRUE(sample.labels.empty());
+  EXPECT_FALSE(sample.has_labels());
+}
+
+TEST(BuildWholeMetagenome, DeterministicPerSeed) {
+  const auto& spec = whole_metagenome_spec("S3");
+  const auto a = build_whole_metagenome(spec, {.reads = 40, .seed = 9});
+  const auto b = build_whole_metagenome(spec, {.reads = 40, .seed = 9});
+  EXPECT_EQ(a.reads, b.reads);
+  const auto c = build_whole_metagenome(spec, {.reads = 40, .seed = 10});
+  EXPECT_NE(a.reads, c.reads);
+}
+
+TEST(BuildWholeMetagenome, ReadLengthHonored) {
+  const auto sample = build_whole_metagenome(whole_metagenome_spec("S2"),
+                                             {.reads = 30, .read_length = 150});
+  for (const auto& read : sample.reads) {
+    EXPECT_GE(read.seq.size(), 120u);
+    EXPECT_LE(read.seq.size(), 180u);
+  }
+}
+
+// ------------------------------------------------------------ Table I specs
+
+TEST(EnvironmentalRegistry, HasAllEightSamples) {
+  ASSERT_EQ(environmental_registry().size(), 8u);
+  EXPECT_EQ(environmental_spec("53R").paper_reads, 11218u);
+  EXPECT_EQ(environmental_spec("FS396").paper_reads, 73657u);
+  EXPECT_EQ(environmental_spec("112R").depth_m, 4121);
+  EXPECT_DOUBLE_EQ(environmental_spec("FS312").temp_c, 31.2);
+}
+
+TEST(EnvironmentalRegistry, UnknownSidThrows) {
+  EXPECT_THROW(environmental_spec("99Z"), common::InvalidArgument);
+}
+
+TEST(BuildEnvironmental, ScaledReadCount) {
+  Env16sOptions options;
+  options.scale = 1.0 / 100.0;
+  const auto sample = build_environmental(environmental_spec("53R"), options);
+  EXPECT_EQ(sample.size(), 112u);  // 11218 / 100
+}
+
+TEST(BuildEnvironmental, ShortReadsNearSixtyBp) {
+  const auto sample =
+      build_environmental(environmental_spec("55R"), {.reads = 100});
+  double mean = 0;
+  for (const auto& read : sample.reads) mean += static_cast<double>(read.seq.size());
+  mean /= 100.0;
+  EXPECT_NEAR(mean, 60.0, 10.0);
+}
+
+TEST(BuildEnvironmental, ManyLatentOtusAppear) {
+  const auto sample =
+      build_environmental(environmental_spec("112R"), {.reads = 400});
+  std::set<int> otus(sample.labels.begin(), sample.labels.end());
+  EXPECT_GT(otus.size(), 10u);
+}
+
+// ------------------------------------------------------------ 16S simulated
+
+TEST(Build16sSimulated, DefaultsToFortyThreeGenomes) {
+  const auto sample = build_16s_simulated({.reads = 200});
+  EXPECT_EQ(sample.size(), 200u);
+  EXPECT_EQ(sample.species.size(), 43u);
+}
+
+TEST(Build16sSimulated, ErrorRateLowersPairwiseIdentity) {
+  const auto clean = build_16s_simulated({.reads = 60, .error_rate = 0.0});
+  const auto noisy = build_16s_simulated({.reads = 60, .error_rate = 0.05});
+  // Same-OTU identical-window reads are exact duplicates when error-free.
+  // Count exact duplicate pairs as a proxy.
+  auto duplicate_pairs = [](const LabeledReads& sample) {
+    int pairs = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      for (std::size_t j = i + 1; j < sample.size(); ++j) {
+        if (sample.reads[i].seq == sample.reads[j].seq) ++pairs;
+      }
+    }
+    return pairs;
+  };
+  EXPECT_GT(duplicate_pairs(clean), duplicate_pairs(noisy));
+}
+
+}  // namespace
+}  // namespace mrmc::simdata

@@ -1,0 +1,93 @@
+#include "simdata/fastq_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mrmc::simdata {
+namespace {
+
+std::vector<bio::FastaRecord> templates() {
+  return {{"a", "a", std::string(200, 'A')}, {"b", "b", std::string(200, 'C')}};
+}
+
+TEST(AttachQualities, CleanReadsScoreHigh) {
+  const auto fastq = attach_qualities(templates(), {{}, {}}, {}, 1);
+  ASSERT_EQ(fastq.size(), 2u);
+  for (const auto& record : fastq) {
+    ASSERT_EQ(record.quality.size(), record.seq.size());
+    for (const char q : record.quality) {
+      EXPECT_GE(bio::phred_score(q), 30);
+    }
+  }
+}
+
+TEST(AttachQualities, ErrorPositionsScoreLow) {
+  const std::vector<std::vector<std::size_t>> positions{{5, 10, 15}, {}};
+  QualityModel model;
+  model.miscalibrated = 0.0;
+  model.jitter = 2;
+  const auto fastq = attach_qualities(templates(), positions, model, 2);
+  for (const std::size_t pos : positions[0]) {
+    EXPECT_LE(bio::phred_score(fastq[0].quality[pos]), model.error_quality + 2);
+  }
+  EXPECT_GE(bio::phred_score(fastq[1].quality[5]), 30);
+}
+
+TEST(AttachQualities, RejectsMismatchedInputs) {
+  EXPECT_THROW(attach_qualities(templates(), {{}}, {}, 1),
+               common::InvalidArgument);
+  QualityModel bad;
+  bad.clean_quality = 5;
+  bad.error_quality = 10;
+  EXPECT_THROW(attach_qualities(templates(), {{}, {}}, bad, 1),
+               common::InvalidArgument);
+}
+
+TEST(SimulateFastq, ErrorFreeKeepsTemplates) {
+  const auto result = simulate_fastq(templates(), {}, {}, 3);
+  ASSERT_EQ(result.reads.size(), 2u);
+  EXPECT_EQ(result.reads[0].seq, templates()[0].seq);
+  EXPECT_TRUE(result.error_positions[0].empty());
+}
+
+TEST(SimulateFastq, RecordsErrorPositions) {
+  const auto result =
+      simulate_fastq(templates(), {.subst_rate = 0.1}, {}, 4);
+  // ~20 substitutions per 200-base read.
+  EXPECT_GT(result.error_positions[0].size(), 5u);
+  EXPECT_LT(result.error_positions[0].size(), 50u);
+  // Every recorded position differs from the template ('A').
+  for (const std::size_t pos : result.error_positions[0]) {
+    EXPECT_NE(result.reads[0].seq[pos], 'A');
+  }
+}
+
+TEST(SimulateFastq, QualityFilterRemovesErrorBases) {
+  // End-to-end QC: simulate noisy FASTQ, filter, verify survivors are the
+  // cleaner reads.  High error rate so some reads trim short and drop.
+  QualityModel model;
+  model.miscalibrated = 0.0;
+  const auto result = simulate_fastq(templates(), {.subst_rate = 0.08}, model, 5);
+
+  std::size_t dropped = 0;
+  const auto kept = bio::quality_filter(
+      result.reads,
+      {.trim_quality = 20, .min_length = 100, .max_mean_error = 0.01}, &dropped);
+  EXPECT_EQ(kept.size() + dropped, result.reads.size());
+  for (const auto& record : kept) {
+    // Survivors were 3'-trimmed at their first low-quality base: the kept
+    // prefix contains clean calls only.
+    EXPECT_LE(bio::mean_error_probability(record), 0.01);
+  }
+}
+
+TEST(SimulateFastq, DeterministicPerSeed) {
+  const auto a = simulate_fastq(templates(), {.subst_rate = 0.05}, {}, 6);
+  const auto b = simulate_fastq(templates(), {.subst_rate = 0.05}, {}, 6);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.error_positions, b.error_positions);
+}
+
+}  // namespace
+}  // namespace mrmc::simdata

@@ -1,0 +1,157 @@
+#include "simdata/genome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/alignment.hpp"
+#include "bio/dna.hpp"
+#include "bio/kmer.hpp"
+#include "common/error.hpp"
+
+namespace mrmc::simdata {
+namespace {
+
+TEST(TaxonRank, NamesAndMonotoneDivergence) {
+  EXPECT_STREQ(taxon_rank_name(TaxonRank::kSpecies), "Species");
+  EXPECT_STREQ(taxon_rank_name(TaxonRank::kKingdom), "Kingdom");
+  double previous = 0.0;
+  for (const auto rank :
+       {TaxonRank::kStrain, TaxonRank::kSpecies, TaxonRank::kGenus,
+        TaxonRank::kFamily, TaxonRank::kOrder, TaxonRank::kPhylum,
+        TaxonRank::kKingdom}) {
+    EXPECT_GT(taxon_divergence(rank), previous);
+    previous = taxon_divergence(rank);
+  }
+}
+
+TEST(RandomGenome, LengthAndAlphabet) {
+  const Genome genome = random_genome("g", 5000, 0.5, 1);
+  EXPECT_EQ(genome.seq.size(), 5000u);
+  EXPECT_TRUE(bio::is_valid_dna(genome.seq));
+}
+
+TEST(RandomGenome, GcContentTracksTarget) {
+  for (const double gc : {0.3, 0.5, 0.65}) {
+    const Genome genome = random_genome("g", 20000, gc, 2);
+    EXPECT_NEAR(genome.gc(), gc, 0.02) << gc;
+  }
+}
+
+TEST(RandomGenome, DeterministicPerSeed) {
+  EXPECT_EQ(random_genome("a", 1000, 0.5, 3).seq,
+            random_genome("b", 1000, 0.5, 3).seq);
+  EXPECT_NE(random_genome("a", 1000, 0.5, 3).seq,
+            random_genome("a", 1000, 0.5, 4).seq);
+}
+
+TEST(RandomGenome, RejectsBadGc) {
+  EXPECT_THROW(random_genome("g", 10, 1.5, 1), common::InvalidArgument);
+}
+
+TEST(MutateGenome, ZeroRatesCopyParent) {
+  const Genome parent = random_genome("p", 2000, 0.5, 5);
+  const Genome child = mutate_genome(parent, "c", 0.0, 0.0, 6);
+  EXPECT_EQ(child.seq, parent.seq);
+}
+
+TEST(MutateGenome, SubstitutionRateIsRespected) {
+  const Genome parent = random_genome("p", 50000, 0.5, 7);
+  const Genome child = mutate_genome(parent, "c", 0.1, 0.0, 8);
+  ASSERT_EQ(child.seq.size(), parent.seq.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < parent.seq.size(); ++i) {
+    if (parent.seq[i] != child.seq[i]) ++diffs;
+  }
+  EXPECT_NEAR(static_cast<double>(diffs) / 50000.0, 0.1, 0.01);
+}
+
+TEST(MutateGenome, IndelsChangeLengthModestly) {
+  const Genome parent = random_genome("p", 20000, 0.5, 9);
+  const Genome child = mutate_genome(parent, "c", 0.0, 0.02, 10);
+  // Insertions and deletions are balanced in expectation.
+  EXPECT_NEAR(static_cast<double>(child.seq.size()), 20000.0, 400.0);
+  EXPECT_NE(child.seq, parent.seq);
+}
+
+TEST(MutateGenome, AlignmentIdentityMatchesDivergence) {
+  const Genome parent = random_genome("p", 400, 0.5, 11);
+  const Genome child = mutate_genome(parent, "c", 0.05, 0.0, 12);
+  const double identity = bio::global_identity(parent.seq, child.seq);
+  EXPECT_GT(identity, 0.90);
+  EXPECT_LT(identity, 1.0);
+}
+
+TEST(RelatedGenomes, CountAndDistinctness) {
+  const auto family = related_genomes("fam", 3, 5000, 0.5, TaxonRank::kGenus, 13);
+  ASSERT_EQ(family.size(), 3u);
+  EXPECT_NE(family[0].seq, family[1].seq);
+  EXPECT_NE(family[1].seq, family[2].seq);
+}
+
+TEST(RelatedGenomes, CloserRankMeansHigherKmerSimilarity) {
+  const auto species = related_genomes("s", 2, 20000, 0.5, TaxonRank::kSpecies, 14);
+  const auto phyla = related_genomes("p", 2, 20000, 0.5, TaxonRank::kPhylum, 14);
+  const auto jaccard = [](const Genome& a, const Genome& b) {
+    return bio::exact_jaccard(bio::kmer_set(a.seq, {.k = 12}),
+                              bio::kmer_set(b.seq, {.k = 12}));
+  };
+  EXPECT_GT(jaccard(species[0], species[1]), jaccard(phyla[0], phyla[1]));
+}
+
+// ------------------------------------------------------- MarkovGenomeModel
+
+TEST(MarkovGenomeModel, RowsAreDistributions) {
+  const MarkovGenomeModel model(0.5, 0.3, 21);
+  for (std::size_t context = 0; context < MarkovGenomeModel::kContexts; ++context) {
+    double total = 0;
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_GE(model.probability(context, b), 0.0);
+      total += model.probability(context, b);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovGenomeModel, SampleHasRequestedLength) {
+  const MarkovGenomeModel model(0.5, 0.3, 22);
+  const Genome genome = model.sample("m", 3000, 23);
+  EXPECT_EQ(genome.seq.size(), 3000u);
+  EXPECT_TRUE(bio::is_valid_dna(genome.seq));
+}
+
+TEST(MarkovGenomeModel, GcBiasShowsInSamples) {
+  const MarkovGenomeModel rich(0.7, 1.0, 24);
+  const MarkovGenomeModel poor(0.3, 1.0, 24);
+  EXPECT_GT(rich.sample("r", 20000, 25).gc(), poor.sample("p", 20000, 25).gc());
+}
+
+TEST(MarkovGenomeModel, ZeroMixChildMatchesParentComposition) {
+  const MarkovGenomeModel parent(0.5, 0.3, 26);
+  const MarkovGenomeModel child = parent.derive_child(0.0, 27);
+  for (std::size_t context = 0; context < MarkovGenomeModel::kContexts; ++context) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_NEAR(child.probability(context, b), parent.probability(context, b),
+                  1e-12);
+    }
+  }
+}
+
+TEST(MarkovGenomeModel, LargerMixDivergesCompositionMore) {
+  const MarkovGenomeModel parent(0.5, 0.25, 28);
+  const auto jaccard_to_parent = [&](double mix) {
+    const MarkovGenomeModel child = parent.derive_child(mix, 29);
+    const Genome a = parent.sample("a", 30000, 30);
+    const Genome b = child.sample("b", 30000, 31);
+    return bio::exact_jaccard(bio::kmer_set(a.seq, {.k = 6}),
+                              bio::kmer_set(b.seq, {.k = 6}));
+  };
+  EXPECT_GT(jaccard_to_parent(0.1), jaccard_to_parent(0.9));
+}
+
+TEST(BranchToCompositionMix, MonotoneAndCapped) {
+  EXPECT_LT(branch_to_composition_mix(0.02), branch_to_composition_mix(0.2));
+  EXPECT_LE(branch_to_composition_mix(1.0), 0.95);
+  EXPECT_DOUBLE_EQ(branch_to_composition_mix(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mrmc::simdata

@@ -1,0 +1,165 @@
+#include "simdata/marker16s.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bio/alignment.hpp"
+#include "common/error.hpp"
+
+namespace mrmc::simdata {
+namespace {
+
+TEST(Generate16sGenes, CountAndLength) {
+  const auto genes = generate_16s_genes(5, {}, 1);
+  ASSERT_EQ(genes.size(), 5u);
+  for (const auto& gene : genes) {
+    // Indels in the variable blocks perturb the length slightly.
+    EXPECT_NEAR(static_cast<double>(gene.seq.size()), 1500.0, 30.0);
+  }
+  EXPECT_EQ(genes[0].name, "OTU_0");
+}
+
+TEST(Generate16sGenes, ConservedBlocksStayConserved) {
+  Marker16sParams params;
+  const auto genes = generate_16s_genes(2, params, 2);
+  // Block 0 (conserved, bases 0-74) should be nearly identical across taxa;
+  // block 1 (variable, 75-149) should diverge strongly.
+  const std::string conserved_a = genes[0].seq.substr(0, 75);
+  const std::string conserved_b = genes[1].seq.substr(0, 75);
+  const std::string variable_a = genes[0].seq.substr(75, 75);
+  const std::string variable_b = genes[1].seq.substr(75, 75);
+  const double conserved_identity = bio::global_identity(conserved_a, conserved_b);
+  const double variable_identity = bio::global_identity(variable_a, variable_b);
+  EXPECT_GT(conserved_identity, 0.9);
+  EXPECT_LT(variable_identity, conserved_identity - 0.1);
+}
+
+TEST(Generate16sGenes, DistinctTaxaDistinctGenes) {
+  const auto genes = generate_16s_genes(3, {}, 3);
+  EXPECT_NE(genes[0].seq, genes[1].seq);
+  EXPECT_NE(genes[1].seq, genes[2].seq);
+}
+
+TEST(Generate16sGenes, DeterministicPerSeed) {
+  EXPECT_EQ(generate_16s_genes(2, {}, 4)[1].seq,
+            generate_16s_genes(2, {}, 4)[1].seq);
+  EXPECT_NE(generate_16s_genes(2, {}, 4)[1].seq,
+            generate_16s_genes(2, {}, 5)[1].seq);
+}
+
+// ----------------------------------------------------------- amplicon_reads
+
+TEST(AmpliconReads, CountLabelsSpecies) {
+  const auto genes = generate_16s_genes(4, {}, 6);
+  const LabeledReads reads =
+      amplicon_reads(genes, {1, 1, 1, 1}, 80, {}, 7);
+  EXPECT_EQ(reads.size(), 80u);
+  EXPECT_EQ(reads.species.size(), 4u);
+  for (const int label : reads.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(AmpliconReads, AbundanceSkewObserved) {
+  const auto genes = generate_16s_genes(2, {}, 8);
+  const LabeledReads reads = amplicon_reads(genes, {9.0, 1.0}, 2000, {}, 9);
+  const long dominant = std::count(reads.labels.begin(), reads.labels.end(), 0);
+  EXPECT_NEAR(static_cast<double>(dominant) / 2000.0, 0.9, 0.03);
+}
+
+TEST(AmpliconReads, PrimerAnchoredReadsComeFromWindow) {
+  const auto genes = generate_16s_genes(1, {}, 10);
+  AmpliconParams params;
+  params.errors = {};  // exact substring check
+  const LabeledReads reads = amplicon_reads(genes, {1.0}, 30, params, 11);
+  for (const auto& read : reads.reads) {
+    const auto pos = genes[0].seq.find(read.seq);
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_GE(pos, params.window_start);
+    EXPECT_LE(pos, params.window_start + params.start_jitter);
+  }
+}
+
+TEST(AmpliconReads, UnanchoredReadsSpreadOverWindow) {
+  const auto genes = generate_16s_genes(1, {}, 12);
+  AmpliconParams params;
+  params.errors = {};
+  params.primer_anchored = false;
+  params.read_length = 30;
+  params.length_jitter = 0.0;
+  params.window_span = 120;
+  const LabeledReads reads = amplicon_reads(genes, {1.0}, 100, params, 13);
+  std::size_t min_pos = 1u << 20, max_pos = 0;
+  for (const auto& read : reads.reads) {
+    const auto pos = genes[0].seq.find(read.seq);
+    ASSERT_NE(pos, std::string::npos);
+    min_pos = std::min(min_pos, pos);
+    max_pos = std::max(max_pos, pos);
+  }
+  EXPECT_GT(max_pos - min_pos, 40u);  // spread, not anchored
+}
+
+TEST(AmpliconReads, SameOtuReadsOverlapStrongly) {
+  const auto genes = generate_16s_genes(2, {}, 14);
+  AmpliconParams params;
+  params.errors = ErrorModel::uniform(0.005);
+  const LabeledReads reads = amplicon_reads(genes, {1.0, 1.0}, 60, params, 15);
+  double intra = 0, inter = 0;
+  int ni = 0, nx = 0;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    for (std::size_t j = i + 1; j < reads.size(); ++j) {
+      const double identity =
+          bio::global_identity(reads.reads[i].seq, reads.reads[j].seq);
+      if (reads.labels[i] == reads.labels[j]) {
+        intra += identity;
+        ++ni;
+      } else {
+        inter += identity;
+        ++nx;
+      }
+    }
+  }
+  ASSERT_GT(ni, 0);
+  ASSERT_GT(nx, 0);
+  EXPECT_GT(intra / ni, inter / nx + 0.1);
+}
+
+TEST(AmpliconReads, RejectsBadArguments) {
+  const auto genes = generate_16s_genes(2, {}, 16);
+  EXPECT_THROW(amplicon_reads({}, {}, 10, {}, 1), common::InvalidArgument);
+  EXPECT_THROW(amplicon_reads(genes, {1.0}, 10, {}, 1), common::InvalidArgument);
+  EXPECT_THROW(amplicon_reads(genes, {0.0, 0.0}, 10, {}, 1),
+               common::InvalidArgument);
+  EXPECT_THROW(amplicon_reads(genes, {1.0, -1.0}, 10, {}, 1),
+               common::InvalidArgument);
+}
+
+// ---------------------------------------------------- lognormal_abundances
+
+TEST(LognormalAbundances, PositiveAndSkewed) {
+  const auto abundances = lognormal_abundances(500, 1.5, 17);
+  ASSERT_EQ(abundances.size(), 500u);
+  double max_val = 0, total = 0;
+  for (const double a : abundances) {
+    EXPECT_GT(a, 0.0);
+    max_val = std::max(max_val, a);
+    total += a;
+  }
+  // Rare-biosphere shape: the most abundant OTU dominates the mean.
+  EXPECT_GT(max_val, 5.0 * total / 500.0);
+}
+
+TEST(LognormalAbundances, ZeroSigmaIsUniform) {
+  const auto abundances = lognormal_abundances(10, 0.0, 18);
+  for (const double a : abundances) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(LognormalAbundances, DeterministicPerSeed) {
+  EXPECT_EQ(lognormal_abundances(10, 1.0, 19), lognormal_abundances(10, 1.0, 19));
+  EXPECT_NE(lognormal_abundances(10, 1.0, 19), lognormal_abundances(10, 1.0, 20));
+}
+
+}  // namespace
+}  // namespace mrmc::simdata

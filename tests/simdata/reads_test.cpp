@@ -1,0 +1,185 @@
+#include "simdata/reads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "bio/dna.hpp"
+#include "common/error.hpp"
+
+namespace mrmc::simdata {
+namespace {
+
+TEST(ErrorModel, UniformSplitsEightyTenTen) {
+  const ErrorModel model = ErrorModel::uniform(0.05);
+  EXPECT_DOUBLE_EQ(model.subst_rate, 0.04);
+  EXPECT_DOUBLE_EQ(model.ins_rate, 0.005);
+  EXPECT_DOUBLE_EQ(model.del_rate, 0.005);
+  EXPECT_NEAR(model.total(), 0.05, 1e-12);
+}
+
+TEST(ApplyErrors, ZeroRateIsIdentity) {
+  const std::string tmpl = "ACGTACGTACGT";
+  EXPECT_EQ(apply_errors(tmpl, {}, 1), tmpl);
+}
+
+TEST(ApplyErrors, SubstitutionRateObserved) {
+  std::string tmpl(20000, 'A');
+  const std::string noisy = apply_errors(tmpl, {.subst_rate = 0.1}, 2);
+  ASSERT_EQ(noisy.size(), tmpl.size());
+  std::size_t diffs = 0;
+  for (const char c : noisy) {
+    if (c != 'A') ++diffs;
+  }
+  EXPECT_NEAR(static_cast<double>(diffs) / 20000.0, 0.1, 0.01);
+}
+
+TEST(ApplyErrors, SubstitutionNeverKeepsOriginalBase) {
+  const std::string noisy = apply_errors(std::string(5000, 'G'),
+                                         {.subst_rate = 1.0}, 3);
+  for (const char c : noisy) EXPECT_NE(c, 'G');
+}
+
+TEST(ApplyErrors, DeletionsShrink) {
+  const std::string noisy =
+      apply_errors(std::string(10000, 'C'), {.del_rate = 0.2}, 4);
+  EXPECT_NEAR(static_cast<double>(noisy.size()), 8000.0, 300.0);
+}
+
+TEST(ApplyErrors, InsertionsGrow) {
+  const std::string noisy =
+      apply_errors(std::string(10000, 'C'), {.ins_rate = 0.2}, 5);
+  EXPECT_NEAR(static_cast<double>(noisy.size()), 12000.0, 300.0);
+}
+
+TEST(ApplyErrors, DeterministicPerSeed) {
+  const std::string tmpl = "ACGTACGTACGTACGTACGT";
+  const ErrorModel model = ErrorModel::uniform(0.2);
+  EXPECT_EQ(apply_errors(tmpl, model, 6), apply_errors(tmpl, model, 6));
+  EXPECT_NE(apply_errors(tmpl, model, 6), apply_errors(tmpl, model, 7));
+}
+
+// ---------------------------------------------------------------- shotgun
+
+Genome test_genome() { return random_genome("genome", 20000, 0.5, 10); }
+
+TEST(ShotgunReads, CountAndIds) {
+  const auto reads = shotgun_reads(test_genome(), 25, {}, "gx", 11);
+  ASSERT_EQ(reads.size(), 25u);
+  EXPECT_EQ(reads[0].id, "gx_r0");
+  EXPECT_EQ(reads[24].id, "gx_r24");
+}
+
+TEST(ShotgunReads, LengthsWithinJitterBounds) {
+  ShotgunParams params;
+  params.read_length = 200;
+  params.length_jitter = 0.1;
+  params.errors = {};  // indels would perturb length
+  const auto reads = shotgun_reads(test_genome(), 50, params, "g", 12);
+  for (const auto& read : reads) {
+    EXPECT_GE(read.seq.size(), 180u);
+    EXPECT_LE(read.seq.size(), 221u);
+  }
+}
+
+TEST(ShotgunReads, ErrorFreeSingleStrandReadsAreSubstrings) {
+  ShotgunParams params;
+  params.both_strands = false;
+  params.read_length = 100;
+  const Genome genome = test_genome();
+  const auto reads = shotgun_reads(genome, 20, params, "g", 13);
+  for (const auto& read : reads) {
+    EXPECT_NE(genome.seq.find(read.seq), std::string::npos);
+  }
+}
+
+TEST(ShotgunReads, BothStrandsProducesReverseReads) {
+  ShotgunParams params;
+  params.read_length = 80;
+  const Genome genome = test_genome();
+  const auto reads = shotgun_reads(genome, 60, params, "g", 14);
+  int forward = 0, reverse = 0;
+  for (const auto& read : reads) {
+    if (genome.seq.find(read.seq) != std::string::npos) {
+      ++forward;
+    } else if (genome.seq.find(bio::reverse_complement(read.seq)) !=
+               std::string::npos) {
+      ++reverse;
+    }
+  }
+  EXPECT_GT(forward, 10);
+  EXPECT_GT(reverse, 10);
+  EXPECT_EQ(forward + reverse, 60);
+}
+
+TEST(ShotgunReads, RejectsEmptyGenome) {
+  const Genome empty{"e", ""};
+  EXPECT_THROW(shotgun_reads(empty, 1, {}, "g", 15), common::InvalidArgument);
+}
+
+// ------------------------------------------------------------- mix_shotgun
+
+TEST(MixShotgun, TotalAndLabelsConsistent) {
+  const std::vector<Genome> genomes = {random_genome("a", 5000, 0.4, 16),
+                                       random_genome("b", 5000, 0.6, 17)};
+  const LabeledReads mix = mix_shotgun(genomes, {1, 1}, 100, {}, 18);
+  EXPECT_EQ(mix.size(), 100u);
+  EXPECT_EQ(mix.labels.size(), 100u);
+  EXPECT_EQ(mix.species, (std::vector<std::string>{"a", "b"}));
+  for (const int label : mix.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LE(label, 1);
+  }
+}
+
+TEST(MixShotgun, RatiosAreApportioned) {
+  const std::vector<Genome> genomes = {random_genome("a", 5000, 0.5, 19),
+                                       random_genome("b", 5000, 0.5, 20),
+                                       random_genome("c", 5000, 0.5, 21)};
+  const LabeledReads mix = mix_shotgun(genomes, {1, 1, 8}, 1000, {}, 22);
+  std::map<int, int> counts;
+  for (const int label : mix.labels) ++counts[label];
+  EXPECT_EQ(counts[0], 100);
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 800);
+}
+
+TEST(MixShotgun, LabelsMatchReadHeaders) {
+  const std::vector<Genome> genomes = {random_genome("speciesA", 5000, 0.5, 23),
+                                       random_genome("speciesB", 5000, 0.5, 24)};
+  const LabeledReads mix = mix_shotgun(genomes, {1, 1}, 50, {}, 25);
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    const std::string expected = "label=" + std::to_string(mix.labels[i]);
+    EXPECT_NE(mix.reads[i].header.find(expected), std::string::npos);
+  }
+}
+
+TEST(MixShotgun, ShufflesInputOrder) {
+  const std::vector<Genome> genomes = {random_genome("a", 5000, 0.5, 26),
+                                       random_genome("b", 5000, 0.5, 27)};
+  const LabeledReads mix = mix_shotgun(genomes, {1, 1}, 200, {}, 28);
+  // If unshuffled, the first 100 labels would all be 0.
+  const long first_half_sum =
+      std::count(mix.labels.begin(), mix.labels.begin() + 100, 1);
+  EXPECT_GT(first_half_sum, 20);
+  EXPECT_LT(first_half_sum, 80);
+}
+
+TEST(MixShotgun, DeterministicPerSeed) {
+  const std::vector<Genome> genomes = {random_genome("a", 5000, 0.5, 29)};
+  const LabeledReads m1 = mix_shotgun(genomes, {1}, 30, {}, 30);
+  const LabeledReads m2 = mix_shotgun(genomes, {1}, 30, {}, 30);
+  EXPECT_EQ(m1.reads, m2.reads);
+  EXPECT_EQ(m1.labels, m2.labels);
+}
+
+TEST(MixShotgun, RejectsBadArguments) {
+  const std::vector<Genome> genomes = {random_genome("a", 5000, 0.5, 31)};
+  EXPECT_THROW(mix_shotgun({}, {}, 10, {}, 1), common::InvalidArgument);
+  EXPECT_THROW(mix_shotgun(genomes, {1, 2}, 10, {}, 1), common::InvalidArgument);
+  EXPECT_THROW(mix_shotgun(genomes, {0}, 10, {}, 1), common::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrmc::simdata
