@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kmer.dir/ablation_kmer.cpp.o"
+  "CMakeFiles/ablation_kmer.dir/ablation_kmer.cpp.o.d"
+  "ablation_kmer"
+  "ablation_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lsh_index.dir/ablation_lsh_index.cpp.o"
+  "CMakeFiles/ablation_lsh_index.dir/ablation_lsh_index.cpp.o.d"
+  "ablation_lsh_index"
+  "ablation_lsh_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lsh_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mr_engine.dir/ablation_mr_engine.cpp.o"
+  "CMakeFiles/ablation_mr_engine.dir/ablation_mr_engine.cpp.o.d"
+  "ablation_mr_engine"
+  "ablation_mr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

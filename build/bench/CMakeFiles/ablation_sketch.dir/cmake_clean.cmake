@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sketch.dir/ablation_sketch.cpp.o"
+  "CMakeFiles/ablation_sketch.dir/ablation_sketch.cpp.o.d"
+  "ablation_sketch"
+  "ablation_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_whole_metagenome.dir/table3_whole_metagenome.cpp.o"
+  "CMakeFiles/table3_whole_metagenome.dir/table3_whole_metagenome.cpp.o.d"
+  "table3_whole_metagenome"
+  "table3_whole_metagenome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_whole_metagenome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_16s_simulated.dir/table4_16s_simulated.cpp.o"
+  "CMakeFiles/table4_16s_simulated.dir/table4_16s_simulated.cpp.o.d"
+  "table4_16s_simulated"
+  "table4_16s_simulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_16s_simulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_16s_environmental.dir/table5_16s_environmental.cpp.o"
+  "CMakeFiles/table5_16s_environmental.dir/table5_16s_environmental.cpp.o.d"
+  "table5_16s_environmental"
+  "table5_16s_environmental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_16s_environmental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

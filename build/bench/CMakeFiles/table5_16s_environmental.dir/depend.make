@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_16s_environmental.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_fasta.dir/cluster_fasta.cpp.o"
+  "CMakeFiles/cluster_fasta.dir/cluster_fasta.cpp.o.d"
+  "cluster_fasta"
+  "cluster_fasta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_fasta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env16s_binning.dir/env16s_binning.cpp.o"
+  "CMakeFiles/env16s_binning.dir/env16s_binning.cpp.o.d"
+  "env16s_binning"
+  "env16s_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env16s_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pig_metagenome.dir/pig_metagenome.cpp.o"
+  "CMakeFiles/pig_metagenome.dir/pig_metagenome.cpp.o.d"
+  "pig_metagenome"
+  "pig_metagenome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pig_metagenome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pig_metagenome.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cdhit_like.cpp" "src/baselines/CMakeFiles/mrmc_baselines.dir/cdhit_like.cpp.o" "gcc" "src/baselines/CMakeFiles/mrmc_baselines.dir/cdhit_like.cpp.o.d"
+  "/root/repo/src/baselines/hclust_family.cpp" "src/baselines/CMakeFiles/mrmc_baselines.dir/hclust_family.cpp.o" "gcc" "src/baselines/CMakeFiles/mrmc_baselines.dir/hclust_family.cpp.o.d"
+  "/root/repo/src/baselines/mc_lsh.cpp" "src/baselines/CMakeFiles/mrmc_baselines.dir/mc_lsh.cpp.o" "gcc" "src/baselines/CMakeFiles/mrmc_baselines.dir/mc_lsh.cpp.o.d"
+  "/root/repo/src/baselines/metacluster_like.cpp" "src/baselines/CMakeFiles/mrmc_baselines.dir/metacluster_like.cpp.o" "gcc" "src/baselines/CMakeFiles/mrmc_baselines.dir/metacluster_like.cpp.o.d"
+  "/root/repo/src/baselines/uclust_like.cpp" "src/baselines/CMakeFiles/mrmc_baselines.dir/uclust_like.cpp.o" "gcc" "src/baselines/CMakeFiles/mrmc_baselines.dir/uclust_like.cpp.o.d"
+  "/root/repo/src/baselines/word_stats.cpp" "src/baselines/CMakeFiles/mrmc_baselines.dir/word_stats.cpp.o" "gcc" "src/baselines/CMakeFiles/mrmc_baselines.dir/word_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/mrmc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/mrmc_mr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

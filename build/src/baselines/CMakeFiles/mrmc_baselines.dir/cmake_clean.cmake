@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmc_baselines.dir/cdhit_like.cpp.o"
+  "CMakeFiles/mrmc_baselines.dir/cdhit_like.cpp.o.d"
+  "CMakeFiles/mrmc_baselines.dir/hclust_family.cpp.o"
+  "CMakeFiles/mrmc_baselines.dir/hclust_family.cpp.o.d"
+  "CMakeFiles/mrmc_baselines.dir/mc_lsh.cpp.o"
+  "CMakeFiles/mrmc_baselines.dir/mc_lsh.cpp.o.d"
+  "CMakeFiles/mrmc_baselines.dir/metacluster_like.cpp.o"
+  "CMakeFiles/mrmc_baselines.dir/metacluster_like.cpp.o.d"
+  "CMakeFiles/mrmc_baselines.dir/uclust_like.cpp.o"
+  "CMakeFiles/mrmc_baselines.dir/uclust_like.cpp.o.d"
+  "CMakeFiles/mrmc_baselines.dir/word_stats.cpp.o"
+  "CMakeFiles/mrmc_baselines.dir/word_stats.cpp.o.d"
+  "libmrmc_baselines.a"
+  "libmrmc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/alignment.cpp" "src/bio/CMakeFiles/mrmc_bio.dir/alignment.cpp.o" "gcc" "src/bio/CMakeFiles/mrmc_bio.dir/alignment.cpp.o.d"
+  "/root/repo/src/bio/dna.cpp" "src/bio/CMakeFiles/mrmc_bio.dir/dna.cpp.o" "gcc" "src/bio/CMakeFiles/mrmc_bio.dir/dna.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/bio/CMakeFiles/mrmc_bio.dir/fasta.cpp.o" "gcc" "src/bio/CMakeFiles/mrmc_bio.dir/fasta.cpp.o.d"
+  "/root/repo/src/bio/fastq.cpp" "src/bio/CMakeFiles/mrmc_bio.dir/fastq.cpp.o" "gcc" "src/bio/CMakeFiles/mrmc_bio.dir/fastq.cpp.o.d"
+  "/root/repo/src/bio/gotoh.cpp" "src/bio/CMakeFiles/mrmc_bio.dir/gotoh.cpp.o" "gcc" "src/bio/CMakeFiles/mrmc_bio.dir/gotoh.cpp.o.d"
+  "/root/repo/src/bio/kmer.cpp" "src/bio/CMakeFiles/mrmc_bio.dir/kmer.cpp.o" "gcc" "src/bio/CMakeFiles/mrmc_bio.dir/kmer.cpp.o.d"
+  "/root/repo/src/bio/seq_stats.cpp" "src/bio/CMakeFiles/mrmc_bio.dir/seq_stats.cpp.o" "gcc" "src/bio/CMakeFiles/mrmc_bio.dir/seq_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

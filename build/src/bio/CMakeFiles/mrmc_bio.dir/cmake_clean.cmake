@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmc_bio.dir/alignment.cpp.o"
+  "CMakeFiles/mrmc_bio.dir/alignment.cpp.o.d"
+  "CMakeFiles/mrmc_bio.dir/dna.cpp.o"
+  "CMakeFiles/mrmc_bio.dir/dna.cpp.o.d"
+  "CMakeFiles/mrmc_bio.dir/fasta.cpp.o"
+  "CMakeFiles/mrmc_bio.dir/fasta.cpp.o.d"
+  "CMakeFiles/mrmc_bio.dir/fastq.cpp.o"
+  "CMakeFiles/mrmc_bio.dir/fastq.cpp.o.d"
+  "CMakeFiles/mrmc_bio.dir/gotoh.cpp.o"
+  "CMakeFiles/mrmc_bio.dir/gotoh.cpp.o.d"
+  "CMakeFiles/mrmc_bio.dir/kmer.cpp.o"
+  "CMakeFiles/mrmc_bio.dir/kmer.cpp.o.d"
+  "CMakeFiles/mrmc_bio.dir/seq_stats.cpp.o"
+  "CMakeFiles/mrmc_bio.dir/seq_stats.cpp.o.d"
+  "libmrmc_bio.a"
+  "libmrmc_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmc_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmc_common.dir/table.cpp.o"
+  "CMakeFiles/mrmc_common.dir/table.cpp.o.d"
+  "CMakeFiles/mrmc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mrmc_common.dir/thread_pool.cpp.o.d"
+  "libmrmc_common.a"
+  "libmrmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

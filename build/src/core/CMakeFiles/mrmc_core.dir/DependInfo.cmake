@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/mrmc_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/mrmc_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/mrmc_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/mrmc_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/mrmc_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/mrmc_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/lsh_index.cpp" "src/core/CMakeFiles/mrmc_core.dir/lsh_index.cpp.o" "gcc" "src/core/CMakeFiles/mrmc_core.dir/lsh_index.cpp.o.d"
+  "/root/repo/src/core/minhash.cpp" "src/core/CMakeFiles/mrmc_core.dir/minhash.cpp.o" "gcc" "src/core/CMakeFiles/mrmc_core.dir/minhash.cpp.o.d"
+  "/root/repo/src/core/otu_table.cpp" "src/core/CMakeFiles/mrmc_core.dir/otu_table.cpp.o" "gcc" "src/core/CMakeFiles/mrmc_core.dir/otu_table.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/mrmc_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/mrmc_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/mrmc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/mrmc_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmc_core.dir/greedy.cpp.o"
+  "CMakeFiles/mrmc_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/mrmc_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/mrmc_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/mrmc_core.dir/incremental.cpp.o"
+  "CMakeFiles/mrmc_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/mrmc_core.dir/lsh_index.cpp.o"
+  "CMakeFiles/mrmc_core.dir/lsh_index.cpp.o.d"
+  "CMakeFiles/mrmc_core.dir/minhash.cpp.o"
+  "CMakeFiles/mrmc_core.dir/minhash.cpp.o.d"
+  "CMakeFiles/mrmc_core.dir/otu_table.cpp.o"
+  "CMakeFiles/mrmc_core.dir/otu_table.cpp.o.d"
+  "CMakeFiles/mrmc_core.dir/pipeline.cpp.o"
+  "CMakeFiles/mrmc_core.dir/pipeline.cpp.o.d"
+  "libmrmc_core.a"
+  "libmrmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

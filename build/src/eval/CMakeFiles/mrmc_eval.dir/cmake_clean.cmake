@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmc_eval.dir/confusion.cpp.o"
+  "CMakeFiles/mrmc_eval.dir/confusion.cpp.o.d"
+  "CMakeFiles/mrmc_eval.dir/external_indices.cpp.o"
+  "CMakeFiles/mrmc_eval.dir/external_indices.cpp.o.d"
+  "CMakeFiles/mrmc_eval.dir/metrics.cpp.o"
+  "CMakeFiles/mrmc_eval.dir/metrics.cpp.o.d"
+  "libmrmc_eval.a"
+  "libmrmc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrmc_eval.a"
+)

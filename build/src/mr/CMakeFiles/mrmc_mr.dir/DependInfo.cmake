@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/cluster.cpp" "src/mr/CMakeFiles/mrmc_mr.dir/cluster.cpp.o" "gcc" "src/mr/CMakeFiles/mrmc_mr.dir/cluster.cpp.o.d"
+  "/root/repo/src/mr/input_format.cpp" "src/mr/CMakeFiles/mrmc_mr.dir/input_format.cpp.o" "gcc" "src/mr/CMakeFiles/mrmc_mr.dir/input_format.cpp.o.d"
+  "/root/repo/src/mr/simdfs.cpp" "src/mr/CMakeFiles/mrmc_mr.dir/simdfs.cpp.o" "gcc" "src/mr/CMakeFiles/mrmc_mr.dir/simdfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

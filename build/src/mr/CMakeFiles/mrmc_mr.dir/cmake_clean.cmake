@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmc_mr.dir/cluster.cpp.o"
+  "CMakeFiles/mrmc_mr.dir/cluster.cpp.o.d"
+  "CMakeFiles/mrmc_mr.dir/input_format.cpp.o"
+  "CMakeFiles/mrmc_mr.dir/input_format.cpp.o.d"
+  "CMakeFiles/mrmc_mr.dir/simdfs.cpp.o"
+  "CMakeFiles/mrmc_mr.dir/simdfs.cpp.o.d"
+  "libmrmc_mr.a"
+  "libmrmc_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmc_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

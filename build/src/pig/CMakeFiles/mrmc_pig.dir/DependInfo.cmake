@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pig/pig.cpp" "src/pig/CMakeFiles/mrmc_pig.dir/pig.cpp.o" "gcc" "src/pig/CMakeFiles/mrmc_pig.dir/pig.cpp.o.d"
+  "/root/repo/src/pig/script.cpp" "src/pig/CMakeFiles/mrmc_pig.dir/script.cpp.o" "gcc" "src/pig/CMakeFiles/mrmc_pig.dir/script.cpp.o.d"
+  "/root/repo/src/pig/udf.cpp" "src/pig/CMakeFiles/mrmc_pig.dir/udf.cpp.o" "gcc" "src/pig/CMakeFiles/mrmc_pig.dir/udf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/mrmc_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/mrmc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

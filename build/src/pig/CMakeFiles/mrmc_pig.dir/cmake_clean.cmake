@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmc_pig.dir/pig.cpp.o"
+  "CMakeFiles/mrmc_pig.dir/pig.cpp.o.d"
+  "CMakeFiles/mrmc_pig.dir/script.cpp.o"
+  "CMakeFiles/mrmc_pig.dir/script.cpp.o.d"
+  "CMakeFiles/mrmc_pig.dir/udf.cpp.o"
+  "CMakeFiles/mrmc_pig.dir/udf.cpp.o.d"
+  "libmrmc_pig.a"
+  "libmrmc_pig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmc_pig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

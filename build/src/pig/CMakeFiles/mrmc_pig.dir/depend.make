@@ -1,0 +1,2 @@
+# Empty dependencies file for mrmc_pig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simdata/datasets.cpp" "src/simdata/CMakeFiles/mrmc_simdata.dir/datasets.cpp.o" "gcc" "src/simdata/CMakeFiles/mrmc_simdata.dir/datasets.cpp.o.d"
+  "/root/repo/src/simdata/fastq_sim.cpp" "src/simdata/CMakeFiles/mrmc_simdata.dir/fastq_sim.cpp.o" "gcc" "src/simdata/CMakeFiles/mrmc_simdata.dir/fastq_sim.cpp.o.d"
+  "/root/repo/src/simdata/genome.cpp" "src/simdata/CMakeFiles/mrmc_simdata.dir/genome.cpp.o" "gcc" "src/simdata/CMakeFiles/mrmc_simdata.dir/genome.cpp.o.d"
+  "/root/repo/src/simdata/marker16s.cpp" "src/simdata/CMakeFiles/mrmc_simdata.dir/marker16s.cpp.o" "gcc" "src/simdata/CMakeFiles/mrmc_simdata.dir/marker16s.cpp.o.d"
+  "/root/repo/src/simdata/reads.cpp" "src/simdata/CMakeFiles/mrmc_simdata.dir/reads.cpp.o" "gcc" "src/simdata/CMakeFiles/mrmc_simdata.dir/reads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/mrmc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

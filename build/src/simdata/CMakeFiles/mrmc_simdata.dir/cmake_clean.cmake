@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmc_simdata.dir/datasets.cpp.o"
+  "CMakeFiles/mrmc_simdata.dir/datasets.cpp.o.d"
+  "CMakeFiles/mrmc_simdata.dir/fastq_sim.cpp.o"
+  "CMakeFiles/mrmc_simdata.dir/fastq_sim.cpp.o.d"
+  "CMakeFiles/mrmc_simdata.dir/genome.cpp.o"
+  "CMakeFiles/mrmc_simdata.dir/genome.cpp.o.d"
+  "CMakeFiles/mrmc_simdata.dir/marker16s.cpp.o"
+  "CMakeFiles/mrmc_simdata.dir/marker16s.cpp.o.d"
+  "CMakeFiles/mrmc_simdata.dir/reads.cpp.o"
+  "CMakeFiles/mrmc_simdata.dir/reads.cpp.o.d"
+  "libmrmc_simdata.a"
+  "libmrmc_simdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmc_simdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_tests.dir/bio/alignment_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/alignment_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/dna_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/dna_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/fasta_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/fasta_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/fastq_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/fastq_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/gotoh_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/gotoh_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/kmer_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/kmer_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/seq_stats_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/seq_stats_test.cpp.o.d"
+  "bio_tests"
+  "bio_tests.pdb"
+  "bio_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/clustering_properties_test.cpp" "tests/CMakeFiles/core_tests.dir/core/clustering_properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/clustering_properties_test.cpp.o.d"
+  "/root/repo/tests/core/fastq_pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fastq_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fastq_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/greedy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/greedy_test.cpp.o.d"
+  "/root/repo/tests/core/hierarchical_test.cpp" "tests/CMakeFiles/core_tests.dir/core/hierarchical_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hierarchical_test.cpp.o.d"
+  "/root/repo/tests/core/lsh_index_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lsh_index_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lsh_index_test.cpp.o.d"
+  "/root/repo/tests/core/minhash_test.cpp" "tests/CMakeFiles/core_tests.dir/core/minhash_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/minhash_test.cpp.o.d"
+  "/root/repo/tests/core/otu_incremental_test.cpp" "tests/CMakeFiles/core_tests.dir/core/otu_incremental_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/otu_incremental_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pig/CMakeFiles/mrmc_pig.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mrmc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mrmc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/mrmc_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/mrmc_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/mrmc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mr/cluster_test.cpp" "tests/CMakeFiles/mr_tests.dir/mr/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/mr_tests.dir/mr/cluster_test.cpp.o.d"
+  "/root/repo/tests/mr/input_format_test.cpp" "tests/CMakeFiles/mr_tests.dir/mr/input_format_test.cpp.o" "gcc" "tests/CMakeFiles/mr_tests.dir/mr/input_format_test.cpp.o.d"
+  "/root/repo/tests/mr/job_property_test.cpp" "tests/CMakeFiles/mr_tests.dir/mr/job_property_test.cpp.o" "gcc" "tests/CMakeFiles/mr_tests.dir/mr/job_property_test.cpp.o.d"
+  "/root/repo/tests/mr/job_test.cpp" "tests/CMakeFiles/mr_tests.dir/mr/job_test.cpp.o" "gcc" "tests/CMakeFiles/mr_tests.dir/mr/job_test.cpp.o.d"
+  "/root/repo/tests/mr/simdfs_test.cpp" "tests/CMakeFiles/mr_tests.dir/mr/simdfs_test.cpp.o" "gcc" "tests/CMakeFiles/mr_tests.dir/mr/simdfs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pig/CMakeFiles/mrmc_pig.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mrmc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mrmc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/mrmc_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/mrmc_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/mrmc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

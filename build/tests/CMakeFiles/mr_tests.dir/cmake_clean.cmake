@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_tests.dir/mr/cluster_test.cpp.o"
+  "CMakeFiles/mr_tests.dir/mr/cluster_test.cpp.o.d"
+  "CMakeFiles/mr_tests.dir/mr/input_format_test.cpp.o"
+  "CMakeFiles/mr_tests.dir/mr/input_format_test.cpp.o.d"
+  "CMakeFiles/mr_tests.dir/mr/job_property_test.cpp.o"
+  "CMakeFiles/mr_tests.dir/mr/job_property_test.cpp.o.d"
+  "CMakeFiles/mr_tests.dir/mr/job_test.cpp.o"
+  "CMakeFiles/mr_tests.dir/mr/job_test.cpp.o.d"
+  "CMakeFiles/mr_tests.dir/mr/simdfs_test.cpp.o"
+  "CMakeFiles/mr_tests.dir/mr/simdfs_test.cpp.o.d"
+  "mr_tests"
+  "mr_tests.pdb"
+  "mr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pig/group_by_test.cpp" "tests/CMakeFiles/pig_tests.dir/pig/group_by_test.cpp.o" "gcc" "tests/CMakeFiles/pig_tests.dir/pig/group_by_test.cpp.o.d"
+  "/root/repo/tests/pig/pig_test.cpp" "tests/CMakeFiles/pig_tests.dir/pig/pig_test.cpp.o" "gcc" "tests/CMakeFiles/pig_tests.dir/pig/pig_test.cpp.o.d"
+  "/root/repo/tests/pig/script_test.cpp" "tests/CMakeFiles/pig_tests.dir/pig/script_test.cpp.o" "gcc" "tests/CMakeFiles/pig_tests.dir/pig/script_test.cpp.o.d"
+  "/root/repo/tests/pig/udf_test.cpp" "tests/CMakeFiles/pig_tests.dir/pig/udf_test.cpp.o" "gcc" "tests/CMakeFiles/pig_tests.dir/pig/udf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pig/CMakeFiles/mrmc_pig.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mrmc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mrmc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdata/CMakeFiles/mrmc_simdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/mrmc_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/mrmc_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

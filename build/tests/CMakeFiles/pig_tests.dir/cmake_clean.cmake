@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pig_tests.dir/pig/group_by_test.cpp.o"
+  "CMakeFiles/pig_tests.dir/pig/group_by_test.cpp.o.d"
+  "CMakeFiles/pig_tests.dir/pig/pig_test.cpp.o"
+  "CMakeFiles/pig_tests.dir/pig/pig_test.cpp.o.d"
+  "CMakeFiles/pig_tests.dir/pig/script_test.cpp.o"
+  "CMakeFiles/pig_tests.dir/pig/script_test.cpp.o.d"
+  "CMakeFiles/pig_tests.dir/pig/udf_test.cpp.o"
+  "CMakeFiles/pig_tests.dir/pig/udf_test.cpp.o.d"
+  "pig_tests"
+  "pig_tests.pdb"
+  "pig_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pig_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdata_tests.dir/simdata/datasets_test.cpp.o"
+  "CMakeFiles/simdata_tests.dir/simdata/datasets_test.cpp.o.d"
+  "CMakeFiles/simdata_tests.dir/simdata/fastq_sim_test.cpp.o"
+  "CMakeFiles/simdata_tests.dir/simdata/fastq_sim_test.cpp.o.d"
+  "CMakeFiles/simdata_tests.dir/simdata/genome_test.cpp.o"
+  "CMakeFiles/simdata_tests.dir/simdata/genome_test.cpp.o.d"
+  "CMakeFiles/simdata_tests.dir/simdata/marker16s_test.cpp.o"
+  "CMakeFiles/simdata_tests.dir/simdata/marker16s_test.cpp.o.d"
+  "CMakeFiles/simdata_tests.dir/simdata/reads_test.cpp.o"
+  "CMakeFiles/simdata_tests.dir/simdata/reads_test.cpp.o.d"
+  "simdata_tests"
+  "simdata_tests.pdb"
+  "simdata_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdata_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
