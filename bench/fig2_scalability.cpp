@@ -17,11 +17,15 @@
 //
 //   ./fig2_scalability [--max-reads=10000000] [--read-length=1000]
 //       [--hashes=100] [--validate] [--seed=42]
+//       [--trace=fig2.json]   # Chrome trace of every simulated job
+//       [--metrics]           # print the obs metrics snapshot at the end
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "mr/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace mrmc;
 
@@ -35,6 +39,8 @@ double simulate_hierarchical(std::size_t reads, std::size_t read_length,
   mr::ClusterConfig cluster;
   cluster.nodes = nodes;
   const mr::SimScheduler scheduler(cluster);
+  const std::string tag =
+      "[" + std::to_string(reads) + "r/" + std::to_string(nodes) + "n]";
 
   const double read_bytes = static_cast<double>(read_length) + 48.0;
   const double sketch_bytes = core::cost::sketch_bytes(hashes);
@@ -56,7 +62,7 @@ double simulate_hierarchical(std::size_t reads, std::size_t read_length,
        -1});
   const auto job1 =
       simulate_job(scheduler, sketch_maps, static_cast<double>(reads) * sketch_bytes,
-                   sketch_reduces);
+                   sketch_reduces, "sketch " + tag);
 
   // --- Job 2: similarity matrix, row-partitioned.  Each map split covers a
   // contiguous row range; work is the number of pairs in the range.
@@ -80,12 +86,14 @@ double simulate_hierarchical(std::size_t reads, std::size_t read_length,
       cluster.reduce_slots(),
       {1e-6, matrix_bytes / static_cast<double>(cluster.reduce_slots()),
        matrix_bytes / static_cast<double>(cluster.reduce_slots()), -1});
-  const auto job2 = simulate_job(scheduler, sim_maps, matrix_bytes, sim_reduces);
+  const auto job2 = simulate_job(scheduler, sim_maps, matrix_bytes, sim_reduces,
+                                 "similarity " + tag);
 
   // --- Job 3: clustering, single GROUP-ALL reducer.
   std::vector<mr::TaskSpec> cluster_reduce{
       {core::cost::dendrogram_work(reads), matrix_bytes, n * 8.0, -1}};
-  const auto job3 = simulate_job(scheduler, {}, matrix_bytes, cluster_reduce);
+  const auto job3 =
+      simulate_job(scheduler, {}, matrix_bytes, cluster_reduce, "cluster " + tag);
 
   return job1.total_s + job2.total_s + job3.total_s;
 }
@@ -98,6 +106,15 @@ int main(int argc, char** argv) {
   const std::size_t read_length = flags.num("read-length", 1000);
   const std::size_t hashes = flags.num("hashes", 100);
   const std::uint64_t seed = flags.num("seed", 42);
+
+  // --trace=<path> exports every simulated job's task placements as Chrome
+  // trace-event JSON (also honors the MRMC_TRACE environment variable).
+  auto& tracer = obs::Tracer::global();
+  const std::string trace_path = flags.str("trace", tracer.output_path());
+  if (!trace_path.empty()) {
+    tracer.set_output_path(trace_path);
+    tracer.set_enabled(true);
+  }
 
   const std::vector<std::size_t> node_counts{2, 4, 6, 8, 10, 12};
   std::vector<std::size_t> read_counts;
@@ -142,5 +159,15 @@ int main(int argc, char** argv) {
     }
     check.print(std::cout);
   }
+
+  if (tracer.flush()) {
+    std::cout << "\nwrote Chrome trace to " << tracer.output_path()
+              << " (open in Perfetto or chrome://tracing)\n";
+  }
+  if (flags.flag("metrics")) {
+    std::cout << "\nObs metrics snapshot\n"
+              << obs::Registry::global().snapshot().to_text();
+  }
+  obs::Registry::write_global_if_configured();
   return 0;
 }

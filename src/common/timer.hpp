@@ -1,10 +1,15 @@
-// Wall-clock stopwatch and human-readable duration formatting in the style
-// used by the paper's tables ("4m 25s", "8.4s").
+// Wall-clock and per-thread CPU stopwatches, plus human-readable duration
+// formatting in the style used by the paper's tables ("4m 25s", "8.4s").
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <ctime>
+#define MRMC_HAS_THREAD_CPUTIME 1
+#endif
 
 namespace mrmc::common {
 
@@ -23,6 +28,38 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// CPU time consumed by the *calling thread* (CLOCK_THREAD_CPUTIME_ID), for
+/// honest cpu_s accounting inside parallel tasks: unlike Stopwatch it does
+/// not advance while the thread sleeps or is descheduled.  Both calls must
+/// come from the same thread.  Falls back to the wall clock on platforms
+/// without a thread CPU clock.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  static double now() {
+#ifdef MRMC_HAS_THREAD_CPUTIME
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 /// Format a duration the way the paper's tables print it:

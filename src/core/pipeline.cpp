@@ -7,6 +7,9 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mrmc::core {
 
@@ -62,10 +65,21 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
   config.threads = exec.threads;
   config.cluster = exec.cluster;
 
+  auto& sketch_bytes_hist =
+      obs::Registry::global().histogram("pipeline.sketch_bytes");
+  auto& sketch_minima_hist =
+      obs::Registry::global().histogram("pipeline.sketch_distinct_minima");
   SketchJob job(
       config,
-      [hasher](const IndexedRead& read, mr::Emitter<std::uint32_t, Sketch>& emit) {
-        emit.emit(read.index, hasher->sketch(read.seq));
+      [hasher, &sketch_bytes_hist, &sketch_minima_hist](
+          const IndexedRead& read, mr::Emitter<std::uint32_t, Sketch>& emit) {
+        Sketch sketch = hasher->sketch(read.seq);
+        sketch_bytes_hist.observe(mr::approx_bytes(sketch));
+        Sketch sorted = sketch;
+        std::sort(sorted.begin(), sorted.end());
+        sketch_minima_hist.observe(static_cast<double>(
+            std::unique(sorted.begin(), sorted.end()) - sorted.begin()));
+        emit.emit(read.index, std::move(sketch));
         emit.count("reads.sketched");
       },
       [](const std::uint32_t& key, std::vector<Sketch>& values,
@@ -116,17 +130,25 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
   config.threads = exec.threads;
   config.cluster = exec.cluster;
 
+  // Per-row fan-out: how many of the row's pairs clear theta — the density
+  // signal that decides whether sparse clustering would pay off.
+  auto& fanout_hist =
+      obs::Registry::global().histogram("pipeline.similarity_fanout");
+  const auto theta = static_cast<float>(params.theta);
   SimJob job(
       config,
-      [sketches, estimator](const std::uint32_t& row,
-                            mr::Emitter<std::uint32_t, Row>& emit) {
+      [sketches, estimator, theta, &fanout_hist](
+          const std::uint32_t& row, mr::Emitter<std::uint32_t, Row>& emit) {
         const auto& all = *sketches;
         Row sims;
         sims.reserve(all.size() - row - 1);
+        std::size_t fanout = 0;
         for (std::size_t j = row + 1; j < all.size(); ++j) {
           sims.push_back(static_cast<float>(
               sketch_similarity(all[row], all[j], estimator)));
+          if (sims.back() >= theta) ++fanout;
         }
+        fanout_hist.observe(static_cast<double>(fanout));
         emit.emit(row, std::move(sims));
         emit.count("matrix.rows");
       },
@@ -179,7 +201,8 @@ std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketc
         emit.emit(0, index);
       },
       [sketches, greedy](const int&, std::vector<Value>& indices,
-                         std::vector<std::pair<std::uint32_t, int>>& out) {
+                         std::vector<std::pair<std::uint32_t, int>>& out,
+                         mr::ReduceContext& context) {
         // Keep input order: values arrive in map-task order which follows
         // the original read order for our deterministic shuffle.
         std::sort(indices.begin(), indices.end());
@@ -187,6 +210,8 @@ std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketc
         for (const std::uint32_t index : indices) {
           out.emplace_back(index, result.labels[index]);
         }
+        context.count("clusters.formed",
+                      static_cast<long>(count_clusters(result.labels)));
       });
   job.with_map_work([](const std::uint32_t&) { return 1e-7; });  // emit only
   job.with_reduce_work([n](const int&, std::size_t) {
@@ -231,11 +256,14 @@ std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
         emit.emit(0, row);
       },
       [&matrix, linkage, theta](const int&, std::vector<std::uint32_t>& rows,
-                                std::vector<std::pair<std::uint32_t, int>>& out) {
+                                std::vector<std::pair<std::uint32_t, int>>& out,
+                                mr::ReduceContext& context) {
         const Dendrogram dendrogram = agglomerate(matrix, linkage);
         const std::vector<int> labels = cut_dendrogram(dendrogram, theta);
         std::sort(rows.begin(), rows.end());
         for (const std::uint32_t row : rows) out.emplace_back(row, labels[row]);
+        context.count("clusters.formed",
+                      static_cast<long>(count_clusters(labels)));
       });
   job.with_map_work([](const std::uint32_t&) { return 1e-7; });  // emit only
   job.with_reduce_work(
@@ -259,8 +287,18 @@ FastqPipelineResult run_pipeline_fastq(std::span<const bio::FastqRecord> reads,
                                        const ExecutionOptions& exec) {
   FastqPipelineResult result;
   const std::vector<bio::FastqRecord> input(reads.begin(), reads.end());
-  const auto filtered = bio::quality_filter(input, qc, &result.dropped);
-  result.kept = bio::to_fasta(filtered);
+  {
+    obs::Tracer::Span qc_span(obs::Tracer::global(), "pipeline/fastq_qc",
+                              {{"reads", std::to_string(reads.size())}});
+    const auto filtered = bio::quality_filter(input, qc, &result.dropped);
+    result.kept = bio::to_fasta(filtered);
+  }
+  obs::Registry::global()
+      .counter("pipeline.fastq_reads_dropped")
+      .add(static_cast<long>(result.dropped));
+  obs::Registry::global()
+      .counter("pipeline.fastq_reads_kept")
+      .add(static_cast<long>(result.kept.size()));
   result.clustering = run_pipeline(result.kept, params, exec);
   return result;
 }
@@ -271,6 +309,12 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
   common::Stopwatch watch;
   PipelineResult result;
   if (reads.empty()) return result;
+
+  auto& tracer = obs::Tracer::global();
+  obs::Tracer::Span pipeline_span(
+      tracer, std::string("pipeline ") + mode_name(params.mode),
+      {{"reads", std::to_string(reads.size())},
+       {"distributed", exec.distributed ? "true" : "false"}});
 
   if (exec.distributed) {
     auto sketches = std::make_shared<std::vector<Sketch>>(
@@ -308,6 +352,21 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
 
   result.num_clusters = count_clusters(result.labels);
   result.wall_s = watch.seconds();
+  pipeline_span.arg("clusters", std::to_string(result.num_clusters));
+  pipeline_span.arg("sim_total_s", obs::trace_double(result.sim_total_s));
+
+  static const obs::Logger logger("core.pipeline");
+  logger.info("pipeline finished",
+              {{"mode", mode_name(params.mode)},
+               {"reads", reads.size()},
+               {"clusters", result.num_clusters},
+               {"wall_s", result.wall_s},
+               {"sim_total_s", result.sim_total_s}});
+
+  // Honor MRMC_TRACE / MRMC_METRICS at every pipeline boundary so even a
+  // caller that exits abnormally afterwards has a complete artifact.
+  tracer.flush();
+  obs::Registry::write_global_if_configured();
   return result;
 }
 

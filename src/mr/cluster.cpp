@@ -6,6 +6,9 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mrmc::mr {
 
@@ -93,7 +96,8 @@ PhaseTimeline SimScheduler::schedule_phase(std::span<const TaskSpec> tasks,
     const double end = start + task_duration(task, local);
     slot_free[best_node][best_slot] = end;
 
-    timeline.tasks[idx] = {best_node, start, end, local};
+    timeline.tasks[idx] = {best_node, static_cast<int>(best_slot), start, end,
+                           local};
     if (local) ++timeline.data_local_tasks;
   }
 
@@ -127,10 +131,42 @@ PhaseTimeline SimScheduler::schedule_phase(std::span<const TaskSpec> tasks,
   return timeline;
 }
 
+namespace {
+
+/// Export one scheduled phase onto the job's sim track group: task i becomes
+/// a duration event on the (node, slot) track it ran on.  The timestamp is
+/// shifted by `ts_offset_s` so phases line up end to end within the job; the
+/// exact phase-relative times travel as args.
+void trace_sim_phase(obs::Tracer& tracer, std::uint32_t pid,
+                     const char* phase_name, const PhaseTimeline& phase,
+                     std::size_t slots_per_node, std::uint32_t tid_base,
+                     double ts_offset_s) {
+  for (std::size_t i = 0; i < phase.tasks.size(); ++i) {
+    const TaskPlacement& task = phase.tasks[i];
+    const std::uint32_t tid =
+        tid_base + static_cast<std::uint32_t>(task.node) *
+                       static_cast<std::uint32_t>(slots_per_node) +
+        static_cast<std::uint32_t>(task.slot);
+    tracer.name_sim_track(pid, tid,
+                          "node " + std::to_string(task.node) + " " +
+                              phase_name + " slot " +
+                              std::to_string(task.slot));
+    tracer.sim_task(pid, tid, std::string(phase_name) + " " + std::to_string(i),
+                    task.start_s, task.end_s,
+                    {{"phase", phase_name},
+                     {"task", std::to_string(i)},
+                     {"data_local", task.data_local ? "true" : "false"}},
+                    ts_offset_s);
+  }
+}
+
+}  // namespace
+
 JobTimeline simulate_job(const SimScheduler& scheduler,
                          std::span<const TaskSpec> map_tasks,
                          double shuffle_bytes,
-                         std::span<const TaskSpec> reduce_tasks) {
+                         std::span<const TaskSpec> reduce_tasks,
+                         const std::string& job_name) {
   JobTimeline timeline;
   timeline.map_phase =
       scheduler.schedule_phase(map_tasks, scheduler.config().map_slots_per_node);
@@ -140,6 +176,61 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
   timeline.total_s = scheduler.config().job_startup_s +
                      timeline.map_phase.makespan_s + timeline.shuffle_s +
                      timeline.reduce_phase.makespan_s;
+
+  auto& registry = obs::Registry::global();
+  registry.counter("mr.sim_jobs").inc();
+  registry.counter("mr.data_local_tasks")
+      .add(static_cast<long>(timeline.map_phase.data_local_tasks +
+                             timeline.reduce_phase.data_local_tasks));
+  registry.counter("mr.speculated_tasks")
+      .add(static_cast<long>(timeline.map_phase.speculated_tasks +
+                             timeline.reduce_phase.speculated_tasks));
+  registry.counter("mr.shuffle_bytes")
+      .add(static_cast<long>(shuffle_bytes));
+  auto& map_hist = registry.histogram("mr.map_task_sim_s");
+  for (const TaskPlacement& task : timeline.map_phase.tasks) {
+    map_hist.observe(task.end_s - task.start_s);
+  }
+  auto& reduce_hist = registry.histogram("mr.reduce_task_sim_s");
+  for (const TaskPlacement& task : timeline.reduce_phase.tasks) {
+    reduce_hist.observe(task.end_s - task.start_s);
+  }
+  registry.histogram("mr.shuffle_sim_s").observe(timeline.shuffle_s);
+
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    const std::uint32_t pid = tracer.begin_sim_job(job_name);
+    const ClusterConfig& config = scheduler.config();
+    // Reduce tracks live above the map tracks; the shuffle gets its own.
+    const auto reduce_tid_base = static_cast<std::uint32_t>(
+        config.nodes * config.map_slots_per_node);
+    const std::uint32_t shuffle_tid =
+        reduce_tid_base + static_cast<std::uint32_t>(
+                              config.nodes * config.reduce_slots_per_node);
+    const double map_offset = config.job_startup_s;
+    const double shuffle_offset = map_offset + timeline.map_phase.makespan_s;
+    const double reduce_offset = shuffle_offset + timeline.shuffle_s;
+    trace_sim_phase(tracer, pid, "map", timeline.map_phase,
+                    config.map_slots_per_node, 0, map_offset);
+    if (timeline.shuffle_s > 0.0) {
+      tracer.name_sim_track(pid, shuffle_tid, "shuffle");
+      tracer.sim_task(pid, shuffle_tid, "shuffle", 0.0, timeline.shuffle_s,
+                      {{"phase", "shuffle"},
+                       {"bytes", obs::trace_double(shuffle_bytes)}},
+                      shuffle_offset);
+    }
+    trace_sim_phase(tracer, pid, "reduce", timeline.reduce_phase,
+                    config.reduce_slots_per_node, reduce_tid_base,
+                    reduce_offset);
+  }
+
+  static const obs::Logger logger("mr.sim");
+  logger.debug("job simulated",
+               {{"job", job_name},
+                {"maps", map_tasks.size()},
+                {"reduces", reduce_tasks.size()},
+                {"sim_total_s", timeline.total_s},
+                {"summary", timeline.summary()}});
   return timeline;
 }
 

@@ -58,6 +58,7 @@ struct TaskSpec {
 /// Scheduling outcome of one task.
 struct TaskPlacement {
   int node = 0;
+  int slot = 0;  ///< slot index on the node (its trace track)
   double start_s = 0.0;
   double end_s = 0.0;
   bool data_local = true;
@@ -104,9 +105,22 @@ struct JobTimeline {
   [[nodiscard]] std::string summary() const;
 };
 
+/// `job_name` labels the job's simulated-clock trace tracks and log lines.
+/// When the global obs::Tracer is enabled, every TaskPlacement is exported
+/// as a duration event on its node/slot track (plus a shuffle track), and
+/// the phase/task durations feed the global obs metrics registry.
 JobTimeline simulate_job(const SimScheduler& scheduler,
                          std::span<const TaskSpec> map_tasks,
                          double shuffle_bytes,
-                         std::span<const TaskSpec> reduce_tasks);
+                         std::span<const TaskSpec> reduce_tasks,
+                         const std::string& job_name);
+
+inline JobTimeline simulate_job(const SimScheduler& scheduler,
+                                std::span<const TaskSpec> map_tasks,
+                                double shuffle_bytes,
+                                std::span<const TaskSpec> reduce_tasks) {
+  return simulate_job(scheduler, map_tasks, shuffle_bytes, reduce_tasks,
+                      "job");
+}
 
 }  // namespace mrmc::mr

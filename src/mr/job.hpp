@@ -29,10 +29,27 @@
 #include "common/timer.hpp"
 #include "mr/bytes.hpp"
 #include "mr/cluster.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mrmc::mr {
 
 using Counters = std::map<std::string, long>;
+
+/// Counting context handed to context-aware reducers; per-task counters are
+/// merged into JobStats::counters exactly like the map side's Emitter.
+class ReduceContext {
+ public:
+  void count(const std::string& counter, long delta = 1) {
+    counters_[counter] += delta;
+  }
+
+  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+
+ private:
+  Counters counters_;
+};
 
 /// Collects (key, value) pairs and named counters from map/combine calls.
 template <typename K, typename V>
@@ -75,8 +92,8 @@ struct JobStats {
   std::size_t output_records = 0;
   std::size_t map_retries = 0;
   double shuffle_bytes = 0.0;
-  double map_cpu_s = 0.0;     ///< real measured CPU, informational
-  double reduce_cpu_s = 0.0;
+  double map_cpu_s = 0.0;     ///< measured thread CPU time (not wall), informational
+  double reduce_cpu_s = 0.0;  ///< ditto, summed across reduce tasks
   Counters counters;
   JobTimeline timeline;       ///< deterministic simulated cluster time
 };
@@ -93,6 +110,9 @@ class Job {
   using Mapper = std::function<void(const In&, Emitter<K, V>&)>;
   using Reducer =
       std::function<void(const K&, std::vector<V>&, std::vector<Out>&)>;
+  /// Reducer overload that can also bump named counters (ReduceContext).
+  using ContextReducer = std::function<void(const K&, std::vector<V>&,
+                                            std::vector<Out>&, ReduceContext&)>;
   using Combiner = std::function<void(const K&, std::vector<V>&, Emitter<K, V>&)>;
   using Partitioner = std::function<std::size_t(const K&)>;
   using MapWorkModel = std::function<double(const In&)>;
@@ -106,6 +126,16 @@ class Job {
     MRMC_REQUIRE(config_.records_per_split >= 1, "split size must be positive");
     MRMC_CHECK(mapper_ != nullptr, "mapper required");
     MRMC_CHECK(reducer_ != nullptr, "reducer required");
+  }
+
+  Job(JobConfig config, Mapper mapper, ContextReducer reducer)
+      : config_(std::move(config)),
+        mapper_(std::move(mapper)),
+        context_reducer_(std::move(reducer)) {
+    MRMC_REQUIRE(config_.num_reducers >= 1, "need at least one reducer");
+    MRMC_REQUIRE(config_.records_per_split >= 1, "split size must be positive");
+    MRMC_CHECK(mapper_ != nullptr, "mapper required");
+    MRMC_CHECK(context_reducer_ != nullptr, "reducer required");
   }
 
   Job& with_combiner(Combiner combiner) {
@@ -150,6 +180,11 @@ class Job {
                             const std::vector<int>& preferred_nodes) {
     MRMC_REQUIRE(splits.size() == preferred_nodes.size(),
                  "one preferred node per split");
+    auto& tracer = obs::Tracer::global();
+    obs::Tracer::Span job_span(tracer, "mr.job " + config_.name,
+                               {{"maps", std::to_string(splits.size())},
+                                {"reducers",
+                                 std::to_string(config_.num_reducers)}});
     JobResult<Out> result;
     JobStats& stats = result.stats;
     stats.map_tasks = splits.size();
@@ -159,9 +194,12 @@ class Job {
     std::vector<MapTaskOutput> map_outputs(splits.size());
 
     common::ThreadPool pool(config_.threads);
-    pool.parallel_for(splits.size(), [&](std::size_t t) {
-      map_outputs[t] = run_map_task(splits[t], preferred_nodes[t], t);
-    });
+    {
+      obs::Tracer::Span map_span(tracer, config_.name + "/map");
+      pool.parallel_for(splits.size(), [&](std::size_t t) {
+        map_outputs[t] = run_map_task(splits[t], preferred_nodes[t], t);
+      });
+    }
 
     std::vector<TaskSpec> map_specs;
     map_specs.reserve(map_outputs.size());
@@ -182,26 +220,35 @@ class Job {
     // Gather each reducer's input from every map task, in task order so the
     // overall run is deterministic regardless of thread scheduling.
     std::vector<std::vector<std::pair<K, V>>> reducer_inputs(config_.num_reducers);
-    for (auto& task : map_outputs) {
-      for (std::size_t r = 0; r < config_.num_reducers; ++r) {
-        auto& bucket = task.partitions[r];
-        reducer_inputs[r].insert(reducer_inputs[r].end(),
-                                 std::make_move_iterator(bucket.begin()),
-                                 std::make_move_iterator(bucket.end()));
+    {
+      obs::Tracer::Span shuffle_span(
+          tracer, config_.name + "/shuffle",
+          {{"bytes", obs::trace_double(shuffle_bytes)}});
+      for (auto& task : map_outputs) {
+        for (std::size_t r = 0; r < config_.num_reducers; ++r) {
+          auto& bucket = task.partitions[r];
+          reducer_inputs[r].insert(reducer_inputs[r].end(),
+                                   std::make_move_iterator(bucket.begin()),
+                                   std::make_move_iterator(bucket.end()));
+        }
       }
     }
 
     // -------------------------------------------------------- reduce phase
     std::vector<ReduceTaskOutput> reduce_outputs(config_.num_reducers);
-    pool.parallel_for(config_.num_reducers, [&](std::size_t r) {
-      reduce_outputs[r] = run_reduce_task(reducer_inputs[r]);
-    });
+    {
+      obs::Tracer::Span reduce_span(tracer, config_.name + "/reduce");
+      pool.parallel_for(config_.num_reducers, [&](std::size_t r) {
+        reduce_outputs[r] = run_reduce_task(reducer_inputs[r]);
+      });
+    }
 
     std::vector<TaskSpec> reduce_specs;
     reduce_specs.reserve(reduce_outputs.size());
     for (auto& task : reduce_outputs) {
       stats.reduce_groups += task.groups;
       stats.reduce_cpu_s += task.cpu_s;
+      for (const auto& [name, value] : task.counters) stats.counters[name] += value;
       reduce_specs.push_back(task.spec);
       stats.output_records += task.output.size();
       result.output.insert(result.output.end(),
@@ -211,8 +258,10 @@ class Job {
 
     // --------------------------------------------------- simulated timeline
     const SimScheduler scheduler(config_.cluster);
-    stats.timeline =
-        simulate_job(scheduler, map_specs, shuffle_bytes, reduce_specs);
+    stats.timeline = simulate_job(scheduler, map_specs, shuffle_bytes,
+                                  reduce_specs, config_.name);
+    export_stats(stats);
+    job_span.arg("sim_total_s", obs::trace_double(stats.timeline.total_s));
     return result;
   }
 
@@ -230,9 +279,45 @@ class Job {
   struct ReduceTaskOutput {
     std::vector<Out> output;
     TaskSpec spec;
+    Counters counters;
     double cpu_s = 0.0;
     std::size_t groups = 0;
   };
+
+  /// Publish the finished job's stats to the global metrics registry and
+  /// the engine log; user counters are exported as `mr.counter.<name>`.
+  void export_stats(const JobStats& stats) const {
+    auto& registry = obs::Registry::global();
+    registry.counter("mr.jobs").inc();
+    registry.counter("mr.map_tasks").add(static_cast<long>(stats.map_tasks));
+    registry.counter("mr.reduce_tasks")
+        .add(static_cast<long>(stats.reduce_tasks));
+    registry.counter("mr.map_retries").add(static_cast<long>(stats.map_retries));
+    registry.counter("mr.input_records")
+        .add(static_cast<long>(stats.input_records));
+    registry.counter("mr.map_output_records")
+        .add(static_cast<long>(stats.map_output_records));
+    registry.counter("mr.output_records")
+        .add(static_cast<long>(stats.output_records));
+    for (const auto& [name, value] : stats.counters) {
+      registry.counter("mr.counter." + name).add(value);
+    }
+
+    static const obs::Logger logger("mr.job");
+    if (logger.enabled(obs::LogLevel::kInfo)) {
+      logger.info("job finished",
+                  {{"job", config_.name},
+                   {"maps", stats.map_tasks},
+                   {"reducers", stats.reduce_tasks},
+                   {"input_records", stats.input_records},
+                   {"output_records", stats.output_records},
+                   {"map_retries", stats.map_retries},
+                   {"shuffle_bytes", stats.shuffle_bytes},
+                   {"map_cpu_s", stats.map_cpu_s},
+                   {"reduce_cpu_s", stats.reduce_cpu_s},
+                   {"sim_total_s", stats.timeline.total_s}});
+    }
+  }
 
   [[nodiscard]] std::size_t partition_of(const K& key) const {
     if (partitioner_) return partitioner_(key) % config_.num_reducers;
@@ -262,7 +347,8 @@ class Job {
                              std::size_t task_index) {
     MapTaskOutput task;
 
-    common::Stopwatch watch;
+    // Thread CPU clock, not wall: the task shares a core with its siblings.
+    common::ThreadCpuStopwatch watch;
     Emitter<K, V> emitter;
     double input_bytes = 0.0;
     double work = 0.0;
@@ -318,17 +404,23 @@ class Job {
   ReduceTaskOutput run_reduce_task(std::vector<std::pair<K, V>>& pairs) {
     ReduceTaskOutput task;
 
-    common::Stopwatch watch;
+    common::ThreadCpuStopwatch watch;
     double input_bytes = 0.0;
     for (const auto& pair : pairs) input_bytes += approx_bytes(pair);
 
+    ReduceContext context;
     double work = 0.0;
     for_each_group(pairs, [&](const K& key, std::vector<V>& values) {
       ++task.groups;
       work += reduce_work_ ? reduce_work_(key, values.size())
                            : 1e-6 * static_cast<double>(values.size());
-      reducer_(key, values, task.output);
+      if (context_reducer_) {
+        context_reducer_(key, values, task.output, context);
+      } else {
+        reducer_(key, values, task.output);
+      }
     });
+    task.counters = std::move(context.counters());
 
     double output_bytes = 0.0;
     for (const Out& out : task.output) output_bytes += approx_bytes(out);
@@ -340,6 +432,7 @@ class Job {
   JobConfig config_;
   Mapper mapper_;
   Reducer reducer_;
+  ContextReducer context_reducer_;
   Combiner combiner_;
   Partitioner partitioner_;
   MapWorkModel map_work_;

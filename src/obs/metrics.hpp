@@ -1,0 +1,158 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms, built for cheap concurrent accumulation on the engine's hot
+// paths (map/reduce tasks run on a thread pool).
+//
+// Counters and histograms accumulate into a small array of cache-line-padded
+// shards; each thread is assigned a shard slot on first use (thread-local,
+// round-robin), so concurrent `add`/`observe` calls from the pool almost
+// never contend on a cache line.  Reads (`value()`, `snapshot()`) sum the
+// shards; they are O(shards) and intended for end-of-run reporting, not hot
+// loops.
+//
+// Metric objects are owned by the Registry and live for the process;
+// references returned by `counter()` / `gauge()` / `histogram()` are stable
+// and safe to cache.  `Registry::global()` is the instance the engine
+// instruments; tests may `reset()` it between cases.
+//
+// A snapshot renders as text (one metric per line) or JSON; if the
+// MRMC_METRICS environment variable names a file, `Registry::
+// write_global_if_configured()` dumps the global registry there (JSON when
+// the path ends in .json, text otherwise).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrmc::obs {
+
+namespace detail {
+/// Number of accumulation shards per metric; a small power of two that
+/// covers typical thread-pool widths without wasting memory.
+inline constexpr std::size_t kShards = 16;
+
+/// Thread-local shard slot, assigned round-robin at first use.
+std::size_t shard_index() noexcept;
+
+struct alignas(64) LongCell {
+  std::atomic<long> value{0};
+};
+}  // namespace detail
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(long delta = 1) noexcept {
+    shards_[detail::shard_index()].value.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  [[nodiscard]] long value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  detail::LongCell shards_[detail::kShards];
+};
+
+/// Last-written floating-point metric.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;  ///< inclusive upper bounds; implicit +inf last
+  std::vector<long> counts;    ///< one per bound, plus the overflow bucket
+  long count = 0;
+  double sum = 0.0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-bucket histogram: `observe(v)` lands in the first bucket whose
+/// upper bound satisfies v <= bound, or the overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+
+  /// Default bounds: decades with a 1-2-5 ladder from 1e-6 to 1e4 —
+  /// suitable for both simulated seconds and small cardinalities.
+  static std::span<const double> default_bounds() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  // counts_[shard * (bounds+1) + bucket]
+  std::vector<detail::LongCell> counts_;
+  detail::LongCell observe_count_[detail::kShards];
+  // Sum accumulates per-shard to avoid a CAS loop on a shared double.
+  struct alignas(64) DoubleCell {
+    std::atomic<double> value{0.0};
+  };
+  DoubleCell sums_[detail::kShards];
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Registry {
+ public:
+  /// The registry the library's instrumentation writes to.
+  static Registry& global();
+
+  /// Find-or-create by name.  References remain valid for the registry's
+  /// lifetime.  A histogram's bounds are fixed by its first registration.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every metric (registrations survive — cached references stay valid).
+  void reset();
+
+  /// If MRMC_METRICS names a file, write the global snapshot there.
+  /// Returns true when a file was written.
+  static bool write_global_if_configured();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mrmc::obs

@@ -5,6 +5,8 @@
 
 #include "bio/fasta.hpp"
 #include "common/error.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 
 namespace mrmc::pig {
 
@@ -66,6 +68,7 @@ mr::JobConfig PigContext::make_config(const std::string& name,
 }
 
 Relation PigContext::load_fasta(const std::string& path) {
+  obs::Tracer::Span span(obs::Tracer::global(), "pig LOAD", {{"path", path}});
   const auto records = bio::read_fasta_string(dfs_->read(path));
   Relation relation;
   relation.reserve(records.size());
@@ -79,6 +82,9 @@ Relation PigContext::load_fasta(const std::string& path) {
 }
 
 Relation PigContext::foreach_generate(const Relation& input, const Udf& udf) {
+  obs::Tracer::Span span(obs::Tracer::global(),
+                         std::string("pig FOREACH..GENERATE ") + udf.name(),
+                         {{"tuples", std::to_string(input.size())}});
   using ForeachJob = mr::Job<IndexedTuple, long, Tuple, std::pair<long, Tuple>>;
 
   const Udf* udf_ptr = &udf;
@@ -118,6 +124,8 @@ Relation PigContext::foreach_generate(const Relation& input, const Udf& udf) {
 }
 
 Relation PigContext::group_all(const Relation& input) {
+  obs::Tracer::Span span(obs::Tracer::global(), "pig GROUP ALL",
+                         {{"tuples", std::to_string(input.size())}});
   using GroupJob =
       mr::Job<IndexedTuple, int, std::pair<long, Tuple>, Tuple>;
 
@@ -169,6 +177,9 @@ std::string group_key(const Tuple& tuple, std::size_t field) {
 }  // namespace
 
 Relation PigContext::group_by(const Relation& input, std::size_t field) {
+  obs::Tracer::Span span(obs::Tracer::global(), "pig GROUP BY",
+                         {{"tuples", std::to_string(input.size())},
+                          {"field", std::to_string(field)}});
   using GroupByJob =
       mr::Job<IndexedTuple, std::string, std::pair<long, Tuple>, Tuple>;
 
@@ -210,6 +221,7 @@ Relation PigContext::group_by(const Relation& input, std::size_t field) {
 }
 
 void PigContext::store(const Relation& relation, const std::string& path) {
+  obs::Tracer::Span span(obs::Tracer::global(), "pig STORE", {{"path", path}});
   std::ostringstream out;
   for (const Tuple& tuple : relation) out << to_text(tuple) << '\n';
   dfs_->write(path, out.str());
@@ -221,6 +233,8 @@ Algorithm3Result run_algorithm3(mr::SimDfs& dfs, const std::string& input_path,
                                 const Algorithm3Params& params,
                                 const mr::ClusterConfig& cluster,
                                 std::size_t threads) {
+  obs::Tracer::Span script_span(obs::Tracer::global(), "pig script algorithm3",
+                                {{"input", input_path}});
   PigContext ctx(&dfs, cluster, threads);
 
   // Step 1: A = LOAD '$INPUT' USING FastaStorage ...
@@ -260,6 +274,13 @@ Algorithm3Result run_algorithm3(mr::SimDfs& dfs, const std::string& input_path,
     result.greedy.emplace_back(tuple.get<std::string>(0),
                                static_cast<int>(tuple.get<long>(1)));
   }
+
+  static const obs::Logger logger("pig");
+  logger.info("algorithm3 finished", {{"jobs", result.jobs_run},
+                                      {"sim_time_s", result.sim_time_s},
+                                      {"hier_tuples", result.hierarchical.size()},
+                                      {"greedy_tuples", result.greedy.size()}});
+  obs::Tracer::global().flush();
   return result;
 }
 

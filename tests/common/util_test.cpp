@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -22,6 +24,29 @@ TEST(Stopwatch, ResetRestartsClock) {
   watch.reset();
   EXPECT_LT(watch.seconds(), 1.0);
 }
+
+TEST(ThreadCpuStopwatch, BusyWorkAccruesCpuTime) {
+  ThreadCpuStopwatch watch;
+  // Spin until ~20 ms of CPU time accrues (or a generous iteration cap).
+  volatile double sink = 0.0;
+  for (long i = 0; i < 200'000'000 && watch.seconds() < 0.02; ++i) {
+    sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  EXPECT_GT(watch.seconds(), 0.0);
+  EXPECT_GE(watch.millis(), watch.seconds() * 1000.0 * 0.99);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 0.02);
+}
+
+#ifdef MRMC_HAS_THREAD_CPUTIME
+TEST(ThreadCpuStopwatch, SleepingAccruesAlmostNoCpuTime) {
+  ThreadCpuStopwatch cpu;
+  Stopwatch wall;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_GE(wall.seconds(), 0.04);  // the wall clock saw the nap...
+  EXPECT_LT(cpu.seconds(), 0.04);   // ...the thread CPU clock mostly did not
+}
+#endif
 
 TEST(FormatDuration, SecondsStyle) {
   EXPECT_EQ(format_duration(8.44), "8.4s");

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -125,6 +129,76 @@ TEST(SimulateJob, TotalComposesPhases) {
   EXPECT_DOUBLE_EQ(timeline.total_s, 5.0 + timeline.map_phase.makespan_s +
                                          timeline.reduce_phase.makespan_s);
   EXPECT_FALSE(timeline.summary().empty());
+}
+
+TEST(SimScheduler, SpeculativeExecutionRescuesInjectedStraggler) {
+  ClusterConfig config = small_cluster(4);
+  std::vector<TaskSpec> tasks(16, TaskSpec{2.0, 0.0, 0.0, -1});
+  tasks[5].work = 200.0;  // one task 100x slower: a failing disk / data skew
+
+  const SimScheduler baseline{config};
+  const auto without = baseline.schedule_phase(tasks, 2);
+  EXPECT_EQ(without.speculated_tasks, 0u);
+
+  config.speculative_execution = true;
+  const SimScheduler speculating{config};
+  const auto with = speculating.schedule_phase(tasks, 2);
+  EXPECT_GT(with.speculated_tasks, 0u);
+  EXPECT_LT(with.makespan_s, without.makespan_s);
+  // The backup copy caps the straggler at (factor + 1) x the phase median
+  // (3 s per task here), measured from its start.
+  const double median = 3.0;
+  EXPECT_DOUBLE_EQ(with.tasks[5].end_s,
+                   with.tasks[5].start_s +
+                       (config.speculation_factor + 1.0) * median);
+}
+
+TEST(SimScheduler, SpeculationLeavesUniformPhasesAlone) {
+  ClusterConfig config = small_cluster(4);
+  config.speculative_execution = true;
+  const SimScheduler scheduler{config};
+  const std::vector<TaskSpec> tasks(16, TaskSpec{2.0, 0.0, 0.0, -1});
+  const auto timeline = scheduler.schedule_phase(tasks, 2);
+  EXPECT_EQ(timeline.speculated_tasks, 0u);
+}
+
+TEST(SimScheduler, PlacementsNeverOverlapOnASlot) {
+  const SimScheduler scheduler(small_cluster(3));
+  std::vector<TaskSpec> tasks;
+  for (int i = 0; i < 24; ++i) tasks.push_back({1.0 + i % 5, 1e5, 1e5, i % 3});
+  const auto timeline = scheduler.schedule_phase(tasks, 2);
+  // Sort each (node, slot) track's intervals and check back-to-back order.
+  std::map<std::pair<int, int>, std::vector<std::pair<double, double>>> tracks;
+  for (const TaskPlacement& task : timeline.tasks) {
+    EXPECT_GE(task.node, 0);
+    EXPECT_LT(task.node, 3);
+    EXPECT_GE(task.slot, 0);
+    EXPECT_LT(task.slot, 2);
+    tracks[{task.node, task.slot}].emplace_back(task.start_s, task.end_s);
+  }
+  for (auto& [slot, intervals] : tracks) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second)
+          << "overlap on node " << slot.first << " slot " << slot.second;
+    }
+  }
+}
+
+TEST(JobTimeline, SummaryReportsEveryPhase) {
+  const SimScheduler scheduler(small_cluster(2));
+  const std::vector<TaskSpec> maps(4, TaskSpec{2.0, 0.0, 0.0, -1});
+  const std::vector<TaskSpec> reduces(2, TaskSpec{1.0, 0.0, 0.0, -1});
+  const auto timeline = simulate_job(scheduler, maps, 80e6, reduces, "t");
+  const std::string summary = timeline.summary();
+  EXPECT_NE(summary.find("map="), std::string::npos);
+  EXPECT_NE(summary.find("shuffle="), std::string::npos);
+  EXPECT_NE(summary.find("reduce="), std::string::npos);
+  EXPECT_NE(summary.find("total="), std::string::npos);
+  // An all-empty job still reports (zero) phases rather than crashing.
+  const auto empty = simulate_job(scheduler, {}, 0.0, {}, "empty");
+  EXPECT_DOUBLE_EQ(empty.total_s, scheduler.config().job_startup_s);
+  EXPECT_NE(empty.summary().find("shuffle=0"), std::string::npos);
 }
 
 TEST(SimulateJob, DeterministicAcrossCalls) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
@@ -219,6 +220,85 @@ TEST(Job, RejectsInvalidConfig) {
   config.records_per_split = 0;
   EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
                common::InvalidArgument);
+}
+
+TEST(Job, EmptyInputStillSimulatesAValidTimeline) {
+  WordCountJob job(test_config(), word_mapper(), sum_reducer());
+  const auto result = job.run({});
+  // run() synthesizes one empty split so the job still flows through every
+  // phase: one (trivial) map task, the configured reducers, startup cost.
+  EXPECT_EQ(result.stats.map_tasks, 1u);
+  EXPECT_EQ(result.stats.reduce_tasks, 3u);
+  EXPECT_EQ(result.stats.reduce_groups, 0u);
+  EXPECT_DOUBLE_EQ(result.stats.shuffle_bytes, 0.0);
+  EXPECT_GT(result.stats.timeline.total_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.stats.timeline.shuffle_s, 0.0);
+  EXPECT_EQ(result.stats.timeline.map_phase.tasks.size(), 1u);
+  const std::string summary = result.stats.timeline.summary();
+  EXPECT_NE(summary.find("total="), std::string::npos);
+}
+
+TEST(Job, ContextReducerCountersMergeIntoStats) {
+  WordCountJob job(
+      test_config(3, 2), word_mapper(),
+      [](const std::string& word, std::vector<long>& counts,
+         std::vector<std::pair<std::string, long>>& out, ReduceContext& ctx) {
+        long total = 0;
+        for (const long c : counts) total += c;
+        out.emplace_back(word, total);
+        ctx.count("groups.reduced");
+        if (total >= 3) ctx.count("groups.heavy");
+      });
+  const auto result = job.run(kLines);
+  // Counters from all 3 reduce tasks merge; map-side counters still work too.
+  EXPECT_EQ(result.stats.counters.at("groups.reduced"), 7);
+  EXPECT_EQ(result.stats.counters.at("groups.heavy"), 4);  // the/lazy/brown/fox
+  EXPECT_EQ(to_map(result.output).at("the"), 3);
+}
+
+TEST(Job, ContextReducerMatchesPlainReducerOutput) {
+  WordCountJob plain(test_config(2, 2), word_mapper(), sum_reducer());
+  WordCountJob with_context(
+      test_config(2, 2), word_mapper(),
+      [](const std::string& word, std::vector<long>& counts,
+         std::vector<std::pair<std::string, long>>& out, ReduceContext&) {
+        long total = 0;
+        for (const long c : counts) total += c;
+        out.emplace_back(word, total);
+      });
+  EXPECT_EQ(plain.run(kLines).output, with_context.run(kLines).output);
+}
+
+TEST(Job, InjectedStragglersTriggerSpeculation) {
+  // Straggler injection is a per-task seeded coin flip; scan a few seeds for
+  // one where a minority of the 6 map tasks straggles (so the phase median
+  // stays normal and speculation kicks in).  The scan is deterministic.
+  auto config = test_config(2, 1);  // 6 map tasks
+  config.straggler_rate = 0.3;
+  config.straggler_slowdown = 50.0;
+  config.cluster.speculative_execution = true;
+  JobStats speculated_stats;
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 32 && !found; ++seed) {
+    config.seed = seed;
+    WordCountJob job(config, word_mapper(), sum_reducer());
+    job.with_map_work([](const std::string&) { return 5.0; });
+    const auto result = job.run(kLines);
+    if (result.stats.timeline.map_phase.speculated_tasks > 0) {
+      speculated_stats = result.stats;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no seed in 1..32 produced a rescued straggler";
+
+  // The same stragglers without backup copies finish strictly later.
+  config.cluster.speculative_execution = false;
+  WordCountJob no_backup(config, word_mapper(), sum_reducer());
+  no_backup.with_map_work([](const std::string&) { return 5.0; });
+  const auto slow = no_backup.run(kLines);
+  EXPECT_EQ(slow.stats.timeline.map_phase.speculated_tasks, 0u);
+  EXPECT_LT(speculated_stats.timeline.map_phase.makespan_s,
+            slow.stats.timeline.map_phase.makespan_s);
 }
 
 // ------------------------------------------------------------- approx_bytes

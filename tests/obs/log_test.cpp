@@ -1,0 +1,98 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mrmc::obs {
+namespace {
+
+/// Installs a CaptureSink on the global config for one test, then restores
+/// the default sink and the quiet default level.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LogConfig::global().set_sink(&sink_);
+    LogConfig::global().clear_rules();
+    LogConfig::global().set_default_level(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    LogConfig::global().set_sink(nullptr);
+    LogConfig::global().clear_rules();
+    LogConfig::global().set_default_level(LogLevel::kWarn);
+  }
+
+  CaptureSink sink_;
+};
+
+TEST_F(LogTest, CapturesStructuredFields) {
+  const Logger logger("mr.job");
+  logger.info("job finished", {{"job", "sketch"}, {"maps", 12}, {"sim_s", 41.25}});
+
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 1u);
+  const LogRecord& record = records[0];
+  EXPECT_EQ(record.level, LogLevel::kInfo);
+  EXPECT_EQ(record.logger, "mr.job");
+  EXPECT_EQ(record.message, "job finished");
+  EXPECT_EQ(record.field("job"), "sketch");
+  EXPECT_EQ(record.field("maps"), "12");
+  EXPECT_EQ(record.field("sim_s"), "41.25");
+  EXPECT_EQ(record.field("missing"), "");
+}
+
+TEST_F(LogTest, LevelFiltering) {
+  const Logger logger("core.pipeline");
+  logger.debug("hidden");
+  logger.info("shown");
+  logger.error("also shown");
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].message, "shown");
+  EXPECT_EQ(records[1].message, "also shown");
+}
+
+TEST_F(LogTest, PrefixRulesOverrideDefault) {
+  LogConfig::global().configure("warn,mr=debug");
+  const Logger mr_logger("mr.job");
+  const Logger core_logger("core.pipeline");
+  EXPECT_TRUE(mr_logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(core_logger.enabled(LogLevel::kInfo));
+
+  mr_logger.debug("engine detail");
+  core_logger.info("suppressed");
+  core_logger.warn("warned");
+  const auto records = sink_.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].message, "engine detail");
+  EXPECT_EQ(records[1].level, LogLevel::kWarn);
+}
+
+TEST_F(LogTest, MostSpecificPrefixWins) {
+  LogConfig::global().configure("warn,mr=error,mr.job=trace");
+  EXPECT_TRUE(Logger("mr.job").enabled(LogLevel::kTrace));
+  EXPECT_FALSE(Logger("mr.sim").enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger("mr.sim").enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, FormatIsKeyValueGrammar) {
+  LogRecord record;
+  record.level = LogLevel::kWarn;
+  record.logger = "pig";
+  record.message = "odd \"input\"";
+  record.fields = {{"path", "/a b/c"}, {"count", 3}};
+  const std::string line = record.format();
+  EXPECT_EQ(line,
+            "level=warn logger=pig msg=\"odd \\\"input\\\"\" "
+            "path=\"/a b/c\" count=3");
+}
+
+TEST_F(LogTest, ParseLevelNamesAndJunk) {
+  EXPECT_EQ(parse_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_level("bogus", LogLevel::kError), LogLevel::kError);
+  EXPECT_STREQ(level_name(LogLevel::kTrace), "trace");
+}
+
+}  // namespace
+}  // namespace mrmc::obs

@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mrmc::obs {
+namespace {
+
+TEST(Counter, AccumulatesAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.add(5);
+  counter.inc();
+  EXPECT_EQ(counter.value(), 6);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(Counter, ConcurrentAddsAreLossless) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  Gauge gauge;
+  gauge.set(2.5);
+  gauge.set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAreInclusiveUpperBounds) {
+  Histogram hist({1.0, 10.0, 100.0});
+  hist.observe(0.5);    // <= 1
+  hist.observe(1.0);    // <= 1 (inclusive)
+  hist.observe(5.0);    // <= 10
+  hist.observe(1000.0); // overflow
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 0);
+  EXPECT_EQ(snap.counts[3], 1);
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 1006.5);
+  EXPECT_DOUBLE_EQ(snap.mean(), 1006.5 / 4.0);
+}
+
+TEST(Histogram, ConcurrentObservesAreLossless) {
+  Histogram hist({0.5});
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        hist.observe(t % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kObservations);
+  EXPECT_EQ(snap.counts[0], kThreads / 2 * kObservations);
+  EXPECT_EQ(snap.counts[1], kThreads / 2 * kObservations);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_ANY_THROW(Histogram({2.0, 1.0}));
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x").value(), 3);
+  Histogram& h1 = registry.histogram("h", std::vector<double>{1.0, 2.0});
+  Histogram& h2 = registry.histogram("h");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);  // first registration fixes the bounds
+}
+
+TEST(Registry, SnapshotCoversAllKindsAndResetZeroes) {
+  Registry registry;
+  registry.counter("jobs").add(2);
+  registry.gauge("load").set(0.75);
+  registry.histogram("latency", std::vector<double>{1.0}).observe(0.5);
+
+  MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("jobs"), 2);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("load"), 0.75);
+  EXPECT_EQ(snap.histograms.at("latency").count, 1);
+
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("jobs 2"), std::string::npos);
+  EXPECT_NE(text.find("load 0.75"), std::string::npos);
+  EXPECT_NE(text.find("latency{le=1} 1"), std::string::npos);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [1, 0]"), std::string::npos);
+
+  registry.reset();
+  snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("jobs"), 0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("load"), 0.0);
+  EXPECT_EQ(snap.histograms.at("latency").count, 0);
+}
+
+TEST(Registry, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace mrmc::obs

@@ -1,0 +1,171 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "mini_json.hpp"
+
+namespace mrmc::obs {
+namespace {
+
+using mrmc::testing::JsonValue;
+using mrmc::testing::parse_json;
+
+/// Drives the process-global tracer (its constructor is private) and leaves
+/// it disabled and empty for whichever test runs next.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TraceTest, SpanBecomesCompleteEventWithPostHocArgs) {
+  auto& tracer = Tracer::global();
+  {
+    Tracer::Span span(tracer, "work", {{"phase", "map"}});
+    span.arg("result", "ok");
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  const TraceEvent& event = events[0];
+  EXPECT_EQ(event.name, "work");
+  EXPECT_EQ(event.phase, 'X');
+  EXPECT_EQ(event.category, "real");
+  EXPECT_EQ(event.pid, kRealPid);
+  EXPECT_GE(event.dur_us, 0.0);
+  EXPECT_EQ(event.arg("phase"), "map");
+  EXPECT_EQ(event.arg("result"), "ok");
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  auto& tracer = Tracer::global();
+  tracer.set_enabled(false);
+  {
+    Tracer::Span span(tracer, "ignored");
+  }
+  tracer.instant("also ignored");
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST_F(TraceTest, SimJobAllocatesPidAndProcessName) {
+  auto& tracer = Tracer::global();
+  const std::uint32_t pid_a = tracer.begin_sim_job("sketch");
+  const std::uint32_t pid_b = tracer.begin_sim_job("cluster");
+  EXPECT_GE(pid_a, kRealPid + 1);
+  EXPECT_EQ(pid_b, pid_a + 1);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'M');
+  EXPECT_EQ(events[0].name, "process_name");
+  EXPECT_EQ(events[0].pid, pid_a);
+  EXPECT_EQ(events[0].arg("name"), "sim: sketch");
+  EXPECT_EQ(events[1].arg("name"), "sim: cluster");
+}
+
+TEST_F(TraceTest, SimTaskCarriesRoundTrippableEndpoints) {
+  auto& tracer = Tracer::global();
+  const std::uint32_t pid = tracer.begin_sim_job("j");
+  const double start = 1.0 / 3.0;   // not representable in decimal
+  const double end = 10.0 / 7.0;
+  tracer.sim_task(pid, 3, "map 0", start, end, {{"phase", "map"}},
+                  /*ts_offset_s=*/8.0);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);  // metadata + task
+  const TraceEvent& task = events[1];
+  EXPECT_EQ(task.category, "sim");
+  EXPECT_EQ(task.pid, pid);
+  EXPECT_EQ(task.tid, 3u);
+  EXPECT_NEAR(task.ts_us, (8.0 + start) * 1e6, 1e-3);
+  EXPECT_NEAR(task.dur_us, (end - start) * 1e6, 1e-3);
+  // The %.17g args reconstruct the scheduler's doubles bit-for-bit.
+  EXPECT_EQ(std::strtod(std::string(task.arg("start_s")).c_str(), nullptr),
+            start);
+  EXPECT_EQ(std::strtod(std::string(task.arg("end_s")).c_str(), nullptr), end);
+  EXPECT_EQ(task.arg("phase"), "map");
+}
+
+TEST_F(TraceTest, SimTrackNamesAreDeduplicated) {
+  auto& tracer = Tracer::global();
+  const std::uint32_t pid = tracer.begin_sim_job("j");
+  tracer.name_sim_track(pid, 0, "node 0 map slot 0");
+  tracer.name_sim_track(pid, 0, "node 0 map slot 0");
+  tracer.name_sim_track(pid, 1, "node 0 map slot 1");
+
+  std::size_t thread_names = 0;
+  for (const TraceEvent& event : tracer.events()) {
+    if (event.name == "thread_name") ++thread_names;
+  }
+  EXPECT_EQ(thread_names, 2u);
+}
+
+TEST_F(TraceTest, WriteChromeTraceIsValidJson) {
+  auto& tracer = Tracer::global();
+  {
+    Tracer::Span span(tracer, "tricky \"name\"\nwith newline");
+  }
+  tracer.instant("marker", {{"k", "v"}});
+  const std::uint32_t pid = tracer.begin_sim_job("job \\ with backslash");
+  tracer.sim_task(pid, 0, "task", 0.5, 1.5);
+
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const JsonValue root = parse_json(out.str());
+
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  EXPECT_EQ(root.at("displayTimeUnit").string, "ms");
+  const JsonValue& trace_events = root.at("traceEvents");
+  ASSERT_EQ(trace_events.type, JsonValue::Type::kArray);
+  ASSERT_EQ(trace_events.array.size(), tracer.size());
+
+  bool saw_tricky = false, saw_sim = false;
+  for (const JsonValue& event : trace_events.array) {
+    EXPECT_TRUE(event.has("name"));
+    EXPECT_TRUE(event.has("ph"));
+    EXPECT_TRUE(event.has("pid"));
+    if (event.at("name").string == "tricky \"name\"\nwith newline") {
+      saw_tricky = true;  // escaping survived the JSON round trip
+      EXPECT_EQ(event.at("ph").string, "X");
+      EXPECT_TRUE(event.has("ts"));
+      EXPECT_TRUE(event.has("dur"));
+    }
+    if (event.at("name").string == "task") {
+      saw_sim = true;
+      EXPECT_EQ(event.at("cat").string, "sim");
+      EXPECT_DOUBLE_EQ(event.at("dur").number, 1e6);
+      EXPECT_EQ(std::strtod(event.at("args").at("start_s").string.c_str(),
+                            nullptr),
+                0.5);
+    }
+  }
+  EXPECT_TRUE(saw_tricky);
+  EXPECT_TRUE(saw_sim);
+}
+
+TEST_F(TraceTest, ClearRestartsSimPids) {
+  auto& tracer = Tracer::global();
+  const std::uint32_t first = tracer.begin_sim_job("a");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.begin_sim_job("b"), first);
+}
+
+TEST(TraceDouble, RendersRoundTrippably) {
+  for (const double value : {1.0 / 3.0, 1e-300, 12345.6789, 0.0}) {
+    const std::string text = trace_double(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+}
+
+}  // namespace
+}  // namespace mrmc::obs
