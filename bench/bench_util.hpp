@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,9 @@
 #include "common/timer.hpp"
 #include "core/pipeline.hpp"
 #include "eval/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "simdata/datasets.hpp"
 
 namespace mrmc::bench {
@@ -64,6 +69,121 @@ class Flags {
 
  private:
   std::map<std::string, std::string> values_;
+};
+
+/// Wire the shared observability flags into the obs globals, before any
+/// simulated job runs:
+///   --trace=<path>    Chrome trace of every simulated job (as MRMC_TRACE)
+///   --report=<path>   job-doctor report; .html/.json/text by extension
+///                     (as MRMC_REPORT); bare --report prints text at exit
+/// Environment variables already set keep working; flags override them.
+inline void apply_obs_flags(const Flags& flags) {
+  auto& tracer = obs::Tracer::global();
+  const std::string trace_path = flags.str("trace", tracer.output_path());
+  if (!trace_path.empty() && trace_path != "1") {
+    tracer.set_output_path(trace_path);
+    tracer.set_enabled(true);
+  }
+  auto& collector = obs::report::Collector::global();
+  const std::string report_path = flags.str("report", "");
+  if (flags.flag("report") || collector.enabled()) {
+    collector.set_enabled(true);
+    if (!report_path.empty() && report_path != "1") {
+      collector.set_output_path(report_path);
+    }
+  }
+}
+
+/// End-of-run counterpart of apply_obs_flags(): flush the trace, honor
+/// --metrics (print the snapshot) and MRMC_METRICS, and emit the job-doctor
+/// report — to the --report=<path> file, or to `out` for a bare --report.
+inline void finish_obs(const Flags& flags, std::ostream& out = std::cout) {
+  auto& tracer = obs::Tracer::global();
+  if (tracer.flush()) {
+    out << "\nwrote Chrome trace to " << tracer.output_path()
+        << " (open in Perfetto or chrome://tracing)\n";
+  }
+  if (flags.flag("metrics")) {
+    out << "\nObs metrics snapshot\n"
+        << obs::Registry::global().snapshot().to_text();
+  }
+  obs::Registry::write_global_if_configured();
+  auto& collector = obs::report::Collector::global();
+  if (collector.flush()) {
+    out << "\nwrote job report to " << collector.output_path() << "\n";
+  } else if (flags.str("report", "") == "1" && collector.size() > 0) {
+    const auto reports = collector.reports();
+    out << "\nJob doctor\n"
+        << obs::report::to_text(std::span<const obs::report::JobReport>(reports));
+  }
+}
+
+/// Machine-readable benchmark record, one row per measured point, written as
+/// BENCH_<name>.json so CI can archive a perf trajectory.  Doubles render
+/// %.17g (round-trip exact); `raw()` embeds pre-rendered JSON (e.g. a
+/// JobReport's findings array).
+class BenchRecord {
+ public:
+  explicit BenchRecord(std::string name) : name_(std::move(name)) {}
+
+  class Row {
+   public:
+    Row& num(const std::string& key, double value) {
+      return field(key, obs::trace_double(value));
+    }
+    Row& num(const std::string& key, long value) {
+      return field(key, std::to_string(value));
+    }
+    Row& str(const std::string& key, const std::string& value) {
+      std::string quoted = "\"";
+      for (const char c : value) {
+        if (c == '"' || c == '\\') quoted.push_back('\\');
+        quoted.push_back(c);
+      }
+      quoted.push_back('"');
+      return field(key, quoted);
+    }
+    Row& raw(const std::string& key, const std::string& json) {
+      return field(key, json);
+    }
+
+   private:
+    friend class BenchRecord;
+    Row& field(const std::string& key, std::string rendered) {
+      if (!body_.empty()) body_ += ", ";
+      body_ += "\"" + key + "\": " + rendered;
+      return *this;
+    }
+    std::string body_;
+  };
+
+  Row& row() { return rows_.emplace_back(); }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\"bench\": \"" + name_ + "\", \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += i > 0 ? ",\n" : "";
+      out += "  {" + rows_[i].body_ + "}";
+    }
+    out += "\n]}\n";
+    return out;
+  }
+
+  /// Default artifact name: BENCH_<name>.json in the working directory.
+  [[nodiscard]] std::string default_path() const {
+    return "BENCH_" + name_ + ".json";
+  }
+
+  bool write(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << to_json();
+    return file.good();
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
 };
 
 /// One table row worth of results for a method on a sample.

@@ -19,12 +19,15 @@
 //       [--hashes=100] [--validate] [--seed=42]
 //       [--trace=fig2.json]   # Chrome trace of every simulated job
 //       [--metrics]           # print the obs metrics snapshot at the end
+//       [--report=fig2.html]  # job-doctor report (bare --report: text)
+//       [--bench-json[=path]] # machine-readable BENCH_fig2.json record
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "mr/cluster.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 using namespace mrmc;
@@ -107,14 +110,13 @@ int main(int argc, char** argv) {
   const std::size_t hashes = flags.num("hashes", 100);
   const std::uint64_t seed = flags.num("seed", 42);
 
-  // --trace=<path> exports every simulated job's task placements as Chrome
-  // trace-event JSON (also honors the MRMC_TRACE environment variable).
-  auto& tracer = obs::Tracer::global();
-  const std::string trace_path = flags.str("trace", tracer.output_path());
-  if (!trace_path.empty()) {
-    tracer.set_output_path(trace_path);
-    tracer.set_enabled(true);
-  }
+  bench::apply_obs_flags(flags);
+  // --bench-json needs per-point reports, so it implies the collector even
+  // when no --report file was asked for.
+  const bool bench_json = flags.flag("bench-json");
+  auto& collector = obs::report::Collector::global();
+  if (bench_json) collector.set_enabled(true);
+  bench::BenchRecord record("fig2");
 
   const std::vector<std::size_t> node_counts{2, 4, 6, 8, 10, 12};
   std::vector<std::size_t> read_counts;
@@ -127,9 +129,36 @@ int main(int argc, char** argv) {
   for (const std::size_t reads : read_counts) {
     std::vector<std::string> row{std::to_string(reads)};
     for (const std::size_t nodes : node_counts) {
+      const std::size_t jobs_before = collector.size();
       const double seconds =
           simulate_hierarchical(reads, read_length, hashes, nodes);
       row.push_back(common::format_duration(seconds));
+      if (bench_json) {
+        // Aggregate the point's jobs (sketch, similarity, cluster) into one
+        // record row: busy/capacity efficiency plus every finding id.
+        const auto reports = collector.reports();
+        double busy = 0.0, capacity = 0.0;
+        std::string findings;
+        for (std::size_t i = jobs_before; i < reports.size(); ++i) {
+          const auto& report = reports[i];
+          busy += report.map_phase.busy_s + report.reduce_phase.busy_s;
+          capacity +=
+              report.map_phase.makespan_s *
+                  static_cast<double>(report.map_phase.slots) +
+              report.reduce_phase.makespan_s *
+                  static_cast<double>(report.reduce_phase.slots);
+          for (const auto& finding : report.findings) {
+            if (!findings.empty()) findings += ",";
+            findings += finding.id;
+          }
+        }
+        record.row()
+            .num("reads", static_cast<long>(reads))
+            .num("nodes", static_cast<long>(nodes))
+            .num("sim_total_s", seconds)
+            .num("parallel_efficiency", capacity > 0.0 ? busy / capacity : 0.0)
+            .str("findings", findings);
+      }
     }
     table.add_row(std::move(row));
   }
@@ -160,14 +189,14 @@ int main(int argc, char** argv) {
     check.print(std::cout);
   }
 
-  if (tracer.flush()) {
-    std::cout << "\nwrote Chrome trace to " << tracer.output_path()
-              << " (open in Perfetto or chrome://tracing)\n";
+  if (bench_json) {
+    const std::string bench_path = flags.str("bench-json", "1") == "1"
+                                       ? record.default_path()
+                                       : flags.str("bench-json", "");
+    if (record.write(bench_path)) {
+      std::cout << "\nwrote bench record to " << bench_path << "\n";
+    }
   }
-  if (flags.flag("metrics")) {
-    std::cout << "\nObs metrics snapshot\n"
-              << obs::Registry::global().snapshot().to_text();
-  }
-  obs::Registry::write_global_if_configured();
+  bench::finish_obs(flags);
   return 0;
 }

@@ -9,6 +9,7 @@
 //   ./table3_whole_metagenome [--samples=S1,S2] [--scale=0.02] [--reads=N]
 //       [--theta-h=0.50] [--theta-g=0.32] [--kmer=5] [--hashes=100]
 //       [--nodes=8] [--seed=42]
+//       [--trace=t3.json] [--metrics] [--report[=t3.html]]  # obs outputs
 #include <iostream>
 #include <sstream>
 
@@ -57,6 +58,7 @@ void print_table2(const std::vector<simdata::WholeMetagenomeSpec>& specs) {
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  bench::apply_obs_flags(flags);
   const double scale = flags.real("scale", 0.02);
   const std::size_t fixed_reads = flags.num("reads", 0);
   const double theta_h = flags.real("theta-h", 0.50);
@@ -125,5 +127,6 @@ int main(int argc, char** argv) {
             << " simulated nodes; Time = this process, SimTime = simulated "
                "cluster)\n";
   table.print(std::cout);
+  bench::finish_obs(flags);
   return 0;
 }

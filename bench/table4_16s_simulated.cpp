@@ -12,6 +12,7 @@
 //   ./table4_16s_simulated [--reads=600] [--genomes=43] [--kmer=15]
 //       [--hashes=50] [--theta-h=0.12] [--theta-g=0.05] [--identity=0.95]
 //       [--nodes=8] [--seed=42]
+//       [--trace=t4.json] [--metrics] [--report[=t4.html]]  # obs outputs
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -20,6 +21,7 @@ using namespace mrmc;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  bench::apply_obs_flags(flags);
   const std::size_t reads = flags.num("reads", 600);
   const std::size_t genomes = flags.num("genomes", 43);
   const int kmer = static_cast<int>(flags.num("kmer", 15));
@@ -78,5 +80,6 @@ int main(int argc, char** argv) {
             << "(MrMC/MC-LSH: k=" << kmer << ", n=" << hashes
             << "; alignment methods: identity=" << identity << ")\n";
   table.print(std::cout);
+  bench::finish_obs(flags);
   return 0;
 }

@@ -10,6 +10,7 @@
 //   ./table5_16s_environmental [--samples=53R,55R] [--scale=0.0166]
 //       [--reads=N] [--kmer=15] [--hashes=50] [--theta-h=0.35]
 //       [--theta-g=0.30] [--identity=0.95] [--nodes=8] [--seed=42]
+//       [--trace=t5.json] [--metrics] [--report[=t5.html]]  # obs outputs
 #include <iostream>
 #include <sstream>
 
@@ -47,6 +48,7 @@ void print_table1(const std::vector<simdata::EnvSampleSpec>& specs) {
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  bench::apply_obs_flags(flags);
   const double scale = flags.real("scale", 1.0 / 60.0);
   const std::size_t fixed_reads = flags.num("reads", 0);
   const int kmer = static_cast<int>(flags.num("kmer", 15));
@@ -125,5 +127,6 @@ int main(int argc, char** argv) {
             << "; alignment methods: identity=" << identity
             << "; Time = this process, SimTime = simulated cluster)\n";
   table.print(std::cout);
+  bench::finish_obs(flags);
   return 0;
 }

@@ -6,19 +6,26 @@
 //     per-task node/slot placement on its own track group (open the file in
 //     Perfetto or chrome://tracing), and
 //   * a metrics snapshot — engine counters (shuffle bytes, retries,
-//     data-local tasks) and per-phase simulated-duration histograms.
+//     data-local tasks) and per-phase simulated-duration histograms
+//     (now with p50/p95/p99 estimates), and
+//   * a job-doctor report — critical-path decomposition, utilization, and
+//     findings for every simulated job, printed below and written as HTML.
 //
-//   ./trace_pipeline [reads] [trace.json] [metrics.txt]
+//   ./trace_pipeline [reads] [trace.json] [metrics.txt] [report.html]
 //
 // The same artifacts come out of ANY pipeline run via environment variables:
-//   MRMC_TRACE=out.json MRMC_METRICS=metrics.txt ./quickstart
+//   MRMC_TRACE=out.json MRMC_METRICS=metrics.txt MRMC_REPORT=report.html \
+//       ./quickstart
+// and the trace file can be re-analyzed offline: mrmc_doctor out.json
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 
 #include "core/mrmc.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "simdata/datasets.hpp"
 
@@ -28,10 +35,14 @@ int main(int argc, char** argv) {
   const std::size_t reads = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
   const std::string trace_path = argc > 2 ? argv[2] : "trace_pipeline.json";
   const std::string metrics_path = argc > 3 ? argv[3] : "trace_pipeline_metrics.txt";
+  const std::string report_path = argc > 4 ? argv[4] : "trace_pipeline_report.html";
 
   auto& tracer = obs::Tracer::global();
   tracer.set_output_path(trace_path);
   tracer.set_enabled(true);
+  auto& collector = obs::report::Collector::global();
+  collector.set_output_path(report_path);
+  collector.set_enabled(true);
   obs::LogConfig::global().set_default_level(obs::LogLevel::kInfo);
 
   // An S2-style two-species sample, clustered with both pipeline variants so
@@ -82,7 +93,17 @@ int main(int argc, char** argv) {
   }
   for (const auto& [name, hist] : snapshot.histograms) {
     std::cout << "  " << name << ": count=" << hist.count
-              << " mean=" << hist.mean() << "\n";
+              << " mean=" << hist.mean() << " p95=" << hist.percentile(0.95)
+              << "\n";
+  }
+
+  // The job doctor: same analysis mrmc_doctor runs on the flushed trace.
+  const auto reports = collector.reports();
+  std::cout << "\nJob doctor (" << reports.size() << " simulated jobs)\n"
+            << obs::report::to_text(
+                   std::span<const obs::report::JobReport>(reports));
+  if (collector.flush()) {
+    std::cout << "wrote HTML report to " << report_path << "\n";
   }
   return 0;
 }

@@ -1,6 +1,11 @@
-// Minimal recursive-descent JSON parser for validating exported artifacts
-// (Chrome traces, metrics snapshots) in tests.  Throws std::runtime_error on
-// malformed input, which is exactly what the tests want to detect.
+// Minimal recursive-descent JSON parser for reading the library's own
+// exported artifacts: Chrome traces (the mrmc_doctor CLI), metrics
+// snapshots, and BENCH_*.json records.  Also used by tests to validate
+// those artifacts.  Throws std::runtime_error on malformed input — callers
+// treat any exception as "not a valid artifact".
+//
+// Numbers are parsed with strtod, so the %.17g doubles the exporters write
+// round-trip bit-for-bit (the guarantee the trace/report tests assert).
 #pragma once
 
 #include <cctype>
@@ -10,7 +15,7 @@
 #include <string>
 #include <vector>
 
-namespace mrmc::testing {
+namespace mrmc::common {
 
 struct JsonValue {
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -199,4 +204,4 @@ inline JsonValue parse_json(const std::string& text) {
   return JsonParser(text).parse();
 }
 
-}  // namespace mrmc::testing
+}  // namespace mrmc::common

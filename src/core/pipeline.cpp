@@ -9,6 +9,7 @@
 #include "common/timer.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace mrmc::core {
@@ -363,10 +364,11 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
                {"wall_s", result.wall_s},
                {"sim_total_s", result.sim_total_s}});
 
-  // Honor MRMC_TRACE / MRMC_METRICS at every pipeline boundary so even a
-  // caller that exits abnormally afterwards has a complete artifact.
+  // Honor MRMC_TRACE / MRMC_METRICS / MRMC_REPORT at every pipeline boundary
+  // so even a caller that exits abnormally afterwards has a complete artifact.
   tracer.flush();
   obs::Registry::write_global_if_configured();
+  obs::report::Collector::write_global_if_configured();
   return result;
 }
 

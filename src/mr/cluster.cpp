@@ -8,6 +8,7 @@
 #include "common/timer.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace mrmc::mr {
@@ -197,10 +198,30 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
   }
   registry.histogram("mr.shuffle_sim_s").observe(timeline.shuffle_s);
 
+  auto& collector = obs::report::Collector::global();
+  if (collector.enabled()) {
+    collector.add(
+        report_input(timeline, scheduler.config(), job_name, shuffle_bytes));
+  }
+
   auto& tracer = obs::Tracer::global();
   if (tracer.enabled()) {
     const std::uint32_t pid = tracer.begin_sim_job(job_name);
     const ClusterConfig& config = scheduler.config();
+    // Cluster shape + startup for offline reconstruction (mrmc_doctor); the
+    // doubles travel as %.17g so the offline report is bit-identical.
+    obs::TraceEvent config_event;
+    config_event.name = "job_config";
+    config_event.category = "sim";
+    config_event.phase = 'i';
+    config_event.pid = pid;
+    config_event.args = {
+        {"nodes", std::to_string(config.nodes)},
+        {"map_slots_per_node", std::to_string(config.map_slots_per_node)},
+        {"reduce_slots_per_node", std::to_string(config.reduce_slots_per_node)},
+        {"job_startup_s", obs::trace_double(config.job_startup_s)},
+        {"shuffle_bytes", obs::trace_double(shuffle_bytes)}};
+    tracer.append(std::move(config_event));
     // Reduce tracks live above the map tracks; the shuffle gets its own.
     const auto reduce_tid_base = static_cast<std::uint32_t>(
         config.nodes * config.map_slots_per_node);
@@ -232,6 +253,32 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
                 {"sim_total_s", timeline.total_s},
                 {"summary", timeline.summary()}});
   return timeline;
+}
+
+obs::report::JobInput report_input(const JobTimeline& timeline,
+                                   const ClusterConfig& config,
+                                   std::string job_name, double shuffle_bytes) {
+  obs::report::JobInput input;
+  input.name = std::move(job_name);
+  input.nodes = config.nodes;
+  input.map_slots_per_node = config.map_slots_per_node;
+  input.reduce_slots_per_node = config.reduce_slots_per_node;
+  input.job_startup_s = config.job_startup_s;
+  input.shuffle_s = timeline.shuffle_s;
+  input.shuffle_bytes = shuffle_bytes;
+  const auto convert = [](const PhaseTimeline& phase) {
+    std::vector<obs::report::TaskSample> tasks;
+    tasks.reserve(phase.tasks.size());
+    for (std::size_t i = 0; i < phase.tasks.size(); ++i) {
+      const TaskPlacement& task = phase.tasks[i];
+      tasks.push_back({i, task.node, task.slot, task.start_s, task.end_s,
+                       task.data_local});
+    }
+    return tasks;
+  };
+  input.map_tasks = convert(timeline.map_phase);
+  input.reduce_tasks = convert(timeline.reduce_phase);
+  return input;
 }
 
 std::string JobTimeline::summary() const {

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
+
 namespace mrmc::mr {
 
 /// Homogeneous node description, calibrated loosely to an EMR M1 Large.
@@ -122,5 +124,13 @@ inline JobTimeline simulate_job(const SimScheduler& scheduler,
   return simulate_job(scheduler, map_tasks, shuffle_bytes, reduce_tasks,
                       "job");
 }
+
+/// Convert a finished timeline into the job doctor's input (the in-process
+/// twin of obs::report::jobs_from_trace): tasks keep their phase-index order
+/// so both ingestion paths feed analyze() identically.
+[[nodiscard]] obs::report::JobInput report_input(const JobTimeline& timeline,
+                                                 const ClusterConfig& config,
+                                                 std::string job_name,
+                                                 double shuffle_bytes = 0.0);
 
 }  // namespace mrmc::mr

@@ -100,6 +100,28 @@ void Histogram::reset() noexcept {
   for (auto& cell : sums_) cell.value.store(0.0, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count <= 0 || bounds.empty() || counts.size() != bounds.size() + 1) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  long cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const long in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (b >= bounds.size()) return bounds.back();  // overflow: clamp
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (bounds[b] - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
 std::string MetricsSnapshot::to_text() const {
   std::string out;
   for (const auto& [name, value] : counters) {
@@ -111,7 +133,10 @@ std::string MetricsSnapshot::to_text() const {
   for (const auto& [name, hist] : histograms) {
     out += name + " count=" + std::to_string(hist.count) +
            " sum=" + format_double(hist.sum) +
-           " mean=" + format_double(hist.mean()) + "\n";
+           " mean=" + format_double(hist.mean()) +
+           " p50=" + format_double(hist.percentile(0.50)) +
+           " p95=" + format_double(hist.percentile(0.95)) +
+           " p99=" + format_double(hist.percentile(0.99)) + "\n";
     for (std::size_t b = 0; b <= hist.bounds.size(); ++b) {
       if (hist.counts[b] == 0) continue;  // sparse: most decades stay empty
       const std::string le =
@@ -142,7 +167,11 @@ std::string MetricsSnapshot::to_json() const {
   for (const auto& [name, hist] : histograms) {
     out += first ? "\n" : ",\n";
     out += "    \"" + name + "\": {\"count\": " + std::to_string(hist.count) +
-           ", \"sum\": " + format_double(hist.sum) + ", \"bounds\": [";
+           ", \"sum\": " + format_double(hist.sum) +
+           ", \"p50\": " + format_double(hist.percentile(0.50)) +
+           ", \"p95\": " + format_double(hist.percentile(0.95)) +
+           ", \"p99\": " + format_double(hist.percentile(0.99)) +
+           ", \"bounds\": [";
     for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
       if (b > 0) out += ", ";
       out += format_double(hist.bounds[b]);

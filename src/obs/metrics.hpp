@@ -85,6 +85,12 @@ struct HistogramSnapshot {
   [[nodiscard]] double mean() const noexcept {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
+
+  /// Estimate the q-quantile (q in [0, 1]) by linear interpolation within
+  /// the bucket holding the target rank (Prometheus histogram_quantile
+  /// style): the first bucket interpolates up from 0, the overflow bucket
+  /// clamps to the last finite bound.  Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double q) const noexcept;
 };
 
 /// Fixed-bucket histogram: `observe(v)` lands in the first bucket whose

@@ -1,0 +1,207 @@
+// Post-hoc job doctor: turns raw telemetry into answers.
+//
+// The analyzer consumes one simulated job's schedule — either handed over
+// in-process (mr::simulate_job feeds the global Collector when MRMC_REPORT
+// is set) or reconstructed offline from a flushed Chrome-trace JSON file
+// (the mrmc_doctor CLI) — and produces a structured JobReport:
+//
+//   * critical-path decomposition: startup / map / shuffle / reduce, the
+//     longest chain versus the sum of task work, and the parallel
+//     efficiency that falls out of the two;
+//   * per-node and per-slot utilization (busy seconds over phase makespan);
+//   * findings: stragglers (top-k task durations vs. the phase median),
+//     reduce skew, poor data locality, idle slots, shuffle- or
+//     startup-bound jobs — each with a heuristic recommendation.
+//
+// A report renders three ways: ANSI text (to_text), self-contained HTML
+// with an inline-SVG Gantt and per-node utilization strips (to_html), and
+// JSON (to_json) whose doubles are printed with %.17g so an offline reader
+// recovers the scheduler's numbers bit-for-bit.
+//
+// Both ingestion paths run the same analyze() over the same JobInput
+// fields, and every derived quantity is combined in a fixed left-to-right
+// order, so the offline report equals the in-process one EXACTLY (asserted
+// by tests/obs/report_test.cpp and the mrmc_doctor round-trip test).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/mini_json.hpp"
+
+namespace mrmc::obs::report {
+
+/// One scheduled task as the analyzer sees it (phase-relative seconds).
+struct TaskSample {
+  std::size_t index = 0;  ///< task index within its phase
+  int node = 0;
+  int slot = 0;  ///< slot index on the node
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool data_local = true;
+
+  [[nodiscard]] double duration_s() const noexcept { return end_s - start_s; }
+};
+
+/// Everything the analyzer needs about one simulated job, however obtained
+/// (mr::report_input() in-process, jobs_from_trace() offline).
+struct JobInput {
+  std::string name = "job";
+  std::size_t nodes = 1;
+  std::size_t map_slots_per_node = 1;
+  std::size_t reduce_slots_per_node = 1;
+  double job_startup_s = 0.0;
+  double shuffle_s = 0.0;
+  double shuffle_bytes = 0.0;
+  std::vector<TaskSample> map_tasks;
+  std::vector<TaskSample> reduce_tasks;
+};
+
+/// Tunable thresholds for the heuristics.
+struct AnalyzeOptions {
+  double straggler_factor = 2.0;    ///< duration > factor x phase median
+  std::size_t straggler_top_k = 3;  ///< tasks listed per straggler finding
+  double skew_factor = 2.0;         ///< reduce imbalance max/median threshold
+  double locality_threshold = 0.8;  ///< warn below this data-local fraction
+  double efficiency_threshold = 0.5;
+  double overhead_fraction = 0.3;   ///< shuffle- / startup-bound threshold
+};
+
+enum class Severity { kInfo, kWarning, kCritical };
+
+[[nodiscard]] const char* severity_name(Severity severity) noexcept;
+
+/// One diagnosis, e.g. {"map-straggler", kWarning, "...", "..."}.
+struct Finding {
+  std::string id;  ///< stable machine name, e.g. "reduce-skew"
+  Severity severity = Severity::kInfo;
+  std::string message;         ///< what was observed, with numbers
+  std::string recommendation;  ///< what to try about it
+};
+
+/// Per-phase decomposition (map or reduce).
+struct PhaseAnalysis {
+  std::string phase;  ///< "map" or "reduce"
+  std::size_t task_count = 0;
+  std::size_t slots = 0;        ///< nodes x slots_per_node
+  std::size_t busy_slots = 0;   ///< slots that ran at least one task
+  double makespan_s = 0.0;      ///< max task end == longest slot chain
+  double busy_s = 0.0;          ///< sum of task durations (the "work")
+  double ideal_s = 0.0;         ///< busy_s / slots: perfectly balanced time
+  double parallel_efficiency = 0.0;  ///< busy_s / (makespan_s * slots)
+  double median_task_s = 0.0;
+  double max_task_s = 0.0;
+  double data_local_fraction = 1.0;
+  std::vector<double> node_busy_s;  ///< per-node busy seconds, size = nodes
+};
+
+/// Utilization of one node across both compute phases.
+struct NodeUtilization {
+  int node = 0;
+  double busy_s = 0.0;       ///< map + reduce busy seconds on this node
+  double utilization = 0.0;  ///< busy / (available slot-seconds)
+};
+
+struct JobReport {
+  std::string name;
+  std::size_t nodes = 1;
+  /// Critical path, in schedule order.  total_s is re-derived as
+  /// startup + map + shuffle + reduce left to right, matching
+  /// mr::simulate_job exactly.
+  double startup_s = 0.0;
+  double shuffle_s = 0.0;
+  double shuffle_bytes = 0.0;
+  double total_s = 0.0;
+  PhaseAnalysis map_phase;
+  PhaseAnalysis reduce_phase;
+  /// Whole-job parallel efficiency: compute busy seconds over the
+  /// slot-seconds the compute phases occupied.
+  double parallel_efficiency = 0.0;
+  /// Fraction of total_s spent outside the compute phases.
+  double overhead_fraction = 0.0;
+  std::vector<NodeUtilization> node_utilization;
+  std::vector<Finding> findings;
+
+  [[nodiscard]] bool has_finding(std::string_view id) const noexcept;
+};
+
+/// Run every heuristic over one job.
+[[nodiscard]] JobReport analyze(const JobInput& input,
+                                const AnalyzeOptions& options = {});
+
+// ----------------------------------------------------------- offline intake
+
+/// Reconstruct the analyzer inputs from a parsed Chrome trace (the format
+/// obs::Tracer::write_chrome_trace emits): sim pids become jobs, their
+/// %.17g start_s/end_s args restore the scheduler's doubles exactly, and
+/// the job_config instant restores the cluster shape.  Jobs appear in
+/// trace (pid) order.  Throws std::runtime_error on a malformed trace.
+[[nodiscard]] std::vector<JobInput> jobs_from_trace(
+    const common::JsonValue& root);
+
+/// Parse + reconstruct + analyze a trace file end to end (what mrmc_doctor
+/// does).  Throws std::runtime_error when the file is unreadable or is not
+/// a trace.
+[[nodiscard]] std::vector<JobReport> analyze_trace_file(
+    const std::string& path, const AnalyzeOptions& options = {});
+
+// -------------------------------------------------------------- renderers
+
+/// ANSI text summary; `color` adds SGR escapes for severities.
+[[nodiscard]] std::string to_text(const JobReport& report, bool color = false);
+[[nodiscard]] std::string to_text(std::span<const JobReport> reports,
+                                  bool color = false);
+
+/// Machine-readable report; all doubles rendered %.17g.
+[[nodiscard]] std::string to_json(const JobReport& report);
+[[nodiscard]] std::string to_json(std::span<const JobReport> reports);
+
+/// Self-contained HTML page: per job an inline-SVG Gantt (one row per
+/// node/slot, stragglers outlined), per-node utilization strips, the
+/// critical-path bar, and the findings list.  No external assets.
+[[nodiscard]] std::string to_html(std::span<const JobReport> reports);
+
+// -------------------------------------------------------------- collector
+
+/// Process-global report sink, mirroring Tracer/Registry: when MRMC_REPORT
+/// names a file (or set_output_path() is called), mr::simulate_job feeds
+/// every job's JobInput here and flush() writes the rendered report —
+/// HTML when the path ends in .html, JSON for .json, text otherwise.
+class Collector {
+ public:
+  static Collector& global();  ///< first use reads MRMC_REPORT
+
+  [[nodiscard]] bool enabled() const noexcept;
+  void set_enabled(bool enabled) noexcept;
+  void set_output_path(std::string path);
+  [[nodiscard]] std::string output_path() const;
+
+  void add(JobInput input);
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Analyze everything collected so far.
+  [[nodiscard]] std::vector<JobReport> reports(
+      const AnalyzeOptions& options = {}) const;
+
+  /// Render to the configured path.  Returns true when a file was written.
+  bool flush() const;
+
+  /// flush() on the global collector, for pipeline/process boundaries.
+  static bool write_global_if_configured();
+
+  ~Collector();
+
+ private:
+  Collector();
+
+  mutable std::mutex mutex_;
+  bool enabled_ = false;
+  std::string output_path_;
+  std::vector<JobInput> inputs_;
+};
+
+}  // namespace mrmc::obs::report

@@ -1,0 +1,66 @@
+#include "common/mini_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace mrmc::common {
+namespace {
+
+TEST(MiniJson, ParsesScalars) {
+  EXPECT_EQ(parse_json("null").type, JsonValue::Type::kNull);
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_json("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.25e2").number, -325.0);
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+}
+
+TEST(MiniJson, ParsesNestedContainers) {
+  const JsonValue root =
+      parse_json(R"({"a": [1, 2, {"b": "c"}], "d": {"e": false}})");
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue& a = root.at("a");
+  ASSERT_EQ(a.type, JsonValue::Type::kArray);
+  ASSERT_EQ(a.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.array[1].number, 2.0);
+  EXPECT_EQ(a.array[2].at("b").string, "c");
+  EXPECT_FALSE(root.at("d").at("e").boolean);
+  EXPECT_TRUE(root.has("d"));
+  EXPECT_FALSE(root.has("z"));
+}
+
+TEST(MiniJson, DecodesEscapes) {
+  const JsonValue value = parse_json(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(value.string, "a\"b\\c\nd\teA");
+}
+
+TEST(MiniJson, SeventeenDigitDoublesRoundTripExactly) {
+  // The library's exporters print doubles with %.17g; parsing such text
+  // back through strtod must recover the identical bits.
+  for (const double value : {1.0 / 3.0, 0.1, 8.125, 123456.789012345678,
+                             2.2250738585072014e-308, 1.7976931348623157e308}) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    EXPECT_EQ(parse_json(buf).number, value) << buf;
+  }
+}
+
+TEST(MiniJson, AtThrowsOnMissingKey) {
+  const JsonValue root = parse_json("{\"a\": 1}");
+  EXPECT_THROW((void)root.at("missing"), std::runtime_error);
+}
+
+TEST(MiniJson, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1, 2"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("tru"), std::runtime_error);
+  EXPECT_THROW(parse_json("1 2"), std::runtime_error);  // trailing garbage
+}
+
+}  // namespace
+}  // namespace mrmc::common

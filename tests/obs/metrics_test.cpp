@@ -83,6 +83,53 @@ TEST(Histogram, RejectsUnsortedBounds) {
   EXPECT_ANY_THROW(Histogram({2.0, 1.0}));
 }
 
+TEST(Histogram, PercentilesInterpolateWithinTheTargetBucket) {
+  Histogram hist({10.0, 20.0, 50.0});
+  // 10 observations land in (10, 20]: rank r maps to 10 + (r/10) x 10.
+  for (int i = 0; i < 10; ++i) hist.observe(15.0);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 15.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.95), 19.5);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 19.9);
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 20.0);
+}
+
+TEST(Histogram, PercentileSpansBucketsAndClampsOverflow) {
+  Histogram hist({1.0, 2.0, 4.0});
+  hist.observe(0.5);  // bucket (0, 1]
+  hist.observe(1.5);  // bucket (1, 2]
+  hist.observe(3.0);  // bucket (2, 4]
+  hist.observe(9.0);  // overflow
+  const HistogramSnapshot snap = hist.snapshot();
+  // rank 2 of 4 falls at the top of the second bucket.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 2.0);
+  // The first bucket interpolates up from an implicit lower bound of 0.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.125), 0.5);
+  // Overflow ranks clamp to the last finite bound rather than inventing
+  // a value beyond what the buckets can support.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.99), 4.0);
+}
+
+TEST(Histogram, PercentileOfEmptyHistogramIsZero) {
+  const Histogram hist({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(hist.snapshot().percentile(0.99), 0.0);
+}
+
+TEST(Histogram, PercentilesAppearInTextAndJsonExports) {
+  Registry registry;
+  auto& hist = registry.histogram("latency", std::vector<double>{1.0, 2.0});
+  for (int i = 0; i < 4; ++i) hist.observe(0.5);
+  const MetricsSnapshot snap = registry.snapshot();
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"p50\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+}
+
 TEST(Registry, SameNameReturnsSameMetric) {
   Registry registry;
   Counter& a = registry.counter("x");

@@ -16,15 +16,15 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
-#include "mini_json.hpp"
+#include "common/mini_json.hpp"
 #include "obs/trace.hpp"
 #include "simdata/datasets.hpp"
 
 namespace mrmc {
 namespace {
 
-using mrmc::testing::JsonValue;
-using mrmc::testing::parse_json;
+using mrmc::common::JsonValue;
+using mrmc::common::parse_json;
 
 /// Phase endpoints recovered from trace events, grouped per simulated job.
 struct RecoveredJob {

@@ -6,13 +6,13 @@
 #include <sstream>
 #include <string>
 
-#include "mini_json.hpp"
+#include "common/mini_json.hpp"
 
 namespace mrmc::obs {
 namespace {
 
-using mrmc::testing::JsonValue;
-using mrmc::testing::parse_json;
+using mrmc::common::JsonValue;
+using mrmc::common::parse_json;
 
 /// Drives the process-global tracer (its constructor is private) and leaves
 /// it disabled and empty for whichever test runs next.

@@ -1,0 +1,117 @@
+// mrmc_doctor — post-hoc job doctor for flushed Chrome traces.
+//
+// Reads a trace written by MRMC_TRACE / --trace (obs::Tracer), reconstructs
+// every simulated job from the %.17g args, and prints the same JobReport the
+// in-process analyzer would have produced (bit-identical critical path —
+// asserted by tests/obs/report_test.cpp).
+//
+//   mrmc_doctor <trace.json>                    # ANSI text to stdout
+//   mrmc_doctor <trace.json> --format=json      # machine-readable
+//   mrmc_doctor <trace.json> --format=html      # self-contained HTML page
+//   mrmc_doctor <trace.json> -o report.html     # format from extension
+//   mrmc_doctor <trace.json> --no-color
+//
+// Exit status: 0 on success, 1 on a malformed/unreadable trace or bad usage.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.json> [--format=text|json|html] [-o <path>]"
+               " [--no-color]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string format;
+  std::string output_path;
+  bool color = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "-o" || arg == "--output") {
+      if (++i >= argc) return usage(argv[0]);
+      output_path = argv[i];
+    } else if (arg == "--no-color") {
+      color = false;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return usage(argv[0]);
+
+  // Format: explicit flag wins, then the output extension, then text.
+  const auto ends_with = [&](const std::string& suffix) {
+    return output_path.size() >= suffix.size() &&
+           output_path.compare(output_path.size() - suffix.size(),
+                               suffix.size(), suffix) == 0;
+  };
+  if (format.empty()) {
+    format = ends_with(".html") ? "html" : ends_with(".json") ? "json" : "text";
+  }
+  if (format != "text" && format != "json" && format != "html") {
+    return usage(argv[0]);
+  }
+
+  using namespace mrmc::obs;
+  std::vector<report::JobReport> reports;
+  try {
+    reports = report::analyze_trace_file(trace_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrmc_doctor: %s\n", error.what());
+    return 1;
+  }
+  if (reports.empty()) {
+    std::fprintf(stderr,
+                 "mrmc_doctor: no simulated jobs in %s (was the trace written "
+                 "with MRMC_TRACE by this library?)\n",
+                 trace_path.c_str());
+    return 1;
+  }
+
+  const std::span<const report::JobReport> all(reports);
+  std::string rendered;
+  if (format == "json") {
+    rendered = report::to_json(all);
+  } else if (format == "html") {
+    rendered = report::to_html(all);
+  } else {
+    rendered = report::to_text(all, color && output_path.empty());
+  }
+
+  if (output_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "mrmc_doctor: cannot write %s\n",
+                   output_path.c_str());
+      return 1;
+    }
+    out << rendered;
+    std::fprintf(stderr, "mrmc_doctor: wrote %s report for %zu job%s to %s\n",
+                 format.c_str(), reports.size(),
+                 reports.size() == 1 ? "" : "s", output_path.c_str());
+  }
+  return 0;
+}
