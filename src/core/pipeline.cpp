@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "mr/runtime.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -64,6 +65,7 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
   config.num_reducers = std::max<std::size_t>(1, exec.cluster.reduce_slots());
   config.records_per_split = exec.records_per_split;
   config.threads = exec.threads;
+  config.isolated_pool = exec.isolated_pool;
   config.cluster = exec.cluster;
 
   auto& sketch_bytes_hist =
@@ -129,6 +131,7 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
   config.records_per_split =
       std::max<std::size_t>(1, n / std::max<std::size_t>(1, exec.cluster.map_slots() * 4));
   config.threads = exec.threads;
+  config.isolated_pool = exec.isolated_pool;
   config.cluster = exec.cluster;
 
   // Per-row fan-out: how many of the row's pairs clear theta — the density
@@ -194,6 +197,7 @@ std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketc
   config.num_reducers = 1;  // GROUP ALL semantics
   config.records_per_split = exec.records_per_split;
   config.threads = exec.threads;
+  config.isolated_pool = exec.isolated_pool;
   config.cluster = exec.cluster;
 
   GreedyJob job(
@@ -247,6 +251,7 @@ std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
   config.num_reducers = 1;  // GROUP ALL semantics
   config.records_per_split = std::max<std::size_t>(1, n / 8);
   config.threads = exec.threads;
+  config.isolated_pool = exec.isolated_pool;
   config.cluster = exec.cluster;
 
   const Linkage linkage = params.linkage;
@@ -339,14 +344,15 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
     sketches.reserve(reads.size());
     for (const auto& read : reads) sketches.push_back(hasher.sketch(read.seq));
 
-    common::ThreadPool pool(exec.threads);
     if (params.mode == Mode::kGreedy) {
       result.labels =
           greedy_cluster(sketches, {params.theta, params.greedy_estimator}).labels;
     } else {
+      mr::runtime::PoolLease lease(exec.threads, exec.isolated_pool);
       result.labels = hierarchical_cluster(
                           sketches,
-                          {params.theta, params.linkage, params.estimator}, &pool)
+                          {params.theta, params.linkage, params.estimator},
+                          &lease.pool())
                           .labels;
     }
   }

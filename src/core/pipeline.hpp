@@ -41,7 +41,12 @@ struct PipelineParams {
 struct ExecutionOptions {
   bool distributed = true;       ///< stage the pipeline as MapReduce jobs
   mr::ClusterConfig cluster{};
-  std::size_t threads = 0;       ///< real execution threads (0 = hardware)
+  /// Real execution threads.  0 = the lazily-created process-wide pool
+  /// shared by all jobs (mr::runtime::shared_pool()); > 0 = a private pool.
+  std::size_t threads = 0;
+  /// Escape hatch: force a private (hardware-sized) pool even when
+  /// `threads == 0`, e.g. to keep a latency-sensitive host isolated.
+  bool isolated_pool = false;
   std::size_t records_per_split = 512;
 };
 

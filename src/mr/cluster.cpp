@@ -42,6 +42,16 @@ double SimScheduler::shuffle_time(double total_bytes) const {
   return total_bytes * remote_fraction / aggregate_bw + local_part;
 }
 
+double SimScheduler::fetch_time(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  const double remote_fraction =
+      config_.nodes <= 1
+          ? 0.0
+          : 1.0 - 1.0 / static_cast<double>(config_.nodes);
+  return bytes * remote_fraction / config_.node.net_bw +
+         bytes * (1.0 - remote_fraction) / config_.node.disk_bw;
+}
+
 PhaseTimeline SimScheduler::schedule_phase(std::span<const TaskSpec> tasks,
                                            std::size_t slots_per_node) const {
   PhaseTimeline timeline;
@@ -166,12 +176,59 @@ void trace_sim_phase(obs::Tracer& tracer, std::uint32_t pid,
 JobTimeline simulate_job(const SimScheduler& scheduler,
                          std::span<const TaskSpec> map_tasks,
                          double shuffle_bytes,
+                         std::span<const FetchSpec> fetches,
                          std::span<const TaskSpec> reduce_tasks,
                          const std::string& job_name) {
   JobTimeline timeline;
   timeline.map_phase =
       scheduler.schedule_phase(map_tasks, scheduler.config().map_slots_per_node);
-  timeline.shuffle_s = scheduler.shuffle_time(shuffle_bytes);
+  if (fetches.empty()) {
+    // Aggregate barrier model: one all-to-all transfer after the map phase.
+    timeline.shuffle_s = scheduler.shuffle_time(shuffle_bytes);
+  } else {
+    // Overlapped model: each fetch starts when its map run is available and
+    // the reducer's NIC is free; only the tail beyond the last map task
+    // extends the job.  Fetch order per reducer: by producer finish time,
+    // map index breaking ties — deterministic regardless of thread count.
+    std::vector<std::size_t> order(fetches.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (fetches[a].reducer != fetches[b].reducer) {
+                         return fetches[a].reducer < fetches[b].reducer;
+                       }
+                       const double ready_a =
+                           timeline.map_phase.tasks[fetches[a].map_task].end_s;
+                       const double ready_b =
+                           timeline.map_phase.tasks[fetches[b].map_task].end_s;
+                       if (ready_a != ready_b) return ready_a < ready_b;
+                       return fetches[a].map_task < fetches[b].map_task;
+                     });
+    timeline.fetches.reserve(fetches.size());
+    double shuffle_done = 0.0;
+    std::size_t current_reducer = 0;
+    double reducer_free = 0.0;
+    bool first = true;
+    for (const std::size_t idx : order) {
+      const FetchSpec& fetch = fetches[idx];
+      MRMC_REQUIRE(fetch.map_task < timeline.map_phase.tasks.size(),
+                   "fetch references an unknown map task");
+      if (first || fetch.reducer != current_reducer) {
+        current_reducer = fetch.reducer;
+        reducer_free = 0.0;
+        first = false;
+      }
+      const double ready = timeline.map_phase.tasks[fetch.map_task].end_s;
+      const double start = std::max(ready, reducer_free);
+      const double end = start + scheduler.fetch_time(fetch.bytes);
+      reducer_free = end;
+      shuffle_done = std::max(shuffle_done, end);
+      timeline.fetches.push_back(
+          {fetch.map_task, fetch.reducer, start, end, fetch.bytes});
+    }
+    timeline.shuffle_s =
+        std::max(0.0, shuffle_done - timeline.map_phase.makespan_s);
+  }
   timeline.reduce_phase = scheduler.schedule_phase(
       reduce_tasks, scheduler.config().reduce_slots_per_node);
   timeline.total_s = scheduler.config().job_startup_s +
@@ -239,6 +296,25 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
                       {{"phase", "shuffle"},
                        {"bytes", obs::trace_double(shuffle_bytes)}},
                       shuffle_offset);
+    }
+    // Per-fetch shuffle events, one track per reducer, on the map-phase
+    // clock (fetches overlap the map phase).  Offline reconstruction
+    // (jobs_from_trace) skips phase=fetch events; the aggregate shuffle
+    // event above remains the doctor's source of truth.
+    for (const FetchPlacement& fetch : timeline.fetches) {
+      const std::uint32_t tid =
+          shuffle_tid + 1 + static_cast<std::uint32_t>(fetch.reducer);
+      tracer.name_sim_track(pid, tid,
+                            "shuffle fetch r" + std::to_string(fetch.reducer));
+      tracer.sim_task(pid, tid,
+                      "fetch m" + std::to_string(fetch.map_task) + " r" +
+                          std::to_string(fetch.reducer),
+                      fetch.start_s, fetch.end_s,
+                      {{"phase", "fetch"},
+                       {"map", std::to_string(fetch.map_task)},
+                       {"reducer", std::to_string(fetch.reducer)},
+                       {"bytes", obs::trace_double(fetch.bytes)}},
+                      map_offset);
     }
     trace_sim_phase(tracer, pid, "reduce", timeline.reduce_phase,
                     config.reduce_slots_per_node, reduce_tid_base,

@@ -93,8 +93,33 @@ class SimScheduler {
   /// except the 1/nodes fraction that stays local; bandwidth is aggregate.
   [[nodiscard]] double shuffle_time(double total_bytes) const;
 
+  /// Time for one reducer to pull one map run: a 1/nodes fraction of the
+  /// bytes is on the reducer's own node (disk bandwidth), the rest crosses
+  /// one NIC.  The per-fetch twin of the aggregate shuffle_time() model.
+  [[nodiscard]] double fetch_time(double bytes) const;
+
  private:
   ClusterConfig config_;
+};
+
+/// One map-output run a reducer must pull (map task -> reducer, in bytes).
+struct FetchSpec {
+  std::size_t map_task = 0;
+  std::size_t reducer = 0;
+  double bytes = 0.0;
+};
+
+/// A simulated fetch: starts when the producing map task finishes (or when
+/// the reducer's previous fetch drains — fetches into one reducer are
+/// serialized on its NIC), so the shuffle overlaps the map phase exactly the
+/// way the task-graph runtime overlaps the real one.  Times are relative to
+/// the map phase start, like TaskPlacement times.
+struct FetchPlacement {
+  std::size_t map_task = 0;
+  std::size_t reducer = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double bytes = 0.0;
 };
 
 /// End-to-end simulated time of a two-phase (map, shuffle, reduce) job.
@@ -103,6 +128,8 @@ struct JobTimeline {
   double shuffle_s = 0.0;
   PhaseTimeline reduce_phase;
   double total_s = 0.0;
+  /// Per-fetch shuffle events (empty when the aggregate model was used).
+  std::vector<FetchPlacement> fetches;
 
   [[nodiscard]] std::string summary() const;
 };
@@ -111,11 +138,24 @@ struct JobTimeline {
 /// When the global obs::Tracer is enabled, every TaskPlacement is exported
 /// as a duration event on its node/slot track (plus a shuffle track), and
 /// the phase/task durations feed the global obs metrics registry.
+/// With a non-empty `fetches` stream, the shuffle is modeled per fetch
+/// (overlapped with the map phase; `shuffle_s` becomes only the tail that
+/// outlives the last map task) instead of as one aggregate transfer.
 JobTimeline simulate_job(const SimScheduler& scheduler,
                          std::span<const TaskSpec> map_tasks,
                          double shuffle_bytes,
+                         std::span<const FetchSpec> fetches,
                          std::span<const TaskSpec> reduce_tasks,
                          const std::string& job_name);
+
+inline JobTimeline simulate_job(const SimScheduler& scheduler,
+                                std::span<const TaskSpec> map_tasks,
+                                double shuffle_bytes,
+                                std::span<const TaskSpec> reduce_tasks,
+                                const std::string& job_name) {
+  return simulate_job(scheduler, map_tasks, shuffle_bytes, {}, reduce_tasks,
+                      job_name);
+}
 
 inline JobTimeline simulate_job(const SimScheduler& scheduler,
                                 std::span<const TaskSpec> map_tasks,

@@ -5,30 +5,40 @@
 //   combine: (K, [V]) -> [(K, V)]      (optional, per map task)
 //   reduce : (K, [V]) -> [Out]         (one call per key group)
 //
-// Execution is real (tasks run on a thread pool and produce the actual
-// output); *cluster time* is simulated: every task yields a TaskSpec
-// (deterministic work model + byte accounting) which the SimScheduler
-// places onto the configured nodes, giving the job a reproducible
-// simulated makespan (JobStats::timeline).  Map-task failures can be
-// injected; a failed attempt is retried and its cost double-counted,
-// like a speculative re-execution.
+// Execution is real (tasks produce the actual output); *cluster time* is
+// simulated: every task yields a TaskSpec (deterministic work model + byte
+// accounting) which the SimScheduler places onto the configured nodes,
+// giving the job a reproducible simulated makespan (JobStats::timeline).
+//
+// Job is a thin typed façade over mr::runtime::TaskGraph.  Each map task is
+// a graph node that spills its output as per-reducer key-sorted runs; every
+// (map, reducer) pair gets a ShuffleFetch node that moves the run the moment
+// the map finishes; each reduce node k-way-merges its sorted runs — no
+// re-sort, no map barrier.  The merge is stable by (key, map index, emission
+// order), which is exactly the order the old concatenate-then-stable_sort
+// shuffle produced, so job output is byte-identical across any thread count
+// and to the previous engine.
+//
+// Failures are injected as *real re-executions*: a doomed attempt runs,
+// throws runtime::TaskFailure, and the task graph re-runs the node (map and
+// reduce tasks alike, up to JobConfig::max_task_attempts); every failed
+// attempt is re-paid in the simulated cost model and surfaced in JobStats.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/prng.hpp"
-#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "mr/bytes.hpp"
 #include "mr/cluster.hpp"
+#include "mr/runtime.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -72,13 +82,26 @@ struct JobConfig {
   std::string name = "job";
   std::size_t num_reducers = 4;
   std::size_t records_per_split = 1024;  ///< map input split granularity
-  std::size_t threads = 0;               ///< real execution threads (0 = hw)
+  /// Real execution threads.  0 = run on the process-wide shared pool
+  /// (runtime::shared_pool()); > 0 = a private pool of that size.
+  std::size_t threads = 0;
+  /// Force a private pool even when `threads == 0` (hardware-sized).
+  bool isolated_pool = false;
   ClusterConfig cluster{};
   double map_failure_rate = 0.0;  ///< injected per-map-task failure probability
+  double reduce_failure_rate = 0.0;  ///< ditto for reduce tasks
+  /// Attempt budget per task (Hadoop's mapreduce.map.maxattempts).  Injected
+  /// failures always leave the final attempt to succeed, so a job survives
+  /// failure_rate = 1.0 at the cost of max_task_attempts-fold re-execution.
+  std::size_t max_task_attempts = 4;
   /// Injected stragglers: with this probability a map task's modeled work
   /// is multiplied by `straggler_slowdown` (a slow node / data skew).
   double straggler_rate = 0.0;
   double straggler_slowdown = 4.0;
+  /// Model the shuffle per fetch, overlapped with the map phase (the
+  /// behaviour of the task-graph runtime).  false = the legacy aggregate
+  /// transfer after a map barrier; real output is identical either way.
+  bool overlapped_shuffle = true;
   std::uint64_t seed = 1;
 };
 
@@ -90,7 +113,9 @@ struct JobStats {
   std::size_t pre_combine_records = 0;    ///< before the combiner
   std::size_t reduce_groups = 0;
   std::size_t output_records = 0;
-  std::size_t map_retries = 0;
+  std::size_t map_retries = 0;     ///< failed map attempts that were re-run
+  std::size_t reduce_retries = 0;  ///< failed reduce attempts that were re-run
+  std::size_t max_task_attempts = 0;  ///< the cap the retries ran under
   double shuffle_bytes = 0.0;
   double map_cpu_s = 0.0;     ///< measured thread CPU time (not wall), informational
   double reduce_cpu_s = 0.0;  ///< ditto, summed across reduce tasks
@@ -122,9 +147,7 @@ class Job {
       : config_(std::move(config)),
         mapper_(std::move(mapper)),
         reducer_(std::move(reducer)) {
-    MRMC_REQUIRE(config_.num_reducers >= 1, "need at least one reducer");
-    MRMC_REQUIRE(config_.records_per_split >= 1, "split size must be positive");
-    MRMC_CHECK(mapper_ != nullptr, "mapper required");
+    validate();
     MRMC_CHECK(reducer_ != nullptr, "reducer required");
   }
 
@@ -132,9 +155,7 @@ class Job {
       : config_(std::move(config)),
         mapper_(std::move(mapper)),
         context_reducer_(std::move(reducer)) {
-    MRMC_REQUIRE(config_.num_reducers >= 1, "need at least one reducer");
-    MRMC_REQUIRE(config_.records_per_split >= 1, "split size must be positive");
-    MRMC_CHECK(mapper_ != nullptr, "mapper required");
+    validate();
     MRMC_CHECK(context_reducer_ != nullptr, "reducer required");
   }
 
@@ -187,69 +208,119 @@ class Job {
                                  std::to_string(config_.num_reducers)}});
     JobResult<Out> result;
     JobStats& stats = result.stats;
-    stats.map_tasks = splits.size();
-    stats.reduce_tasks = config_.num_reducers;
+    const std::size_t num_maps = splits.size();
+    const std::size_t num_reducers = config_.num_reducers;
+    stats.map_tasks = num_maps;
+    stats.reduce_tasks = num_reducers;
+    stats.max_task_attempts = config_.max_task_attempts;
 
-    // ----------------------------------------------------------- map phase
-    std::vector<MapTaskOutput> map_outputs(splits.size());
+    // --------------------------------------------------- the task graph
+    // map m  ──▶  fetch (m, r)  ──▶  reduce r        (for every m, r)
+    //
+    // Each slot below is written by exactly one node and read only by nodes
+    // downstream of it; the graph's dependency bookkeeping provides the
+    // happens-before edges, so no extra locking is needed.
+    std::vector<MapTaskOutput> map_outputs(num_maps);
+    std::vector<std::vector<Run>> reducer_runs(num_reducers);
+    for (auto& runs : reducer_runs) runs.resize(num_maps);
+    std::vector<std::vector<double>> fetched_bytes(
+        num_reducers, std::vector<double>(num_maps, 0.0));
+    std::vector<ReduceTaskOutput> reduce_outputs(num_reducers);
 
-    common::ThreadPool pool(config_.threads);
-    {
-      obs::Tracer::Span map_span(tracer, config_.name + "/map");
-      pool.parallel_for(splits.size(), [&](std::size_t t) {
-        map_outputs[t] = run_map_task(splits[t], preferred_nodes[t], t);
-      });
+    const bool traced = tracer.enabled();
+    runtime::TaskGraph graph;
+    std::vector<std::size_t> map_ids(num_maps);
+    std::vector<std::size_t> reduce_ids(num_reducers);
+    for (std::size_t m = 0; m < num_maps; ++m) {
+      const Injection injection = map_injection(m);
+      map_ids[m] = graph.add_task(
+          [this, &splits, &preferred_nodes, &map_outputs, m,
+           injection](std::size_t attempt) {
+            // The doomed attempt does the work, then loses it — real
+            // re-execution, not a cost multiplier.
+            MapTaskOutput output =
+                run_map_attempt(splits[m], preferred_nodes[m]);
+            if (attempt < injection.failures) {
+              throw runtime::TaskFailure("injected map-task failure");
+            }
+            map_outputs[m] = std::move(output);
+          },
+          {}, task_options(traced, "map", m));
+    }
+    for (std::size_t r = 0; r < num_reducers; ++r) {
+      std::vector<std::size_t> fetch_ids;
+      fetch_ids.reserve(num_maps);
+      for (std::size_t m = 0; m < num_maps; ++m) {
+        fetch_ids.push_back(graph.add_task(
+            [&map_outputs, &reducer_runs, &fetched_bytes, r,
+             m](std::size_t) {
+              reducer_runs[r][m] = std::move(map_outputs[m].runs[r]);
+              fetched_bytes[r][m] = map_outputs[m].run_bytes[r];
+            },
+            {map_ids[m]}, task_options(traced, "fetch", r, m)));
+      }
+      const std::size_t failures = injected_reduce_failures(r);
+      reduce_ids[r] = graph.add_task(
+          [this, &reducer_runs, &fetched_bytes, &reduce_outputs, r,
+           failures](std::size_t attempt) {
+            const bool doomed = attempt < failures;
+            // Doomed attempts read the runs non-destructively so the retry
+            // sees pristine input; the final attempt moves the values out.
+            ReduceTaskOutput output = run_reduce_attempt(
+                reducer_runs[r], fetched_bytes[r], /*destructive=*/!doomed);
+            if (doomed) {
+              throw runtime::TaskFailure("injected reduce-task failure");
+            }
+            reduce_outputs[r] = std::move(output);
+          },
+          std::move(fetch_ids), task_options(traced, "reduce", r));
     }
 
+    runtime::PoolLease lease(config_.threads, config_.isolated_pool);
+    graph.run(lease.pool());
+
+    // ------------------------------- deterministic single-threaded assembly
     std::vector<TaskSpec> map_specs;
-    map_specs.reserve(map_outputs.size());
+    map_specs.reserve(num_maps);
     double shuffle_bytes = 0.0;
-    for (auto& task : map_outputs) {
+    for (std::size_t m = 0; m < num_maps; ++m) {
+      MapTaskOutput& task = map_outputs[m];
       stats.input_records += task.records_in;
       stats.pre_combine_records += task.records_pre_combine;
       stats.map_output_records += task.records_out;
       stats.map_cpu_s += task.cpu_s;
-      if (task.retried) ++stats.map_retries;
       for (const auto& [name, value] : task.counters) stats.counters[name] += value;
-      shuffle_bytes += task.spec.output_bytes;
-      map_specs.push_back(task.spec);
+
+      const std::size_t attempts = graph.attempts(map_ids[m]);
+      stats.map_retries += attempts - 1;
+      TaskSpec spec = task.spec;
+      // Every failed attempt's cost is paid again by its re-execution.
+      spec.work *= static_cast<double>(attempts);
+      spec.input_bytes *= static_cast<double>(attempts);
+      spec.work *= map_injection(m).slowdown;
+      shuffle_bytes += spec.output_bytes;
+      map_specs.push_back(spec);
     }
     stats.shuffle_bytes = shuffle_bytes;
 
-    // ------------------------------------------------------------- shuffle
-    // Gather each reducer's input from every map task, in task order so the
-    // overall run is deterministic regardless of thread scheduling.
-    std::vector<std::vector<std::pair<K, V>>> reducer_inputs(config_.num_reducers);
-    {
-      obs::Tracer::Span shuffle_span(
-          tracer, config_.name + "/shuffle",
-          {{"bytes", obs::trace_double(shuffle_bytes)}});
-      for (auto& task : map_outputs) {
-        for (std::size_t r = 0; r < config_.num_reducers; ++r) {
-          auto& bucket = task.partitions[r];
-          reducer_inputs[r].insert(reducer_inputs[r].end(),
-                                   std::make_move_iterator(bucket.begin()),
-                                   std::make_move_iterator(bucket.end()));
-        }
-      }
-    }
-
-    // -------------------------------------------------------- reduce phase
-    std::vector<ReduceTaskOutput> reduce_outputs(config_.num_reducers);
-    {
-      obs::Tracer::Span reduce_span(tracer, config_.name + "/reduce");
-      pool.parallel_for(config_.num_reducers, [&](std::size_t r) {
-        reduce_outputs[r] = run_reduce_task(reducer_inputs[r]);
-      });
-    }
-
     std::vector<TaskSpec> reduce_specs;
-    reduce_specs.reserve(reduce_outputs.size());
-    for (auto& task : reduce_outputs) {
+    reduce_specs.reserve(num_reducers);
+    auto& merge_width_hist =
+        obs::Registry::global().histogram("runtime.reduce_merge_width");
+    for (std::size_t r = 0; r < num_reducers; ++r) {
+      ReduceTaskOutput& task = reduce_outputs[r];
       stats.reduce_groups += task.groups;
       stats.reduce_cpu_s += task.cpu_s;
       for (const auto& [name, value] : task.counters) stats.counters[name] += value;
-      reduce_specs.push_back(task.spec);
+      merge_width_hist.observe(static_cast<double>(task.merge_width));
+
+      const std::size_t attempts = graph.attempts(reduce_ids[r]);
+      stats.reduce_retries += attempts - 1;
+      TaskSpec spec = task.spec;
+      spec.work *= static_cast<double>(attempts);
+      spec.input_bytes *= static_cast<double>(attempts);
+      reduce_specs.push_back(spec);
+
       stats.output_records += task.output.size();
       result.output.insert(result.output.end(),
                            std::make_move_iterator(task.output.begin()),
@@ -257,8 +328,18 @@ class Job {
     }
 
     // --------------------------------------------------- simulated timeline
+    std::vector<FetchSpec> fetches;
+    if (config_.overlapped_shuffle) {
+      fetches.reserve(num_maps * num_reducers);
+      for (std::size_t m = 0; m < num_maps; ++m) {
+        for (std::size_t r = 0; r < num_reducers; ++r) {
+          const double bytes = fetched_bytes[r][m];
+          if (bytes > 0.0) fetches.push_back({m, r, bytes});
+        }
+      }
+    }
     const SimScheduler scheduler(config_.cluster);
-    stats.timeline = simulate_job(scheduler, map_specs, shuffle_bytes,
+    stats.timeline = simulate_job(scheduler, map_specs, shuffle_bytes, fetches,
                                   reduce_specs, config_.name);
     export_stats(stats);
     job_span.arg("sim_total_s", obs::trace_double(stats.timeline.total_s));
@@ -266,15 +347,17 @@ class Job {
   }
 
  private:
+  using Run = std::vector<std::pair<K, V>>;
+
   struct MapTaskOutput {
-    std::vector<std::vector<std::pair<K, V>>> partitions;
-    TaskSpec spec;
+    std::vector<Run> runs;           ///< per-reducer key-sorted spill runs
+    std::vector<double> run_bytes;   ///< serialized size of each run
+    TaskSpec spec;                   ///< single-attempt cost
     Counters counters;
     double cpu_s = 0.0;
     std::size_t records_in = 0;
     std::size_t records_pre_combine = 0;
     std::size_t records_out = 0;
-    bool retried = false;
   };
   struct ReduceTaskOutput {
     std::vector<Out> output;
@@ -282,7 +365,74 @@ class Job {
     Counters counters;
     double cpu_s = 0.0;
     std::size_t groups = 0;
+    std::size_t merge_width = 0;  ///< non-empty runs merged
   };
+
+  /// Per-map-task injected faults, derived deterministically from the seed.
+  struct Injection {
+    std::size_t failures = 0;  ///< attempts that will throw TaskFailure
+    double slowdown = 1.0;     ///< straggler work multiplier
+  };
+
+  void validate() const {
+    MRMC_REQUIRE(config_.num_reducers >= 1, "need at least one reducer");
+    MRMC_REQUIRE(config_.records_per_split >= 1, "split size must be positive");
+    MRMC_REQUIRE(config_.max_task_attempts >= 1,
+                 "max_task_attempts must be >= 1");
+    MRMC_CHECK(mapper_ != nullptr, "mapper required");
+  }
+
+  /// Draw order matches the pre-task-graph engine (one failure draw, then
+  /// the straggler draw) so seeded tests keep their golden values; extra
+  /// failure draws happen only after a first hit.  Injected failures are
+  /// capped at max_task_attempts - 1: the final attempt always succeeds.
+  [[nodiscard]] Injection map_injection(std::size_t task_index) const {
+    Injection injection;
+    if (config_.map_failure_rate > 0.0 || config_.straggler_rate > 0.0) {
+      common::Xoshiro256 rng(common::mix64(config_.seed ^ (task_index + 1)));
+      const std::size_t cap = config_.max_task_attempts - 1;
+      if (rng.chance(config_.map_failure_rate)) {
+        injection.failures = 1;
+        while (injection.failures < cap &&
+               rng.chance(config_.map_failure_rate)) {
+          ++injection.failures;
+        }
+        injection.failures = std::min(injection.failures, cap);
+      }
+      if (rng.chance(config_.straggler_rate)) {
+        injection.slowdown = config_.straggler_slowdown;
+      }
+    }
+    return injection;
+  }
+
+  [[nodiscard]] std::size_t injected_reduce_failures(std::size_t r) const {
+    if (config_.reduce_failure_rate <= 0.0) return 0;
+    // A distinct stream from the map side so the two fault models compose.
+    common::Xoshiro256 rng(
+        common::mix64(config_.seed ^ 0xa24baed4963ee407ULL ^ (r + 1)));
+    const std::size_t cap = config_.max_task_attempts - 1;
+    std::size_t failures = 0;
+    if (rng.chance(config_.reduce_failure_rate)) {
+      failures = 1;
+      while (failures < cap && rng.chance(config_.reduce_failure_rate)) {
+        ++failures;
+      }
+    }
+    return std::min(failures, cap);
+  }
+
+  [[nodiscard]] runtime::TaskOptions task_options(bool traced, const char* kind,
+                                                  std::size_t index,
+                                                  std::size_t sub = SIZE_MAX) const {
+    runtime::TaskOptions options;
+    options.max_attempts = config_.max_task_attempts;
+    if (traced) {
+      options.label = config_.name + "/" + kind + " " + std::to_string(index);
+      if (sub != SIZE_MAX) options.label += "." + std::to_string(sub);
+    }
+    return options;
+  }
 
   /// Publish the finished job's stats to the global metrics registry and
   /// the engine log; user counters are exported as `mr.counter.<name>`.
@@ -293,6 +443,8 @@ class Job {
     registry.counter("mr.reduce_tasks")
         .add(static_cast<long>(stats.reduce_tasks));
     registry.counter("mr.map_retries").add(static_cast<long>(stats.map_retries));
+    registry.counter("mr.reduce_retries")
+        .add(static_cast<long>(stats.reduce_retries));
     registry.counter("mr.input_records")
         .add(static_cast<long>(stats.input_records));
     registry.counter("mr.map_output_records")
@@ -312,6 +464,7 @@ class Job {
                    {"input_records", stats.input_records},
                    {"output_records", stats.output_records},
                    {"map_retries", stats.map_retries},
+                   {"reduce_retries", stats.reduce_retries},
                    {"shuffle_bytes", stats.shuffle_bytes},
                    {"map_cpu_s", stats.map_cpu_s},
                    {"reduce_cpu_s", stats.reduce_cpu_s},
@@ -321,7 +474,13 @@ class Job {
 
   [[nodiscard]] std::size_t partition_of(const K& key) const {
     if (partitioner_) return partitioner_(key) % config_.num_reducers;
-    return std::hash<K>{}(key) % config_.num_reducers;
+    // Stable FNV-1a over the key's serialized form: the same key lands on
+    // the same reducer on every platform and standard library, so
+    // JobStats, shuffle bytes, and the simulated timeline reproduce
+    // everywhere (std::hash guarantees none of that).
+    return static_cast<std::size_t>(stable_hash(key) %
+                                    static_cast<std::uint64_t>(
+                                        config_.num_reducers));
   }
 
   /// Sort pairs by key and fold each group through `fn`.
@@ -343,8 +502,10 @@ class Job {
     }
   }
 
-  MapTaskOutput run_map_task(const std::vector<In>& split, int preferred_node,
-                             std::size_t task_index) {
+  /// One map attempt: map every record, combine, partition into per-reducer
+  /// runs and sort each run by key (the "spill" a Hadoop mapper writes).
+  MapTaskOutput run_map_attempt(const std::vector<In>& split,
+                                int preferred_node) {
     MapTaskOutput task;
 
     // Thread CPU clock, not wall: the task shares a core with its siblings.
@@ -375,51 +536,93 @@ class Job {
     }
     task.records_out = pairs.size();
 
-    task.partitions.resize(config_.num_reducers);
-    double output_bytes = 0.0;
+    task.runs.resize(config_.num_reducers);
+    task.run_bytes.assign(config_.num_reducers, 0.0);
     for (auto& pair : pairs) {
-      output_bytes += approx_bytes(pair);
-      task.partitions[partition_of(pair.first)].push_back(std::move(pair));
+      const std::size_t r = partition_of(pair.first);
+      task.run_bytes[r] += approx_bytes(pair);
+      task.runs[r].push_back(std::move(pair));
+    }
+    double output_bytes = 0.0;
+    for (const double bytes : task.run_bytes) output_bytes += bytes;
+    // Sorted-run invariant: ascending by key, stable in emission order.
+    for (Run& run : task.runs) {
+      std::stable_sort(run.begin(), run.end(), [](const auto& a, const auto& b) {
+        return a.first < b.first;
+      });
     }
 
     task.cpu_s = watch.seconds();
     task.counters = std::move(emitter.counters());
     task.spec = TaskSpec{work, input_bytes, output_bytes, preferred_node};
-
-    if (config_.map_failure_rate > 0.0 || config_.straggler_rate > 0.0) {
-      common::Xoshiro256 rng(common::mix64(config_.seed ^ (task_index + 1)));
-      if (rng.chance(config_.map_failure_rate)) {
-        // The failed attempt's cost is paid again by the retry.
-        task.retried = true;
-        task.spec.work *= 2.0;
-        task.spec.input_bytes *= 2.0;
-      }
-      if (rng.chance(config_.straggler_rate)) {
-        task.spec.work *= config_.straggler_slowdown;
-      }
-    }
     return task;
   }
 
-  ReduceTaskOutput run_reduce_task(std::vector<std::pair<K, V>>& pairs) {
+  /// One reduce attempt: a stable k-way merge over the fetched sorted runs.
+  /// Equal keys are consumed lowest-map-index first, each run in emission
+  /// order — the exact order the old concatenate + stable_sort produced.
+  ReduceTaskOutput run_reduce_attempt(std::vector<Run>& runs,
+                                      const std::vector<double>& run_bytes,
+                                      bool destructive) {
     ReduceTaskOutput task;
 
     common::ThreadCpuStopwatch watch;
     double input_bytes = 0.0;
-    for (const auto& pair : pairs) input_bytes += approx_bytes(pair);
+    for (const double bytes : run_bytes) input_bytes += bytes;
+
+    // Min-heap of run indices, ordered by (head key, run index).
+    std::vector<std::size_t> position(runs.size(), 0);
+    const auto cursor_greater = [&](std::size_t a, std::size_t b) {
+      const K& key_a = runs[a][position[a]].first;
+      const K& key_b = runs[b][position[b]].first;
+      if (key_a < key_b) return false;
+      if (key_b < key_a) return true;
+      return a > b;
+    };
+    std::vector<std::size_t> heap;
+    for (std::size_t m = 0; m < runs.size(); ++m) {
+      if (!runs[m].empty()) {
+        heap.push_back(m);
+        ++task.merge_width;
+      }
+    }
+    std::make_heap(heap.begin(), heap.end(), cursor_greater);
 
     ReduceContext context;
     double work = 0.0;
-    for_each_group(pairs, [&](const K& key, std::vector<V>& values) {
+    std::vector<V> values;
+    while (!heap.empty()) {
+      const K group_key = runs[heap.front()][position[heap.front()]].first;
+      values.clear();
+      while (!heap.empty()) {
+        const std::size_t m = heap.front();
+        if (group_key < runs[m][position[m]].first) break;
+        std::pop_heap(heap.begin(), heap.end(), cursor_greater);
+        heap.pop_back();
+        // Keys are consecutive within a sorted run: drain the whole group.
+        while (position[m] < runs[m].size() &&
+               !(group_key < runs[m][position[m]].first)) {
+          if (destructive) {
+            values.push_back(std::move(runs[m][position[m]].second));
+          } else {
+            values.push_back(runs[m][position[m]].second);
+          }
+          ++position[m];
+        }
+        if (position[m] < runs[m].size()) {
+          heap.push_back(m);
+          std::push_heap(heap.begin(), heap.end(), cursor_greater);
+        }
+      }
       ++task.groups;
-      work += reduce_work_ ? reduce_work_(key, values.size())
+      work += reduce_work_ ? reduce_work_(group_key, values.size())
                            : 1e-6 * static_cast<double>(values.size());
       if (context_reducer_) {
-        context_reducer_(key, values, task.output, context);
+        context_reducer_(group_key, values, task.output, context);
       } else {
-        reducer_(key, values, task.output);
+        reducer_(group_key, values, task.output);
       }
-    });
+    }
     task.counters = std::move(context.counters());
 
     double output_bytes = 0.0;

@@ -1,0 +1,151 @@
+#include "mr/runtime.hpp"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mrmc::mr::runtime {
+
+common::ThreadPool& shared_pool() {
+  static common::ThreadPool pool(0);
+  return pool;
+}
+
+PoolLease::PoolLease(std::size_t threads, bool isolated) {
+  if (isolated || threads != 0) {
+    owned_ = std::make_unique<common::ThreadPool>(threads);
+    pool_ = owned_.get();
+  } else {
+    pool_ = &shared_pool();
+  }
+}
+
+TaskGraph::TaskGraph()
+    : queue_depth_(&obs::Registry::global().gauge("runtime.task_queue_depth")) {}
+
+std::size_t TaskGraph::add_task(TaskFn fn, std::vector<std::size_t> deps,
+                                TaskOptions options) {
+  MRMC_REQUIRE(!started_, "TaskGraph is one-shot; cannot add tasks after run()");
+  MRMC_REQUIRE(fn != nullptr, "task body must be callable");
+  MRMC_REQUIRE(options.max_attempts >= 1, "max_attempts must be >= 1");
+  const std::size_t id = nodes_.size();
+  Node node;
+  node.fn = std::move(fn);
+  node.options = std::move(options);
+  node.remaining_deps = deps.size();
+  nodes_.push_back(std::move(node));
+  for (const std::size_t dep : deps) {
+    MRMC_REQUIRE(dep < id, "dependencies must be added before their dependents");
+    nodes_[dep].dependents.push_back(id);
+  }
+  return id;
+}
+
+void TaskGraph::run(common::ThreadPool& pool) {
+  std::vector<std::size_t> ready;
+  {
+    std::lock_guard lock(mutex_);
+    MRMC_REQUIRE(!started_, "TaskGraph is one-shot; run() already called");
+    started_ = true;
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+      if (nodes_[id].remaining_deps == 0) ready.push_back(id);
+    }
+  }
+  for (const std::size_t id : ready) submit(pool, id);
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return completed_ == nodes_.size(); });
+  if (error_) std::rethrow_exception(error_);
+}
+
+std::size_t TaskGraph::attempts(std::size_t id) const {
+  std::lock_guard lock(mutex_);
+  MRMC_REQUIRE(id < nodes_.size(), "task id out of range");
+  return nodes_[id].attempts;
+}
+
+std::size_t TaskGraph::total_retries() const {
+  std::lock_guard lock(mutex_);
+  return retries_;
+}
+
+void TaskGraph::submit(common::ThreadPool& pool, std::size_t id) {
+  {
+    std::lock_guard lock(mutex_);
+    ++inflight_;
+    queue_depth_->set(static_cast<double>(inflight_));
+  }
+  pool.submit([this, &pool, id] { execute(pool, id); });
+}
+
+void TaskGraph::execute(common::ThreadPool& pool, std::size_t id) {
+  Node& node = nodes_[id];
+  bool skip = false;
+  std::size_t attempt = 0;
+  {
+    std::lock_guard lock(mutex_);
+    // After a permanent failure, queued nodes drain without running: finish()
+    // still releases their dependents so the completion count reaches the
+    // total and run() can wake up and rethrow.
+    skip = abort_;
+    if (!skip) attempt = node.attempts++;
+  }
+  if (!skip) {
+    try {
+      std::optional<obs::Tracer::Span> span;
+      if (!node.options.label.empty() && obs::Tracer::global().enabled()) {
+        span.emplace(obs::Tracer::global(), node.options.label,
+                     std::initializer_list<obs::TraceArg>{
+                         {"attempt", std::to_string(attempt)}});
+      }
+      node.fn(attempt);
+    } catch (const TaskFailure&) {
+      bool retry = false;
+      {
+        std::lock_guard lock(mutex_);
+        ++retries_;
+        retry = node.attempts < node.options.max_attempts && !abort_;
+        if (!retry && !error_) {
+          error_ = std::current_exception();
+          abort_ = true;
+        }
+      }
+      obs::Registry::global().counter("runtime.task_retries").add(1);
+      if (retry) {
+        // The node stays in flight; re-run it as a fresh pool task so other
+        // ready work interleaves with the retry.
+        pool.submit([this, &pool, id] { execute(pool, id); });
+        return;
+      }
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!error_) {
+        error_ = std::current_exception();
+        abort_ = true;
+      }
+    }
+  }
+  finish(pool, id);
+}
+
+void TaskGraph::finish(common::ThreadPool& pool, std::size_t id) {
+  std::vector<std::size_t> ready;
+  {
+    std::lock_guard lock(mutex_);
+    Node& node = nodes_[id];
+    node.done = true;
+    ++completed_;
+    --inflight_;
+    queue_depth_->set(static_cast<double>(inflight_));
+    for (const std::size_t dependent : node.dependents) {
+      if (--nodes_[dependent].remaining_deps == 0) ready.push_back(dependent);
+    }
+    if (completed_ == nodes_.size()) done_cv_.notify_all();
+  }
+  for (const std::size_t dependent : ready) submit(pool, dependent);
+}
+
+}  // namespace mrmc::mr::runtime

@@ -402,6 +402,9 @@ std::vector<JobInput> jobs_from_trace(const common::JsonValue& root) {
       job.shuffle_s = parse_exact(args.at("end_s").string);
       continue;
     }
+    // Per-fetch shuffle events overlap the map phase and are already
+    // accounted for by the aggregate shuffle tail; they are not tasks.
+    if (phase == "fetch") continue;
     TaskSample task;
     task.index =
         static_cast<std::size_t>(parse_exact(args.at("task").string));

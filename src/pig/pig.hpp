@@ -19,6 +19,8 @@ namespace mrmc::pig {
 
 class PigContext {
  public:
+  /// `threads == 0` runs every statement's job on the process-wide shared
+  /// pool (mr::runtime::shared_pool()); > 0 uses a private pool per job.
   PigContext(mr::SimDfs* dfs, mr::ClusterConfig cluster, std::size_t threads = 0);
 
   /// LOAD '<path>' USING FastaStorage AS (seq, id): parses a FASTA file

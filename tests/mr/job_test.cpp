@@ -165,11 +165,13 @@ TEST(Job, ValuesArriveGroupedAndComplete) {
 }
 
 TEST(Job, FailureInjectionCountsRetriesAndPreservesOutput) {
-  auto config = test_config(2, 1);  // 6 map tasks
-  config.map_failure_rate = 1.0;    // every task fails once
+  auto config = test_config(2, 1);   // 6 map tasks
+  config.map_failure_rate = 1.0;     // every task fails...
+  config.max_task_attempts = 2;      // ...exactly once (cap leaves 1 retry)
   WordCountJob job(config, word_mapper(), sum_reducer());
   const auto result = job.run(kLines);
   EXPECT_EQ(result.stats.map_retries, 6u);
+  EXPECT_EQ(result.stats.max_task_attempts, 2u);
   EXPECT_EQ(to_map(result.output).at("the"), 3);
 
   auto clean_config = test_config(2, 1);
