@@ -21,11 +21,16 @@
 //       [--metrics]           # print the obs metrics snapshot at the end
 //       [--report=fig2.html]  # job-doctor report (bare --report: text)
 //       [--bench-json[=path]] # machine-readable BENCH_fig2.json record
+//       [--node-failures]     # makespan-vs-crash-count sweep at 4/8/12
+//                             # nodes; writes BENCH_fig2_faults.json
+//       [--faults-reads=N]    # input size for the fault sweep (default 1 M)
+#include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "mr/cluster.hpp"
+#include "mr/faults.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -34,16 +39,40 @@ using namespace mrmc;
 
 namespace {
 
+/// One simulated pipeline run: the end-to-end time plus whatever the fault
+/// schedule cost it (all zero for fault-free runs).
+struct SimPoint {
+  double total_s = 0.0;
+  /// Longest job with more than one task — the window where a crash can
+  /// actually cost something.  (The GROUP-ALL clustering job is a single
+  /// reducer on the never-crashed node 0, so it is immune by construction.)
+  double fault_horizon_s = 0.0;
+  std::size_t killed_attempts = 0;
+  std::size_t lost_map_outputs = 0;
+  std::size_t node_crashes = 0;
+  std::size_t blacklisted_nodes = 0;
+};
+
 /// Simulated end-to-end hierarchical-pipeline time for `reads` reads on
 /// `nodes` nodes, built from the same cost models the executed pipeline
 /// uses (sketch map work, similarity row work, dendrogram reduce work).
-double simulate_hierarchical(std::size_t reads, std::size_t read_length,
-                             std::size_t hashes, std::size_t nodes) {
+/// A non-empty `plan` injects the same node-failure schedule into each of
+/// the three jobs (each job runs on its own clock, like the pipeline does).
+SimPoint simulate_hierarchical(std::size_t reads, std::size_t read_length,
+                               std::size_t hashes, std::size_t nodes,
+                               const mr::faults::FaultPlan& plan = {}) {
   mr::ClusterConfig cluster;
   cluster.nodes = nodes;
   const mr::SimScheduler scheduler(cluster);
   const std::string tag =
       "[" + std::to_string(reads) + "r/" + std::to_string(nodes) + "n]";
+  const auto run_job = [&](std::span<const mr::TaskSpec> maps, double bytes,
+                           std::span<const mr::TaskSpec> reduces,
+                           const std::string& name) {
+    return plan.empty()
+               ? simulate_job(scheduler, maps, bytes, reduces, name)
+               : simulate_job(scheduler, maps, bytes, {}, reduces, name, plan);
+  };
 
   const double read_bytes = static_cast<double>(read_length) + 48.0;
   const double sketch_bytes = core::cost::sketch_bytes(hashes);
@@ -64,8 +93,8 @@ double simulate_hierarchical(std::size_t reads, std::size_t read_length,
            static_cast<double>(cluster.reduce_slots()),
        -1});
   const auto job1 =
-      simulate_job(scheduler, sketch_maps, static_cast<double>(reads) * sketch_bytes,
-                   sketch_reduces, "sketch " + tag);
+      run_job(sketch_maps, static_cast<double>(reads) * sketch_bytes,
+              sketch_reduces, "sketch " + tag);
 
   // --- Job 2: similarity matrix, row-partitioned.  Each map split covers a
   // contiguous row range; work is the number of pairs in the range.
@@ -89,16 +118,28 @@ double simulate_hierarchical(std::size_t reads, std::size_t read_length,
       cluster.reduce_slots(),
       {1e-6, matrix_bytes / static_cast<double>(cluster.reduce_slots()),
        matrix_bytes / static_cast<double>(cluster.reduce_slots()), -1});
-  const auto job2 = simulate_job(scheduler, sim_maps, matrix_bytes, sim_reduces,
-                                 "similarity " + tag);
+  const auto job2 =
+      run_job(sim_maps, matrix_bytes, sim_reduces, "similarity " + tag);
 
   // --- Job 3: clustering, single GROUP-ALL reducer.
   std::vector<mr::TaskSpec> cluster_reduce{
       {core::cost::dendrogram_work(reads), matrix_bytes, n * 8.0, -1}};
-  const auto job3 =
-      simulate_job(scheduler, {}, matrix_bytes, cluster_reduce, "cluster " + tag);
+  const auto job3 = run_job({}, matrix_bytes, cluster_reduce, "cluster " + tag);
 
-  return job1.total_s + job2.total_s + job3.total_s;
+  SimPoint point;
+  point.fault_horizon_s = std::max(job1.total_s, job2.total_s);
+  for (const auto* job : {&job1, &job2, &job3}) {
+    point.total_s += job->total_s;
+    point.killed_attempts += job->faults.killed_attempts;
+    point.lost_map_outputs += job->faults.lost_map_outputs;
+    // Every job replays the same plan, so crash/blacklist counts repeat
+    // per job rather than adding up.
+    point.node_crashes =
+        std::max(point.node_crashes, job->faults.events.size());
+    point.blacklisted_nodes =
+        std::max(point.blacklisted_nodes, job->faults.blacklisted_nodes);
+  }
+  return point;
 }
 
 }  // namespace
@@ -131,7 +172,7 @@ int main(int argc, char** argv) {
     for (const std::size_t nodes : node_counts) {
       const std::size_t jobs_before = collector.size();
       const double seconds =
-          simulate_hierarchical(reads, read_length, hashes, nodes);
+          simulate_hierarchical(reads, read_length, hashes, nodes).total_s;
       row.push_back(common::format_duration(seconds));
       if (bench_json) {
         // Aggregate the point's jobs (sketch, similarity, cluster) into one
@@ -181,12 +222,76 @@ int main(int argc, char** argv) {
         check.add_row(
             {std::to_string(reads), std::to_string(nodes),
              common::format_duration(
-                 simulate_hierarchical(reads, read_length, hashes, nodes)),
+                 simulate_hierarchical(reads, read_length, hashes, nodes)
+                     .total_s),
              common::format_duration(result.sim_s),
              common::format_duration(result.wall_s)});
       }
     }
     check.print(std::cout);
+  }
+
+  if (flags.flag("node-failures")) {
+    // Makespan vs injected crash count: the fault-tolerance counterpart of
+    // the scalability table.  Each point reruns the pipeline under a seeded
+    // FaultPlan::random schedule.  The plan replays on every job's own
+    // clock, so its horizon is the longest crashable fault-free job —
+    // crashes then land while many tasks are in flight instead of in the
+    // dead air after the shorter jobs finish.  Node 0 never crashes,
+    // keeping every plan survivable.  Always written as
+    // BENCH_fig2_faults.json for CI.
+    const std::size_t fault_reads = flags.num("faults-reads", 1'000'000);
+    bench::BenchRecord fault_record("fig2_faults");
+    common::TextTable fault_table({"Nodes", "Crashes", "Fault-free", "Faulted",
+                                   "Slowdown", "Killed", "Lost outputs",
+                                   "Blacklisted"});
+    for (const std::size_t nodes : {4u, 8u, 12u}) {
+      const SimPoint baseline =
+          simulate_hierarchical(fault_reads, read_length, hashes, nodes);
+      for (const std::size_t crashes : {0u, 1u, 2u, 3u}) {
+        const std::uint64_t plan_seed = seed + 97 * nodes + crashes;
+        const mr::faults::FaultPlan plan =
+            crashes == 0 ? mr::faults::FaultPlan{}
+                         : mr::faults::FaultPlan::random(
+                               plan_seed, nodes, crashes,
+                               baseline.fault_horizon_s);
+        const SimPoint point =
+            crashes == 0 ? baseline
+                         : simulate_hierarchical(fault_reads, read_length,
+                                                 hashes, nodes, plan);
+        const double slowdown =
+            baseline.total_s > 0.0 ? point.total_s / baseline.total_s : 1.0;
+        char slowdown_text[32];
+        std::snprintf(slowdown_text, sizeof(slowdown_text), "%.2fx", slowdown);
+        fault_table.add_row({std::to_string(nodes), std::to_string(crashes),
+                             common::format_duration(baseline.total_s),
+                             common::format_duration(point.total_s),
+                             slowdown_text,
+                             std::to_string(point.killed_attempts),
+                             std::to_string(point.lost_map_outputs),
+                             std::to_string(point.blacklisted_nodes)});
+        fault_record.row()
+            .num("nodes", static_cast<long>(nodes))
+            .num("crashes", static_cast<long>(crashes))
+            .num("plan_seed", static_cast<long>(plan_seed))
+            .num("fault_free_s", baseline.total_s)
+            .num("faulted_s", point.total_s)
+            .num("slowdown", slowdown)
+            .num("killed_attempts", static_cast<long>(point.killed_attempts))
+            .num("lost_map_outputs",
+                 static_cast<long>(point.lost_map_outputs))
+            .num("node_crashes", static_cast<long>(point.node_crashes))
+            .num("blacklisted_nodes",
+                 static_cast<long>(point.blacklisted_nodes));
+      }
+    }
+    std::cout << "\nFault sweep — makespan vs injected node crashes ("
+              << fault_reads << " reads)\n";
+    fault_table.print(std::cout);
+    if (fault_record.write(fault_record.default_path())) {
+      std::cout << "wrote fault sweep record to " << fault_record.default_path()
+                << "\n";
+    }
   }
 
   if (bench_json) {

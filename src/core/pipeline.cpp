@@ -66,6 +66,7 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
   config.records_per_split = exec.records_per_split;
   config.threads = exec.threads;
   config.isolated_pool = exec.isolated_pool;
+  config.fault_plan = exec.fault_plan;
   config.cluster = exec.cluster;
 
   auto& sketch_bytes_hist =
@@ -132,6 +133,7 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
       std::max<std::size_t>(1, n / std::max<std::size_t>(1, exec.cluster.map_slots() * 4));
   config.threads = exec.threads;
   config.isolated_pool = exec.isolated_pool;
+  config.fault_plan = exec.fault_plan;
   config.cluster = exec.cluster;
 
   // Per-row fan-out: how many of the row's pairs clear theta — the density
@@ -198,6 +200,7 @@ std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketc
   config.records_per_split = exec.records_per_split;
   config.threads = exec.threads;
   config.isolated_pool = exec.isolated_pool;
+  config.fault_plan = exec.fault_plan;
   config.cluster = exec.cluster;
 
   GreedyJob job(
@@ -252,6 +255,7 @@ std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
   config.records_per_split = std::max<std::size_t>(1, n / 8);
   config.threads = exec.threads;
   config.isolated_pool = exec.isolated_pool;
+  config.fault_plan = exec.fault_plan;
   config.cluster = exec.cluster;
 
   const Linkage linkage = params.linkage;

@@ -48,6 +48,10 @@ struct ExecutionOptions {
   /// `threads == 0`, e.g. to keep a latency-sensitive host isolated.
   bool isolated_pool = false;
   std::size_t records_per_split = 512;
+  /// Node-failure schedule applied to every job in the pipeline (empty =
+  /// fault-free).  The clustering output is byte-identical either way; only
+  /// the simulated timelines pay for the lost work.
+  mr::faults::FaultPlan fault_plan{};
 };
 
 struct PipelineResult {

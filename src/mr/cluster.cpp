@@ -1,8 +1,10 @@
 #include "mr/cluster.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <numeric>
 #include <queue>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -171,70 +173,58 @@ void trace_sim_phase(obs::Tracer& tracer, std::uint32_t pid,
   }
 }
 
-}  // namespace
-
-JobTimeline simulate_job(const SimScheduler& scheduler,
-                         std::span<const TaskSpec> map_tasks,
-                         double shuffle_bytes,
-                         std::span<const FetchSpec> fetches,
-                         std::span<const TaskSpec> reduce_tasks,
-                         const std::string& job_name) {
-  JobTimeline timeline;
-  timeline.map_phase =
-      scheduler.schedule_phase(map_tasks, scheduler.config().map_slots_per_node);
-  if (fetches.empty()) {
-    // Aggregate barrier model: one all-to-all transfer after the map phase.
-    timeline.shuffle_s = scheduler.shuffle_time(shuffle_bytes);
-  } else {
-    // Overlapped model: each fetch starts when its map run is available and
-    // the reducer's NIC is free; only the tail beyond the last map task
-    // extends the job.  Fetch order per reducer: by producer finish time,
-    // map index breaking ties — deterministic regardless of thread count.
-    std::vector<std::size_t> order(fetches.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       if (fetches[a].reducer != fetches[b].reducer) {
-                         return fetches[a].reducer < fetches[b].reducer;
-                       }
-                       const double ready_a =
-                           timeline.map_phase.tasks[fetches[a].map_task].end_s;
-                       const double ready_b =
-                           timeline.map_phase.tasks[fetches[b].map_task].end_s;
-                       if (ready_a != ready_b) return ready_a < ready_b;
-                       return fetches[a].map_task < fetches[b].map_task;
-                     });
-    timeline.fetches.reserve(fetches.size());
-    double shuffle_done = 0.0;
-    std::size_t current_reducer = 0;
-    double reducer_free = 0.0;
-    bool first = true;
-    for (const std::size_t idx : order) {
-      const FetchSpec& fetch = fetches[idx];
-      MRMC_REQUIRE(fetch.map_task < timeline.map_phase.tasks.size(),
-                   "fetch references an unknown map task");
-      if (first || fetch.reducer != current_reducer) {
-        current_reducer = fetch.reducer;
-        reducer_free = 0.0;
-        first = false;
-      }
-      const double ready = timeline.map_phase.tasks[fetch.map_task].end_s;
-      const double start = std::max(ready, reducer_free);
-      const double end = start + scheduler.fetch_time(fetch.bytes);
-      reducer_free = end;
-      shuffle_done = std::max(shuffle_done, end);
-      timeline.fetches.push_back(
-          {fetch.map_task, fetch.reducer, start, end, fetch.bytes});
+/// The shuffle schedule shared by both simulate_job paths: each fetch starts
+/// when its map run is available and the reducer's NIC is free (fetches into
+/// one reducer are serialized).  Fetch order per reducer: by producer finish
+/// time, map index breaking ties — deterministic regardless of thread count.
+/// Times are on the same clock as `map_phase` (phase-relative in the
+/// fault-free path, absolute in the faulted one, which is why the caller
+/// passes the reducer-NIC floor explicitly).
+std::vector<FetchPlacement> schedule_fetches(const SimScheduler& scheduler,
+                                             std::span<const FetchSpec> fetches,
+                                             const PhaseTimeline& map_phase) {
+  std::vector<std::size_t> order(fetches.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (fetches[a].reducer != fetches[b].reducer) {
+                       return fetches[a].reducer < fetches[b].reducer;
+                     }
+                     const double ready_a =
+                         map_phase.tasks[fetches[a].map_task].end_s;
+                     const double ready_b =
+                         map_phase.tasks[fetches[b].map_task].end_s;
+                     if (ready_a != ready_b) return ready_a < ready_b;
+                     return fetches[a].map_task < fetches[b].map_task;
+                   });
+  std::vector<FetchPlacement> placed;
+  placed.reserve(fetches.size());
+  std::size_t current_reducer = 0;
+  double reducer_free = 0.0;
+  bool first = true;
+  for (const std::size_t idx : order) {
+    const FetchSpec& fetch = fetches[idx];
+    MRMC_REQUIRE(fetch.map_task < map_phase.tasks.size(),
+                 "fetch references an unknown map task");
+    if (first || fetch.reducer != current_reducer) {
+      current_reducer = fetch.reducer;
+      reducer_free = 0.0;
+      first = false;
     }
-    timeline.shuffle_s =
-        std::max(0.0, shuffle_done - timeline.map_phase.makespan_s);
+    const double ready = map_phase.tasks[fetch.map_task].end_s;
+    const double start = std::max(ready, reducer_free);
+    const double end = start + scheduler.fetch_time(fetch.bytes);
+    reducer_free = end;
+    placed.push_back({fetch.map_task, fetch.reducer, start, end, fetch.bytes});
   }
-  timeline.reduce_phase = scheduler.schedule_phase(
-      reduce_tasks, scheduler.config().reduce_slots_per_node);
-  timeline.total_s = scheduler.config().job_startup_s +
-                     timeline.map_phase.makespan_s + timeline.shuffle_s +
-                     timeline.reduce_phase.makespan_s;
+  return placed;
+}
 
+/// Metrics + doctor input + trace + log for a finished timeline — shared by
+/// the fault-free and faulted simulate_job paths so both emit identically.
+void emit_job(const SimScheduler& scheduler, const JobTimeline& timeline,
+              std::size_t map_count, std::size_t reduce_count,
+              double shuffle_bytes, const std::string& job_name) {
   auto& registry = obs::Registry::global();
   registry.counter("mr.sim_jobs").inc();
   registry.counter("mr.data_local_tasks")
@@ -254,6 +244,16 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
     reduce_hist.observe(task.end_s - task.start_s);
   }
   registry.histogram("mr.shuffle_sim_s").observe(timeline.shuffle_s);
+  if (!timeline.faults.empty()) {
+    registry.counter("mr.node_crashes")
+        .add(static_cast<long>(timeline.faults.events.size()));
+    registry.counter("mr.killed_attempts")
+        .add(static_cast<long>(timeline.faults.killed_attempts));
+    registry.counter("mr.lost_map_outputs")
+        .add(static_cast<long>(timeline.faults.lost_map_outputs));
+    registry.counter("mr.blacklisted_nodes")
+        .add(static_cast<long>(timeline.faults.blacklisted_nodes));
+  }
 
   auto& collector = obs::report::Collector::global();
   if (collector.enabled()) {
@@ -279,6 +279,38 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
         {"job_startup_s", obs::trace_double(config.job_startup_s)},
         {"shuffle_bytes", obs::trace_double(shuffle_bytes)}};
     tracer.append(std::move(config_event));
+    // Fault instants precede the task events so offline reconstruction
+    // (jobs_from_trace) rebuilds the doctor's fault lists in the exact
+    // order analyze() sees them in-process.
+    for (const faults::NodeDownEvent& event : timeline.faults.events) {
+      obs::TraceEvent fault_event;
+      fault_event.name = "node_fault";
+      fault_event.category = "sim";
+      fault_event.phase = 'i';
+      fault_event.pid = pid;
+      fault_event.args = {
+          {"node", std::to_string(event.node)},
+          {"crash_s", obs::trace_double(event.crash_s)},
+          {"detect_s", obs::trace_double(event.detect_s)},
+          {"recover_s", obs::trace_double(event.recover_s)},
+          {"blacklisted", event.blacklisted ? "true" : "false"}};
+      tracer.append(std::move(fault_event));
+    }
+    for (const faults::LostAttempt& lost : timeline.faults.lost_attempts) {
+      obs::TraceEvent lost_event;
+      lost_event.name = "lost_attempt";
+      lost_event.category = "sim";
+      lost_event.phase = 'i';
+      lost_event.pid = pid;
+      lost_event.args = {{"phase", lost.phase},
+                         {"kind", lost.kind},
+                         {"task", std::to_string(lost.task)},
+                         {"node", std::to_string(lost.node)},
+                         {"slot", std::to_string(lost.slot)},
+                         {"start_s", obs::trace_double(lost.start_s)},
+                         {"end_s", obs::trace_double(lost.end_s)}};
+      tracer.append(std::move(lost_event));
+    }
     // Reduce tracks live above the map tracks; the shuffle gets its own.
     const auto reduce_tid_base = static_cast<std::uint32_t>(
         config.nodes * config.map_slots_per_node);
@@ -324,10 +356,329 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
   static const obs::Logger logger("mr.sim");
   logger.debug("job simulated",
                {{"job", job_name},
-                {"maps", map_tasks.size()},
-                {"reduces", reduce_tasks.size()},
+                {"maps", map_count},
+                {"reduces", reduce_count},
                 {"sim_total_s", timeline.total_s},
                 {"summary", timeline.summary()}});
+  if (!timeline.faults.empty()) {
+    logger.info("job ran under node faults",
+                {{"job", job_name},
+                 {"node_crashes", timeline.faults.events.size()},
+                 {"killed_attempts", timeline.faults.killed_attempts},
+                 {"lost_map_outputs", timeline.faults.lost_map_outputs},
+                 {"blacklisted_nodes", timeline.faults.blacklisted_nodes}});
+  }
+}
+
+/// Faulted list scheduling for one phase: pending task indices (LPT-first)
+/// are placed onto the earliest slot whose node is up, with the same
+/// first-minimal tie-breaks and delay-scheduling locality override as
+/// SimScheduler::schedule_phase.  Times are phase-relative; `offset` maps
+/// them onto the absolute job clock of the fault plan (tracker queries and
+/// the LostAttempt records).  Under a tracker whose crashes never intersect
+/// the phase, every arithmetic operation equals schedule_phase's, so the
+/// placements are BIT-identical to the fault-free schedule.  An attempt
+/// that would outlive its node's up-window is killed at the crash instant
+/// and re-queued at the heartbeat detection time.  `slot_free` and `ready`
+/// persist across calls so map-output invalidation can re-run a subset with
+/// history intact.
+void run_faulted_phase(const SimScheduler& scheduler,
+                       std::span<const TaskSpec> tasks,
+                       const faults::NodeTracker& tracker,
+                       const char* phase_name, double offset,
+                       std::deque<std::size_t> pending,
+                       std::vector<std::vector<double>>& slot_free,
+                       std::vector<double>& ready, PhaseTimeline& phase,
+                       faults::FaultOutcome& outcome) {
+  const ClusterConfig& config = scheduler.config();
+  // Earliest (slot, start) on `node` for work ready at `task_ready`, plus
+  // the crash instant bounding the chosen up-window (both phase-relative).
+  const auto candidate = [&](int node, double task_ready) {
+    std::size_t best_slot = 0;
+    const auto& slots = slot_free[static_cast<std::size_t>(node)];
+    for (std::size_t s = 1; s < slots.size(); ++s) {
+      if (slots[s] < slots[best_slot]) best_slot = s;
+    }
+    const double raw = std::max(slots[best_slot], task_ready);
+    const double raw_abs = raw + offset;
+    const faults::NodeTracker::Window window =
+        tracker.next_window(node, raw_abs);
+    if (window.start == faults::kNever) {
+      return std::tuple<std::size_t, double, double>(best_slot, faults::kNever,
+                                                     faults::kNever);
+    }
+    // next_window clamps the window start up to the query time; a window
+    // already open at raw_abs must keep `raw` bit-for-bit (subtracting the
+    // offset back would round), which is what makes the no-effective-crash
+    // schedule identical to schedule_phase's.
+    const double start =
+        window.start <= raw_abs ? raw : window.start - offset;
+    const double crash = window.crash == faults::kNever
+                             ? faults::kNever
+                             : window.crash - offset;
+    return std::tuple<std::size_t, double, double>(best_slot, start, crash);
+  };
+  while (!pending.empty()) {
+    const std::size_t idx = pending.front();
+    pending.pop_front();
+    const TaskSpec& task = tasks[idx];
+    int best_node = -1;
+    std::size_t best_slot = 0;
+    double best_start = faults::kNever;
+    double best_crash = faults::kNever;
+    for (int n = 0; n < static_cast<int>(config.nodes); ++n) {
+      const auto [slot, start, crash] = candidate(n, ready[idx]);
+      if (start < best_start) {
+        best_node = n;
+        best_slot = slot;
+        best_start = start;
+        best_crash = crash;
+      }
+    }
+    MRMC_CHECK(best_node >= 0, "fault plan left no schedulable node");
+    if (task.preferred_node >= 0 &&
+        task.preferred_node < static_cast<int>(config.nodes) &&
+        task.preferred_node != best_node) {
+      const auto [slot, start, crash] =
+          candidate(task.preferred_node, ready[idx]);
+      if (start <= best_start + config.task_startup_s) {
+        best_node = task.preferred_node;
+        best_slot = slot;
+        best_start = start;
+        best_crash = crash;
+      }
+    }
+    const bool local =
+        task.preferred_node < 0 || task.preferred_node == best_node;
+    const double end = best_start + scheduler.task_duration(task, local);
+    if (end > best_crash) {
+      // The node dies under the attempt: the slot is gone at the crash and
+      // the task cannot restart before the heartbeat timeout notices.
+      const double detect = tracker.detection_s(best_crash + offset);
+      outcome.lost_attempts.push_back({phase_name, "killed", idx, best_node,
+                                       static_cast<int>(best_slot),
+                                       best_start + offset, detect});
+      ++outcome.killed_attempts;
+      slot_free[static_cast<std::size_t>(best_node)][best_slot] = best_crash;
+      ready[idx] = detect - offset;
+      pending.push_back(idx);
+      continue;
+    }
+    slot_free[static_cast<std::size_t>(best_node)][best_slot] = end;
+    phase.tasks[idx] = {best_node, static_cast<int>(best_slot), best_start, end,
+                        local};
+  }
+}
+
+/// Longest-duration-first work order, same comparator as schedule_phase.
+std::deque<std::size_t> lpt_order(const SimScheduler& scheduler,
+                                  std::span<const TaskSpec> tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scheduler.task_duration(tasks[a], true) >
+                            scheduler.task_duration(tasks[b], true);
+                   });
+  return {order.begin(), order.end()};
+}
+
+}  // namespace
+
+JobTimeline simulate_job(const SimScheduler& scheduler,
+                         std::span<const TaskSpec> map_tasks,
+                         double shuffle_bytes,
+                         std::span<const FetchSpec> fetches,
+                         std::span<const TaskSpec> reduce_tasks,
+                         const std::string& job_name) {
+  JobTimeline timeline;
+  timeline.map_phase =
+      scheduler.schedule_phase(map_tasks, scheduler.config().map_slots_per_node);
+  if (fetches.empty()) {
+    // Aggregate barrier model: one all-to-all transfer after the map phase.
+    timeline.shuffle_s = scheduler.shuffle_time(shuffle_bytes);
+  } else {
+    // Overlapped model: each fetch starts when its map run is available and
+    // the reducer's NIC is free; only the tail beyond the last map task
+    // extends the job.
+    timeline.fetches =
+        schedule_fetches(scheduler, fetches, timeline.map_phase);
+    double shuffle_done = 0.0;
+    for (const FetchPlacement& fetch : timeline.fetches) {
+      shuffle_done = std::max(shuffle_done, fetch.end_s);
+    }
+    timeline.shuffle_s =
+        std::max(0.0, shuffle_done - timeline.map_phase.makespan_s);
+  }
+  timeline.reduce_phase = scheduler.schedule_phase(
+      reduce_tasks, scheduler.config().reduce_slots_per_node);
+  timeline.total_s = scheduler.config().job_startup_s +
+                     timeline.map_phase.makespan_s + timeline.shuffle_s +
+                     timeline.reduce_phase.makespan_s;
+  emit_job(scheduler, timeline, map_tasks.size(), reduce_tasks.size(),
+           shuffle_bytes, job_name);
+  return timeline;
+}
+
+JobTimeline simulate_job(const SimScheduler& scheduler,
+                         std::span<const TaskSpec> map_tasks,
+                         double shuffle_bytes,
+                         std::span<const FetchSpec> fetches,
+                         std::span<const TaskSpec> reduce_tasks,
+                         const std::string& job_name,
+                         const faults::FaultPlan& plan) {
+  if (plan.empty()) {
+    return simulate_job(scheduler, map_tasks, shuffle_bytes, fetches,
+                        reduce_tasks, job_name);
+  }
+  const ClusterConfig& config = scheduler.config();
+  plan.validate(config.nodes);
+  faults::NodeTracker tracker(plan, config.nodes);
+
+  JobTimeline timeline;
+  timeline.faults.events = tracker.down_events();
+  timeline.faults.blacklisted_nodes = tracker.blacklisted_nodes();
+
+  // Map phase on its own phase-relative clock (the fault plan's absolute
+  // job clock is job_startup_s later), so that a plan whose crashes never
+  // intersect the schedule reproduces the fault-free timeline bit-for-bit.
+  timeline.map_phase.tasks.resize(map_tasks.size());
+  std::vector<std::vector<double>> map_slot_free(
+      config.nodes, std::vector<double>(config.map_slots_per_node, 0.0));
+  std::vector<double> map_ready(map_tasks.size(), 0.0);
+  run_faulted_phase(scheduler, map_tasks, tracker, "map",
+                    config.job_startup_s, lpt_order(scheduler, map_tasks),
+                    map_slot_free, map_ready, timeline.map_phase,
+                    timeline.faults);
+
+  // Map-output invalidation (Hadoop's fetch-failure path): a *completed*
+  // map whose node dies before every reducer has pulled its output must
+  // re-execute.  Loop until a fixed point: each re-execution shifts the
+  // serialized fetch schedule, which can extend other maps' vulnerability
+  // windows and expose further crashes as invalidating.  The loop
+  // terminates because a given map's invalidating crashes are strictly
+  // time-increasing and the plan is finite.
+  if (!map_tasks.empty()) {
+    for (;;) {
+      // Safe instants on the ABSOLUTE job clock (crash times live there);
+      // placements are map-phase-relative, hence the + job_startup_s.
+      std::vector<double> safe(map_tasks.size());
+      if (!fetches.empty()) {
+        for (std::size_t m = 0; m < map_tasks.size(); ++m) {
+          safe[m] = timeline.map_phase.tasks[m].end_s + config.job_startup_s;
+        }
+        for (const FetchPlacement& fetch :
+             schedule_fetches(scheduler, fetches, timeline.map_phase)) {
+          safe[fetch.map_task] = std::max(
+              safe[fetch.map_task], fetch.end_s + config.job_startup_s);
+        }
+      } else {
+        // Aggregate model: every output is consumed by the barrier shuffle
+        // that ends shuffle_time after the last map.  No shuffle bytes, no
+        // re-reads: outputs are safe the moment the map finishes.
+        double map_done = 0.0;
+        for (const TaskPlacement& placed : timeline.map_phase.tasks) {
+          map_done = std::max(map_done, placed.end_s);
+        }
+        const double barrier =
+            shuffle_bytes > 0
+                ? config.job_startup_s + map_done +
+                      scheduler.shuffle_time(shuffle_bytes)
+                : 0.0;
+        for (std::size_t m = 0; m < map_tasks.size(); ++m) {
+          safe[m] = std::max(
+              timeline.map_phase.tasks[m].end_s + config.job_startup_s,
+              barrier);
+        }
+      }
+      double first_crash = faults::kNever;
+      int crash_node = -1;
+      for (std::size_t m = 0; m < map_tasks.size(); ++m) {
+        const TaskPlacement& placed = timeline.map_phase.tasks[m];
+        const double crash = tracker.crash_in(
+            placed.node, placed.end_s + config.job_startup_s, safe[m]);
+        if (crash < first_crash ||
+            (crash == first_crash && crash != faults::kNever &&
+             placed.node < crash_node)) {
+          first_crash = crash;
+          crash_node = placed.node;
+        }
+      }
+      if (first_crash == faults::kNever) break;
+      const double detect = tracker.detection_s(first_crash);
+      std::vector<std::size_t> invalidated;
+      for (std::size_t m = 0; m < map_tasks.size(); ++m) {
+        const TaskPlacement& placed = timeline.map_phase.tasks[m];
+        if (placed.node != crash_node ||
+            placed.end_s + config.job_startup_s > first_crash ||
+            first_crash >= safe[m]) {
+          continue;
+        }
+        timeline.faults.lost_attempts.push_back(
+            {"map", "lost-output", m, placed.node, placed.slot,
+             placed.start_s + config.job_startup_s, detect});
+        ++timeline.faults.lost_map_outputs;
+        map_ready[m] = detect - config.job_startup_s;
+        invalidated.push_back(m);
+      }
+      MRMC_CHECK(!invalidated.empty(),
+                 "map-output invalidation matched no attempt");
+      std::stable_sort(invalidated.begin(), invalidated.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return scheduler.task_duration(map_tasks[a], true) >
+                                scheduler.task_duration(map_tasks[b], true);
+                       });
+      run_faulted_phase(
+          scheduler, map_tasks, tracker, "map", config.job_startup_s,
+          std::deque<std::size_t>(invalidated.begin(), invalidated.end()),
+          map_slot_free, map_ready, timeline.map_phase, timeline.faults);
+    }
+  }
+
+  // Shuffle on the map-phase-relative clock, exactly like the fault-free
+  // path (no conversions: a no-effect plan keeps every number bit-equal).
+  double map_done = 0.0;
+  for (const TaskPlacement& placed : timeline.map_phase.tasks) {
+    map_done = std::max(map_done, placed.end_s);
+  }
+  if (fetches.empty()) {
+    timeline.shuffle_s = scheduler.shuffle_time(shuffle_bytes);
+  } else {
+    timeline.fetches = schedule_fetches(scheduler, fetches, timeline.map_phase);
+    double shuffle_done = 0.0;
+    for (const FetchPlacement& fetch : timeline.fetches) {
+      shuffle_done = std::max(shuffle_done, fetch.end_s);
+    }
+    timeline.shuffle_s = std::max(0.0, shuffle_done - map_done);
+  }
+
+  // Reduce phase: launches after the shuffle barrier on its own relative
+  // clock, kills only (nothing downstream invalidates reduce outputs).
+  const double reduce_offset =
+      config.job_startup_s + map_done + timeline.shuffle_s;
+  timeline.reduce_phase.tasks.resize(reduce_tasks.size());
+  std::vector<std::vector<double>> reduce_slot_free(
+      config.nodes, std::vector<double>(config.reduce_slots_per_node, 0.0));
+  std::vector<double> reduce_ready(reduce_tasks.size(), 0.0);
+  run_faulted_phase(scheduler, reduce_tasks, tracker, "reduce", reduce_offset,
+                    lpt_order(scheduler, reduce_tasks), reduce_slot_free,
+                    reduce_ready, timeline.reduce_phase, timeline.faults);
+
+  // Fold the derived phase stats.  Speculative execution is intentionally
+  // not applied under faults: a backup copy's slot occupancy would interact
+  // with kills (DESIGN.md).
+  const auto finalize_phase = [](PhaseTimeline& phase) {
+    for (const TaskPlacement& placed : phase.tasks) {
+      phase.makespan_s = std::max(phase.makespan_s, placed.end_s);
+      if (placed.data_local) ++phase.data_local_tasks;
+    }
+  };
+  finalize_phase(timeline.map_phase);
+  finalize_phase(timeline.reduce_phase);
+  timeline.total_s = config.job_startup_s + timeline.map_phase.makespan_s +
+                     timeline.shuffle_s + timeline.reduce_phase.makespan_s;
+  emit_job(scheduler, timeline, map_tasks.size(), reduce_tasks.size(),
+           shuffle_bytes, job_name);
   return timeline;
 }
 
@@ -354,6 +705,16 @@ obs::report::JobInput report_input(const JobTimeline& timeline,
   };
   input.map_tasks = convert(timeline.map_phase);
   input.reduce_tasks = convert(timeline.reduce_phase);
+  input.fault_events.reserve(timeline.faults.events.size());
+  for (const faults::NodeDownEvent& event : timeline.faults.events) {
+    input.fault_events.push_back({event.node, event.crash_s, event.detect_s,
+                                  event.recover_s, event.blacklisted});
+  }
+  input.lost_attempts.reserve(timeline.faults.lost_attempts.size());
+  for (const faults::LostAttempt& lost : timeline.faults.lost_attempts) {
+    input.lost_attempts.push_back({lost.phase, lost.kind, lost.task, lost.node,
+                                   lost.slot, lost.start_s, lost.end_s});
+  }
   return input;
 }
 

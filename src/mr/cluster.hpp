@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "mr/faults.hpp"
 #include "obs/report.hpp"
 
 namespace mrmc::mr {
@@ -130,6 +131,8 @@ struct JobTimeline {
   double total_s = 0.0;
   /// Per-fetch shuffle events (empty when the aggregate model was used).
   std::vector<FetchPlacement> fetches;
+  /// Node crashes and the attempts they cost (empty for fault-free runs).
+  faults::FaultOutcome faults;
 
   [[nodiscard]] std::string summary() const;
 };
@@ -147,6 +150,23 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
                          std::span<const FetchSpec> fetches,
                          std::span<const TaskSpec> reduce_tasks,
                          const std::string& job_name);
+
+/// Fault-aware twin: schedules the same job under `plan`'s node crashes.
+/// Attempts running on a node when it dies are killed and re-queued once the
+/// heartbeat timeout detects the crash; *completed* map attempts whose node
+/// dies before every reducer has fetched their output are invalidated and
+/// the map re-executes (Hadoop's fetch-failure path); a node crashing more
+/// than `plan.config().max_node_failures` times is blacklisted and never
+/// scheduled again.  Speculative execution is disabled under faults (a
+/// backup copy's slot occupancy would interact with kills; documented in
+/// DESIGN.md).  With an empty plan this is exactly the fault-free overload.
+JobTimeline simulate_job(const SimScheduler& scheduler,
+                         std::span<const TaskSpec> map_tasks,
+                         double shuffle_bytes,
+                         std::span<const FetchSpec> fetches,
+                         std::span<const TaskSpec> reduce_tasks,
+                         const std::string& job_name,
+                         const faults::FaultPlan& plan);
 
 inline JobTimeline simulate_job(const SimScheduler& scheduler,
                                 std::span<const TaskSpec> map_tasks,

@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "common/timer.hpp"
 #include "mr/bytes.hpp"
 #include "mr/cluster.hpp"
+#include "mr/faults.hpp"
 #include "mr/runtime.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -102,6 +105,12 @@ struct JobConfig {
   /// behaviour of the task-graph runtime).  false = the legacy aggregate
   /// transfer after a map barrier; real output is identical either way.
   bool overlapped_shuffle = true;
+  /// Node-failure schedule (empty = fault-free).  Crashes kill running
+  /// attempts and invalidate completed map outputs in the simulated
+  /// timeline; the real executor re-executes those maps for real (via
+  /// runtime::LostInputFailure), so job output stays byte-identical to the
+  /// fault-free run as long as the plan leaves one live node (validated).
+  faults::FaultPlan fault_plan{};
   std::uint64_t seed = 1;
 };
 
@@ -116,6 +125,14 @@ struct JobStats {
   std::size_t map_retries = 0;     ///< failed map attempts that were re-run
   std::size_t reduce_retries = 0;  ///< failed reduce attempts that were re-run
   std::size_t max_task_attempts = 0;  ///< the cap the retries ran under
+  /// Completed maps re-executed for real because a fault-plan crash
+  /// destroyed their output (the executor's view of the plan; does not
+  /// count against max_task_attempts).
+  std::size_t lost_map_reruns = 0;
+  std::size_t node_crashes = 0;       ///< fault-plan crashes (timeline view)
+  std::size_t killed_attempts = 0;    ///< sim attempts killed mid-run
+  std::size_t lost_map_outputs = 0;   ///< sim map outputs invalidated
+  std::size_t blacklisted_nodes = 0;  ///< nodes over max_node_failures
   double shuffle_bytes = 0.0;
   double map_cpu_s = 0.0;     ///< measured thread CPU time (not wall), informational
   double reduce_cpu_s = 0.0;  ///< ditto, summed across reduce tasks
@@ -227,6 +244,30 @@ class Job {
         num_reducers, std::vector<double>(num_maps, 0.0));
     std::vector<ReduceTaskOutput> reduce_outputs(num_reducers);
 
+    // Node-failure plan, executor side: the map's output is assumed to live
+    // on the node that holds its input split, so each crash of that node
+    // after the map completed costs one real re-execution, driven through
+    // the designated fetch below via runtime::LostInputFailure.  (The
+    // simulator computes its own, placement-exact invalidations; the two
+    // are complementary views of the same plan — see DESIGN.md.)
+    const bool faulted = !config_.fault_plan.empty();
+    std::vector<std::size_t> map_losses(num_maps, 0);
+    if (faulted) {
+      for (std::size_t m = 0; m < num_maps; ++m) {
+        const int node =
+            preferred_nodes[m] >= 0
+                ? preferred_nodes[m] %
+                      static_cast<int>(config_.cluster.nodes)
+                : static_cast<int>(m % config_.cluster.nodes);
+        map_losses[m] = config_.fault_plan.crash_count(node);
+      }
+    }
+    // Lost-input re-runs rewrite map_outputs[m] while sibling fetches may
+    // still be reading it; the per-map guard restores the exclusion the
+    // dependency edges alone provide in the fault-free graph.
+    const std::unique_ptr<std::mutex[]> map_guards(
+        faulted ? new std::mutex[num_maps] : nullptr);
+
     const bool traced = tracer.enabled();
     runtime::TaskGraph graph;
     std::vector<std::size_t> map_ids(num_maps);
@@ -234,7 +275,7 @@ class Job {
     for (std::size_t m = 0; m < num_maps; ++m) {
       const Injection injection = map_injection(m);
       map_ids[m] = graph.add_task(
-          [this, &splits, &preferred_nodes, &map_outputs, m,
+          [this, &splits, &preferred_nodes, &map_outputs, &map_guards, m,
            injection](std::size_t attempt) {
             // The doomed attempt does the work, then loses it — real
             // re-execution, not a cost multiplier.
@@ -243,7 +284,12 @@ class Job {
             if (attempt < injection.failures) {
               throw runtime::TaskFailure("injected map-task failure");
             }
-            map_outputs[m] = std::move(output);
+            if (map_guards) {
+              const std::lock_guard<std::mutex> lock(map_guards[m]);
+              map_outputs[m] = std::move(output);
+            } else {
+              map_outputs[m] = std::move(output);
+            }
           },
           {}, task_options(traced, "map", m));
     }
@@ -251,11 +297,26 @@ class Job {
       std::vector<std::size_t> fetch_ids;
       fetch_ids.reserve(num_maps);
       for (std::size_t m = 0; m < num_maps; ++m) {
+        // Exactly one fetch per map (a fixed reducer) reports the lost
+        // output, so the re-execution count is the plan's crash count —
+        // deterministic at any thread count.
+        const bool reports_loss =
+            faulted && r == m % num_reducers && map_losses[m] > 0;
         fetch_ids.push_back(graph.add_task(
-            [&map_outputs, &reducer_runs, &fetched_bytes, r,
-             m](std::size_t) {
-              reducer_runs[r][m] = std::move(map_outputs[m].runs[r]);
-              fetched_bytes[r][m] = map_outputs[m].run_bytes[r];
+            [&map_outputs, &reducer_runs, &fetched_bytes, &map_guards,
+             &map_losses, &map_ids, reports_loss, r, m](std::size_t attempt) {
+              if (reports_loss && attempt < map_losses[m]) {
+                throw runtime::LostInputFailure(
+                    "map output lost to node failure", map_ids[m]);
+              }
+              if (map_guards) {
+                const std::lock_guard<std::mutex> lock(map_guards[m]);
+                reducer_runs[r][m] = std::move(map_outputs[m].runs[r]);
+                fetched_bytes[r][m] = map_outputs[m].run_bytes[r];
+              } else {
+                reducer_runs[r][m] = std::move(map_outputs[m].runs[r]);
+                fetched_bytes[r][m] = map_outputs[m].run_bytes[r];
+              }
             },
             {map_ids[m]}, task_options(traced, "fetch", r, m)));
       }
@@ -291,8 +352,14 @@ class Job {
       stats.map_cpu_s += task.cpu_s;
       for (const auto& [name, value] : task.counters) stats.counters[name] += value;
 
-      const std::size_t attempts = graph.attempts(map_ids[m]);
+      // Lost-input re-runs are not retries: the faulted simulator schedules
+      // each invalidated map's re-execution explicitly, so charging them
+      // into the spec here would pay the lost work twice.
+      const std::size_t reruns =
+          faulted ? graph.lost_input_reruns(map_ids[m]) : 0;
+      const std::size_t attempts = graph.attempts(map_ids[m]) - reruns;
       stats.map_retries += attempts - 1;
+      stats.lost_map_reruns += reruns;
       TaskSpec spec = task.spec;
       // Every failed attempt's cost is paid again by its re-execution.
       spec.work *= static_cast<double>(attempts);
@@ -340,7 +407,12 @@ class Job {
     }
     const SimScheduler scheduler(config_.cluster);
     stats.timeline = simulate_job(scheduler, map_specs, shuffle_bytes, fetches,
-                                  reduce_specs, config_.name);
+                                  reduce_specs, config_.name,
+                                  config_.fault_plan);
+    stats.node_crashes = stats.timeline.faults.events.size();
+    stats.killed_attempts = stats.timeline.faults.killed_attempts;
+    stats.lost_map_outputs = stats.timeline.faults.lost_map_outputs;
+    stats.blacklisted_nodes = stats.timeline.faults.blacklisted_nodes;
     export_stats(stats);
     job_span.arg("sim_total_s", obs::trace_double(stats.timeline.total_s));
     return result;
@@ -378,7 +450,21 @@ class Job {
     MRMC_REQUIRE(config_.num_reducers >= 1, "need at least one reducer");
     MRMC_REQUIRE(config_.records_per_split >= 1, "split size must be positive");
     MRMC_REQUIRE(config_.max_task_attempts >= 1,
-                 "max_task_attempts must be >= 1");
+                 "max_task_attempts must be >= 1; 0 would mean no attempt "
+                 "ever runs");
+    MRMC_REQUIRE(
+        config_.map_failure_rate >= 0.0 && config_.map_failure_rate <= 1.0,
+        "map_failure_rate must be a probability in [0, 1]");
+    MRMC_REQUIRE(config_.reduce_failure_rate >= 0.0 &&
+                     config_.reduce_failure_rate <= 1.0,
+                 "reduce_failure_rate must be a probability in [0, 1]");
+    MRMC_REQUIRE(config_.straggler_rate >= 0.0 && config_.straggler_rate <= 1.0,
+                 "straggler_rate must be a probability in [0, 1]");
+    MRMC_REQUIRE(config_.straggler_slowdown > 0.0,
+                 "straggler_slowdown must be positive");
+    if (!config_.fault_plan.empty()) {
+      config_.fault_plan.validate(config_.cluster.nodes);
+    }
     MRMC_CHECK(mapper_ != nullptr, "mapper required");
   }
 
@@ -445,6 +531,8 @@ class Job {
     registry.counter("mr.map_retries").add(static_cast<long>(stats.map_retries));
     registry.counter("mr.reduce_retries")
         .add(static_cast<long>(stats.reduce_retries));
+    registry.counter("mr.lost_map_reruns")
+        .add(static_cast<long>(stats.lost_map_reruns));
     registry.counter("mr.input_records")
         .add(static_cast<long>(stats.input_records));
     registry.counter("mr.map_output_records")
@@ -465,6 +553,7 @@ class Job {
                    {"output_records", stats.output_records},
                    {"map_retries", stats.map_retries},
                    {"reduce_retries", stats.reduce_retries},
+                   {"lost_map_reruns", stats.lost_map_reruns},
                    {"shuffle_bytes", stats.shuffle_bytes},
                    {"map_cpu_s", stats.map_cpu_s},
                    {"reduce_cpu_s", stats.reduce_cpu_s},

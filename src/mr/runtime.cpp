@@ -67,6 +67,12 @@ std::size_t TaskGraph::attempts(std::size_t id) const {
   return nodes_[id].attempts;
 }
 
+std::size_t TaskGraph::lost_input_reruns(std::size_t id) const {
+  std::lock_guard lock(mutex_);
+  MRMC_REQUIRE(id < nodes_.size(), "task id out of range");
+  return nodes_[id].lost_input_reruns;
+}
+
 std::size_t TaskGraph::total_retries() const {
   std::lock_guard lock(mutex_);
   return retries_;
@@ -102,6 +108,43 @@ void TaskGraph::execute(common::ThreadPool& pool, std::size_t id) {
                          {"attempt", std::to_string(attempt)}});
       }
       node.fn(attempt);
+    } catch (const LostInputFailure& failure) {
+      const std::size_t input = failure.input();
+      bool park = false;
+      bool resubmit_input = false;
+      {
+        std::lock_guard lock(mutex_);
+        if (input >= id) {
+          // Only an upstream node can be a lost input; anything else is a
+          // programming error (and would deadlock the dependency counters).
+          if (!error_) {
+            error_ = std::current_exception();
+            abort_ = true;
+          }
+        } else if (!abort_) {
+          // Park this attempt: it neither failed nor completed.  The input
+          // re-runs as a fresh attempt; its finish() re-submits us.
+          Node& source = nodes_[input];
+          source.waiters.push_back(id);
+          ++source.lost_input_reruns;
+          if (source.done) {
+            source.done = false;
+            --completed_;
+            resubmit_input = true;
+          }
+          // else: the input is already re-running for another waiter and
+          // will drain the waiter list when it completes again.
+          park = true;
+          --inflight_;
+          queue_depth_->set(static_cast<double>(inflight_));
+        }
+        // On abort just drain: fall through to finish() like a skip.
+      }
+      if (park) {
+        obs::Registry::global().counter("runtime.lost_input_reruns").add(1);
+        if (resubmit_input) submit(pool, input);
+        return;
+      }
     } catch (const TaskFailure&) {
       bool retry = false;
       {
@@ -140,9 +183,17 @@ void TaskGraph::finish(common::ThreadPool& pool, std::size_t id) {
     ++completed_;
     --inflight_;
     queue_depth_->set(static_cast<double>(inflight_));
-    for (const std::size_t dependent : node.dependents) {
-      if (--nodes_[dependent].remaining_deps == 0) ready.push_back(dependent);
+    // Dependency counters are released exactly once; a lost-input re-run
+    // finishing again must not decrement them a second time.
+    if (!node.deps_notified) {
+      node.deps_notified = true;
+      for (const std::size_t dependent : node.dependents) {
+        if (--nodes_[dependent].remaining_deps == 0) ready.push_back(dependent);
+      }
     }
+    // Parked lost-input throwers resume now that the input exists again.
+    for (const std::size_t waiter : node.waiters) ready.push_back(waiter);
+    node.waiters.clear();
     if (completed_ == nodes_.size()) done_cv_.notify_all();
   }
   for (const std::size_t dependent : ready) submit(pool, dependent);

@@ -42,6 +42,25 @@ class TaskFailure : public common::Error {
   using common::Error::Error;
 };
 
+/// Thrown by a task body to demand re-execution of an already-*completed*
+/// upstream dependency — Hadoop's fetch-failure path: a reducer that cannot
+/// pull a map's output reports it, and the map re-runs as a new attempt even
+/// though it had succeeded (semantics plain task-level retry cannot
+/// express).  The thrower is parked (its attempt neither fails nor
+/// completes) and re-submitted once the input finishes again.  Lost-input
+/// re-runs do not count against either node's max_attempts.
+class LostInputFailure : public common::Error {
+ public:
+  LostInputFailure(const std::string& message, std::size_t input)
+      : common::Error(message), input_(input) {}
+
+  /// Graph id of the dependency whose output was lost.
+  [[nodiscard]] std::size_t input() const noexcept { return input_; }
+
+ private:
+  std::size_t input_;
+};
+
 /// The process-wide pool shared by every job (lazily created, sized to
 /// hardware_concurrency).  Jobs used to build and tear down a pool each —
 /// three times per clustered pipeline run.
@@ -95,8 +114,13 @@ class TaskGraph {
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
 
   /// Attempts node `id` made (1 for a clean first-try success); 0 if the
-  /// node never ran because the graph aborted first.
+  /// node never ran because the graph aborted first.  Includes lost-input
+  /// re-runs.
   [[nodiscard]] std::size_t attempts(std::size_t id) const;
+
+  /// Times node `id` was re-executed after completing because a dependent
+  /// threw LostInputFailure naming it.
+  [[nodiscard]] std::size_t lost_input_reruns(std::size_t id) const;
 
   /// Total failed attempts across all nodes.
   [[nodiscard]] std::size_t total_retries() const;
@@ -106,9 +130,12 @@ class TaskGraph {
     TaskFn fn;
     TaskOptions options;
     std::vector<std::size_t> dependents;
+    std::vector<std::size_t> waiters;  ///< parked throwers to resume on finish
     std::size_t remaining_deps = 0;
     std::size_t attempts = 0;
+    std::size_t lost_input_reruns = 0;
     bool done = false;
+    bool deps_notified = false;  ///< dependents released (first finish only)
   };
 
   void submit(common::ThreadPool& pool, std::size_t id);

@@ -11,21 +11,32 @@ SimDfs::SimDfs(Options options) : options_(options) {
   MRMC_REQUIRE(options_.nodes >= 1, "SimDfs needs at least one node");
   MRMC_REQUIRE(options_.block_size >= 1, "block_size must be positive");
   MRMC_REQUIRE(options_.replication >= 1, "replication must be positive");
+  // Distinct replica holders cannot outnumber the nodes; clamp instead of
+  // searching for nodes that do not exist.
   options_.replication = std::min(options_.replication, options_.nodes);
+  node_alive_.assign(options_.nodes, 1);
 }
 
 std::vector<int> SimDfs::place_block(std::uint64_t block_id) const {
   // Primary advances round-robin (captured by caller via next_primary_);
   // secondaries are a seeded pseudo-random walk over the remaining nodes,
-  // mirroring HDFS's rack-aware-ish spread without racks.
+  // mirroring HDFS's rack-aware-ish spread without racks.  Dead nodes are
+  // skipped, and the replica count is clamped to the live-node count, so
+  // the walk always terminates.
   std::vector<int> replicas;
-  replicas.reserve(options_.replication);
-  const int primary = static_cast<int>(next_primary_ % options_.nodes);
-  replicas.push_back(primary);
+  const std::size_t live = live_nodes();
+  if (live == 0) return replicas;  // placed into the void: instantly lost
+  const std::size_t target = std::min(options_.replication, live);
+  replicas.reserve(target);
+  std::size_t primary = next_primary_ % options_.nodes;
+  while (node_alive_[primary] == 0) primary = (primary + 1) % options_.nodes;
+  replicas.push_back(static_cast<int>(primary));
   common::Xoshiro256 rng(common::mix64(options_.seed ^ block_id));
-  while (replicas.size() < options_.replication) {
+  while (replicas.size() < target) {
     const int candidate = static_cast<int>(rng.bounded(options_.nodes));
-    if (std::find(replicas.begin(), replicas.end(), candidate) == replicas.end()) {
+    if (node_alive_[static_cast<std::size_t>(candidate)] != 0 &&
+        std::find(replicas.begin(), replicas.end(), candidate) ==
+            replicas.end()) {
       replicas.push_back(candidate);
     }
   }
@@ -71,6 +82,7 @@ bool SimDfs::exists(const std::string& path) const noexcept {
 std::string SimDfs::read(const std::string& path) const {
   const auto it = files_.find(path);
   if (it == files_.end()) throw common::IoError("SimDfs: no such file '" + path + "'");
+  require_readable(it->second);
   return it->second.content;
 }
 
@@ -81,7 +93,20 @@ std::string SimDfs::read_block(const std::string& path,
   const auto& blocks = it->second.info.blocks;
   MRMC_REQUIRE(block_index < blocks.size(), "block index out of range");
   const DfsBlock& block = blocks[block_index];
+  if (block.replicas.empty()) {
+    throw common::IoError("SimDfs: block " + std::to_string(block.id) + " of '" +
+                          path + "' has no live replica");
+  }
   return it->second.content.substr(block.offset, block.size);
+}
+
+void SimDfs::require_readable(const File& file) const {
+  for (const DfsBlock& block : file.info.blocks) {
+    if (block.replicas.empty()) {
+      throw common::IoError("SimDfs: block " + std::to_string(block.id) +
+                            " of '" + file.info.path + "' has no live replica");
+    }
+  }
 }
 
 const DfsFileInfo& SimDfs::stat(const std::string& path) const {
@@ -110,6 +135,83 @@ void SimDfs::remove(const std::string& path) {
   if (files_.erase(path) == 0) {
     throw common::IoError("SimDfs: no such file '" + path + "'");
   }
+}
+
+void SimDfs::decommission_node(int node) {
+  MRMC_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < options_.nodes,
+               "node out of range");
+  if (node_alive_[static_cast<std::size_t>(node)] == 0) return;
+  node_alive_[static_cast<std::size_t>(node)] = 0;
+  ++decommission_epoch_;
+  const std::size_t live = live_nodes();
+  for (auto& [path, file] : files_) {
+    for (DfsBlock& block : file.info.blocks) {
+      const auto it =
+          std::find(block.replicas.begin(), block.replicas.end(), node);
+      if (it == block.replicas.end()) continue;
+      block.replicas.erase(it);
+      if (live == 0) continue;  // nowhere left to copy to — may be lost
+      // Surviving replicas are all alive (earlier decommissions removed
+      // theirs), so the walk needs target - current fresh live nodes and
+      // always finds them.  The epoch salts the draw so re-replicating the
+      // same block after successive crashes takes different paths.
+      const std::size_t target = std::min(options_.replication, live);
+      common::Xoshiro256 rng(common::mix64(
+          options_.seed ^ block.id ^
+          (0x9e3779b97f4a7c15ULL * decommission_epoch_)));
+      while (block.replicas.size() < target) {
+        const int candidate = static_cast<int>(rng.bounded(options_.nodes));
+        if (node_alive_[static_cast<std::size_t>(candidate)] != 0 &&
+            std::find(block.replicas.begin(), block.replicas.end(),
+                      candidate) == block.replicas.end()) {
+          block.replicas.push_back(candidate);
+        }
+      }
+    }
+  }
+}
+
+void SimDfs::recommission_node(int node) {
+  MRMC_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < options_.nodes,
+               "node out of range");
+  node_alive_[static_cast<std::size_t>(node)] = 1;
+}
+
+bool SimDfs::node_alive(int node) const {
+  MRMC_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < options_.nodes,
+               "node out of range");
+  return node_alive_[static_cast<std::size_t>(node)] != 0;
+}
+
+std::size_t SimDfs::live_nodes() const noexcept {
+  std::size_t live = 0;
+  for (const char alive : node_alive_) live += alive != 0 ? 1 : 0;
+  return live;
+}
+
+std::vector<std::uint64_t> SimDfs::under_replicated_blocks() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [path, file] : files_) {
+    for (const DfsBlock& block : file.info.blocks) {
+      if (!block.replicas.empty() &&
+          block.replicas.size() < options_.replication) {
+        out.push_back(block.id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> SimDfs::lost_blocks() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [path, file] : files_) {
+    for (const DfsBlock& block : file.info.blocks) {
+      if (block.replicas.empty()) out.push_back(block.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<std::size_t> SimDfs::node_usage() const {

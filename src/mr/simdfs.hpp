@@ -63,6 +63,28 @@ class SimDfs {
 
   void remove(const std::string& path);
 
+  /// Take a node out of service: its replicas are dropped and every
+  /// affected block is deterministically re-replicated onto surviving
+  /// nodes, up to min(replication, live nodes).  Blocks whose last live
+  /// replica dies before a survivor exists become lost (read() throws).
+  /// No-op if the node is already down.
+  void decommission_node(int node);
+
+  /// Bring a node back into service with an empty disk (its old replicas
+  /// stay dropped); new placements may use it again.  No-op if alive.
+  void recommission_node(int node);
+
+  [[nodiscard]] bool node_alive(int node) const;
+  [[nodiscard]] std::size_t live_nodes() const noexcept;
+
+  /// Block ids currently replicated below the target factor (but not
+  /// lost), ascending — the re-replication queue a NameNode would keep.
+  [[nodiscard]] std::vector<std::uint64_t> under_replicated_blocks() const;
+
+  /// Block ids with zero live replicas, ascending.  Reading a file that
+  /// contains one throws IoError.
+  [[nodiscard]] std::vector<std::uint64_t> lost_blocks() const;
+
   [[nodiscard]] std::size_t nodes() const noexcept { return options_.nodes; }
   [[nodiscard]] std::size_t block_size() const noexcept {
     return options_.block_size;
@@ -81,11 +103,14 @@ class SimDfs {
   };
 
   std::vector<int> place_block(std::uint64_t block_id) const;
+  void require_readable(const File& file) const;
 
   Options options_;
   std::map<std::string, File> files_;
   std::uint64_t next_block_id_ = 1;
   std::size_t next_primary_ = 0;
+  std::vector<char> node_alive_;         ///< per-node liveness
+  std::uint64_t decommission_epoch_ = 0;  ///< salts re-replication draws
 };
 
 }  // namespace mrmc::mr

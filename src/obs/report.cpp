@@ -315,6 +315,47 @@ JobReport analyze(const JobInput& input, const AnalyzeOptions& options) {
          "fixed — look at the straggler/idle-slot findings first"});
   }
 
+  // --------------------------------------------------------------- faults
+  report.faults.events = input.fault_events;
+  report.faults.lost_attempts = input.lost_attempts;
+  report.faults.node_crashes = input.fault_events.size();
+  for (const FaultEventSample& event : input.fault_events) {
+    if (event.blacklisted) ++report.faults.blacklisted_nodes;
+    // Node-down seconds within the job window; a -1 recover means the node
+    // stayed down to the end.
+    const double down_start = std::min(event.crash_s, report.total_s);
+    const double down_end = event.recover_s < 0.0
+                                ? report.total_s
+                                : std::min(event.recover_s, report.total_s);
+    report.faults.downtime_s += std::max(0.0, down_end - down_start);
+  }
+  for (const LostAttemptSample& lost : input.lost_attempts) {
+    if (lost.kind == "lost-output") {
+      ++report.faults.lost_map_outputs;
+    } else {
+      ++report.faults.killed_attempts;
+    }
+    report.faults.lost_work_s += lost.end_s - lost.start_s;
+  }
+  if (!report.faults.empty()) {
+    const bool severe = report.faults.lost_map_outputs > 0 ||
+                        report.faults.blacklisted_nodes > 0;
+    report.findings.push_back(
+        {"node-failures", severe ? Severity::kCritical : Severity::kWarning,
+         std::to_string(report.faults.node_crashes) + " node crash(es): " +
+             std::to_string(report.faults.killed_attempts) +
+             " attempts killed, " +
+             std::to_string(report.faults.lost_map_outputs) +
+             " completed map outputs lost, " +
+             std::to_string(report.faults.blacklisted_nodes) +
+             " node(s) blacklisted; " + f2(report.faults.lost_work_s) +
+             "s of attempt time destroyed",
+         "the job re-executed the lost work and finished with identical "
+         "output — if crashes recur, raise dfs replication, shorten the "
+         "heartbeat timeout, or lower max_node_failures to blacklist "
+         "earlier"});
+  }
+
   std::stable_sort(report.findings.begin(), report.findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return static_cast<int>(a.severity) >
@@ -385,6 +426,28 @@ std::vector<JobInput> jobs_from_trace(const common::JsonValue& root) {
       if (args.has("shuffle_bytes")) {
         job.shuffle_bytes = parse_exact(args.at("shuffle_bytes").string);
       }
+    } else if (ph == "i" && name == "node_fault") {
+      // Fault instants were appended in crash order, so file order rebuilds
+      // the exact FaultOutcome lists the in-process path feeds analyze().
+      const common::JsonValue& args = event.at("args");
+      FaultEventSample fault;
+      fault.node = static_cast<int>(parse_exact(args.at("node").string));
+      fault.crash_s = parse_exact(args.at("crash_s").string);
+      fault.detect_s = parse_exact(args.at("detect_s").string);
+      fault.recover_s = parse_exact(args.at("recover_s").string);
+      fault.blacklisted = args.at("blacklisted").string == "true";
+      jobs[pid].fault_events.push_back(fault);
+    } else if (ph == "i" && name == "lost_attempt") {
+      const common::JsonValue& args = event.at("args");
+      LostAttemptSample lost;
+      lost.phase = args.at("phase").string;
+      lost.kind = args.at("kind").string;
+      lost.task = static_cast<std::size_t>(parse_exact(args.at("task").string));
+      lost.node = static_cast<int>(parse_exact(args.at("node").string));
+      lost.slot = static_cast<int>(parse_exact(args.at("slot").string));
+      lost.start_s = parse_exact(args.at("start_s").string);
+      lost.end_s = parse_exact(args.at("end_s").string);
+      jobs[pid].lost_attempts.push_back(std::move(lost));
     }
   }
 
@@ -539,6 +602,33 @@ std::string to_text(const JobReport& report, bool color) {
   }
   out += ")\n";
 
+  if (!report.faults.empty()) {
+    out += "  faults: " + std::to_string(report.faults.node_crashes) +
+           " crash(es), " + std::to_string(report.faults.killed_attempts) +
+           " killed, " + std::to_string(report.faults.lost_map_outputs) +
+           " map outputs lost, " +
+           std::to_string(report.faults.blacklisted_nodes) +
+           " blacklisted  lost work " + f2(report.faults.lost_work_s) +
+           "s  downtime " + f2(report.faults.downtime_s) + "s\n";
+    for (const FaultEventSample& event : report.faults.events) {
+      out += "    node " + std::to_string(event.node) + " down at " +
+             f2(event.crash_s) + "s, detected " + f2(event.detect_s) + "s, ";
+      if (event.blacklisted) {
+        out += "blacklisted\n";
+      } else if (event.recover_s < 0.0) {
+        out += "never recovered\n";
+      } else {
+        out += "recovered " + f2(event.recover_s) + "s\n";
+      }
+    }
+    for (const LostAttemptSample& lost : report.faults.lost_attempts) {
+      out += "    " + lost.kind + ": " + lost.phase + " task " +
+             std::to_string(lost.task) + " on node " +
+             std::to_string(lost.node) + " slot " + std::to_string(lost.slot) +
+             " [" + f2(lost.start_s) + "s, " + f2(lost.end_s) + "s]\n";
+    }
+  }
+
   if (report.findings.empty()) {
     out += "  findings: none — the job is as parallel as its task breakdown allows\n";
   } else {
@@ -611,7 +701,46 @@ std::string to_json(const JobReport& report) {
            ", \"utilization\": " + f17(report.node_utilization[i].utilization) +
            "}";
   }
-  out += "], \"findings\": [";
+  out += "]";
+  if (!report.faults.empty()) {
+    out += ", \"faults\": {\"node_crashes\": " +
+           std::to_string(report.faults.node_crashes) +
+           ", \"killed_attempts\": " +
+           std::to_string(report.faults.killed_attempts) +
+           ", \"lost_map_outputs\": " +
+           std::to_string(report.faults.lost_map_outputs) +
+           ", \"blacklisted_nodes\": " +
+           std::to_string(report.faults.blacklisted_nodes) +
+           ", \"lost_work_s\": " + f17(report.faults.lost_work_s) +
+           ", \"downtime_s\": " + f17(report.faults.downtime_s) +
+           ", \"events\": [";
+    for (std::size_t i = 0; i < report.faults.events.size(); ++i) {
+      const FaultEventSample& event = report.faults.events[i];
+      if (i > 0) out += ", ";
+      out += "{\"node\": " + std::to_string(event.node) +
+             ", \"crash_s\": " + f17(event.crash_s) +
+             ", \"detect_s\": " + f17(event.detect_s) +
+             ", \"recover_s\": " + f17(event.recover_s) +
+             ", \"blacklisted\": " + (event.blacklisted ? "true" : "false") +
+             "}";
+    }
+    out += "], \"lost_attempts\": [";
+    for (std::size_t i = 0; i < report.faults.lost_attempts.size(); ++i) {
+      const LostAttemptSample& lost = report.faults.lost_attempts[i];
+      if (i > 0) out += ", ";
+      out += "{\"phase\": ";
+      append_json_string(out, lost.phase);
+      out += ", \"kind\": ";
+      append_json_string(out, lost.kind);
+      out += ", \"task\": " + std::to_string(lost.task) +
+             ", \"node\": " + std::to_string(lost.node) +
+             ", \"slot\": " + std::to_string(lost.slot) +
+             ", \"start_s\": " + f17(lost.start_s) +
+             ", \"end_s\": " + f17(lost.end_s) + "}";
+    }
+    out += "]}";
+  }
+  out += ", \"findings\": [";
   for (std::size_t i = 0; i < report.findings.size(); ++i) {
     const Finding& finding = report.findings[i];
     if (i > 0) out += ", ";
@@ -839,6 +968,39 @@ std::string job_html(const JobReport& report, const JobInput* input) {
              "\"><title>" + pct(node.utilization) + "</title></rect>\n";
     }
     out += "</svg>\n";
+  }
+  if (!report.faults.empty()) {
+    out += "<h3>faults</h3>\n<p class=\"sum\">" +
+           std::to_string(report.faults.node_crashes) +
+           " node crash(es) · " +
+           std::to_string(report.faults.killed_attempts) + " killed · " +
+           std::to_string(report.faults.lost_map_outputs) +
+           " map outputs lost · " +
+           std::to_string(report.faults.blacklisted_nodes) +
+           " blacklisted · lost work <b>" + f2(report.faults.lost_work_s) +
+           "s</b> · downtime " + f2(report.faults.downtime_s) + "s</p>\n<ul>\n";
+    for (const FaultEventSample& event : report.faults.events) {
+      out += "<li class=\"warning\">node " + std::to_string(event.node) +
+             " down at " + f2(event.crash_s) + "s, detected " +
+             f2(event.detect_s) + "s, ";
+      if (event.blacklisted) {
+        out += "blacklisted";
+      } else if (event.recover_s < 0.0) {
+        out += "never recovered";
+      } else {
+        out += "recovered " + f2(event.recover_s) + "s";
+      }
+      out += "</li>\n";
+    }
+    for (const LostAttemptSample& lost : report.faults.lost_attempts) {
+      out += "<li class=\"" +
+             std::string(lost.kind == "lost-output" ? "critical" : "warning") +
+             "\">" + html_escape(lost.kind) + ": " + html_escape(lost.phase) +
+             " task " + std::to_string(lost.task) + " on node " +
+             std::to_string(lost.node) + " slot " + std::to_string(lost.slot) +
+             " [" + f2(lost.start_s) + "s, " + f2(lost.end_s) + "s]</li>\n";
+    }
+    out += "</ul>\n";
   }
   out += "<h3>findings</h3>\n";
   if (report.findings.empty()) {

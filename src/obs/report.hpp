@@ -46,6 +46,29 @@ struct TaskSample {
   [[nodiscard]] double duration_s() const noexcept { return end_s - start_s; }
 };
 
+/// One node crash as the analyzer sees it (mr::faults::NodeDownEvent's
+/// doctor-side twin).  recover_s is -1 when the node never rejoined, so
+/// every field is a finite double and survives the %.17g trace round trip.
+struct FaultEventSample {
+  int node = 0;
+  double crash_s = 0.0;
+  double detect_s = 0.0;
+  double recover_s = -1.0;
+  bool blacklisted = false;
+};
+
+/// One task attempt a node failure destroyed ("killed" mid-run, or a
+/// completed map's "lost-output"); times are absolute job-clock seconds.
+struct LostAttemptSample {
+  std::string phase;  ///< "map" | "reduce"
+  std::string kind;   ///< "killed" | "lost-output"
+  std::size_t task = 0;
+  int node = 0;
+  int slot = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
 /// Everything the analyzer needs about one simulated job, however obtained
 /// (mr::report_input() in-process, jobs_from_trace() offline).
 struct JobInput {
@@ -58,6 +81,8 @@ struct JobInput {
   double shuffle_bytes = 0.0;
   std::vector<TaskSample> map_tasks;
   std::vector<TaskSample> reduce_tasks;
+  std::vector<FaultEventSample> fault_events;    ///< crash order
+  std::vector<LostAttemptSample> lost_attempts;  ///< discovery order
 };
 
 /// Tunable thresholds for the heuristics.
@@ -98,6 +123,24 @@ struct PhaseAnalysis {
   std::vector<double> node_busy_s;  ///< per-node busy seconds, size = nodes
 };
 
+/// What node failures did to the job (empty() for fault-free runs — the
+/// renderers then omit the Faults section entirely, keeping fault-free
+/// reports byte-identical to pre-fault builds).
+struct FaultAnalysis {
+  std::size_t node_crashes = 0;
+  std::size_t killed_attempts = 0;
+  std::size_t lost_map_outputs = 0;
+  std::size_t blacklisted_nodes = 0;
+  double lost_work_s = 0.0;  ///< attempt-seconds destroyed, in list order
+  double downtime_s = 0.0;   ///< node-down seconds clamped to [0, total_s]
+  std::vector<FaultEventSample> events;
+  std::vector<LostAttemptSample> lost_attempts;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return events.empty() && lost_attempts.empty();
+  }
+};
+
 /// Utilization of one node across both compute phases.
 struct NodeUtilization {
   int node = 0;
@@ -123,6 +166,7 @@ struct JobReport {
   /// Fraction of total_s spent outside the compute phases.
   double overhead_fraction = 0.0;
   std::vector<NodeUtilization> node_utilization;
+  FaultAnalysis faults;
   std::vector<Finding> findings;
 
   [[nodiscard]] bool has_finding(std::string_view id) const noexcept;

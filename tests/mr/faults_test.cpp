@@ -1,0 +1,221 @@
+// Tests for mr::faults — the deterministic node-failure schedule (FaultPlan),
+// the scheduler's availability view of it (NodeTracker), and its replay onto
+// the simulated DFS (apply_to_dfs).
+#include "mr/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mr/simdfs.hpp"
+
+namespace mrmc::mr::faults {
+namespace {
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, SortsEventsByCrashTimeThenNode) {
+  FaultPlan plan({{2, 30.0, kNever}, {1, 10.0, 20.0}, {0, 30.0, kNever}});
+  const auto& events = plan.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].node, 1);
+  EXPECT_EQ(events[1].node, 0);  // ties break by node id
+  EXPECT_EQ(events[2].node, 2);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(FaultPlan{}.empty());
+}
+
+TEST(FaultPlan, DetectionSnapsToTheHeartbeatGrid) {
+  FaultConfig config;
+  config.heartbeat_interval_s = 3.0;
+  config.heartbeat_timeout_s = 30.0;
+  FaultPlan plan({{1, 0.0, kNever}}, config);
+  // crash at 10 -> deadline 40 -> next 3 s boundary is 42.
+  EXPECT_DOUBLE_EQ(plan.detection_s(10.0), 42.0);
+  // Already on the grid: stays.
+  EXPECT_DOUBLE_EQ(plan.detection_s(12.0), 42.0);
+  EXPECT_DOUBLE_EQ(plan.detection_s(0.0), 30.0);
+
+  // Interval 0 = a continuously-watching control plane.
+  config.heartbeat_interval_s = 0.0;
+  FaultPlan continuous({{1, 0.0, kNever}}, config);
+  EXPECT_DOUBLE_EQ(continuous.detection_s(5.0), 35.0);
+}
+
+TEST(FaultPlan, CrashCountAndBlacklisting) {
+  FaultConfig config;
+  config.max_node_failures = 2;
+  FaultPlan plan({{1, 10.0, 20.0}, {1, 30.0, 40.0}, {1, 50.0, 60.0},
+                  {2, 15.0, 25.0}},
+                 config);
+  EXPECT_EQ(plan.crash_count(1), 3u);
+  EXPECT_EQ(plan.crash_count(2), 1u);
+  EXPECT_EQ(plan.crash_count(0), 0u);
+  EXPECT_TRUE(plan.blacklists(1));   // 3 > 2
+  EXPECT_FALSE(plan.blacklists(2));  // 1 <= 2
+}
+
+TEST(FaultPlan, ValidateRejectsMalformedSchedules) {
+  // Node outside the cluster.
+  EXPECT_THROW(FaultPlan({{4, 10.0, kNever}}).validate(4),
+               common::InvalidArgument);
+  EXPECT_THROW(FaultPlan({{-1, 10.0, kNever}}).validate(4),
+               common::InvalidArgument);
+  // Negative crash time.
+  EXPECT_THROW(FaultPlan({{1, -1.0, kNever}}).validate(4),
+               common::InvalidArgument);
+  // Recovery not after the crash.
+  EXPECT_THROW(FaultPlan({{1, 10.0, 10.0}}).validate(4),
+               common::InvalidArgument);
+  // Overlapping down intervals on one node.
+  EXPECT_THROW(FaultPlan({{1, 10.0, 30.0}, {1, 20.0, 40.0}}).validate(4),
+               common::InvalidArgument);
+  // Crashing again after a permanent crash.
+  EXPECT_THROW(FaultPlan({{1, 10.0, kNever}, {1, 50.0, 60.0}}).validate(4),
+               common::InvalidArgument);
+}
+
+TEST(FaultPlan, ValidateRequiresOneForeverSchedulableNode) {
+  // Every node permanently down at some point: no job could finish.
+  EXPECT_THROW(FaultPlan({{0, 10.0, kNever}, {1, 20.0, kNever}}).validate(2),
+               common::InvalidArgument);
+  // Node 1 recovers every time: fine.
+  EXPECT_NO_THROW(FaultPlan({{0, 10.0, kNever}, {1, 20.0, 25.0}}).validate(2));
+  // ...unless its crash count blacklists it.
+  FaultConfig strict;
+  strict.max_node_failures = 0;
+  EXPECT_THROW(FaultPlan({{0, 10.0, kNever}, {1, 20.0, 25.0}}, strict)
+                   .validate(2),
+               common::InvalidArgument);
+  // The empty plan is always valid.
+  EXPECT_NO_THROW(FaultPlan{}.validate(1));
+}
+
+TEST(FaultPlan, RandomIsSeedDeterministicAndValid) {
+  const auto make = [](std::uint64_t seed) {
+    return FaultPlan::random(seed, 8, 3, 100.0);
+  };
+  const FaultPlan a = make(42);
+  const FaultPlan b = make(42);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_EQ(a.events()[i].crash_s, b.events()[i].crash_s);
+    EXPECT_EQ(a.events()[i].recover_s, b.events()[i].recover_s);
+  }
+  EXPECT_FALSE(a.empty());
+  // Node 0 is the designated survivor; crashes land inside the horizon.
+  for (const FaultEvent& event : a.events()) {
+    EXPECT_NE(event.node, 0);
+    EXPECT_GT(event.crash_s, 0.0);
+    EXPECT_LT(event.crash_s, 100.0);
+  }
+  // Different seeds explore different schedules.
+  const FaultPlan c = make(43);
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = a.events()[i].node != c.events()[i].node ||
+              a.events()[i].crash_s != c.events()[i].crash_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// -------------------------------------------------------------- NodeTracker
+
+TEST(NodeTracker, WindowsFollowCrashAndRecovery) {
+  FaultPlan plan({{1, 10.0, 50.0}});
+  NodeTracker tracker(plan, 3);
+
+  // Node 0 never crashes: one window covering the whole job.
+  auto window = tracker.next_window(0, 0.0);
+  EXPECT_EQ(window.start, 0.0);
+  EXPECT_EQ(window.crash, kNever);
+
+  // Node 1 before the crash: window ends at the crash instant.
+  window = tracker.next_window(1, 0.0);
+  EXPECT_EQ(window.start, 0.0);
+  EXPECT_EQ(window.crash, 10.0);
+  // While down: the next chance is the recovery.
+  window = tracker.next_window(1, 20.0);
+  EXPECT_EQ(window.start, 50.0);
+  EXPECT_EQ(window.crash, kNever);
+  // After recovery: available immediately.
+  window = tracker.next_window(1, 60.0);
+  EXPECT_EQ(window.start, 60.0);
+  EXPECT_EQ(window.crash, kNever);
+}
+
+TEST(NodeTracker, PermanentCrashHasNoLaterWindow) {
+  FaultPlan plan({{2, 25.0, kNever}});
+  NodeTracker tracker(plan, 3);
+  const auto window = tracker.next_window(2, 30.0);
+  EXPECT_EQ(window.start, kNever);
+  EXPECT_EQ(window.crash, kNever);
+}
+
+TEST(NodeTracker, BlacklistingCancelsPlannedRecoveries) {
+  FaultConfig config;
+  config.max_node_failures = 1;
+  // Second crash of node 1 exceeds the budget: its planned recovery at 60
+  // never happens.
+  FaultPlan plan({{1, 10.0, 20.0}, {1, 40.0, 60.0}}, config);
+  NodeTracker tracker(plan, 3);
+  EXPECT_EQ(tracker.blacklisted_nodes(), 1u);
+
+  const auto window = tracker.next_window(1, 45.0);
+  EXPECT_EQ(window.start, kNever);
+
+  const auto& events = tracker.down_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].blacklisted);
+  EXPECT_DOUBLE_EQ(events[0].recover_s, 20.0);
+  EXPECT_TRUE(events[1].blacklisted);
+  EXPECT_DOUBLE_EQ(events[1].recover_s, -1.0);  // finite sentinel, not inf
+  EXPECT_DOUBLE_EQ(events[1].detect_s, plan.detection_s(40.0));
+}
+
+TEST(NodeTracker, CrashInFindsTheFirstCrashInRange) {
+  FaultPlan plan({{1, 10.0, 20.0}, {1, 40.0, 50.0}});
+  NodeTracker tracker(plan, 2);
+  EXPECT_EQ(tracker.crash_in(1, 0.0, 100.0), 10.0);
+  EXPECT_EQ(tracker.crash_in(1, 15.0, 100.0), 40.0);
+  EXPECT_EQ(tracker.crash_in(1, 10.0, 100.0), 10.0);  // from is inclusive
+  EXPECT_EQ(tracker.crash_in(1, 0.0, 10.0), kNever);  // to is exclusive
+  EXPECT_EQ(tracker.crash_in(1, 45.0, 100.0), kNever);
+  EXPECT_EQ(tracker.crash_in(0, 0.0, 100.0), kNever);
+}
+
+// ------------------------------------------------------------- apply_to_dfs
+
+TEST(ApplyToDfs, ReplaysCrashesAndRecoveriesUpToNow) {
+  SimDfs::Options options;
+  options.nodes = 4;
+  options.block_size = 100;
+  options.replication = 2;
+  SimDfs dfs(options);
+  dfs.write("/f", std::string(400, 'f'));
+
+  FaultPlan plan({{1, 10.0, 30.0}, {2, 50.0, kNever}});
+
+  // Mid-outage: node 1 down, node 2 still up.
+  apply_to_dfs(plan, dfs, 20.0);
+  EXPECT_FALSE(dfs.node_alive(1));
+  EXPECT_TRUE(dfs.node_alive(2));
+  EXPECT_EQ(dfs.read("/f"), std::string(400, 'f'));
+
+  // Past everything: node 1 recovered (and may host re-replicas of the
+  // blocks node 2 took down with it), node 2 gone for good and empty.
+  SimDfs fresh(options);
+  fresh.write("/f", std::string(400, 'f'));
+  apply_to_dfs(plan, fresh, 100.0);
+  EXPECT_TRUE(fresh.node_alive(1));
+  EXPECT_FALSE(fresh.node_alive(2));
+  EXPECT_EQ(fresh.node_usage()[2], 0u);
+  EXPECT_EQ(fresh.read("/f"), std::string(400, 'f'));
+  EXPECT_TRUE(fresh.lost_blocks().empty());
+}
+
+}  // namespace
+}  // namespace mrmc::mr::faults

@@ -224,6 +224,56 @@ TEST(Job, RejectsInvalidConfig) {
                common::InvalidArgument);
 }
 
+TEST(Job, RejectsZeroAttemptBudget) {
+  auto config = test_config();
+  config.max_task_attempts = 0;  // would mean no attempt ever runs
+  EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+               common::InvalidArgument);
+}
+
+TEST(Job, RejectsOutOfRangeInjectionRates) {
+  for (const double bad : {-0.1, 1.5}) {
+    auto config = test_config();
+    config.map_failure_rate = bad;
+    EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+                 common::InvalidArgument)
+        << "map_failure_rate=" << bad;
+    config = test_config();
+    config.reduce_failure_rate = bad;
+    EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+                 common::InvalidArgument)
+        << "reduce_failure_rate=" << bad;
+    config = test_config();
+    config.straggler_rate = bad;
+    EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+                 common::InvalidArgument)
+        << "straggler_rate=" << bad;
+  }
+  auto config = test_config();
+  config.straggler_slowdown = 0.0;
+  EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+               common::InvalidArgument);
+}
+
+TEST(Job, RejectsAFaultPlanTheClusterCannotSurvive) {
+  auto config = test_config();  // 4 nodes
+  // Names a node outside the cluster.
+  config.fault_plan = faults::FaultPlan({{7, 10.0, faults::kNever}});
+  EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+               common::InvalidArgument);
+  // Permanently kills every node: no job could ever finish.
+  config = test_config();
+  config.cluster.nodes = 2;
+  config.fault_plan = faults::FaultPlan(
+      {{0, 10.0, faults::kNever}, {1, 20.0, faults::kNever}});
+  EXPECT_THROW(WordCountJob(config, word_mapper(), sum_reducer()),
+               common::InvalidArgument);
+  // A survivable plan passes construction.
+  config = test_config();
+  config.fault_plan = faults::FaultPlan({{1, 10.0, faults::kNever}});
+  EXPECT_NO_THROW(WordCountJob(config, word_mapper(), sum_reducer()));
+}
+
 TEST(Job, EmptyInputStillSimulatesAValidTimeline) {
   WordCountJob job(test_config(), word_mapper(), sum_reducer());
   const auto result = job.run({});

@@ -106,6 +106,94 @@ TEST(TaskGraph, QueueDepthGaugeDrainsToZero) {
       obs::Registry::global().gauge("runtime.task_queue_depth").value(), 0.0);
 }
 
+// ---------------------------------------------------------- lost inputs
+
+TEST(TaskGraph, LostInputReExecutesTheCompletedUpstream) {
+  common::ThreadPool pool(2);
+  runtime::TaskGraph graph;
+  std::atomic<int> producer_runs{0};
+  const auto producer =
+      graph.add_task([&](std::size_t) { ++producer_runs; }, {});
+  std::atomic<int> consumer_runs{0};
+  const auto consumer = graph.add_task(
+      [&](std::size_t attempt) {
+        ++consumer_runs;
+        // First try: the producer's output "died with its node".
+        if (attempt == 0) {
+          throw runtime::LostInputFailure("output lost", producer);
+        }
+      },
+      {producer});
+  graph.run(pool);
+
+  EXPECT_EQ(producer_runs.load(), 2);  // original + re-execution
+  EXPECT_EQ(consumer_runs.load(), 2);  // parked, resumed after the re-run
+  EXPECT_EQ(graph.attempts(producer), 2u);
+  EXPECT_EQ(graph.lost_input_reruns(producer), 1u);
+  EXPECT_EQ(graph.lost_input_reruns(consumer), 0u);
+  EXPECT_EQ(graph.attempts(consumer), 2u);
+  // Lost-input re-runs are not failures: nothing counts as a retry.
+  EXPECT_EQ(graph.total_retries(), 0u);
+}
+
+TEST(TaskGraph, RepeatedLossesRerunTheUpstreamEachTime) {
+  common::ThreadPool pool(3);
+  runtime::TaskGraph graph;
+  const auto producer = graph.add_task([](std::size_t) {}, {});
+  const auto consumer = graph.add_task(
+      [&](std::size_t attempt) {
+        if (attempt < 3) {
+          throw runtime::LostInputFailure("still lost", producer);
+        }
+      },
+      {producer}, {.label = "", .max_attempts = 1});
+  graph.run(pool);
+  EXPECT_EQ(graph.lost_input_reruns(producer), 3u);
+  EXPECT_EQ(graph.attempts(producer), 4u);
+  EXPECT_EQ(graph.attempts(consumer), 4u);  // under max_attempts = 1: no retry
+  EXPECT_EQ(graph.total_retries(), 0u);
+}
+
+TEST(TaskGraph, DownstreamDependentsAreReleasedOnlyOnce) {
+  common::ThreadPool pool(4);
+  runtime::TaskGraph graph;
+  const auto producer = graph.add_task([](std::size_t) {}, {});
+  // One sibling re-runs the producer; the other two dependents must still
+  // run exactly once despite the producer finishing twice.
+  const auto flaky = graph.add_task(
+      [&](std::size_t attempt) {
+        if (attempt == 0) {
+          throw runtime::LostInputFailure("lost", producer);
+        }
+      },
+      {producer});
+  std::atomic<int> sibling_runs{0};
+  const auto sibling =
+      graph.add_task([&](std::size_t) { ++sibling_runs; }, {producer});
+  std::atomic<int> join_runs{0};
+  const auto join = graph.add_task([&](std::size_t) { ++join_runs; },
+                                   {producer, flaky, sibling});
+  graph.run(pool);
+  EXPECT_EQ(sibling_runs.load(), 1);
+  EXPECT_EQ(join_runs.load(), 1);
+  EXPECT_EQ(graph.attempts(sibling), 1u);
+  EXPECT_EQ(graph.attempts(join), 1u);
+}
+
+TEST(TaskGraph, LostInputNamingANonDependencyAborts) {
+  common::ThreadPool pool(2);
+  runtime::TaskGraph graph;
+  const auto id = graph.add_task(
+      [](std::size_t) -> void {
+        // A task cannot claim to have lost its *own* (or a later) output;
+        // that is a programming error, not a recoverable fault.
+        throw runtime::LostInputFailure("bogus", 0);
+      },
+      {});
+  EXPECT_THROW(graph.run(pool), common::Error);
+  EXPECT_EQ(graph.attempts(id), 1u);
+}
+
 TEST(PoolLease, SharedByDefaultIsolatedOnRequest) {
   EXPECT_EQ(&runtime::shared_pool(), &runtime::shared_pool());
   runtime::PoolLease shared(0, false);

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -145,6 +147,150 @@ TEST(SimDfs, EmptyFileAllowed) {
 TEST(SimDfs, RejectsEmptyPath) {
   SimDfs dfs(small_options());
   EXPECT_THROW(dfs.write("", "x"), common::InvalidArgument);
+}
+
+// ------------------------------------------------------ node failure model
+
+// Regression for the placement clamp: asking for 3 replicas on a 2-node
+// cluster used to loop forever looking for a third distinct node.
+TEST(SimDfs, ReplicationThreeOnTwoNodesClampsNotHangs) {
+  SimDfs::Options options;
+  options.nodes = 2;
+  options.block_size = 100;
+  options.replication = 3;
+  SimDfs dfs(options);
+  dfs.write("/c", std::string(350, 'c'));  // 4 blocks
+  for (const auto& block : dfs.stat("/c").blocks) {
+    ASSERT_EQ(block.replicas.size(), 2u);
+    EXPECT_NE(block.replicas[0], block.replicas[1]);
+  }
+  EXPECT_EQ(dfs.read("/c"), std::string(350, 'c'));
+}
+
+TEST(SimDfs, DecommissionReReplicatesOntoSurvivors) {
+  SimDfs dfs(small_options());
+  dfs.write("/d", std::string(500, 'd'));  // 5 blocks x 2 replicas
+
+  dfs.decommission_node(1);
+  EXPECT_FALSE(dfs.node_alive(1));
+  EXPECT_EQ(dfs.live_nodes(), 3u);
+  // Every block is back at the target factor on distinct live nodes.
+  for (const auto& block : dfs.stat("/d").blocks) {
+    ASSERT_EQ(block.replicas.size(), 2u);
+    EXPECT_NE(block.replicas[0], block.replicas[1]);
+    for (const int node : block.replicas) EXPECT_NE(node, 1);
+  }
+  EXPECT_TRUE(dfs.under_replicated_blocks().empty());
+  EXPECT_TRUE(dfs.lost_blocks().empty());
+  EXPECT_EQ(dfs.read("/d"), std::string(500, 'd'));
+  // The dead node's disk is empty; survivors carry every byte.
+  EXPECT_EQ(dfs.node_usage()[1], 0u);
+}
+
+TEST(SimDfs, DecommissionBelowTargetReportsUnderReplication) {
+  SimDfs::Options options;
+  options.nodes = 3;
+  options.block_size = 100;
+  options.replication = 3;
+  SimDfs dfs(options);
+  dfs.write("/u", std::string(300, 'u'));  // 3 blocks, replicas on all nodes
+
+  dfs.decommission_node(2);
+  // Only 2 live nodes remain for a target of 3: every block is
+  // under-replicated but still readable.
+  const auto under = dfs.under_replicated_blocks();
+  EXPECT_EQ(under.size(), dfs.stat("/u").blocks.size());
+  EXPECT_TRUE(dfs.lost_blocks().empty());
+  EXPECT_EQ(dfs.read("/u"), std::string(300, 'u'));
+}
+
+TEST(SimDfs, LosingEveryReplicaLosesTheBlock) {
+  SimDfs::Options options;
+  options.nodes = 2;
+  options.block_size = 100;
+  options.replication = 1;
+  SimDfs dfs(options);
+  dfs.write("/l", std::string(200, 'l'));  // 2 blocks, one per node
+
+  dfs.decommission_node(0);
+  dfs.decommission_node(1);
+  const auto lost = dfs.lost_blocks();
+  EXPECT_EQ(lost.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(lost.begin(), lost.end()));
+  EXPECT_THROW((void)dfs.read("/l"), common::IoError);
+  EXPECT_THROW((void)dfs.read_block("/l", 0), common::IoError);
+  // Metadata survives even when content is unreadable.
+  EXPECT_TRUE(dfs.exists("/l"));
+}
+
+TEST(SimDfs, RecommissionRejoinsEmptyAndAcceptsNewBlocks) {
+  SimDfs dfs(small_options());
+  dfs.write("/r", std::string(400, 'r'));
+  dfs.decommission_node(2);
+  dfs.recommission_node(2);
+  EXPECT_TRUE(dfs.node_alive(2));
+  EXPECT_EQ(dfs.live_nodes(), 4u);
+  EXPECT_EQ(dfs.node_usage()[2], 0u);  // old replicas stay dropped
+
+  // Enough fresh blocks that round-robin placement must reach node 2.
+  dfs.write("/fresh", std::string(800, 'f'));
+  EXPECT_GT(dfs.node_usage()[2], 0u);
+  EXPECT_EQ(dfs.read("/r"), std::string(400, 'r'));
+}
+
+TEST(SimDfs, ReReplicationIsDeterministic) {
+  const auto run = [] {
+    SimDfs dfs(small_options());
+    dfs.write("/a", std::string(500, 'a'));
+    dfs.write("/b", std::string(300, 'b'));
+    dfs.decommission_node(3);
+    dfs.decommission_node(0);
+    std::vector<std::vector<int>> replicas;
+    for (const std::string path : {"/a", "/b"}) {
+      for (const auto& block : dfs.stat(path).blocks) {
+        replicas.push_back(block.replicas);
+      }
+    }
+    return replicas;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimDfs, UsageRebalancesAfterRemoveAndAppend) {
+  SimDfs dfs(small_options());
+  dfs.write("/old", std::string(600, 'o'));
+  dfs.write("/keep", std::string(200, 'k'));
+  dfs.remove("/old");
+
+  // Replica bytes account exactly for the surviving file...
+  auto usage = dfs.node_usage();
+  EXPECT_EQ(std::accumulate(usage.begin(), usage.end(), std::size_t{0}), 400u);
+
+  // ...and appended blocks keep spreading over every node: with 8 more
+  // blocks x 2 replicas over 4 nodes, nobody stays empty.
+  dfs.append("/keep", std::string(800, 'k'));
+  usage = dfs.node_usage();
+  EXPECT_EQ(std::accumulate(usage.begin(), usage.end(), std::size_t{0}), 2000u);
+  for (const std::size_t bytes : usage) EXPECT_GT(bytes, 0u);
+}
+
+TEST(SimDfs, DecommissionIsIdempotent) {
+  SimDfs dfs(small_options());
+  dfs.write("/i", std::string(300, 'i'));
+  dfs.decommission_node(1);
+  const auto usage = dfs.node_usage();
+  dfs.decommission_node(1);  // no-op
+  EXPECT_EQ(dfs.node_usage(), usage);
+  dfs.recommission_node(0);  // alive already: no-op
+  EXPECT_EQ(dfs.live_nodes(), 3u);
+}
+
+TEST(SimDfs, NodeQueriesRejectBadIds) {
+  SimDfs dfs(small_options());
+  EXPECT_THROW(dfs.decommission_node(-1), common::InvalidArgument);
+  EXPECT_THROW(dfs.decommission_node(4), common::InvalidArgument);
+  EXPECT_THROW(dfs.recommission_node(7), common::InvalidArgument);
+  EXPECT_THROW((void)dfs.node_alive(-2), common::InvalidArgument);
 }
 
 }  // namespace
