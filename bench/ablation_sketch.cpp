@@ -8,6 +8,7 @@
 // saturates around there while cost keeps growing linearly.
 //
 //   ./ablation_sketch [--reads=300] [--pairs=2000] [--seed=42]
+//                     [--bench-json[=path]]   write BENCH_ablation_sketch.json
 #include <cmath>
 #include <iostream>
 
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
 
   common::TextTable table({"n hashes", "RMSE comp", "RMSE set", "W.Acc",
                            "sketch us/read"});
+  bench::BenchRecord record("ablation_sketch");
   for (const std::size_t hashes : {10u, 25u, 50u, 100u, 200u}) {
     const core::MinHasher hasher(
         {.kmer = 5, .num_hashes = hashes, .canonical = true, .seed = seed});
@@ -68,10 +70,27 @@ int main(int argc, char** argv) {
                    common::fmt_f(std::sqrt(sq_comp / pairs), 4),
                    common::fmt_f(std::sqrt(sq_set / pairs), 4),
                    common::fmt_pct(wacc), common::fmt_f(us_per_read, 1)});
+    record.row()
+        .num("hashes", static_cast<long>(hashes))
+        .num("rmse_component", std::sqrt(sq_comp / pairs))
+        .num("rmse_set_based", std::sqrt(sq_set / pairs))
+        .num("wacc", wacc)
+        .num("sketch_us_per_read", us_per_read)
+        .str("backend", core::kernels::backend_name(core::kernels::active_backend()));
   }
 
   std::cout << "Ablation — sketch size vs estimator error and accuracy (S8, "
             << reads << " reads)\n";
   table.print(std::cout);
+  if (flags.flag("bench-json")) {
+    const std::string json = flags.str("bench-json", "");
+    const std::string path =
+        json.empty() || json == "1" ? record.default_path() : json;
+    if (!record.write(path)) {
+      std::cerr << "failed to write " << path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+  }
   return 0;
 }

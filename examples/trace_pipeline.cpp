@@ -14,8 +14,8 @@
 //   ./trace_pipeline [reads] [trace.json] [metrics.txt] [report.html]
 //
 // The same artifacts come out of ANY pipeline run via environment variables:
-//   MRMC_TRACE=out.json MRMC_METRICS=metrics.txt MRMC_REPORT=report.html \
-//       ./quickstart
+//   MRMC_TRACE=out.json MRMC_METRICS=metrics.txt MRMC_REPORT=report.html
+//       ./quickstart   (all three on one command line)
 // and the trace file can be re-analyzed offline: mrmc_doctor out.json
 #include <cstdlib>
 #include <fstream>

@@ -17,13 +17,16 @@ std::uint64_t revcomp_kmer(std::uint64_t kmer, int k) noexcept {
   return out;
 }
 
-std::vector<std::uint64_t> extract_kmers(std::string_view seq,
-                                         const KmerParams& params) {
+namespace {
+
+/// Shared rolling-window body of extract_kmers / kmer_set_into: appends every
+/// k-mer of `seq` to `out` without clearing it.
+void append_kmers(std::string_view seq, const KmerParams& params,
+                  std::vector<std::uint64_t>& out) {
   MRMC_REQUIRE(params.k >= 1 && params.k <= kMaxKmerK, "k must be in [1, 31]");
   const int k = params.k;
-  std::vector<std::uint64_t> out;
-  if (seq.size() < static_cast<std::size_t>(k)) return out;
-  out.reserve(seq.size() - k + 1);
+  if (seq.size() < static_cast<std::size_t>(k)) return;
+  out.reserve(out.size() + seq.size() - k + 1);
 
   const std::uint64_t mask =
       (k == 32) ? ~std::uint64_t{0} : ((std::uint64_t{1} << (2 * k)) - 1);
@@ -45,18 +48,33 @@ std::vector<std::uint64_t> extract_kmers(std::string_view seq,
       }
     }
   }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> extract_kmers(std::string_view seq,
+                                         const KmerParams& params) {
+  std::vector<std::uint64_t> out;
+  append_kmers(seq, params, out);
   return out;
 }
 
 std::vector<std::uint64_t> kmer_set(std::string_view seq, const KmerParams& params) {
-  auto kmers = extract_kmers(seq, params);
-  std::sort(kmers.begin(), kmers.end());
-  kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
+  std::vector<std::uint64_t> kmers;
+  kmer_set_into(seq, params, kmers);
   return kmers;
 }
 
-double exact_jaccard(const std::vector<std::uint64_t>& a,
-                     const std::vector<std::uint64_t>& b) noexcept {
+void kmer_set_into(std::string_view seq, const KmerParams& params,
+                   std::vector<std::uint64_t>& out) {
+  out.clear();
+  append_kmers(seq, params, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+double exact_jaccard(std::span<const std::uint64_t> a,
+                     std::span<const std::uint64_t> b) noexcept {
   if (a.empty() && b.empty()) return 1.0;
   std::size_t inter = 0;
   std::size_t i = 0, j = 0;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -32,10 +33,16 @@ std::vector<std::uint64_t> extract_kmers(std::string_view seq, const KmerParams&
 /// Sorted, deduplicated k-mer set — the feature set I_s of Equation 1.
 std::vector<std::uint64_t> kmer_set(std::string_view seq, const KmerParams& params);
 
+/// Allocation-free kmer_set: fills `out` (cleared first, capacity reused) —
+/// the batch-sketching path calls this once per read with one scratch buffer
+/// per worker thread instead of allocating a fresh vector per read.
+void kmer_set_into(std::string_view seq, const KmerParams& params,
+                   std::vector<std::uint64_t>& out);
+
 /// Exact Jaccard similarity |A ∩ B| / |A ∪ B| of two *sorted unique* sets.
 /// Returns 1.0 when both sets are empty (two empty reads are identical).
-double exact_jaccard(const std::vector<std::uint64_t>& a,
-                     const std::vector<std::uint64_t>& b) noexcept;
+double exact_jaccard(std::span<const std::uint64_t> a,
+                     std::span<const std::uint64_t> b) noexcept;
 
 /// Decode a packed k-mer back to its string (for debugging / tests).
 std::string decode_kmer(std::uint64_t kmer, int k);

@@ -8,38 +8,16 @@ namespace mrmc::core {
 
 namespace {
 
-/// Sorted unique view of each sketch, precomputed so the set-based estimator
-/// does not re-sort per comparison.
-std::vector<Sketch> sorted_unique_sketches(std::span<const Sketch> sketches) {
-  std::vector<Sketch> out;
-  out.reserve(sketches.size());
-  for (const auto& sketch : sketches) {
-    Sketch s = sketch;
-    std::sort(s.begin(), s.end());
-    s.erase(std::unique(s.begin(), s.end()), s.end());
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-}  // namespace
-
-GreedyResult greedy_cluster(std::span<const Sketch> sketches,
-                            const GreedyParams& params) {
+/// Algorithm 1's sweep, parameterized over the pair-similarity callback so
+/// the flat-matrix and vector<Sketch> entry points share one control flow
+/// (and therefore produce identical labels / comparison counts).
+template <typename Similarity>
+GreedyResult greedy_sweep(std::size_t n, const GreedyParams& params,
+                          Similarity&& similarity) {
   MRMC_REQUIRE(params.theta >= 0.0 && params.theta <= 1.0, "theta in [0, 1]");
-  const std::size_t n = sketches.size();
   GreedyResult result;
   result.labels.assign(n, -1);
   if (n == 0) return result;
-
-  const bool set_based = params.estimator == SketchEstimator::kSetBased;
-  const std::vector<Sketch> sorted =
-      set_based ? sorted_unique_sketches(sketches) : std::vector<Sketch>{};
-
-  auto similarity = [&](std::size_t i, std::size_t j) {
-    return set_based ? bio::exact_jaccard(sorted[i], sorted[j])
-                     : component_match_similarity(sketches[i], sketches[j]);
-  };
 
   // `pending` holds the indices of still-unassigned sequences, in input
   // order; each pass removes the new representative and everything it
@@ -70,6 +48,44 @@ GreedyResult greedy_cluster(std::span<const Sketch> sketches,
 
   result.num_clusters = static_cast<std::size_t>(next_label);
   return result;
+}
+
+}  // namespace
+
+GreedyResult greedy_cluster(const kernels::SketchMatrix& sketches,
+                            const GreedyParams& params) {
+  const std::size_t n = sketches.rows();
+  if (params.estimator == SketchEstimator::kSetBased) {
+    const SortedSketchStore store(sketches);
+    return greedy_sweep(n, params, [&](std::size_t i, std::size_t j) {
+      return store.jaccard(i, j);
+    });
+  }
+  const auto cols = static_cast<double>(sketches.cols());
+  return greedy_sweep(n, params, [&](std::size_t i, std::size_t j) {
+    if (sketches.cols() == 0) return 0.0;
+    const std::size_t matches =
+        kernels::count_equal(sketches.row(i), sketches.row(j));
+    return static_cast<double>(matches) / cols;
+  });
+}
+
+GreedyResult greedy_cluster(std::span<const Sketch> sketches,
+                            const GreedyParams& params) {
+  if (params.estimator == SketchEstimator::kSetBased) {
+    // Sorted unique view of each sketch, precomputed so the set-based
+    // estimator does not re-sort per comparison.
+    const SortedSketchStore store(sketches);
+    return greedy_sweep(sketches.size(), params,
+                        [&](std::size_t i, std::size_t j) {
+                          return store.jaccard(i, j);
+                        });
+  }
+  return greedy_sweep(sketches.size(), params,
+                      [&](std::size_t i, std::size_t j) {
+                        return component_match_similarity(sketches[i],
+                                                          sketches[j]);
+                      });
 }
 
 }  // namespace mrmc::core

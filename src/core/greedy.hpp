@@ -29,6 +29,13 @@ struct GreedyResult {
   std::size_t comparisons = 0;   ///< sketch comparisons performed
 };
 
+/// Greedy sweep over the flat sketch store.  Component-match comparisons run
+/// the batched count_equal kernel over contiguous rows; set-based pre-sorts
+/// every sketch once into a SortedSketchStore.  Labels, representatives and
+/// the comparison count are identical to the span overload.
+GreedyResult greedy_cluster(const kernels::SketchMatrix& sketches,
+                            const GreedyParams& params);
+
 GreedyResult greedy_cluster(std::span<const Sketch> sketches,
                             const GreedyParams& params);
 

@@ -21,39 +21,75 @@ const char* linkage_name(Linkage linkage) noexcept {
 SimilarityMatrix::SimilarityMatrix(std::size_t n, float fill)
     : n_(n), data_(n * n, fill) {}
 
-SimilarityMatrix pairwise_similarity_matrix(std::span<const Sketch> sketches,
+SimilarityMatrix pairwise_similarity_matrix(const kernels::SketchMatrix& sketches,
                                             SketchEstimator estimator,
                                             common::ThreadPool* pool) {
-  const std::size_t n = sketches.size();
+  const std::size_t n = sketches.rows();
   SimilarityMatrix matrix(n, 0.0F);
+  if (n == 0) return matrix;
 
-  // Pre-sort for the set-based estimator so each comparison is a linear merge.
-  std::vector<Sketch> sorted;
-  if (estimator == SketchEstimator::kSetBased) {
-    sorted.reserve(n);
-    for (const auto& sketch : sketches) {
-      Sketch s = sketch;
-      std::sort(s.begin(), s.end());
-      s.erase(std::unique(s.begin(), s.end()), s.end());
-      sorted.push_back(std::move(s));
-    }
+  if (estimator == SketchEstimator::kComponentMatch) {
+    // Cache-blocked SIMD fill straight into the matrix storage.
+    kernels::component_match_matrix(sketches, matrix.mutable_data(), n,
+                                    kernels::active_backend(), pool);
+    return matrix;
   }
 
+  // Set-based: pre-sort once so each comparison is a linear merge.
+  const SortedSketchStore store(sketches);
   auto fill_row = [&](std::size_t i) {
     matrix.set(i, i, 1.0F);
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double sim =
-          estimator == SketchEstimator::kSetBased
-              ? bio::exact_jaccard(sorted[i], sorted[j])
-              : component_match_similarity(sketches[i], sketches[j]);
-      matrix.set(i, j, static_cast<float>(sim));
+      matrix.set(i, j, static_cast<float>(store.jaccard(i, j)));
     }
   };
-
   if (pool != nullptr && n > 64) {
     pool->parallel_for(n, fill_row);
   } else {
     for (std::size_t i = 0; i < n; ++i) fill_row(i);
+  }
+  return matrix;
+}
+
+SimilarityMatrix pairwise_similarity_matrix(std::span<const Sketch> sketches,
+                                            SketchEstimator estimator,
+                                            common::ThreadPool* pool) {
+  const std::size_t n = sketches.size();
+  const bool uniform = std::all_of(
+      sketches.begin(), sketches.end(), [&](const Sketch& s) {
+        return s.size() == sketches.front().size();
+      });
+  if (n == 0 || (uniform && estimator == SketchEstimator::kComponentMatch)) {
+    return pairwise_similarity_matrix(kernels::SketchMatrix::from_sketches(sketches),
+                                      estimator, pool);
+  }
+  if (estimator == SketchEstimator::kSetBased) {
+    // The store handles ragged lengths too; same merge as the matrix path.
+    SimilarityMatrix matrix(n, 0.0F);
+    const SortedSketchStore store(sketches);
+    auto fill_row = [&](std::size_t i) {
+      matrix.set(i, i, 1.0F);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        matrix.set(i, j, static_cast<float>(store.jaccard(i, j)));
+      }
+    };
+    if (pool != nullptr && n > 64) {
+      pool->parallel_for(n, fill_row);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fill_row(i);
+    }
+    return matrix;
+  }
+
+  // Ragged component-match (not produced by MinHasher): legacy per-pair
+  // semantics — mismatched lengths score 0.
+  SimilarityMatrix matrix(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    matrix.set(i, i, 1.0F);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      matrix.set(i, j, static_cast<float>(
+                           component_match_similarity(sketches[i], sketches[j])));
+    }
   }
   return matrix;
 }
@@ -66,10 +102,13 @@ Dendrogram agglomerate(const SimilarityMatrix& matrix, Linkage linkage) {
   dendrogram.merges.reserve(n - 1);
 
   // Working distance matrix, mutated in place by Lance-Williams updates.
+  // Dead slots and the diagonal hold +inf so the nearest-neighbour scan is a
+  // pure vectorizable min-reduction with no per-slot branch.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> dist(n * n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      dist[i * n + j] = 1.0 - static_cast<double>(matrix.at(i, j));
+      dist[i * n + j] = i == j ? kInf : 1.0 - static_cast<double>(matrix.at(i, j));
     }
   }
 
@@ -79,18 +118,10 @@ Dendrogram agglomerate(const SimilarityMatrix& matrix, Linkage linkage) {
   std::iota(node_id.begin(), node_id.end(), 0);
 
   auto nearest = [&](std::size_t slot) {
-    std::size_t best = n;
-    double best_dist = std::numeric_limits<double>::infinity();
-    for (std::size_t other = 0; other < n; ++other) {
-      if (other == slot || !active[other]) continue;
-      const double d = dist[slot * n + other];
-      if (d < best_dist) {
-        best_dist = d;
-        best = other;
-      }
-    }
-    MRMC_CHECK(best < n, "no active neighbour found");
-    return std::pair{best, best_dist};
+    const std::span<const double> row(dist.data() + slot * n, n);
+    const std::size_t best = kernels::argmin(row);
+    MRMC_CHECK(best < n && row[best] < kInf, "no active neighbour found");
+    return std::pair{best, row[best]};
   };
 
   std::vector<std::size_t> chain;
@@ -138,6 +169,11 @@ Dendrogram agglomerate(const SimilarityMatrix& matrix, Linkage linkage) {
           dist[k * n + a] = updated;
         }
         active[b] = false;
+        // Retire slot b: +inf across its row and column keeps it invisible
+        // to the branch-free min scans.
+        std::fill(dist.begin() + static_cast<std::ptrdiff_t>(b * n),
+                  dist.begin() + static_cast<std::ptrdiff_t>((b + 1) * n), kInf);
+        for (std::size_t k = 0; k < n; ++k) dist[k * n + b] = kInf;
         cluster_size[a] += cluster_size[b];
         node_id[a] = static_cast<int>(n + merges_done);
         ++merges_done;
@@ -220,17 +256,33 @@ std::vector<int> cut_dendrogram(const Dendrogram& dendrogram, double theta) {
 }
 
 
-HierarchicalResult hierarchical_cluster(std::span<const Sketch> sketches,
-                                        const HierarchicalParams& params,
-                                        common::ThreadPool* pool) {
+namespace {
+
+HierarchicalResult cluster_from_matrix(const SimilarityMatrix& matrix,
+                                       const HierarchicalParams& params) {
   HierarchicalResult result;
-  if (sketches.empty()) return result;
-  const SimilarityMatrix matrix =
-      pairwise_similarity_matrix(sketches, params.estimator, pool);
   result.dendrogram = agglomerate(matrix, params.linkage);
   result.labels = cut_dendrogram(result.dendrogram, params.theta);
   result.num_clusters = count_clusters(result.labels);
   return result;
+}
+
+}  // namespace
+
+HierarchicalResult hierarchical_cluster(const kernels::SketchMatrix& sketches,
+                                        const HierarchicalParams& params,
+                                        common::ThreadPool* pool) {
+  if (sketches.empty()) return {};
+  return cluster_from_matrix(
+      pairwise_similarity_matrix(sketches, params.estimator, pool), params);
+}
+
+HierarchicalResult hierarchical_cluster(std::span<const Sketch> sketches,
+                                        const HierarchicalParams& params,
+                                        common::ThreadPool* pool) {
+  if (sketches.empty()) return {};
+  return cluster_from_matrix(
+      pairwise_similarity_matrix(sketches, params.estimator, pool), params);
 }
 
 std::size_t count_clusters(std::span<const int> labels) {

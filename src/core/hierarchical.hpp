@@ -41,14 +41,24 @@ class SimilarityMatrix {
   [[nodiscard]] std::span<const float> row(std::size_t i) const noexcept {
     return {data_.data() + i * n_, n_};
   }
+  /// Raw n×n storage for the blocked fill kernel.
+  [[nodiscard]] float* mutable_data() noexcept { return data_.data(); }
 
  private:
   std::size_t n_ = 0;
   std::vector<float> data_;
 };
 
-/// All-pairs sketch similarity.  When `pool` is non-null rows are computed
-/// in parallel (the paper's row-wise partition, Section III-C).
+/// All-pairs sketch similarity over the flat sketch store.  Component-match
+/// runs the cache-blocked SIMD tile kernel; set-based pre-sorts once into a
+/// SortedSketchStore.  When `pool` is non-null blocks/rows are computed in
+/// parallel (the paper's row-wise partition, Section III-C); the result is
+/// identical at any thread count.
+SimilarityMatrix pairwise_similarity_matrix(const kernels::SketchMatrix& sketches,
+                                            SketchEstimator estimator,
+                                            common::ThreadPool* pool = nullptr);
+
+/// vector<Sketch> convenience wrapper (gathers into a SketchMatrix first).
 SimilarityMatrix pairwise_similarity_matrix(std::span<const Sketch> sketches,
                                             SketchEstimator estimator,
                                             common::ThreadPool* pool = nullptr);
@@ -86,6 +96,9 @@ struct HierarchicalResult {
 };
 
 /// Convenience: matrix + agglomerate + cut in one call.
+HierarchicalResult hierarchical_cluster(const kernels::SketchMatrix& sketches,
+                                        const HierarchicalParams& params,
+                                        common::ThreadPool* pool = nullptr);
 HierarchicalResult hierarchical_cluster(std::span<const Sketch> sketches,
                                         const HierarchicalParams& params,
                                         common::ThreadPool* pool = nullptr);

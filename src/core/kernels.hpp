@@ -1,0 +1,170 @@
+// core::kernels — the batched compute substrate under every clustering mode.
+//
+// The paper's whole compute budget is Equation 4/5 sketching plus all-pairs
+// sketch comparison (Sections III-A/B).  This layer provides those two hot
+// loops as batched kernels with a runtime-dispatched AVX2 path and a
+// portable scalar fallback that is **bit-identical** (both paths compute the
+// exact Carter-Wegman residue and exact match counts, so greedy /
+// hierarchical / pipeline outputs and the simulated-clock cost model do not
+// depend on the instruction set):
+//
+//  * min_sketch        — batched minwise hashing: SoA hash parameters,
+//                        hash-outer / feature-inner loops, 4-way unrolled
+//                        Mersenne-61 reduction (AVX2: 4 hash lanes per
+//                        feature broadcast).
+//  * count_equal       — positions with equal 64-bit components (AVX2:
+//                        cmpeq + movemask popcount), the component-match
+//                        estimator's inner loop.
+//  * component_match_matrix — cache-blocked all-pairs similarity fill over a
+//                        flat SketchMatrix (no pointer chase per cell).
+//  * argmin            — first-minimum row scan for the nearest-neighbour
+//                        chain in agglomerate().
+//
+// Dispatch is race-free: the backend is chosen once via a function-local
+// static (C++11 magic statics).  `MRMC_FORCE_SCALAR=1` is the escape hatch
+// that pins the scalar path regardless of CPU support.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mrmc::common {
+class ThreadPool;
+}  // namespace mrmc::common
+
+namespace mrmc::core::kernels {
+
+/// Instruction-set backend for the kernels.  Every backend produces
+/// bit-identical results; only throughput differs.
+enum class Backend {
+  kScalar,  ///< portable C++, 4-way unrolled
+  kAvx2,    ///< AVX2 (x86-64), 4 × 64-bit lanes
+};
+
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+/// True when `backend` can run on this machine (compiled in + CPU support).
+[[nodiscard]] bool backend_available(Backend backend) noexcept;
+
+/// The dispatched backend: best available unless MRMC_FORCE_SCALAR is set
+/// (or a test override is active).  Decided once, thread-safe.
+[[nodiscard]] Backend active_backend() noexcept;
+
+/// Test hook: force every `active_backend()` call to return `backend` while
+/// alive.  Install before spawning worker threads; not for production use.
+class ScopedBackendOverride {
+ public:
+  explicit ScopedBackendOverride(Backend backend);
+  ~ScopedBackendOverride();
+  ScopedBackendOverride(const ScopedBackendOverride&) = delete;
+  ScopedBackendOverride& operator=(const ScopedBackendOverride&) = delete;
+};
+
+/// p = 2^61 - 1, the Mersenne prime of the Carter-Wegman family.
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// Sentinel minimum for an empty feature set (no x to minimize over).
+inline constexpr std::uint64_t kEmptyFeatureMin = ~std::uint64_t{0};
+
+namespace detail {
+
+/// (value) mod (2^61 - 1) for a full 128-bit product, exploiting the
+/// Mersenne structure: (hi·2^61 + lo) ≡ hi + lo (mod p).
+constexpr std::uint64_t mod_mersenne61(__uint128_t value) noexcept {
+  value = (value & kMersenne61) + (value >> 61);  // < 2^64 + 2^61
+  value = (value & kMersenne61) + (value >> 61);  // < 2^61 + 8
+  auto reduced = static_cast<std::uint64_t>(value);
+  if (reduced >= kMersenne61) reduced -= kMersenne61;
+  return reduced;
+}
+
+/// One Carter-Wegman evaluation h(x) = (a·x + b) mod p.
+constexpr std::uint64_t cw_hash(std::uint64_t a, std::uint64_t b,
+                                std::uint64_t x) noexcept {
+  return mod_mersenne61(static_cast<__uint128_t>(a) * x + b);
+}
+
+}  // namespace detail
+
+/// Batched minwise hashing (Equations 4/5): for every hash i,
+///   out[i] = min over features x of ((mul[i]·x + add[i]) mod p) [% modulus]
+/// with `modulus == 0` meaning "no outer mod".  `mul`, `add`, `out` must
+/// have equal length (the SoA hash-parameter layout).  An empty feature set
+/// fills `out` with kEmptyFeatureMin.
+void min_sketch(std::span<const std::uint64_t> mul,
+                std::span<const std::uint64_t> add, std::uint64_t modulus,
+                std::span<const std::uint64_t> features,
+                std::span<std::uint64_t> out,
+                Backend backend = active_backend());
+
+/// Number of positions i with a[i] == b[i] (spans must have equal length).
+[[nodiscard]] std::size_t count_equal(std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b,
+                                      Backend backend = active_backend()) noexcept;
+
+/// First index of the minimum of `row` (ties -> lowest index), or
+/// row.size() when the row is empty.  +inf entries mark dead slots; the scan
+/// assumes no NaNs.
+[[nodiscard]] std::size_t argmin(std::span<const double> row,
+                                 Backend backend = active_backend()) noexcept;
+
+/// Number of distinct values in `values`.  `scratch` is a caller-owned
+/// buffer reused across calls, so the hot path performs no allocation once
+/// the buffer has warmed up.
+[[nodiscard]] std::size_t count_distinct(std::span<const std::uint64_t> values,
+                                         std::vector<std::uint64_t>& scratch);
+
+/// Flat row-major sketch store: rows() sketches of cols() minima each in one
+/// contiguous uint64_t block — the similarity kernels' substrate (replaces
+/// vector<vector<uint64_t>> and its per-cell pointer chase).
+class SketchMatrix {
+ public:
+  SketchMatrix() = default;
+  SketchMatrix(std::size_t rows, std::size_t cols, std::uint64_t fill = 0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+
+  [[nodiscard]] std::span<std::uint64_t> row(std::size_t i) noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> row(std::size_t i) const noexcept {
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] const std::uint64_t* row_ptr(std::size_t i) const noexcept {
+    return data_.data() + i * cols_;
+  }
+  [[nodiscard]] const std::uint64_t* data() const noexcept { return data_.data(); }
+
+  /// Gather a vector-of-sketches into a flat matrix.  All sketches must have
+  /// the same length (MinHasher guarantees this).
+  static SketchMatrix from_sketches(
+      std::span<const std::vector<std::uint64_t>> sketches);
+
+  /// Inverse of from_sketches (for APIs that still speak vector<Sketch>).
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> to_sketches() const;
+
+  friend bool operator==(const SketchMatrix&, const SketchMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+/// Cache-blocked all-pairs component-match fill: writes the full symmetric
+/// n×n matrix (diagonal 1.0f) into `out` with `stride` floats per row.
+/// out[i*stride+j] = float(count_equal(row i, row j) / cols); 0.0f off the
+/// diagonal when cols == 0 (matching component_match_similarity on empty
+/// sketches).  Rows are processed in blocks so each block stays L1-resident
+/// while the partner rows stream.  When `pool` is non-null, blocks run in
+/// parallel; the result is identical at any thread count.
+void component_match_matrix(const SketchMatrix& sketches, float* out,
+                            std::size_t stride,
+                            Backend backend = active_backend(),
+                            common::ThreadPool* pool = nullptr);
+
+}  // namespace mrmc::core::kernels

@@ -4,26 +4,9 @@
 
 #include "common/error.hpp"
 #include "common/prng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace mrmc::core {
-
-namespace {
-
-/// (a * x + b) mod (2^61 - 1) without overflow, exploiting the Mersenne
-/// structure: for p = 2^61 - 1, (hi·2^61 + lo) ≡ hi + lo (mod p).
-constexpr std::uint64_t mod_mersenne61(__uint128_t value) noexcept {
-  constexpr std::uint64_t p = UniversalHashFamily::kPrime;
-  // value < 2^125; two folds bring it under 2^61 + epsilon, then one
-  // conditional subtraction completes the reduction.  (A single fold is NOT
-  // enough: for 64-bit inputs the high part alone exceeds p.)
-  value = (value & p) + (value >> 61);  // < 2^64 + 2^61
-  value = (value & p) + (value >> 61);  // < 2^61 + 8
-  auto reduced = static_cast<std::uint64_t>(value);
-  if (reduced >= p) reduced -= p;
-  return reduced;
-}
-
-}  // namespace
 
 UniversalHashFamily::UniversalHashFamily(std::size_t count, std::uint64_t m,
                                          std::uint64_t seed)
@@ -40,8 +23,7 @@ UniversalHashFamily::UniversalHashFamily(std::size_t count, std::uint64_t m,
 }
 
 std::uint64_t UniversalHashFamily::hash(std::size_t i, std::uint64_t x) const noexcept {
-  const __uint128_t prod = static_cast<__uint128_t>(a_[i]) * x + b_[i];
-  const std::uint64_t mod_p = mod_mersenne61(prod);
+  const std::uint64_t mod_p = kernels::detail::cw_hash(a_[i], b_[i], x);
   return m_ == 0 ? mod_p : mod_p % m_;
 }
 
@@ -51,45 +33,101 @@ MinHasher::MinHasher(MinHashParams params)
                "kmer size must be in [1, 31]");
 }
 
+void MinHasher::sketch_features_into(std::span<const std::uint64_t> features,
+                                     std::span<std::uint64_t> out) const {
+  MRMC_REQUIRE(out.size() == family_.size(), "output span must hold one slot per hash");
+  kernels::min_sketch(family_.multipliers(), family_.offsets(),
+                      family_.modulus(), features, out);
+}
+
 Sketch MinHasher::sketch_features(std::span<const std::uint64_t> features) const {
-  Sketch sketch(family_.size(), kEmptyMin);
-  for (const std::uint64_t x : features) {
-    for (std::size_t i = 0; i < family_.size(); ++i) {
-      const std::uint64_t h = family_.hash(i, x);
-      if (h < sketch[i]) sketch[i] = h;
-    }
-  }
+  Sketch sketch(family_.size());
+  sketch_features_into(features, sketch);
   return sketch;
 }
 
 Sketch MinHasher::sketch(std::string_view seq) const {
-  const auto features =
-      bio::kmer_set(seq, {.k = params_.kmer, .canonical = params_.canonical});
+  thread_local std::vector<std::uint64_t> features;
+  bio::kmer_set_into(seq, {.k = params_.kmer, .canonical = params_.canonical},
+                     features);
   return sketch_features(features);
 }
 
 std::vector<Sketch> MinHasher::sketch_all(
-    std::span<const std::string_view> seqs) const {
-  std::vector<Sketch> sketches;
-  sketches.reserve(seqs.size());
-  for (const auto seq : seqs) sketches.push_back(sketch(seq));
+    std::span<const std::string_view> seqs, common::ThreadPool* pool) const {
+  std::vector<Sketch> sketches(seqs.size());
+  auto sketch_one = [&](std::size_t i) { sketches[i] = sketch(seqs[i]); };
+  if (pool != nullptr && seqs.size() > 1) {
+    pool->parallel_for(seqs.size(), sketch_one);
+  } else {
+    for (std::size_t i = 0; i < seqs.size(); ++i) sketch_one(i);
+  }
   return sketches;
 }
 
+kernels::SketchMatrix MinHasher::sketch_matrix(
+    std::span<const std::string_view> seqs, common::ThreadPool* pool) const {
+  kernels::SketchMatrix matrix(seqs.size(), family_.size());
+  auto sketch_row = [&](std::size_t i) {
+    thread_local std::vector<std::uint64_t> features;
+    bio::kmer_set_into(seqs[i],
+                       {.k = params_.kmer, .canonical = params_.canonical},
+                       features);
+    kernels::min_sketch(family_.multipliers(), family_.offsets(),
+                        family_.modulus(), features, matrix.row(i));
+  };
+  if (pool != nullptr && seqs.size() > 1) {
+    pool->parallel_for(seqs.size(), sketch_row);
+  } else {
+    for (std::size_t i = 0; i < seqs.size(); ++i) sketch_row(i);
+  }
+  return matrix;
+}
+
+// ---------------------------------------------------------- SortedSketchStore
+
+void SortedSketchStore::append(std::span<const std::uint64_t> sketch,
+                               std::vector<std::uint64_t>& scratch) {
+  scratch.assign(sketch.begin(), sketch.end());
+  std::sort(scratch.begin(), scratch.end());
+  scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+  values_.insert(values_.end(), scratch.begin(), scratch.end());
+  offsets_.push_back(values_.size());
+}
+
+SortedSketchStore::SortedSketchStore(std::span<const Sketch> sketches) {
+  offsets_.reserve(sketches.size() + 1);
+  offsets_.push_back(0);
+  std::vector<std::uint64_t> scratch;
+  for (const auto& sketch : sketches) append(sketch, scratch);
+}
+
+SortedSketchStore::SortedSketchStore(const kernels::SketchMatrix& sketches) {
+  offsets_.reserve(sketches.rows() + 1);
+  offsets_.push_back(0);
+  values_.reserve(sketches.rows() * sketches.cols());
+  std::vector<std::uint64_t> scratch;
+  for (std::size_t i = 0; i < sketches.rows(); ++i) {
+    append(sketches.row(i), scratch);
+  }
+}
+
+// ------------------------------------------------------------------ estimators
+
 double component_match_similarity(const Sketch& a, const Sketch& b) noexcept {
   if (a.empty() || a.size() != b.size()) return 0.0;
-  std::size_t matches = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] == b[i]) ++matches;
-  }
+  const std::size_t matches = kernels::count_equal(a, b);
   return static_cast<double>(matches) / static_cast<double>(a.size());
 }
 
 double set_based_similarity(const Sketch& a, const Sketch& b) {
   if (a.empty() || b.empty()) return 0.0;
-  Sketch sa = a, sb = b;
+  // Reused thread-local scratch: no allocation or copy churn per pair.
+  thread_local std::vector<std::uint64_t> sa, sb;
+  sa.assign(a.begin(), a.end());
   std::sort(sa.begin(), sa.end());
   sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  sb.assign(b.begin(), b.end());
   std::sort(sb.begin(), sb.end());
   sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
   return bio::exact_jaccard(sa, sb);

@@ -13,6 +13,9 @@
 //  * kSetBased — |set(s1^) ∩ set(s2^)| / |set(s1^) ∪ set(s2^)| over the
 //    multisets of minwise values (Algorithm 1, line 9 — what the paper's
 //    pseudo-code literally computes).
+//
+// The hot loops live in core::kernels (batched SIMD with a bit-identical
+// scalar fallback); this header is the sketch-level API on top of them.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +24,11 @@
 #include <vector>
 
 #include "bio/kmer.hpp"
+#include "core/kernels.hpp"
+
+namespace mrmc::common {
+class ThreadPool;
+}  // namespace mrmc::common
 
 namespace mrmc::core {
 
@@ -29,7 +37,7 @@ using Sketch = std::vector<std::uint64_t>;
 
 /// Sentinel component for a sequence with an empty feature set (shorter than
 /// k or all-ambiguous): no x exists to minimize over.
-inline constexpr std::uint64_t kEmptyMin = ~std::uint64_t{0};
+inline constexpr std::uint64_t kEmptyMin = kernels::kEmptyFeatureMin;
 
 enum class SketchEstimator {
   kComponentMatch,  ///< mean of [min_i(A) == min_i(B)]
@@ -37,7 +45,8 @@ enum class SketchEstimator {
 };
 
 /// Carter-Wegman universal hash family with p = 2^61 - 1 (Mersenne prime).
-/// Parameters a_i ∈ [1, p), b_i ∈ [0, p) are drawn from a seeded PRNG.
+/// Parameters a_i ∈ [1, p), b_i ∈ [0, p) are drawn from a seeded PRNG and
+/// stored SoA so the batched kernels can stream them.
 class UniversalHashFamily {
  public:
   /// `m` is the outer modulus — the k-mer feature-space size 4^k per the
@@ -51,7 +60,15 @@ class UniversalHashFamily {
   /// h_i(x).
   [[nodiscard]] std::uint64_t hash(std::size_t i, std::uint64_t x) const noexcept;
 
-  static constexpr std::uint64_t kPrime = (std::uint64_t{1} << 61) - 1;
+  /// SoA parameter views for the batched kernels.
+  [[nodiscard]] std::span<const std::uint64_t> multipliers() const noexcept {
+    return a_;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
+    return b_;
+  }
+
+  static constexpr std::uint64_t kPrime = kernels::kMersenne61;
 
  private:
   std::vector<std::uint64_t> a_;
@@ -79,6 +96,9 @@ class MinHasher {
 
   [[nodiscard]] const MinHashParams& params() const noexcept { return params_; }
   [[nodiscard]] std::size_t sketch_size() const noexcept { return family_.size(); }
+  [[nodiscard]] const UniversalHashFamily& family() const noexcept {
+    return family_;
+  }
 
   /// Sketch of one sequence (Equation 4).
   [[nodiscard]] Sketch sketch(std::string_view seq) const;
@@ -86,13 +106,54 @@ class MinHasher {
   /// Sketch of an explicit feature set.
   [[nodiscard]] Sketch sketch_features(std::span<const std::uint64_t> features) const;
 
-  /// Sketches for many sequences.
+  /// Allocation-free variant: writes the sketch into `out` (length
+  /// sketch_size()).
+  void sketch_features_into(std::span<const std::uint64_t> features,
+                            std::span<std::uint64_t> out) const;
+
+  /// Sketches for many sequences.  When `pool` is non-null, reads are
+  /// sketched in parallel; the result is identical at any thread count.
   [[nodiscard]] std::vector<Sketch> sketch_all(
-      std::span<const std::string_view> seqs) const;
+      std::span<const std::string_view> seqs,
+      common::ThreadPool* pool = nullptr) const;
+
+  /// Batched variant: all sketches in one flat row-major matrix (the
+  /// similarity kernels' native layout).
+  [[nodiscard]] kernels::SketchMatrix sketch_matrix(
+      std::span<const std::string_view> seqs,
+      common::ThreadPool* pool = nullptr) const;
 
  private:
   MinHashParams params_;
   UniversalHashFamily family_;
+};
+
+/// Pre-sorted unique minima of a set of sketches, stored flat so repeated
+/// set-based comparisons (greedy sweeps, medoid scans, matrix fills) pay the
+/// sort once per sketch instead of twice per pair.
+class SortedSketchStore {
+ public:
+  SortedSketchStore() = default;
+  explicit SortedSketchStore(std::span<const Sketch> sketches);
+  explicit SortedSketchStore(const kernels::SketchMatrix& sketches);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> row(std::size_t i) const noexcept {
+    return {values_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+  /// == bio::exact_jaccard over the sorted unique minima of sketches i and j.
+  [[nodiscard]] double jaccard(std::size_t i, std::size_t j) const noexcept {
+    return bio::exact_jaccard(row(i), row(j));
+  }
+
+ private:
+  void append(std::span<const std::uint64_t> sketch,
+              std::vector<std::uint64_t>& scratch);
+
+  std::vector<std::uint64_t> values_;
+  std::vector<std::size_t> offsets_;
 };
 
 /// Estimated Jaccard similarity of two sketches (must be equal length).
@@ -103,7 +164,8 @@ class MinHasher {
 [[nodiscard]] double component_match_similarity(const Sketch& a,
                                                 const Sketch& b) noexcept;
 
-/// Set-based estimator of Algorithm 1 line 9.
+/// Set-based estimator of Algorithm 1 line 9.  Sort work runs in reused
+/// thread-local scratch; for repeated comparisons prefer SortedSketchStore.
 [[nodiscard]] double set_based_similarity(const Sketch& a, const Sketch& b);
 
 }  // namespace mrmc::core

@@ -19,6 +19,27 @@ std::vector<OtuEntry> build_otu_table(std::span<const int> labels,
     members[labels[i]].push_back(i);
   }
 
+  // Medoid scans compare each member against every other member; when the
+  // sketches are uniform (the normal MinHasher output) pay the set-based sort
+  // once per sketch up front and use the batched equality kernel for
+  // component-match.  Ragged inputs keep the legacy per-pair path.
+  const bool need_medoid =
+      std::any_of(members.begin(), members.end(), [&](const auto& entry) {
+        return entry.second.size() > 2 && entry.second.size() <= medoid_cap;
+      });
+  const bool uniform = std::all_of(
+      sketches.begin(), sketches.end(),
+      [&](const Sketch& s) { return s.size() == sketches.front().size(); });
+  const SortedSketchStore store =
+      need_medoid && uniform && estimator == SketchEstimator::kSetBased
+          ? SortedSketchStore(sketches)
+          : SortedSketchStore();
+  auto pair_sim = [&](std::size_t i, std::size_t j) {
+    if (!uniform) return sketch_similarity(sketches[i], sketches[j], estimator);
+    if (estimator == SketchEstimator::kSetBased) return store.jaccard(i, j);
+    return component_match_similarity(sketches[i], sketches[j]);
+  };
+
   std::vector<OtuEntry> table;
   table.reserve(members.size());
   const auto total = static_cast<double>(labels.size());
@@ -36,8 +57,7 @@ std::vector<OtuEntry> build_otu_table(std::span<const int> labels,
         double sum = 0.0;
         for (const std::size_t other : indices) {
           if (other == candidate) continue;
-          sum += sketch_similarity(sketches[candidate], sketches[other],
-                                   estimator);
+          sum += pair_sim(candidate, other);
         }
         if (sum > best_total) {
           best_total = sum;

@@ -79,10 +79,9 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
           const IndexedRead& read, mr::Emitter<std::uint32_t, Sketch>& emit) {
         Sketch sketch = hasher->sketch(read.seq);
         sketch_bytes_hist.observe(mr::approx_bytes(sketch));
-        Sketch sorted = sketch;
-        std::sort(sorted.begin(), sorted.end());
-        sketch_minima_hist.observe(static_cast<double>(
-            std::unique(sorted.begin(), sorted.end()) - sorted.begin()));
+        thread_local std::vector<std::uint64_t> scratch;
+        sketch_minima_hist.observe(
+            static_cast<double>(kernels::count_distinct(sketch, scratch)));
         emit.emit(read.index, std::move(sketch));
         emit.count("reads.sketched");
       },
@@ -136,6 +135,13 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
   config.fault_plan = exec.fault_plan;
   config.cluster = exec.cluster;
 
+  // Set-based rows re-compare every sketch pair; pre-sort each sketch once
+  // into a flat store shared (read-only) by all map tasks instead of sorting
+  // two copies per pair inside the row loop.
+  auto store = estimator == SketchEstimator::kSetBased
+                   ? std::make_shared<const SortedSketchStore>(*sketches)
+                   : nullptr;
+
   // Per-row fan-out: how many of the row's pairs clear theta — the density
   // signal that decides whether sparse clustering would pay off.
   auto& fanout_hist =
@@ -143,15 +149,18 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
   const auto theta = static_cast<float>(params.theta);
   SimJob job(
       config,
-      [sketches, estimator, theta, &fanout_hist](
+      [sketches, store, estimator, theta, &fanout_hist](
           const std::uint32_t& row, mr::Emitter<std::uint32_t, Row>& emit) {
         const auto& all = *sketches;
         Row sims;
         sims.reserve(all.size() - row - 1);
         std::size_t fanout = 0;
         for (std::size_t j = row + 1; j < all.size(); ++j) {
-          sims.push_back(static_cast<float>(
-              sketch_similarity(all[row], all[j], estimator)));
+          const double sim =
+              estimator == SketchEstimator::kSetBased
+                  ? store->jaccard(row, j)
+                  : component_match_similarity(all[row], all[j]);
+          sims.push_back(static_cast<float>(sim));
           if (sims.back() >= theta) ++fanout;
         }
         fanout_hist.observe(static_cast<double>(fanout));
@@ -344,15 +353,18 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
     }
   } else {
     const MinHasher hasher(params.minhash);
-    std::vector<Sketch> sketches;
-    sketches.reserve(reads.size());
-    for (const auto& read : reads) sketches.push_back(hasher.sketch(read.seq));
+    std::vector<std::string_view> seqs;
+    seqs.reserve(reads.size());
+    for (const auto& read : reads) seqs.emplace_back(read.seq);
+
+    mr::runtime::PoolLease lease(exec.threads, exec.isolated_pool);
+    const kernels::SketchMatrix sketches =
+        hasher.sketch_matrix(seqs, &lease.pool());
 
     if (params.mode == Mode::kGreedy) {
       result.labels =
           greedy_cluster(sketches, {params.theta, params.greedy_estimator}).labels;
     } else {
-      mr::runtime::PoolLease lease(exec.threads, exec.isolated_pool);
       result.labels = hierarchical_cluster(
                           sketches,
                           {params.theta, params.linkage, params.estimator},

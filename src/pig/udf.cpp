@@ -106,13 +106,31 @@ Bag CalculatePairwiseSimilarity::exec(const Tuple& input) const {
     sketches.push_back(to_sketch(tuple.get<std::vector<long>>(0)));
   }
 
+  // Minwise tuples in a group all come from the same CalculateMinwiseHash, so
+  // the sketches are uniform in practice: pre-sort each once (set-based) or
+  // run the batched equality kernel (component-match).  Ragged groups fall
+  // back to the legacy per-pair estimator.
+  const bool uniform = std::all_of(
+      sketches.begin(), sketches.end(), [&](const core::Sketch& s) {
+        return s.size() == sketches.front().size();
+      });
+  const core::SortedSketchStore store =
+      uniform && estimator_ == core::SketchEstimator::kSetBased
+          ? core::SortedSketchStore(std::span<const core::Sketch>(sketches))
+          : core::SortedSketchStore();
+  auto pair_sim = [&](std::size_t i, std::size_t j) {
+    if (!uniform) return core::sketch_similarity(sketches[i], sketches[j], estimator_);
+    if (estimator_ == core::SketchEstimator::kSetBased) return store.jaccard(i, j);
+    return core::component_match_similarity(sketches[i], sketches[j]);
+  };
+
   Bag rows;
   rows.reserve(group.size());
   for (std::size_t i = 0; i < sketches.size(); ++i) {
     std::vector<double> sims;
     sims.reserve(sketches.size() - i - 1);
     for (std::size_t j = i + 1; j < sketches.size(); ++j) {
-      sims.push_back(core::sketch_similarity(sketches[i], sketches[j], estimator_));
+      sims.push_back(pair_sim(i, j));
     }
     Tuple row;
     row.fields.emplace_back(static_cast<long>(i));

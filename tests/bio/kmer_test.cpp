@@ -105,17 +105,23 @@ TEST(ExactJaccard, IdenticalSetsAreOne) {
 }
 
 TEST(ExactJaccard, DisjointSetsAreZero) {
-  EXPECT_DOUBLE_EQ(exact_jaccard({1, 2}, {3, 4}), 0.0);
+  const std::vector<std::uint64_t> a{1, 2};
+  const std::vector<std::uint64_t> b{3, 4};
+  EXPECT_DOUBLE_EQ(exact_jaccard(a, b), 0.0);
 }
 
 TEST(ExactJaccard, PartialOverlap) {
   // {1,2,3} vs {2,3,4}: |∩|=2, |∪|=4.
-  EXPECT_DOUBLE_EQ(exact_jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  const std::vector<std::uint64_t> a{1, 2, 3};
+  const std::vector<std::uint64_t> b{2, 3, 4};
+  EXPECT_DOUBLE_EQ(exact_jaccard(a, b), 0.5);
 }
 
 TEST(ExactJaccard, EmptySets) {
-  EXPECT_DOUBLE_EQ(exact_jaccard({}, {}), 1.0);
-  EXPECT_DOUBLE_EQ(exact_jaccard({1}, {}), 0.0);
+  const std::vector<std::uint64_t> one{1};
+  const std::vector<std::uint64_t> empty;
+  EXPECT_DOUBLE_EQ(exact_jaccard(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(exact_jaccard(one, empty), 0.0);
 }
 
 TEST(ExactJaccard, IsSymmetric) {

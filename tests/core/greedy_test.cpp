@@ -32,7 +32,7 @@ std::vector<Sketch> family_sketches(std::size_t families, std::size_t per_family
 }
 
 TEST(GreedyCluster, EmptyInput) {
-  const GreedyResult result = greedy_cluster({}, {});
+  const GreedyResult result = greedy_cluster(std::span<const Sketch>{}, {});
   EXPECT_TRUE(result.labels.empty());
   EXPECT_EQ(result.num_clusters, 0u);
 }

@@ -226,7 +226,8 @@ TEST(HierarchicalCluster, EndToEndRecoversFamilies) {
 }
 
 TEST(HierarchicalCluster, EmptyInput) {
-  const HierarchicalResult result = hierarchical_cluster({}, {});
+  const HierarchicalResult result =
+      hierarchical_cluster(std::span<const Sketch>{}, {});
   EXPECT_TRUE(result.labels.empty());
   EXPECT_EQ(result.num_clusters, 0u);
 }

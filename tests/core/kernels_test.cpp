@@ -1,0 +1,482 @@
+// Scalar-vs-SIMD equivalence suite for core::kernels.
+//
+// The kernel layer's contract is *bit identity*: the AVX2 path must produce
+// exactly the bytes the scalar path produces — same sketches, same match
+// counts, same argmin indices — so clustering output and the simulated-clock
+// cost model never depend on the host instruction set or thread count.
+// These tests enforce that contract directly (kernel by kernel) and
+// end-to-end (similarity matrices, dendrograms, pipeline labels).
+
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bio/fasta.hpp"
+#include "bio/kmer.hpp"
+#include "common/prng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/greedy.hpp"
+#include "core/hierarchical.hpp"
+#include "core/minhash.hpp"
+#include "core/pipeline.hpp"
+
+namespace mrmc::core {
+namespace {
+
+using kernels::Backend;
+
+bool avx2_available() { return kernels::backend_available(Backend::kAvx2); }
+
+/// Random ACGT sequence with occasional ambiguous bases.
+std::string random_seq(common::Xoshiro256& rng, std::size_t length,
+                       double n_rate = 0.0) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string seq;
+  seq.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    if (n_rate > 0.0 && rng.bounded(1000) < static_cast<std::uint64_t>(n_rate * 1000)) {
+      seq.push_back('N');
+    } else {
+      seq.push_back(kBases[rng.bounded(4)]);
+    }
+  }
+  return seq;
+}
+
+std::vector<std::uint64_t> random_features(common::Xoshiro256& rng,
+                                           std::size_t count) {
+  std::vector<std::uint64_t> features(count);
+  for (auto& f : features) f = rng();  // full 64-bit range on purpose
+  return features;
+}
+
+// ------------------------------------------------------------- min_sketch
+
+TEST(MinSketchEquivalence, BitIdenticalAcrossBackendsAndShapes) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  common::Xoshiro256 rng(42);
+  const std::uint64_t pow2_mod = std::uint64_t{1} << 30;   // 4^15
+  const std::uint64_t odd_mod = (std::uint64_t{1} << 30) - 7;  // non-pow2
+  for (const std::size_t num_hashes : {1UL, 3UL, 5UL, 8UL, 100UL, 101UL}) {
+    for (const std::uint64_t modulus : {std::uint64_t{0}, pow2_mod, odd_mod}) {
+      UniversalHashFamily family(num_hashes, modulus, rng());
+      for (const std::size_t n_features : {1UL, 2UL, 7UL, 64UL, 257UL}) {
+        const auto features = random_features(rng, n_features);
+        std::vector<std::uint64_t> scalar(num_hashes);
+        std::vector<std::uint64_t> simd(num_hashes);
+        kernels::min_sketch(family.multipliers(), family.offsets(), modulus,
+                            features, scalar, Backend::kScalar);
+        kernels::min_sketch(family.multipliers(), family.offsets(), modulus,
+                            features, simd, Backend::kAvx2);
+        ASSERT_EQ(scalar, simd)
+            << "num_hashes=" << num_hashes << " modulus=" << modulus
+            << " n_features=" << n_features;
+      }
+    }
+  }
+}
+
+TEST(MinSketchEquivalence, MatchesDirectHashFamilyEvaluation) {
+  common::Xoshiro256 rng(7);
+  const std::uint64_t pow2_mod = std::uint64_t{1} << 10;  // 4^5
+  for (const std::uint64_t modulus : {std::uint64_t{0}, pow2_mod,
+                                      std::uint64_t{999983}}) {
+    UniversalHashFamily family(13, modulus, 99);
+    const auto features = random_features(rng, 100);
+    std::vector<std::uint64_t> out(family.size());
+    kernels::min_sketch(family.multipliers(), family.offsets(), modulus,
+                        features, out, Backend::kScalar);
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      std::uint64_t expected = std::numeric_limits<std::uint64_t>::max();
+      for (const std::uint64_t x : features) {
+        expected = std::min(expected, family.hash(i, x));
+      }
+      EXPECT_EQ(out[i], expected) << "hash " << i << " modulus " << modulus;
+    }
+  }
+}
+
+TEST(MinSketchEquivalence, EmptyFeatureSetFillsSentinel) {
+  UniversalHashFamily family(5, 0, 1);
+  for (const Backend backend : {Backend::kScalar, Backend::kAvx2}) {
+    if (!kernels::backend_available(backend)) continue;
+    std::vector<std::uint64_t> out(5, 123);
+    kernels::min_sketch(family.multipliers(), family.offsets(), 0, {}, out,
+                        backend);
+    for (const std::uint64_t v : out) EXPECT_EQ(v, kernels::kEmptyFeatureMin);
+  }
+}
+
+TEST(MinSketchEquivalence, SketcherEquivalentAcrossKmerAndCanonical) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  common::Xoshiro256 rng(2026);
+  for (const int k : {1, 5, 15, 31}) {
+    for (const bool canonical : {false, true}) {
+      MinHashParams params;
+      params.kmer = k;
+      params.canonical = canonical;
+      params.num_hashes = 33;  // not a multiple of the AVX2 lane count
+      params.seed = static_cast<std::uint64_t>(k) * 2 + canonical;
+      const MinHasher hasher(params);
+      for (int rep = 0; rep < 8; ++rep) {
+        // Mix of short (< k), ambiguous-laden and normal reads.
+        const std::size_t length = rep == 0 ? static_cast<std::size_t>(k) / 2
+                                            : 20 + rng.bounded(180);
+        const std::string seq = random_seq(rng, length, rep % 3 == 0 ? 0.1 : 0.0);
+        Sketch scalar, simd;
+        {
+          kernels::ScopedBackendOverride force(Backend::kScalar);
+          scalar = hasher.sketch(seq);
+        }
+        {
+          kernels::ScopedBackendOverride force(Backend::kAvx2);
+          simd = hasher.sketch(seq);
+        }
+        ASSERT_EQ(scalar, simd) << "k=" << k << " canonical=" << canonical;
+      }
+    }
+  }
+}
+
+TEST(MinSketchEquivalence, EmptyReadSketchIsSentinel) {
+  const MinHasher hasher({.kmer = 15, .num_hashes = 9});
+  const std::vector<std::string> seqs = {"", "ACGT", "NNNNNNNNNNNNNNNNNNNN"};
+  for (const std::string& seq : seqs) {
+    const Sketch sketch = hasher.sketch(seq);
+    ASSERT_EQ(sketch.size(), 9U);
+    for (const std::uint64_t v : sketch) EXPECT_EQ(v, kEmptyMin);
+  }
+}
+
+// ------------------------------------------------------------ count_equal
+
+TEST(CountEqualEquivalence, AllLengthsIncludingTails) {
+  common::Xoshiro256 rng(5);
+  for (std::size_t len = 0; len <= 70; ++len) {
+    std::vector<std::uint64_t> a(len), b(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      a[i] = rng.bounded(4);  // small alphabet -> frequent equality
+      b[i] = rng.bounded(4);
+    }
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < len; ++i) expected += a[i] == b[i] ? 1 : 0;
+    EXPECT_EQ(kernels::count_equal(a, b, Backend::kScalar), expected);
+    if (avx2_available()) {
+      EXPECT_EQ(kernels::count_equal(a, b, Backend::kAvx2), expected)
+          << "len=" << len;
+    }
+  }
+}
+
+TEST(CountEqualEquivalence, HighBitValues) {
+  // Values with the top bit set would break a signed comparison scheme.
+  const std::vector<std::uint64_t> a{~0ULL, 1ULL << 63, 5, ~0ULL, 9};
+  const std::vector<std::uint64_t> b{~0ULL, 1ULL << 63, 6, 0, 9};
+  EXPECT_EQ(kernels::count_equal(a, b, Backend::kScalar), 3U);
+  if (avx2_available()) {
+    EXPECT_EQ(kernels::count_equal(a, b, Backend::kAvx2), 3U);
+  }
+}
+
+// ----------------------------------------------------------------- argmin
+
+TEST(ArgminEquivalence, FirstMinimumWins) {
+  common::Xoshiro256 rng(11);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t len = 1; len <= 40; ++len) {
+    for (int rep = 0; rep < 20; ++rep) {
+      std::vector<double> row(len);
+      for (auto& v : row) {
+        // Coarse grid so duplicate minima (ties) are common, plus +inf
+        // dead slots like the agglomerator produces.
+        v = rng.bounded(8) == 0 ? kInf
+                                : static_cast<double>(rng.bounded(6)) / 4.0;
+      }
+      std::size_t expected = 0;
+      for (std::size_t i = 1; i < len; ++i) {
+        if (row[i] < row[expected]) expected = i;
+      }
+      EXPECT_EQ(kernels::argmin(row, Backend::kScalar), expected);
+      if (avx2_available()) {
+        EXPECT_EQ(kernels::argmin(row, Backend::kAvx2), expected)
+            << "len=" << len << " rep=" << rep;
+      }
+    }
+  }
+}
+
+TEST(ArgminEquivalence, EmptyAndAllInfRows) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(kernels::argmin({}, Backend::kScalar), 0U);
+  const std::vector<double> dead(13, kInf);
+  EXPECT_EQ(kernels::argmin(dead, Backend::kScalar), 0U);
+  if (avx2_available()) {
+    EXPECT_EQ(kernels::argmin(dead, Backend::kAvx2), 0U);
+  }
+}
+
+// --------------------------------------------------------- count_distinct
+
+TEST(CountDistinct, MatchesSetSemantics) {
+  common::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> scratch;
+  for (int rep = 0; rep < 30; ++rep) {
+    std::vector<std::uint64_t> values(rng.bounded(50));
+    for (auto& v : values) v = rng.bounded(10);
+    const std::set<std::uint64_t> reference(values.begin(), values.end());
+    EXPECT_EQ(kernels::count_distinct(values, scratch), reference.size());
+  }
+  EXPECT_EQ(kernels::count_distinct({}, scratch), 0U);
+}
+
+// ----------------------------------------------------------- SketchMatrix
+
+TEST(SketchMatrix, RoundTripsThroughSketchVectors) {
+  common::Xoshiro256 rng(17);
+  std::vector<Sketch> sketches(9, Sketch(21));
+  for (auto& sketch : sketches) {
+    for (auto& v : sketch) v = rng();
+  }
+  const auto matrix = kernels::SketchMatrix::from_sketches(sketches);
+  EXPECT_EQ(matrix.rows(), 9U);
+  EXPECT_EQ(matrix.cols(), 21U);
+  EXPECT_EQ(matrix.to_sketches(), sketches);
+  for (std::size_t i = 0; i < sketches.size(); ++i) {
+    const auto row = matrix.row(i);
+    ASSERT_TRUE(std::equal(row.begin(), row.end(), sketches[i].begin()));
+  }
+}
+
+TEST(SketchMatrix, SketchMatrixMatchesSketchAll) {
+  common::Xoshiro256 rng(23);
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 12; ++i) seqs.push_back(random_seq(rng, 80));
+  std::vector<std::string_view> views(seqs.begin(), seqs.end());
+
+  const MinHasher hasher({.kmer = 5, .num_hashes = 17, .seed = 4});
+  common::ThreadPool pool(4);
+  const auto serial = hasher.sketch_all(views);
+  const auto pooled = hasher.sketch_all(views, &pool);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(kernels::SketchMatrix::from_sketches(serial),
+            hasher.sketch_matrix(views));
+  EXPECT_EQ(kernels::SketchMatrix::from_sketches(serial),
+            hasher.sketch_matrix(views, &pool));
+}
+
+// ------------------------------------------------------- SortedSketchStore
+
+TEST(SortedSketchStore, MatchesSetBasedSimilarity) {
+  common::Xoshiro256 rng(29);
+  std::vector<Sketch> sketches(10, Sketch(20));
+  for (auto& sketch : sketches) {
+    for (auto& v : sketch) v = rng.bounded(12);  // lots of duplicate minima
+  }
+  const SortedSketchStore store{std::span<const Sketch>(sketches)};
+  ASSERT_EQ(store.size(), sketches.size());
+  for (std::size_t i = 0; i < sketches.size(); ++i) {
+    for (std::size_t j = 0; j < sketches.size(); ++j) {
+      EXPECT_DOUBLE_EQ(store.jaccard(i, j),
+                       set_based_similarity(sketches[i], sketches[j]));
+    }
+  }
+}
+
+// ------------------------------------------- similarity matrices, end to end
+
+std::vector<bio::FastaRecord> make_reads(std::size_t count, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  // A few underlying templates with point mutations -> non-trivial clusters.
+  std::vector<std::string> templates;
+  for (int t = 0; t < 3; ++t) templates.push_back(random_seq(rng, 120));
+  std::vector<bio::FastaRecord> reads(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string seq = templates[i % templates.size()];
+    for (int m = 0; m < 4; ++m) {
+      seq[rng.bounded(seq.size())] = "ACGT"[rng.bounded(4)];
+    }
+    reads[i].id = "r" + std::to_string(i);
+    reads[i].seq = std::move(seq);
+  }
+  return reads;
+}
+
+TEST(SimilarityMatrixEquivalence, BackendsAndThreadCountsAgree) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  const auto reads = make_reads(70, 31);
+  std::vector<std::string_view> views;
+  for (const auto& read : reads) views.emplace_back(read.seq);
+  const MinHasher hasher({.kmer = 5, .num_hashes = 24, .seed = 8});
+  const auto matrix = hasher.sketch_matrix(views);
+
+  for (const SketchEstimator estimator :
+       {SketchEstimator::kComponentMatch, SketchEstimator::kSetBased}) {
+    SimilarityMatrix reference;
+    {
+      kernels::ScopedBackendOverride force(Backend::kScalar);
+      reference = pairwise_similarity_matrix(matrix, estimator);
+    }
+    for (const Backend backend : {Backend::kScalar, Backend::kAvx2}) {
+      kernels::ScopedBackendOverride force(backend);
+      common::ThreadPool pool(4);
+      for (common::ThreadPool* p : {static_cast<common::ThreadPool*>(nullptr),
+                                    &pool}) {
+        const SimilarityMatrix got = pairwise_similarity_matrix(matrix, estimator, p);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          for (std::size_t j = 0; j < got.size(); ++j) {
+            ASSERT_EQ(got.at(i, j), reference.at(i, j))
+                << "backend=" << kernels::backend_name(backend)
+                << " pooled=" << (p != nullptr) << " cell " << i << "," << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimilarityMatrixEquivalence, FlatMatrixMatchesSketchSpanPath) {
+  const auto reads = make_reads(40, 37);
+  std::vector<std::string_view> views;
+  for (const auto& read : reads) views.emplace_back(read.seq);
+  const MinHasher hasher({.kmer = 5, .num_hashes = 16, .seed = 5});
+  const auto sketches = hasher.sketch_all(views);
+  const auto matrix = hasher.sketch_matrix(views);
+  for (const SketchEstimator estimator :
+       {SketchEstimator::kComponentMatch, SketchEstimator::kSetBased}) {
+    const SimilarityMatrix via_span =
+        pairwise_similarity_matrix(std::span<const Sketch>(sketches), estimator);
+    const SimilarityMatrix via_matrix = pairwise_similarity_matrix(matrix, estimator);
+    for (std::size_t i = 0; i < via_span.size(); ++i) {
+      for (std::size_t j = 0; j < via_span.size(); ++j) {
+        ASSERT_EQ(via_span.at(i, j), via_matrix.at(i, j));
+      }
+    }
+  }
+}
+
+TEST(ClusteringEquivalence, GreedyIdenticalAcrossBackends) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  const auto reads = make_reads(60, 41);
+  std::vector<std::string_view> views;
+  for (const auto& read : reads) views.emplace_back(read.seq);
+  const MinHasher hasher({.kmer = 5, .num_hashes = 30, .seed = 3});
+  const auto matrix = hasher.sketch_matrix(views);
+  for (const SketchEstimator estimator :
+       {SketchEstimator::kComponentMatch, SketchEstimator::kSetBased}) {
+    const GreedyParams params{0.4, estimator};
+    GreedyResult scalar, simd;
+    {
+      kernels::ScopedBackendOverride force(Backend::kScalar);
+      scalar = greedy_cluster(matrix, params);
+    }
+    {
+      kernels::ScopedBackendOverride force(Backend::kAvx2);
+      simd = greedy_cluster(matrix, params);
+    }
+    EXPECT_EQ(scalar.labels, simd.labels);
+    EXPECT_EQ(scalar.representatives, simd.representatives);
+    EXPECT_EQ(scalar.comparisons, simd.comparisons);
+    // The flat-matrix overload must also agree with the span overload.
+    const GreedyResult via_span =
+        greedy_cluster(std::span<const Sketch>(matrix.to_sketches()), params);
+    EXPECT_EQ(scalar.labels, via_span.labels);
+    EXPECT_EQ(scalar.comparisons, via_span.comparisons);
+  }
+}
+
+TEST(ClusteringEquivalence, DendrogramBitIdenticalAcrossBackends) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  const auto reads = make_reads(50, 43);
+  std::vector<std::string_view> views;
+  for (const auto& read : reads) views.emplace_back(read.seq);
+  const MinHasher hasher({.kmer = 5, .num_hashes = 20, .seed = 6});
+  const auto matrix = hasher.sketch_matrix(views);
+  for (const Linkage linkage :
+       {Linkage::kSingle, Linkage::kAverage, Linkage::kComplete}) {
+    HierarchicalResult scalar, simd;
+    {
+      kernels::ScopedBackendOverride force(Backend::kScalar);
+      scalar = hierarchical_cluster(matrix, {0.5, linkage});
+    }
+    {
+      kernels::ScopedBackendOverride force(Backend::kAvx2);
+      simd = hierarchical_cluster(matrix, {0.5, linkage});
+    }
+    EXPECT_EQ(scalar.labels, simd.labels);
+    ASSERT_EQ(scalar.dendrogram.merges.size(), simd.dendrogram.merges.size());
+    for (std::size_t i = 0; i < scalar.dendrogram.merges.size(); ++i) {
+      const auto& a = scalar.dendrogram.merges[i];
+      const auto& b = simd.dendrogram.merges[i];
+      EXPECT_EQ(a.left, b.left);
+      EXPECT_EQ(a.right, b.right);
+      EXPECT_EQ(a.distance, b.distance);  // bit-identical doubles
+      EXPECT_EQ(a.size, b.size);
+    }
+  }
+}
+
+TEST(ClusteringEquivalence, PipelineLabelsIdenticalAcrossBackendsAndThreads) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  const auto reads = make_reads(48, 47);
+  for (const Mode mode : {Mode::kGreedy, Mode::kHierarchical}) {
+    for (const bool distributed : {false, true}) {
+      PipelineParams params;
+      params.mode = mode;
+      params.theta = 0.5;
+      params.minhash = {.kmer = 5, .num_hashes = 20, .seed = 9};
+      std::vector<int> reference;
+      for (const Backend backend : {Backend::kScalar, Backend::kAvx2}) {
+        for (const std::size_t threads : {1UL, 4UL}) {
+          kernels::ScopedBackendOverride force(backend);
+          ExecutionOptions exec;
+          exec.distributed = distributed;
+          exec.threads = threads;
+          exec.isolated_pool = true;
+          const PipelineResult result = run_pipeline(reads, params, exec);
+          if (reference.empty()) {
+            reference = result.labels;
+            ASSERT_FALSE(reference.empty());
+          } else {
+            ASSERT_EQ(result.labels, reference)
+                << mode_name(mode) << " distributed=" << distributed
+                << " backend=" << kernels::backend_name(backend)
+                << " threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(Dispatch, BackendNamesAndAvailability) {
+  EXPECT_STREQ(kernels::backend_name(Backend::kScalar), "scalar");
+  EXPECT_STREQ(kernels::backend_name(Backend::kAvx2), "avx2");
+  EXPECT_TRUE(kernels::backend_available(Backend::kScalar));
+  // active_backend() must be available and stable across calls.
+  const Backend active = kernels::active_backend();
+  EXPECT_TRUE(kernels::backend_available(active));
+  EXPECT_EQ(kernels::active_backend(), active);
+}
+
+TEST(Dispatch, ScopedOverrideRestoresPreviousBackend) {
+  const Backend before = kernels::active_backend();
+  {
+    kernels::ScopedBackendOverride force(Backend::kScalar);
+    EXPECT_EQ(kernels::active_backend(), Backend::kScalar);
+  }
+  EXPECT_EQ(kernels::active_backend(), before);
+}
+
+}  // namespace
+}  // namespace mrmc::core
