@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
   const long records = flags.num("records", 20000);
   const std::uint64_t seed = flags.num("seed", 42);
   const bool bench_json = flags.flag("bench-json");
-  bench::BenchRecord record("mr_runtime");
+  bench::BenchRecord record("mr_runtime",
+                            {"records_per_split", "shuffle_model"});
 
   std::vector<long> input(records);
   for (long i = 0; i < records; ++i) input[i] = i;

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   common::TextTable table({"n hashes", "RMSE comp", "RMSE set", "W.Acc",
                            "sketch us/read"});
-  bench::BenchRecord record("ablation_sketch");
+  bench::BenchRecord record("ablation_sketch", {"hashes"});
   for (const std::size_t hashes : {10u, 25u, 50u, 100u, 200u}) {
     const core::MinHasher hasher(
         {.kmer = 5, .num_hashes = hashes, .canonical = true, .seed = seed});

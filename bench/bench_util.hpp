@@ -122,9 +122,17 @@ inline void finish_obs(const Flags& flags, std::ostream& out = std::cout) {
 /// BENCH_<name>.json so CI can archive a perf trajectory.  Doubles render
 /// %.17g (round-trip exact); `raw()` embeds pre-rendered JSON (e.g. a
 /// JobReport's findings array).
+///
+/// Schema v1 (consumed by obs::regress and `mrmc_doctor regress`):
+///   {"bench": "<name>", "schema_version": 1, "keys": ["reads", ...],
+///    "rows": [{...}, ...]}
+/// `keys` names the row fields that identify a measured point (the regress
+/// doctor matches baseline and candidate rows on them); every other numeric
+/// field is a compared metric.
 class BenchRecord {
  public:
-  explicit BenchRecord(std::string name) : name_(std::move(name)) {}
+  explicit BenchRecord(std::string name, std::vector<std::string> keys = {})
+      : name_(std::move(name)), keys_(std::move(keys)) {}
 
   class Row {
    public:
@@ -160,7 +168,16 @@ class BenchRecord {
   Row& row() { return rows_.emplace_back(); }
 
   [[nodiscard]] std::string to_json() const {
-    std::string out = "{\"bench\": \"" + name_ + "\", \"rows\": [\n";
+    std::string out = "{\"bench\": \"" + name_ + "\", \"schema_version\": 1";
+    if (!keys_.empty()) {
+      out += ", \"keys\": [";
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + keys_[i] + "\"";
+      }
+      out += "]";
+    }
+    out += ", \"rows\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       out += i > 0 ? ",\n" : "";
       out += "  {" + rows_[i].body_ + "}";
@@ -183,6 +200,7 @@ class BenchRecord {
 
  private:
   std::string name_;
+  std::vector<std::string> keys_;
   std::vector<Row> rows_;
 };
 

@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
   const bool bench_json = flags.flag("bench-json");
   auto& collector = obs::report::Collector::global();
   if (bench_json) collector.set_enabled(true);
-  bench::BenchRecord record("fig2");
+  bench::BenchRecord record("fig2", {"reads", "nodes"});
 
   const std::vector<std::size_t> node_counts{2, 4, 6, 8, 10, 12};
   std::vector<std::size_t> read_counts;
@@ -241,7 +241,8 @@ int main(int argc, char** argv) {
     // keeping every plan survivable.  Always written as
     // BENCH_fig2_faults.json for CI.
     const std::size_t fault_reads = flags.num("faults-reads", 1'000'000);
-    bench::BenchRecord fault_record("fig2_faults");
+    bench::BenchRecord fault_record("fig2_faults",
+                                    {"nodes", "crashes", "plan_seed"});
     common::TextTable fault_table({"Nodes", "Crashes", "Fault-free", "Faulted",
                                    "Slowdown", "Killed", "Lost outputs",
                                    "Blacklisted"});

@@ -321,7 +321,7 @@ int run_kernel_json_bench(const bench::Flags& flags) {
     return pairs * 2.0 * static_cast<double>(num_hashes) * 8e-9 / s;
   };
 
-  bench::BenchRecord record("kernels");
+  bench::BenchRecord record("kernels", {"section", "variant"});
   auto add_row = [&](const char* section, const char* variant, double seconds,
                      double per_unit_ns, double gbs, double speedup) {
     record.row()

@@ -11,6 +11,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace mrmc::mr {
@@ -149,9 +150,13 @@ namespace {
 /// Export one scheduled phase onto the job's sim track group: task i becomes
 /// a duration event on the (node, slot) track it ran on.  The timestamp is
 /// shifted by `ts_offset_s` so phases line up end to end within the job; the
-/// exact phase-relative times travel as args.
+/// exact phase-relative times travel as args.  When `specs` is non-empty the
+/// task's resource demand (work / input / output bytes) rides along as extra
+/// %.17g args; offline reconstruction ignores unknown args, so the doctor's
+/// byte-identity invariant is unaffected.
 void trace_sim_phase(obs::Tracer& tracer, std::uint32_t pid,
                      const char* phase_name, const PhaseTimeline& phase,
+                     std::span<const TaskSpec> specs,
                      std::size_t slots_per_node, std::uint32_t tid_base,
                      double ts_offset_s) {
   for (std::size_t i = 0; i < phase.tasks.size(); ++i) {
@@ -164,13 +169,46 @@ void trace_sim_phase(obs::Tracer& tracer, std::uint32_t pid,
                           "node " + std::to_string(task.node) + " " +
                               phase_name + " slot " +
                               std::to_string(task.slot));
+    std::vector<obs::TraceArg> args = {
+        {"phase", phase_name},
+        {"task", std::to_string(i)},
+        {"data_local", task.data_local ? "true" : "false"}};
+    if (i < specs.size()) {
+      args.emplace_back("work", obs::trace_double(specs[i].work));
+      args.emplace_back("input_bytes",
+                        obs::trace_double(specs[i].input_bytes));
+      args.emplace_back("output_bytes",
+                        obs::trace_double(specs[i].output_bytes));
+    }
     tracer.sim_task(pid, tid, std::string(phase_name) + " " + std::to_string(i),
-                    task.start_s, task.end_s,
-                    {{"phase", phase_name},
-                     {"task", std::to_string(i)},
-                     {"data_local", task.data_local ? "true" : "false"}},
-                    ts_offset_s);
+                    task.start_s, task.end_s, std::move(args), ts_offset_s);
   }
+}
+
+/// Byte totals from the specs in phase-index / fetch-list order — one fixed
+/// left-to-right summation shared by both simulate_job paths, so the doubles
+/// the doctor renders are identical however the job was scheduled.
+obs::report::ByteSummary summarize_bytes(std::span<const TaskSpec> map_tasks,
+                                         std::span<const FetchSpec> fetches,
+                                         std::span<const TaskSpec> reduce_tasks) {
+  obs::report::ByteSummary bytes;
+  for (const TaskSpec& task : map_tasks) {
+    bytes.map_input_bytes += task.input_bytes;
+    bytes.map_output_bytes += task.output_bytes;
+  }
+  for (const TaskSpec& task : reduce_tasks) {
+    bytes.reduce_input_bytes += task.input_bytes;
+    bytes.reduce_output_bytes += task.output_bytes;
+  }
+  bytes.fetch_count = fetches.size();
+  std::vector<std::size_t> fan_in;
+  for (const FetchSpec& fetch : fetches) {
+    bytes.fetch_bytes += fetch.bytes;
+    if (fetch.reducer >= fan_in.size()) fan_in.resize(fetch.reducer + 1, 0);
+    bytes.max_fetch_fan_in =
+        std::max(bytes.max_fetch_fan_in, ++fan_in[fetch.reducer]);
+  }
+  return bytes;
 }
 
 /// The shuffle schedule shared by both simulate_job paths: each fetch starts
@@ -223,7 +261,8 @@ std::vector<FetchPlacement> schedule_fetches(const SimScheduler& scheduler,
 /// Metrics + doctor input + trace + log for a finished timeline — shared by
 /// the fault-free and faulted simulate_job paths so both emit identically.
 void emit_job(const SimScheduler& scheduler, const JobTimeline& timeline,
-              std::size_t map_count, std::size_t reduce_count,
+              std::span<const TaskSpec> map_specs,
+              std::span<const TaskSpec> reduce_specs,
               double shuffle_bytes, const std::string& job_name) {
   auto& registry = obs::Registry::global();
   registry.counter("mr.sim_jobs").inc();
@@ -279,6 +318,30 @@ void emit_job(const SimScheduler& scheduler, const JobTimeline& timeline,
         {"job_startup_s", obs::trace_double(config.job_startup_s)},
         {"shuffle_bytes", obs::trace_double(shuffle_bytes)}};
     tracer.append(std::move(config_event));
+    if (!timeline.bytes.empty()) {
+      // Byte totals as %.17g instants so jobs_from_trace restores the exact
+      // doubles — the "bytes" report section stays byte-identical across
+      // the in-process and offline ingestion paths.
+      obs::TraceEvent bytes_event;
+      bytes_event.name = "job_bytes";
+      bytes_event.category = "sim";
+      bytes_event.phase = 'i';
+      bytes_event.pid = pid;
+      bytes_event.args = {
+          {"map_input_bytes",
+           obs::trace_double(timeline.bytes.map_input_bytes)},
+          {"map_output_bytes",
+           obs::trace_double(timeline.bytes.map_output_bytes)},
+          {"reduce_input_bytes",
+           obs::trace_double(timeline.bytes.reduce_input_bytes)},
+          {"reduce_output_bytes",
+           obs::trace_double(timeline.bytes.reduce_output_bytes)},
+          {"fetch_bytes", obs::trace_double(timeline.bytes.fetch_bytes)},
+          {"fetch_count", std::to_string(timeline.bytes.fetch_count)},
+          {"max_fetch_fan_in",
+           std::to_string(timeline.bytes.max_fetch_fan_in)}};
+      tracer.append(std::move(bytes_event));
+    }
     // Fault instants precede the task events so offline reconstruction
     // (jobs_from_trace) rebuilds the doctor's fault lists in the exact
     // order analyze() sees them in-process.
@@ -320,7 +383,7 @@ void emit_job(const SimScheduler& scheduler, const JobTimeline& timeline,
     const double map_offset = config.job_startup_s;
     const double shuffle_offset = map_offset + timeline.map_phase.makespan_s;
     const double reduce_offset = shuffle_offset + timeline.shuffle_s;
-    trace_sim_phase(tracer, pid, "map", timeline.map_phase,
+    trace_sim_phase(tracer, pid, "map", timeline.map_phase, map_specs,
                     config.map_slots_per_node, 0, map_offset);
     if (timeline.shuffle_s > 0.0) {
       tracer.name_sim_track(pid, shuffle_tid, "shuffle");
@@ -348,16 +411,42 @@ void emit_job(const SimScheduler& scheduler, const JobTimeline& timeline,
                        {"bytes", obs::trace_double(fetch.bytes)}},
                       map_offset);
     }
-    trace_sim_phase(tracer, pid, "reduce", timeline.reduce_phase,
+    trace_sim_phase(tracer, pid, "reduce", timeline.reduce_phase, reduce_specs,
                     config.reduce_slots_per_node, reduce_tid_base,
                     reduce_offset);
+
+    // Sampled live-task counters on the deterministic sim-time grid: the
+    // series depends only on the timeline, never on wall-clock pacing, so
+    // sampled traces stay reproducible run to run.
+    if (obs::ResourceSampler::global().enabled()) {
+      const auto to_intervals = [](const std::vector<TaskPlacement>& tasks,
+                                   double offset) {
+        std::vector<obs::SimInterval> intervals;
+        intervals.reserve(tasks.size());
+        for (const TaskPlacement& task : tasks) {
+          intervals.push_back({task.start_s + offset, task.end_s + offset});
+        }
+        return intervals;
+      };
+      std::vector<obs::SimInterval> fetch_intervals;
+      fetch_intervals.reserve(timeline.fetches.size());
+      for (const FetchPlacement& fetch : timeline.fetches) {
+        fetch_intervals.push_back(
+            {fetch.start_s + map_offset, fetch.end_s + map_offset});
+      }
+      obs::emit_sim_task_counters(
+          tracer, pid, to_intervals(timeline.map_phase.tasks, map_offset),
+          fetch_intervals,
+          to_intervals(timeline.reduce_phase.tasks, reduce_offset),
+          timeline.total_s);
+    }
   }
 
   static const obs::Logger logger("mr.sim");
   logger.debug("job simulated",
                {{"job", job_name},
-                {"maps", map_count},
-                {"reduces", reduce_count},
+                {"maps", map_specs.size()},
+                {"reduces", reduce_specs.size()},
                 {"sim_total_s", timeline.total_s},
                 {"summary", timeline.summary()}});
   if (!timeline.faults.empty()) {
@@ -515,8 +604,9 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
   timeline.total_s = scheduler.config().job_startup_s +
                      timeline.map_phase.makespan_s + timeline.shuffle_s +
                      timeline.reduce_phase.makespan_s;
-  emit_job(scheduler, timeline, map_tasks.size(), reduce_tasks.size(),
-           shuffle_bytes, job_name);
+  timeline.bytes = summarize_bytes(map_tasks, fetches, reduce_tasks);
+  emit_job(scheduler, timeline, map_tasks, reduce_tasks, shuffle_bytes,
+           job_name);
   return timeline;
 }
 
@@ -677,8 +767,9 @@ JobTimeline simulate_job(const SimScheduler& scheduler,
   finalize_phase(timeline.reduce_phase);
   timeline.total_s = config.job_startup_s + timeline.map_phase.makespan_s +
                      timeline.shuffle_s + timeline.reduce_phase.makespan_s;
-  emit_job(scheduler, timeline, map_tasks.size(), reduce_tasks.size(),
-           shuffle_bytes, job_name);
+  timeline.bytes = summarize_bytes(map_tasks, fetches, reduce_tasks);
+  emit_job(scheduler, timeline, map_tasks, reduce_tasks, shuffle_bytes,
+           job_name);
   return timeline;
 }
 
@@ -693,6 +784,7 @@ obs::report::JobInput report_input(const JobTimeline& timeline,
   input.job_startup_s = config.job_startup_s;
   input.shuffle_s = timeline.shuffle_s;
   input.shuffle_bytes = shuffle_bytes;
+  input.bytes = timeline.bytes;
   const auto convert = [](const PhaseTimeline& phase) {
     std::vector<obs::report::TaskSample> tasks;
     tasks.reserve(phase.tasks.size());

@@ -131,6 +131,9 @@ struct JobTimeline {
   double total_s = 0.0;
   /// Per-fetch shuffle events (empty when the aggregate model was used).
   std::vector<FetchPlacement> fetches;
+  /// Serialized-byte totals summed from the task/fetch specs in index order
+  /// (the doctor's "bytes" section; empty() when the specs carried none).
+  obs::report::ByteSummary bytes;
   /// Node crashes and the attempts they cost (empty for fault-free runs).
   faults::FaultOutcome faults;
 

@@ -134,6 +134,14 @@ struct JobStats {
   std::size_t lost_map_outputs = 0;   ///< sim map outputs invalidated
   std::size_t blacklisted_nodes = 0;  ///< nodes over max_node_failures
   double shuffle_bytes = 0.0;
+  // Byte accounting (single-attempt values from the task specs; retries
+  // re-pay the cost in the simulated timeline, not in these totals).
+  double map_input_bytes = 0.0;      ///< split bytes the map tasks read
+  double reduce_input_bytes = 0.0;   ///< merged run bytes the reducers read
+  double reduce_output_bytes = 0.0;  ///< serialized final output bytes
+  std::size_t spill_runs = 0;        ///< non-empty per-reducer spill runs
+  double spill_bytes = 0.0;          ///< bytes across those runs (== shuffle)
+  std::size_t merge_fan_in_max = 0;  ///< widest reduce-side run merge
   double map_cpu_s = 0.0;     ///< measured thread CPU time (not wall), informational
   double reduce_cpu_s = 0.0;  ///< ditto, summed across reduce tasks
   Counters counters;
@@ -360,6 +368,13 @@ class Job {
       const std::size_t attempts = graph.attempts(map_ids[m]) - reruns;
       stats.map_retries += attempts - 1;
       stats.lost_map_reruns += reruns;
+      stats.map_input_bytes += task.spec.input_bytes;
+      for (const double bytes : task.run_bytes) {
+        if (bytes > 0.0) {
+          ++stats.spill_runs;
+          stats.spill_bytes += bytes;
+        }
+      }
       TaskSpec spec = task.spec;
       // Every failed attempt's cost is paid again by its re-execution.
       spec.work *= static_cast<double>(attempts);
@@ -383,6 +398,10 @@ class Job {
 
       const std::size_t attempts = graph.attempts(reduce_ids[r]);
       stats.reduce_retries += attempts - 1;
+      stats.reduce_input_bytes += task.spec.input_bytes;
+      stats.reduce_output_bytes += task.spec.output_bytes;
+      stats.merge_fan_in_max =
+          std::max(stats.merge_fan_in_max, task.merge_width);
       TaskSpec spec = task.spec;
       spec.work *= static_cast<double>(attempts);
       spec.input_bytes *= static_cast<double>(attempts);
@@ -415,6 +434,14 @@ class Job {
     stats.blacklisted_nodes = stats.timeline.faults.blacklisted_nodes;
     export_stats(stats);
     job_span.arg("sim_total_s", obs::trace_double(stats.timeline.total_s));
+    job_span.arg("shuffle_bytes", obs::trace_double(stats.shuffle_bytes));
+    job_span.arg("map_input_bytes",
+                 obs::trace_double(stats.map_input_bytes));
+    job_span.arg("reduce_output_bytes",
+                 obs::trace_double(stats.reduce_output_bytes));
+    job_span.arg("spill_runs", std::to_string(stats.spill_runs));
+    job_span.arg("merge_fan_in_max",
+                 std::to_string(stats.merge_fan_in_max));
     return result;
   }
 
@@ -513,6 +540,10 @@ class Job {
                                                   std::size_t sub = SIZE_MAX) const {
     runtime::TaskOptions options;
     options.max_attempts = config_.max_task_attempts;
+    options.kind = kind[0] == 'm'   ? runtime::TaskKind::kMap
+                   : kind[0] == 'f' ? runtime::TaskKind::kFetch
+                   : kind[0] == 'r' ? runtime::TaskKind::kReduce
+                                    : runtime::TaskKind::kOther;
     if (traced) {
       options.label = config_.name + "/" + kind + " " + std::to_string(index);
       if (sub != SIZE_MAX) options.label += "." + std::to_string(sub);
@@ -539,6 +570,15 @@ class Job {
         .add(static_cast<long>(stats.map_output_records));
     registry.counter("mr.output_records")
         .add(static_cast<long>(stats.output_records));
+    registry.counter("mr.map_input_bytes")
+        .add(static_cast<long>(stats.map_input_bytes));
+    registry.counter("mr.reduce_input_bytes")
+        .add(static_cast<long>(stats.reduce_input_bytes));
+    registry.counter("mr.reduce_output_bytes")
+        .add(static_cast<long>(stats.reduce_output_bytes));
+    registry.counter("mr.spill_runs").add(static_cast<long>(stats.spill_runs));
+    registry.counter("mr.spill_bytes")
+        .add(static_cast<long>(stats.spill_bytes));
     for (const auto& [name, value] : stats.counters) {
       registry.counter("mr.counter." + name).add(value);
     }

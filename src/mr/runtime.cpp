@@ -4,10 +4,64 @@
 #include <optional>
 #include <utility>
 
+#include <array>
+#include <mutex>
+
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace mrmc::mr::runtime {
+
+namespace {
+
+/// Live-task counters per TaskKind, process-wide (the sampler's probes read
+/// them from its own thread while many graphs run).
+std::array<std::atomic<long>, 4>& active_task_counts() noexcept {
+  static std::array<std::atomic<long>, 4> counts{};
+  return counts;
+}
+
+/// RAII bump of the live-task counter for one attempt's execution.
+class ActiveTaskScope {
+ public:
+  explicit ActiveTaskScope(TaskKind kind) noexcept
+      : counter_(&active_task_counts()[static_cast<std::size_t>(kind)]) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ActiveTaskScope() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  ActiveTaskScope(const ActiveTaskScope&) = delete;
+  ActiveTaskScope& operator=(const ActiveTaskScope&) = delete;
+
+ private:
+  std::atomic<long>* counter_;
+};
+
+}  // namespace
+
+long active_tasks(TaskKind kind) noexcept {
+  return active_task_counts()[static_cast<std::size_t>(kind)].load(
+      std::memory_order_relaxed);
+}
+
+void register_sampler_probes() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& sampler = obs::ResourceSampler::global();
+    sampler.register_probe("runtime.active_map_tasks", [] {
+      return static_cast<double>(active_tasks(TaskKind::kMap));
+    });
+    sampler.register_probe("runtime.active_fetch_tasks", [] {
+      return static_cast<double>(active_tasks(TaskKind::kFetch));
+    });
+    sampler.register_probe("runtime.active_reduce_tasks", [] {
+      return static_cast<double>(active_tasks(TaskKind::kReduce));
+    });
+    sampler.register_probe("runtime.pool_queue_depth", [] {
+      return static_cast<double>(shared_pool().queue_depth());
+    });
+  });
+}
 
 common::ThreadPool& shared_pool() {
   static common::ThreadPool pool(0);
@@ -24,7 +78,9 @@ PoolLease::PoolLease(std::size_t threads, bool isolated) {
 }
 
 TaskGraph::TaskGraph()
-    : queue_depth_(&obs::Registry::global().gauge("runtime.task_queue_depth")) {}
+    : queue_depth_(&obs::Registry::global().gauge("runtime.task_queue_depth")) {
+  register_sampler_probes();
+}
 
 std::size_t TaskGraph::add_task(TaskFn fn, std::vector<std::size_t> deps,
                                 TaskOptions options) {
@@ -100,6 +156,7 @@ void TaskGraph::execute(common::ThreadPool& pool, std::size_t id) {
     if (!skip) attempt = node.attempts++;
   }
   if (!skip) {
+    const ActiveTaskScope active(node.options.kind);
     try {
       std::optional<obs::Tracer::Span> span;
       if (!node.options.label.empty() && obs::Tracer::global().enabled()) {

@@ -81,11 +81,26 @@ class PoolLease {
   common::ThreadPool* pool_;
 };
 
+/// What a graph node does, for the live-task telemetry probes.  The
+/// executor keeps a process-wide count of running tasks per kind, which
+/// the obs resource sampler reads (see register_sampler_probes()).
+enum class TaskKind { kOther = 0, kMap, kFetch, kReduce };
+
+/// Running tasks of `kind` across every TaskGraph in the process.
+[[nodiscard]] long active_tasks(TaskKind kind) noexcept;
+
+/// Register the runtime's probes with obs::ResourceSampler::global():
+/// live map/fetch/reduce task counts and the shared pool's queue depth.
+/// Idempotent; called from the TaskGraph constructor.
+void register_sampler_probes();
+
 struct TaskOptions {
   /// Trace-span label; empty disables the per-task wall span (cheaper).
   std::string label;
   /// Attempt budget, >= 1.  TaskFailure on the final attempt aborts the run.
   std::size_t max_attempts = 1;
+  /// Kind bucket for the live-task telemetry counters.
+  TaskKind kind = TaskKind::kOther;
 };
 
 /// A one-shot dependency-driven executor.  Build the graph with add_task

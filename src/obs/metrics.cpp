@@ -104,6 +104,9 @@ double HistogramSnapshot::percentile(double q) const noexcept {
   if (count <= 0 || bounds.empty() || counts.size() != bounds.size() + 1) {
     return 0.0;
   }
+  // One observation has no spread: every percentile IS that sample.
+  // Interpolating inside its bucket would invent a value never observed.
+  if (count == 1) return sum;
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(count);
   long cumulative = 0;

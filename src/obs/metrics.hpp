@@ -89,7 +89,9 @@ struct HistogramSnapshot {
   /// Estimate the q-quantile (q in [0, 1]) by linear interpolation within
   /// the bucket holding the target rank (Prometheus histogram_quantile
   /// style): the first bucket interpolates up from 0, the overflow bucket
-  /// clamps to the last finite bound.  Returns 0 for an empty histogram.
+  /// clamps to the last finite bound.  Returns 0 for an empty histogram;
+  /// a single-sample histogram returns the sample itself (== sum) for
+  /// every q rather than interpolating inside its bucket.
   [[nodiscard]] double percentile(double q) const noexcept;
 };
 

@@ -204,6 +204,7 @@ JobReport analyze(const JobInput& input, const AnalyzeOptions& options) {
   report.startup_s = input.job_startup_s;
   report.shuffle_s = input.shuffle_s;
   report.shuffle_bytes = input.shuffle_bytes;
+  report.bytes = input.bytes;
   report.map_phase = analyze_phase("map", input.map_tasks, input.nodes,
                                    input.map_slots_per_node);
   report.reduce_phase = analyze_phase("reduce", input.reduce_tasks, input.nodes,
@@ -426,6 +427,21 @@ std::vector<JobInput> jobs_from_trace(const common::JsonValue& root) {
       if (args.has("shuffle_bytes")) {
         job.shuffle_bytes = parse_exact(args.at("shuffle_bytes").string);
       }
+    } else if (ph == "i" && name == "job_bytes") {
+      // %.17g strings restore the in-process byte totals bit-for-bit.
+      const common::JsonValue& args = event.at("args");
+      ByteSummary& bytes = jobs[pid].bytes;
+      bytes.map_input_bytes = parse_exact(args.at("map_input_bytes").string);
+      bytes.map_output_bytes = parse_exact(args.at("map_output_bytes").string);
+      bytes.reduce_input_bytes =
+          parse_exact(args.at("reduce_input_bytes").string);
+      bytes.reduce_output_bytes =
+          parse_exact(args.at("reduce_output_bytes").string);
+      bytes.fetch_bytes = parse_exact(args.at("fetch_bytes").string);
+      bytes.fetch_count =
+          static_cast<std::size_t>(parse_exact(args.at("fetch_count").string));
+      bytes.max_fetch_fan_in = static_cast<std::size_t>(
+          parse_exact(args.at("max_fetch_fan_in").string));
     } else if (ph == "i" && name == "node_fault") {
       // Fault instants were appended in crash order, so file order rebuilds
       // the exact FaultOutcome lists the in-process path feeds analyze().
@@ -602,6 +618,17 @@ std::string to_text(const JobReport& report, bool color) {
   }
   out += ")\n";
 
+  if (!report.bytes.empty()) {
+    out += "  bytes: map in " + f2(report.bytes.map_input_bytes / 1e6) +
+           " MB, out " + f2(report.bytes.map_output_bytes / 1e6) +
+           " MB | shuffle " + f2(report.bytes.fetch_bytes / 1e6) + " MB in " +
+           std::to_string(report.bytes.fetch_count) +
+           " fetches (max fan-in " +
+           std::to_string(report.bytes.max_fetch_fan_in) +
+           ") | reduce in " + f2(report.bytes.reduce_input_bytes / 1e6) +
+           " MB, out " + f2(report.bytes.reduce_output_bytes / 1e6) + " MB\n";
+  }
+
   if (!report.faults.empty()) {
     out += "  faults: " + std::to_string(report.faults.node_crashes) +
            " crash(es), " + std::to_string(report.faults.killed_attempts) +
@@ -702,6 +729,18 @@ std::string to_json(const JobReport& report) {
            "}";
   }
   out += "]";
+  if (!report.bytes.empty()) {
+    out += ", \"bytes\": {\"map_input_bytes\": " +
+           f17(report.bytes.map_input_bytes) +
+           ", \"map_output_bytes\": " + f17(report.bytes.map_output_bytes) +
+           ", \"reduce_input_bytes\": " + f17(report.bytes.reduce_input_bytes) +
+           ", \"reduce_output_bytes\": " +
+           f17(report.bytes.reduce_output_bytes) +
+           ", \"fetch_bytes\": " + f17(report.bytes.fetch_bytes) +
+           ", \"fetch_count\": " + std::to_string(report.bytes.fetch_count) +
+           ", \"max_fetch_fan_in\": " +
+           std::to_string(report.bytes.max_fetch_fan_in) + "}";
+  }
   if (!report.faults.empty()) {
     out += ", \"faults\": {\"node_crashes\": " +
            std::to_string(report.faults.node_crashes) +
@@ -968,6 +1007,18 @@ std::string job_html(const JobReport& report, const JobInput* input) {
              "\"><title>" + pct(node.utilization) + "</title></rect>\n";
     }
     out += "</svg>\n";
+  }
+  if (!report.bytes.empty()) {
+    out += "<h3>bytes</h3>\n<p class=\"sum\">map in <b>" +
+           f2(report.bytes.map_input_bytes / 1e6) + " MB</b>, out <b>" +
+           f2(report.bytes.map_output_bytes / 1e6) + " MB</b> · shuffle <b>" +
+           f2(report.bytes.fetch_bytes / 1e6) + " MB</b> in " +
+           std::to_string(report.bytes.fetch_count) +
+           " fetches (max fan-in " +
+           std::to_string(report.bytes.max_fetch_fan_in) +
+           ") · reduce in <b>" + f2(report.bytes.reduce_input_bytes / 1e6) +
+           " MB</b>, out <b>" + f2(report.bytes.reduce_output_bytes / 1e6) +
+           " MB</b></p>\n";
   }
   if (!report.faults.empty()) {
     out += "<h3>faults</h3>\n<p class=\"sum\">" +

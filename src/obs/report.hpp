@@ -69,6 +69,28 @@ struct LostAttemptSample {
   double end_s = 0.0;
 };
 
+/// Serialized-byte totals for one job, summed over the task specs in
+/// phase-index order (the shuffle-byte accounting).  empty() when the
+/// producer recorded none — the renderers then omit the Bytes section
+/// entirely, keeping byte-less reports byte-identical to older builds.
+/// Doubles travel as %.17g through the trace ("job_bytes" instant), so the
+/// offline report equals the in-process one exactly.
+struct ByteSummary {
+  double map_input_bytes = 0.0;      ///< split bytes the map tasks read
+  double map_output_bytes = 0.0;     ///< spill bytes the map tasks wrote
+  double reduce_input_bytes = 0.0;   ///< merged run bytes the reducers read
+  double reduce_output_bytes = 0.0;  ///< final output bytes
+  double fetch_bytes = 0.0;          ///< bytes moved by shuffle fetches
+  std::size_t fetch_count = 0;       ///< spill runs pulled across the wire
+  std::size_t max_fetch_fan_in = 0;  ///< most runs merged into one reducer
+
+  [[nodiscard]] bool empty() const noexcept {
+    return map_input_bytes == 0.0 && map_output_bytes == 0.0 &&
+           reduce_input_bytes == 0.0 && reduce_output_bytes == 0.0 &&
+           fetch_bytes == 0.0 && fetch_count == 0 && max_fetch_fan_in == 0;
+  }
+};
+
 /// Everything the analyzer needs about one simulated job, however obtained
 /// (mr::report_input() in-process, jobs_from_trace() offline).
 struct JobInput {
@@ -79,6 +101,7 @@ struct JobInput {
   double job_startup_s = 0.0;
   double shuffle_s = 0.0;
   double shuffle_bytes = 0.0;
+  ByteSummary bytes;
   std::vector<TaskSample> map_tasks;
   std::vector<TaskSample> reduce_tasks;
   std::vector<FaultEventSample> fault_events;    ///< crash order
@@ -166,6 +189,7 @@ struct JobReport {
   /// Fraction of total_s spent outside the compute phases.
   double overhead_fraction = 0.0;
   std::vector<NodeUtilization> node_utilization;
+  ByteSummary bytes;  ///< copied verbatim from the input (empty() = omitted)
   FaultAnalysis faults;
   std::vector<Finding> findings;
 

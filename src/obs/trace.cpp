@@ -125,6 +125,33 @@ void Tracer::instant(std::string name, std::initializer_list<TraceArg> args) {
   append(std::move(event));
 }
 
+void Tracer::counter(std::string name, std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = "counter";
+  event.phase = 'C';
+  event.ts_us = now_us();
+  event.pid = kRealPid;
+  event.tid = 0;
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
+void Tracer::sim_counter(std::uint32_t pid, std::string name, double t_s,
+                         std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = "counter";
+  event.phase = 'C';
+  event.ts_us = t_s * 1e6;
+  event.pid = pid;
+  event.tid = 0;
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
 std::uint32_t Tracer::begin_sim_job(const std::string& job_name) {
   TraceEvent meta;
   meta.category = "meta";
@@ -157,6 +184,13 @@ void Tracer::sim_task(std::uint32_t pid, std::uint32_t tid, std::string name,
                       double start_s, double end_s,
                       std::initializer_list<TraceArg> args,
                       double ts_offset_s) {
+  sim_task(pid, tid, std::move(name), start_s, end_s,
+           std::vector<TraceArg>(args.begin(), args.end()), ts_offset_s);
+}
+
+void Tracer::sim_task(std::uint32_t pid, std::uint32_t tid, std::string name,
+                      double start_s, double end_s, std::vector<TraceArg> args,
+                      double ts_offset_s) {
   TraceEvent event;
   event.name = std::move(name);
   event.category = "sim";
@@ -165,7 +199,7 @@ void Tracer::sim_task(std::uint32_t pid, std::uint32_t tid, std::string name,
   event.dur_us = (end_s - start_s) * 1e6;
   event.pid = pid;
   event.tid = tid;
-  event.args.assign(args.begin(), args.end());
+  event.args = std::move(args);
   event.args.emplace_back("start_s", trace_double(start_s));
   event.args.emplace_back("end_s", trace_double(end_s));
   append(std::move(event));
@@ -226,7 +260,13 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
         if (i > 0) buf += ", ";
         append_json_string(buf, event.args[i].first);
         buf += ": ";
-        append_json_string(buf, event.args[i].second);
+        if (event.phase == 'C') {
+          // Counter series must be JSON numbers for Chrome to plot them;
+          // counter() documents the numeric-string contract on its args.
+          buf += event.args[i].second;
+        } else {
+          append_json_string(buf, event.args[i].second);
+        }
       }
       buf += "}";
     }

@@ -41,8 +41,9 @@ using TraceArg = std::pair<std::string, std::string>;
 
 struct TraceEvent {
   std::string name;
-  std::string category;  ///< "real", "sim", or "meta"
-  char phase = 'X';      ///< Chrome ph: X=complete, i=instant, M=metadata
+  std::string category;  ///< "real", "sim", "counter", or "meta"
+  char phase = 'X';      ///< Chrome ph: X=complete, i=instant, M=metadata,
+                         ///< C=counter (args are serialized as raw numbers)
   double ts_us = 0.0;    ///< microseconds on the event's own clock
   double dur_us = 0.0;
   std::uint32_t pid = kRealPid;
@@ -96,6 +97,18 @@ class Tracer {
   /// Zero-duration marker on the wall-clock track.
   void instant(std::string name, std::initializer_list<TraceArg> args = {});
 
+  /// Chrome counter event ('C') on the wall-clock track: every arg is one
+  /// series of the counter named `name`.  Arg values MUST be numeric strings
+  /// (use trace_double / std::to_string) — write_chrome_trace serializes
+  /// counter args unquoted so Chrome/Perfetto render the series stacked.
+  void counter(std::string name, std::vector<TraceArg> args);
+
+  /// Counter event on a simulated job's track group at sim time `t_s`
+  /// (same clock as sim_task timestamps).  Same numeric-args contract as
+  /// counter(); used by the deterministic sim-grid sampler.
+  void sim_counter(std::uint32_t pid, std::string name, double t_s,
+                   std::vector<TraceArg> args);
+
   // ------------------------------------------------- simulated-clock tracks
   /// Allocate a process-id track group for one simulated job and emit its
   /// process_name metadata ("sim: <job_name>").  Returns the pid to pass to
@@ -113,6 +126,11 @@ class Tracer {
                 double start_s, double end_s,
                 std::initializer_list<TraceArg> args = {},
                 double ts_offset_s = 0.0);
+
+  /// Overload for runtime-built arg lists (e.g. optional per-task byte args).
+  void sim_task(std::uint32_t pid, std::uint32_t tid, std::string name,
+                double start_s, double end_s, std::vector<TraceArg> args,
+                double ts_offset_s);
 
   // --------------------------------------------------------------- plumbing
   void append(TraceEvent event);

@@ -116,6 +116,24 @@ TEST(Histogram, PercentileOfEmptyHistogramIsZero) {
   EXPECT_DOUBLE_EQ(hist.snapshot().percentile(0.99), 0.0);
 }
 
+TEST(Histogram, SingleSampleIsItsOwnPercentile) {
+  // One observation has no spread: every quantile must be the sample
+  // itself, not a value interpolated inside the sample's bucket.
+  Histogram hist({10.0, 20.0, 50.0});
+  hist.observe(13.25);
+  const HistogramSnapshot snap = hist.snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.percentile(q), 13.25) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SingleOverflowSampleIsItsOwnPercentile) {
+  Histogram hist({1.0, 2.0});
+  hist.observe(7.5);  // beyond the last finite bound
+  EXPECT_DOUBLE_EQ(hist.snapshot().percentile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(hist.snapshot().percentile(0.99), 7.5);
+}
+
 TEST(Histogram, PercentilesAppearInTextAndJsonExports) {
   Registry registry;
   auto& hist = registry.histogram("latency", std::vector<double>{1.0, 2.0});

@@ -17,6 +17,7 @@
 #include "common/mini_json.hpp"
 #include "mr/cluster.hpp"
 #include "mr/job.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace mrmc {
@@ -280,6 +281,68 @@ TEST_F(DoctorRoundTripTest, OfflineReportIsBitIdenticalToInProcess) {
     // ...and in fact the entire serialized report is byte-identical.
     EXPECT_EQ(obs::report::to_json(in_process),
               obs::report::to_json(offline[i]));
+  }
+}
+
+TEST_F(DoctorRoundTripTest, SamplerCountersLeaveTheReportByteIdentical) {
+  // Counter events ('C') ride along in the trace but are invisible to the
+  // report reconstruction: a sampler-on trace must yield the exact bytes a
+  // sampler-off trace does.
+  const std::string off_path = ::testing::TempDir() + "/sampler_off.json";
+  const std::string on_path = ::testing::TempDir() + "/sampler_on.json";
+  simulate_two_jobs(off_path);
+
+  auto& sampler = obs::ResourceSampler::global();
+  sampler.set_period_ms(1e9);  // enabled, but the thread never gets a tick
+  sampler.set_enabled(true);
+  obs::Tracer::global().clear();
+  sampler.sample_once();  // wall-clock counters on the real track
+  simulate_two_jobs(on_path);  // + deterministic sim-grid task counters
+  sampler.set_enabled(false);
+
+  // The sampler-on trace really carries counter events...
+  std::ifstream in(on_path);
+  std::ostringstream trace_text;
+  trace_text << in.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("sim active tasks"), std::string::npos);
+
+  // ...and the reconstructed reports are byte-identical regardless.
+  const std::vector<JobReport> off = obs::report::analyze_trace_file(off_path);
+  const std::vector<JobReport> on = obs::report::analyze_trace_file(on_path);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(obs::report::to_json(off[i]), obs::report::to_json(on[i]));
+  }
+}
+
+TEST_F(DoctorRoundTripTest, ByteAccountingSurvivesTheTraceRoundTrip) {
+  const std::string trace_path =
+      ::testing::TempDir() + "/mrmc_doctor_bytes.json";
+  const std::vector<JobInput> inputs = simulate_two_jobs(trace_path);
+  ASSERT_FALSE(inputs[0].bytes.empty());
+
+  const std::vector<JobReport> offline =
+      obs::report::analyze_trace_file(trace_path);
+  ASSERT_EQ(offline.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const JobReport in_process = analyze(inputs[i]);
+    EXPECT_EQ(in_process.bytes.map_input_bytes,
+              offline[i].bytes.map_input_bytes);
+    EXPECT_EQ(in_process.bytes.map_output_bytes,
+              offline[i].bytes.map_output_bytes);
+    EXPECT_EQ(in_process.bytes.reduce_input_bytes,
+              offline[i].bytes.reduce_input_bytes);
+    EXPECT_EQ(in_process.bytes.reduce_output_bytes,
+              offline[i].bytes.reduce_output_bytes);
+    EXPECT_EQ(in_process.bytes.fetch_bytes, offline[i].bytes.fetch_bytes);
+    EXPECT_EQ(in_process.bytes.fetch_count, offline[i].bytes.fetch_count);
+    EXPECT_EQ(in_process.bytes.max_fetch_fan_in,
+              offline[i].bytes.max_fetch_fan_in);
+    // The rendered "bytes" sections agree byte for byte.
+    const std::string in_json = obs::report::to_json(in_process);
+    EXPECT_NE(in_json.find("\"bytes\""), std::string::npos);
+    EXPECT_EQ(in_json, obs::report::to_json(offline[i]));
   }
 }
 

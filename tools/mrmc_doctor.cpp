@@ -1,9 +1,9 @@
-// mrmc_doctor — post-hoc job doctor for flushed Chrome traces.
+// mrmc_doctor — post-hoc job doctor and cross-run regression gate.
 //
-// Reads a trace written by MRMC_TRACE / --trace (obs::Tracer), reconstructs
-// every simulated job from the %.17g args, and prints the same JobReport the
-// in-process analyzer would have produced (bit-identical critical path —
-// asserted by tests/obs/report_test.cpp).
+// Single-trace mode reads a trace written by MRMC_TRACE / --trace
+// (obs::Tracer), reconstructs every simulated job from the %.17g args, and
+// prints the same JobReport the in-process analyzer would have produced
+// (bit-identical critical path — asserted by tests/obs/report_test.cpp).
 //
 //   mrmc_doctor <trace.json>                    # ANSI text to stdout
 //   mrmc_doctor <trace.json> --format=json      # machine-readable
@@ -11,70 +11,286 @@
 //   mrmc_doctor <trace.json> -o report.html     # format from extension
 //   mrmc_doctor <trace.json> --no-color
 //
-// Exit status: 0 on success, 1 on a malformed/unreadable trace or bad usage.
+// Regression mode diffs two runs' telemetry (traces, report JSON, BENCH
+// records, metrics snapshots — any like pairing):
+//
+//   mrmc_doctor compare <baseline.json> <candidate.json>
+//       [--threshold=1.25] [--noisy-threshold=2.5] [--abs-slack=0]
+//       [--format=text|json|html] [-o <path>] [--no-color]
+//   mrmc_doctor regress --baseline-dir=bench/baselines [--candidate-dir=.]
+//       [threshold flags as above] [-o <path>]
+//   mrmc_doctor index <dir>     # (re)write <dir>/BENCH_index.json
+//
+// `regress` walks the BENCH_index.json manifest in the baseline dir and
+// compares every listed artifact against its same-named candidate; missing
+// candidates warn and skip rather than fail, so a partial bench run still
+// gates what it produced.
+//
+// Exit status: 0 success, 1 unreadable/malformed input or bad usage,
+// 2 when compare/regress found at least one regression.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/mini_json.hpp"
+#include "obs/regress.hpp"
 #include "obs/report.hpp"
 
 namespace {
 
+namespace regress = mrmc::obs::regress;
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <trace.json> [--format=text|json|html] [-o <path>]"
-               " [--no-color]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <trace.json> [--format=text|json|html] [-o <path>]"
+      " [--no-color]\n"
+      "       %s compare <baseline.json> <candidate.json>"
+      " [--threshold=R] [--noisy-threshold=R] [--abs-slack=S]"
+      " [--format=text|json|html] [-o <path>] [--no-color]\n"
+      "       %s regress --baseline-dir=<dir> [--candidate-dir=<dir>]"
+      " [threshold flags] [-o <path>] [--no-color]\n"
+      "       %s index <dir>\n",
+      argv0, argv0, argv0, argv0);
   return 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string trace_path;
+/// Flags shared by every mode; positional args collect in `positional`.
+struct Options {
+  std::vector<std::string> positional;
   std::string format;
   std::string output_path;
+  std::string baseline_dir;
+  std::string candidate_dir = ".";
+  regress::Thresholds thresholds;
   bool color = true;
-  for (int i = 1; i < argc; ++i) {
+  bool ok = true;
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--format=", 0) == 0) {
-      format = arg.substr(9);
+    const auto value_of = [&](const char* name) -> const char* {
+      const std::string prefix = std::string(name) + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size() : nullptr;
+    };
+    if (const char* fmt = value_of("--format")) {
+      options.format = fmt;
+    } else if (const char* ratio = value_of("--threshold")) {
+      options.thresholds.ratio = std::atof(ratio);
+    } else if (const char* noisy = value_of("--noisy-threshold")) {
+      options.thresholds.noisy_ratio = std::atof(noisy);
+    } else if (const char* slack = value_of("--abs-slack")) {
+      options.thresholds.abs_slack = std::atof(slack);
+    } else if (const char* base = value_of("--baseline-dir")) {
+      options.baseline_dir = base;
+    } else if (const char* cand = value_of("--candidate-dir")) {
+      options.candidate_dir = cand;
     } else if (arg == "-o" || arg == "--output") {
-      if (++i >= argc) return usage(argv[0]);
-      output_path = argv[i];
+      if (++i >= argc) {
+        options.ok = false;
+        return options;
+      }
+      options.output_path = argv[i];
     } else if (arg == "--no-color") {
-      color = false;
-    } else if (arg == "-h" || arg == "--help") {
-      usage(argv[0]);
-      return 0;
+      options.color = false;
     } else if (!arg.empty() && arg[0] == '-') {
-      return usage(argv[0]);
-    } else if (trace_path.empty()) {
-      trace_path = arg;
+      options.ok = false;
+      return options;
     } else {
-      return usage(argv[0]);
+      options.positional.push_back(arg);
     }
   }
-  if (trace_path.empty()) return usage(argv[0]);
+  return options;
+}
 
-  // Format: explicit flag wins, then the output extension, then text.
+/// Explicit --format wins, then the output extension, then text.
+std::string resolve_format(const Options& options) {
+  if (!options.format.empty()) return options.format;
   const auto ends_with = [&](const std::string& suffix) {
-    return output_path.size() >= suffix.size() &&
-           output_path.compare(output_path.size() - suffix.size(),
-                               suffix.size(), suffix) == 0;
+    return options.output_path.size() >= suffix.size() &&
+           options.output_path.compare(
+               options.output_path.size() - suffix.size(), suffix.size(),
+               suffix) == 0;
   };
-  if (format.empty()) {
-    format = ends_with(".html") ? "html" : ends_with(".json") ? "json" : "text";
+  return ends_with(".html") ? "html" : ends_with(".json") ? "json" : "text";
+}
+
+/// Write `rendered` to -o (or stdout).  Returns false on an unwritable path.
+bool deliver(const Options& options, const std::string& rendered,
+             const char* what) {
+  if (options.output_path.empty()) {
+    std::cout << rendered;
+    return true;
   }
-  if (format != "text" && format != "json" && format != "html") {
-    return usage(argv[0]);
+  std::ofstream out(options.output_path);
+  if (!out) {
+    std::fprintf(stderr, "mrmc_doctor: cannot write %s\n",
+                 options.output_path.c_str());
+    return false;
   }
+  out << rendered;
+  std::fprintf(stderr, "mrmc_doctor: wrote %s to %s\n", what,
+               options.output_path.c_str());
+  return true;
+}
+
+/// Render a finished comparison and turn it into an exit status.
+int finish_compare(const Options& options, const regress::CompareReport& report,
+                   const std::string& format) {
+  std::string rendered;
+  if (format == "json") {
+    rendered = regress::to_json(report);
+  } else if (format == "html") {
+    rendered = regress::to_html(report);
+  } else {
+    rendered =
+        regress::to_text(report, options.color && options.output_path.empty());
+  }
+  if (!deliver(options, rendered, "comparison")) return 1;
+  // An -o run still narrates pass/fail on stderr so CI logs show the verdict.
+  if (!options.output_path.empty()) {
+    std::fprintf(stderr, "mrmc_doctor: %zu compared, %zu regression(s)\n",
+                 report.compared, report.regressions);
+  }
+  return report.ok() ? 0 : 2;
+}
+
+int run_compare(const Options& options) {
+  const std::string format = resolve_format(options);
+  if (format != "text" && format != "json" && format != "html") return 1;
+  try {
+    const auto baseline = regress::load_rows(options.positional[0]);
+    const auto candidate = regress::load_rows(options.positional[1]);
+    return finish_compare(
+        options, regress::compare(baseline, candidate, options.thresholds),
+        format);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrmc_doctor: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run_regress(const Options& options) {
+  const std::string format = resolve_format(options);
+  if (format != "text" && format != "json" && format != "html") return 1;
+  const std::string manifest_path =
+      options.baseline_dir + "/BENCH_index.json";
+  std::ifstream manifest_file(manifest_path);
+  if (!manifest_file) {
+    std::fprintf(stderr, "mrmc_doctor: cannot open manifest %s\n",
+                 manifest_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << manifest_file.rdbuf();
+
+  std::vector<regress::MetricRow> baseline;
+  std::vector<regress::MetricRow> candidate;
+  std::size_t compared_files = 0;
+  try {
+    const auto manifest = mrmc::common::parse_json(buffer.str());
+    for (const auto& entry : manifest.at("benches").array) {
+      const std::string file = entry.at("file").string;
+      const std::string candidate_path = options.candidate_dir + "/" + file;
+      if (!std::ifstream(candidate_path)) {
+        std::fprintf(stderr,
+                     "mrmc_doctor: candidate %s not found, skipping %s\n",
+                     candidate_path.c_str(), file.c_str());
+        continue;
+      }
+      auto base_rows = regress::load_rows(options.baseline_dir + "/" + file);
+      auto cand_rows = regress::load_rows(candidate_path);
+      baseline.insert(baseline.end(),
+                      std::make_move_iterator(base_rows.begin()),
+                      std::make_move_iterator(base_rows.end()));
+      candidate.insert(candidate.end(),
+                       std::make_move_iterator(cand_rows.begin()),
+                       std::make_move_iterator(cand_rows.end()));
+      ++compared_files;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrmc_doctor: %s\n", error.what());
+    return 1;
+  }
+  if (compared_files == 0) {
+    std::fprintf(stderr,
+                 "mrmc_doctor: no baseline/candidate pairs to compare under "
+                 "%s\n",
+                 options.baseline_dir.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "mrmc_doctor: comparing %zu artifact file(s) against %s\n",
+               compared_files, options.baseline_dir.c_str());
+  return finish_compare(
+      options, regress::compare(baseline, candidate, options.thresholds),
+      format);
+}
+
+int run_index(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, std::string>> benches;  // file, bench
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) != 0 || file == "BENCH_index.json" ||
+        entry.path().extension() != ".json") {
+      continue;
+    }
+    std::string bench = file.substr(6, file.size() - 6 - 5);  // strip affixes
+    std::ifstream in(entry.path());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      const auto root = mrmc::common::parse_json(buffer.str());
+      if (root.has("bench")) bench = root.at("bench").string;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "mrmc_doctor: skipping unparseable %s\n",
+                   file.c_str());
+      continue;
+    }
+    benches.emplace_back(file, bench);
+  }
+  if (ec) {
+    std::fprintf(stderr, "mrmc_doctor: cannot list %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::sort(benches.begin(), benches.end());
+  std::string out = "{\"schema_version\": 1, \"benches\": [\n";
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += "  {\"file\": \"" + benches[i].first + "\", \"bench\": \"" +
+           benches[i].second + "\"}";
+  }
+  out += "\n]}\n";
+  const std::string path = dir + "/BENCH_index.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "mrmc_doctor: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  file << out;
+  std::fprintf(stderr, "mrmc_doctor: indexed %zu bench artifact(s) into %s\n",
+               benches.size(), path.c_str());
+  return 0;
+}
+
+int run_single_trace(const Options& options) {
+  const std::string format = resolve_format(options);
+  if (format != "text" && format != "json" && format != "html") return 1;
 
   using namespace mrmc::obs;
   std::vector<report::JobReport> reports;
+  const std::string& trace_path = options.positional[0];
   try {
     reports = report::analyze_trace_file(trace_path);
   } catch (const std::exception& error) {
@@ -96,22 +312,42 @@ int main(int argc, char** argv) {
   } else if (format == "html") {
     rendered = report::to_html(all);
   } else {
-    rendered = report::to_text(all, color && output_path.empty());
+    rendered =
+        report::to_text(all, options.color && options.output_path.empty());
   }
-
-  if (output_path.empty()) {
-    std::cout << rendered;
-  } else {
-    std::ofstream out(output_path);
-    if (!out) {
-      std::fprintf(stderr, "mrmc_doctor: cannot write %s\n",
-                   output_path.c_str());
-      return 1;
-    }
-    out << rendered;
-    std::fprintf(stderr, "mrmc_doctor: wrote %s report for %zu job%s to %s\n",
-                 format.c_str(), reports.size(),
-                 reports.size() == 1 ? "" : "s", output_path.c_str());
-  }
+  if (!deliver(options, rendered, (format + " report").c_str())) return 1;
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string mode = argv[1];
+    if (mode == "-h" || mode == "--help") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (mode == "compare") {
+      const Options options = parse_options(argc, argv, 2);
+      if (!options.ok || options.positional.size() != 2) return usage(argv[0]);
+      return run_compare(options);
+    }
+    if (mode == "regress") {
+      const Options options = parse_options(argc, argv, 2);
+      if (!options.ok || !options.positional.empty() ||
+          options.baseline_dir.empty()) {
+        return usage(argv[0]);
+      }
+      return run_regress(options);
+    }
+    if (mode == "index") {
+      const Options options = parse_options(argc, argv, 2);
+      if (!options.ok || options.positional.size() != 1) return usage(argv[0]);
+      return run_index(options.positional[0]);
+    }
+  }
+  const Options options = parse_options(argc, argv, 1);
+  if (!options.ok || options.positional.size() != 1) return usage(argv[0]);
+  return run_single_trace(options);
 }
