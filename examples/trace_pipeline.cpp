@@ -9,9 +9,13 @@
 //     data-local tasks) and per-phase simulated-duration histograms
 //     (now with p50/p95/p99 estimates), and
 //   * a job-doctor report — critical-path decomposition, utilization, and
-//     findings for every simulated job, printed below and written as HTML.
+//     findings for every simulated job, printed below and written as HTML, and
+//   * a pipeline-doctor report — the jobs of each run_pipeline call stitched
+//     into one end-to-end view (per-stage critical path, aggregate shuffle
+//     bytes, stage-level findings), printed below and written as HTML.
 //
 //   ./trace_pipeline [reads] [trace.json] [metrics.txt] [report.html]
+//       [pipeline.html]
 //
 // The same artifacts come out of ANY pipeline run via environment variables:
 //   MRMC_TRACE=out.json MRMC_METRICS=metrics.txt MRMC_REPORT=report.html
@@ -25,6 +29,7 @@
 #include "core/mrmc.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pipeline.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "simdata/datasets.hpp"
@@ -36,6 +41,8 @@ int main(int argc, char** argv) {
   const std::string trace_path = argc > 2 ? argv[2] : "trace_pipeline.json";
   const std::string metrics_path = argc > 3 ? argv[3] : "trace_pipeline_metrics.txt";
   const std::string report_path = argc > 4 ? argv[4] : "trace_pipeline_report.html";
+  const std::string pipeline_path =
+      argc > 5 ? argv[5] : "trace_pipeline_pipeline.html";
 
   auto& tracer = obs::Tracer::global();
   tracer.set_output_path(trace_path);
@@ -43,6 +50,9 @@ int main(int argc, char** argv) {
   auto& collector = obs::report::Collector::global();
   collector.set_output_path(report_path);
   collector.set_enabled(true);
+  auto& pipelines = obs::pipeline::Collector::global();
+  pipelines.set_output_path(pipeline_path);
+  pipelines.set_enabled(true);
   obs::LogConfig::global().set_default_level(obs::LogLevel::kInfo);
 
   // An S2-style two-species sample, clustered with both pipeline variants so
@@ -104,6 +114,18 @@ int main(int argc, char** argv) {
                    std::span<const obs::report::JobReport>(reports));
   if (collector.flush()) {
     std::cout << "wrote HTML report to " << report_path << "\n";
+  }
+
+  // The pipeline doctor: both run_pipeline calls stitched end to end — the
+  // same view `mrmc_doctor pipeline <trace>` reconstructs offline.
+  const auto pipeline_reports = pipelines.reports();
+  std::cout << "\nPipeline doctor (" << pipeline_reports.size()
+            << " pipelines)\n"
+            << obs::pipeline::to_text(
+                   std::span<const obs::pipeline::PipelineReport>(
+                       pipeline_reports));
+  if (pipelines.flush()) {
+    std::cout << "wrote HTML pipeline report to " << pipeline_path << "\n";
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "mr/runtime.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pipeline.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 
@@ -55,6 +56,7 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
                                    const PipelineParams& params,
                                    const ExecutionOptions& exec,
                                    mr::JobStats& stats) {
+  obs::pipeline::StageScope stage("sketch");
   auto hasher = std::make_shared<MinHasher>(params.minhash);
   const std::size_t num_hashes = params.minhash.num_hashes;
 
@@ -117,6 +119,7 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
                                     const PipelineParams& params,
                                     const ExecutionOptions& exec,
                                     mr::JobStats& stats) {
+  obs::pipeline::StageScope stage("similarity");
   const std::size_t n = sketches->size();
   const std::size_t num_hashes = params.minhash.num_hashes;
   const SketchEstimator estimator = params.estimator;
@@ -197,6 +200,7 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
 std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketches,
                                 const PipelineParams& params,
                                 const ExecutionOptions& exec, mr::JobStats& stats) {
+  obs::pipeline::StageScope stage("greedy-cluster");
   const std::size_t n = sketches->size();
   const GreedyParams greedy{params.theta, params.greedy_estimator};
 
@@ -254,6 +258,7 @@ std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
                                       const PipelineParams& params,
                                       const ExecutionOptions& exec,
                                       mr::JobStats& stats) {
+  obs::pipeline::StageScope stage("hierarchical-cluster");
   const std::size_t n = matrix.size();
 
   using HierJob = mr::Job<std::uint32_t, int, std::uint32_t,
@@ -336,6 +341,11 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
        {"distributed", exec.distributed ? "true" : "false"}});
 
   if (exec.distributed) {
+    // Lineage root: every job this pipeline drives claims a (pipeline id,
+    // stage, sequence) from this scope, so the doctor can stitch the jobs
+    // back into one PipelineReport from the trace alone.
+    obs::pipeline::PipelineScope lineage(std::string("pipeline-") +
+                                         mode_name(params.mode));
     auto sketches = std::make_shared<std::vector<Sketch>>(
         run_sketch_job(reads, params, exec, result.sketch_stats));
     result.sim_total_s += result.sketch_stats.timeline.total_s;
@@ -391,6 +401,7 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
   tracer.flush();
   obs::Registry::write_global_if_configured();
   obs::report::Collector::write_global_if_configured();
+  obs::pipeline::Collector::write_global_if_configured();
   return result;
 }
 

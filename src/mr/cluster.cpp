@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
+#include <optional>
 #include <queue>
 #include <tuple>
 
@@ -10,6 +11,8 @@
 #include "common/timer.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pipeline.hpp"
+#include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -294,16 +297,68 @@ void emit_job(const SimScheduler& scheduler, const JobTimeline& timeline,
         .add(static_cast<long>(timeline.faults.blacklisted_nodes));
   }
 
+  // Claim this job's lineage slot unconditionally: the sequence counter of
+  // a live obs::pipeline scope must advance exactly once per simulated job,
+  // whatever sinks are enabled, and run_splits reads the claim back via
+  // obs::pipeline::last_claim() to stamp its wall span.
+  const std::optional<obs::pipeline::Claim> claim = obs::pipeline::claim();
+
   auto& collector = obs::report::Collector::global();
   if (collector.enabled()) {
-    collector.add(
-        report_input(timeline, scheduler.config(), job_name, shuffle_bytes));
+    obs::report::JobInput input =
+        report_input(timeline, scheduler.config(), job_name, shuffle_bytes);
+    if (claim) {
+      input.pipeline = claim->pipeline;
+      input.stage = claim->stage;
+      input.round = claim->round;
+      input.sequence = claim->sequence;
+    }
+    collector.add(std::move(input));
   }
 
   auto& tracer = obs::Tracer::global();
   if (tracer.enabled()) {
     const std::uint32_t pid = tracer.begin_sim_job(job_name);
     const ClusterConfig& config = scheduler.config();
+    if (claim) {
+      // Lineage instant on the job's own sim track: jobs_from_trace turns
+      // it back into the JobInput lineage fields, and the pipeline doctor
+      // regroups jobs by it.
+      obs::TraceEvent lineage_event;
+      lineage_event.name = "job_lineage";
+      lineage_event.category = "sim";
+      lineage_event.phase = 'i';
+      lineage_event.pid = pid;
+      lineage_event.args = {{"pipeline", claim->pipeline},
+                            {"stage", claim->stage},
+                            {"round", std::to_string(claim->round)},
+                            {"sequence", std::to_string(claim->sequence)}};
+      tracer.append(std::move(lineage_event));
+      // Flow arrow from the previous job of this pipeline to this one, so
+      // trace viewers draw the cross-job chain.  Reconstruction skips
+      // 's'/'f' phases entirely, keeping reports byte-identical.
+      if (const obs::pipeline::FlowLink link = obs::pipeline::take_flow_link();
+          link.valid) {
+        const std::uint64_t flow = obs::pipeline::flow_event_id(*claim);
+        obs::TraceEvent flow_out;
+        flow_out.name = "pipeline";
+        flow_out.category = "flow";
+        flow_out.phase = 's';
+        flow_out.ts_us = link.end_ts_us;
+        flow_out.pid = link.pid;
+        flow_out.flow_id = flow;
+        tracer.append(std::move(flow_out));
+        obs::TraceEvent flow_in;
+        flow_in.name = "pipeline";
+        flow_in.category = "flow";
+        flow_in.phase = 'f';
+        flow_in.ts_us = 0.0;
+        flow_in.pid = pid;
+        flow_in.flow_id = flow;
+        tracer.append(std::move(flow_in));
+      }
+      obs::pipeline::set_flow_link(pid, timeline.total_s * 1e6);
+    }
     // Cluster shape + startup for offline reconstruction (mrmc_doctor); the
     // doubles travel as %.17g so the offline report is bit-identical.
     obs::TraceEvent config_event;
@@ -415,10 +470,13 @@ void emit_job(const SimScheduler& scheduler, const JobTimeline& timeline,
                     config.reduce_slots_per_node, reduce_tid_base,
                     reduce_offset);
 
-    // Sampled live-task counters on the deterministic sim-time grid: the
-    // series depends only on the timeline, never on wall-clock pacing, so
-    // sampled traces stay reproducible run to run.
-    if (obs::ResourceSampler::global().enabled()) {
+    // Sampled live-task counters and cumulative progress curves on the
+    // deterministic sim-time grid: both series depend only on the timeline,
+    // never on wall-clock pacing, so sampled traces stay reproducible run
+    // to run.
+    const bool want_sampler_grid = obs::ResourceSampler::global().enabled();
+    const bool want_progress_grid = obs::progress::Tracker::global().enabled();
+    if (want_sampler_grid || want_progress_grid) {
       const auto to_intervals = [](const std::vector<TaskPlacement>& tasks,
                                    double offset) {
         std::vector<obs::SimInterval> intervals;
@@ -434,11 +492,21 @@ void emit_job(const SimScheduler& scheduler, const JobTimeline& timeline,
         fetch_intervals.push_back(
             {fetch.start_s + map_offset, fetch.end_s + map_offset});
       }
-      obs::emit_sim_task_counters(
-          tracer, pid, to_intervals(timeline.map_phase.tasks, map_offset),
-          fetch_intervals,
-          to_intervals(timeline.reduce_phase.tasks, reduce_offset),
-          timeline.total_s);
+      const std::vector<obs::SimInterval> map_intervals =
+          to_intervals(timeline.map_phase.tasks, map_offset);
+      const std::vector<obs::SimInterval> reduce_intervals =
+          to_intervals(timeline.reduce_phase.tasks, reduce_offset);
+      if (want_sampler_grid) {
+        obs::emit_sim_task_counters(tracer, pid, map_intervals,
+                                    fetch_intervals, reduce_intervals,
+                                    timeline.total_s);
+      }
+      if (want_progress_grid) {
+        obs::progress::emit_sim_progress_grid(tracer, pid, map_intervals,
+                                              fetch_intervals,
+                                              reduce_intervals,
+                                              timeline.total_s);
+      }
     }
   }
 

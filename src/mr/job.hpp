@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,6 +45,8 @@
 #include "mr/runtime.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pipeline.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 
 namespace mrmc::mr {
@@ -231,6 +234,8 @@ class Job {
                                {{"maps", std::to_string(splits.size())},
                                 {"reducers",
                                  std::to_string(config_.num_reducers)}});
+    // Real wall window of this job, for pipeline-level driver-gap analysis.
+    const double wall_start_us = tracer.now_us();
     JobResult<Out> result;
     JobStats& stats = result.stats;
     const std::size_t num_maps = splits.size();
@@ -325,6 +330,10 @@ class Job {
                 reducer_runs[r][m] = std::move(map_outputs[m].runs[r]);
                 fetched_bytes[r][m] = map_outputs[m].run_bytes[r];
               }
+              auto& progress = obs::progress::Tracker::global();
+              if (progress.enabled()) {
+                progress.add_bytes(fetched_bytes[r][m]);
+              }
             },
             {map_ids[m]}, task_options(traced, "fetch", r, m)));
       }
@@ -345,8 +354,17 @@ class Job {
           std::move(fetch_ids), task_options(traced, "reduce", r));
     }
 
-    runtime::PoolLease lease(config_.threads, config_.isolated_pool);
-    graph.run(lease.pool());
+    {
+      // Live-progress bracket around the real execution: plan counts are
+      // known from the graph shape (fetch nodes exist for every (m, r)
+      // pair), and the RAII scope ends the job line even when a task
+      // failure unwinds out of graph.run.
+      obs::progress::Tracker::JobScope progress_scope(
+          obs::progress::Tracker::global(), config_.name, num_maps,
+          num_maps * num_reducers, num_reducers);
+      runtime::PoolLease lease(config_.threads, config_.isolated_pool);
+      graph.run(lease.pool());
+    }
 
     // ------------------------------- deterministic single-threaded assembly
     std::vector<TaskSpec> map_specs;
@@ -442,6 +460,51 @@ class Job {
     job_span.arg("spill_runs", std::to_string(stats.spill_runs));
     job_span.arg("merge_fan_in_max",
                  std::to_string(stats.merge_fan_in_max));
+
+    // Cross-job lineage: simulate_job's emit funnel just claimed this job's
+    // pipeline slot (same thread), so last_claim() is exactly ours — stamp
+    // it onto the wall span, record the wall window for the pipeline
+    // doctor's driver-gap analysis, and feed the pipeline collector.
+    const double wall_end_us = tracer.now_us();
+    if (const std::optional<obs::pipeline::Claim>& claim =
+            obs::pipeline::last_claim()) {
+      job_span.arg("pipeline", claim->pipeline);
+      job_span.arg("stage", claim->stage);
+      if (claim->round >= 0) {
+        job_span.arg("round", std::to_string(claim->round));
+      }
+      job_span.arg("sequence", std::to_string(claim->sequence));
+      if (tracer.enabled()) {
+        // Real-clock instant carrying the wall window as %.17g, so the
+        // trace-reconstructed pipeline report recovers the exact gaps the
+        // in-process collector computed.
+        obs::TraceEvent wall_event;
+        wall_event.name = "job_wall";
+        wall_event.category = "real";
+        wall_event.phase = 'i';
+        wall_event.ts_us = wall_start_us;
+        wall_event.pid = obs::kRealPid;
+        wall_event.args = {{"pipeline", claim->pipeline},
+                           {"stage", claim->stage},
+                           {"sequence", std::to_string(claim->sequence)},
+                           {"start_us", obs::trace_double(wall_start_us)},
+                           {"end_us", obs::trace_double(wall_end_us)}};
+        tracer.append(std::move(wall_event));
+      }
+      auto& pipelines = obs::pipeline::Collector::global();
+      if (pipelines.enabled()) {
+        obs::pipeline::StageRecord record;
+        record.job = report_input(stats.timeline, config_.cluster,
+                                  config_.name, stats.shuffle_bytes);
+        record.job.pipeline = claim->pipeline;
+        record.job.stage = claim->stage;
+        record.job.round = claim->round;
+        record.job.sequence = claim->sequence;
+        record.wall_start_us = wall_start_us;
+        record.wall_end_us = wall_end_us;
+        pipelines.add(std::move(record));
+      }
+    }
     return result;
   }
 

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
@@ -36,6 +37,22 @@ class ActiveTaskScope {
  private:
   std::atomic<long>* counter_;
 };
+
+/// obs cannot see mr, so the executor translates its TaskKind into the
+/// progress tracker's TaskClass at the callback boundary.
+obs::progress::TaskClass progress_class(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kMap:
+      return obs::progress::TaskClass::kMap;
+    case TaskKind::kFetch:
+      return obs::progress::TaskClass::kFetch;
+    case TaskKind::kReduce:
+      return obs::progress::TaskClass::kReduce;
+    case TaskKind::kOther:
+      break;
+  }
+  return obs::progress::TaskClass::kOther;
+}
 
 }  // namespace
 
@@ -165,6 +182,10 @@ void TaskGraph::execute(common::ThreadPool& pool, std::size_t id) {
                          {"attempt", std::to_string(attempt)}});
       }
       node.fn(attempt);
+      auto& progress = obs::progress::Tracker::global();
+      if (progress.enabled()) {
+        progress.task_done(progress_class(node.options.kind));
+      }
     } catch (const LostInputFailure& failure) {
       const std::size_t input = failure.input();
       bool park = false;
@@ -199,6 +220,8 @@ void TaskGraph::execute(common::ThreadPool& pool, std::size_t id) {
       }
       if (park) {
         obs::Registry::global().counter("runtime.lost_input_reruns").add(1);
+        auto& progress = obs::progress::Tracker::global();
+        if (progress.enabled()) progress.retry();
         if (resubmit_input) submit(pool, input);
         return;
       }
@@ -214,6 +237,8 @@ void TaskGraph::execute(common::ThreadPool& pool, std::size_t id) {
         }
       }
       obs::Registry::global().counter("runtime.task_retries").add(1);
+      auto& progress = obs::progress::Tracker::global();
+      if (progress.enabled()) progress.retry();
       if (retry) {
         // The node stays in flight; re-run it as a fresh pool task so other
         // ready work interleaves with the retry.

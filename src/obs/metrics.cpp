@@ -150,6 +150,41 @@ std::string MetricsSnapshot::to_text() const {
   return out;
 }
 
+std::string MetricsSnapshot::to_prometheus() const {
+  // Label-free Prometheus text exposition (# TYPE + one sample per line).
+  // Dots and other punctuation are illegal in Prometheus metric names, so
+  // "mr.shuffle_bytes" exports as "mrmc_mr_shuffle_bytes".
+  const auto prom_name = [](std::string_view name, const char* suffix = "") {
+    std::string out = "mrmc_";
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      out.push_back(ok ? c : '_');
+    }
+    out += suffix;
+    return out;
+  };
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    // Summaries stay label-free: _count and _sum only, no quantile series.
+    const std::string metric = prom_name(name);
+    out += "# TYPE " + metric + " summary\n";
+    out += prom_name(name, "_count") + " " + std::to_string(hist.count) + "\n";
+    out += prom_name(name, "_sum") + " " + format_double(hist.sum) + "\n";
+  }
+  return out;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
@@ -251,9 +286,18 @@ bool Registry::write_global_if_configured() {
   const char* path = std::getenv("MRMC_METRICS");
   if (path == nullptr || *path == '\0') return false;
   const MetricsSnapshot snap = global().snapshot();
+  std::string_view p(path);
+  if (p.rfind("prom:", 0) == 0) {
+    // MRMC_METRICS=prom:<path> selects the Prometheus text exposition.
+    p.remove_prefix(5);
+    if (p.empty()) return false;
+    std::ofstream out{std::string(p)};
+    if (!out) return false;
+    out << snap.to_prometheus();
+    return out.good();
+  }
   std::ofstream out(path);
   if (!out) return false;
-  const std::string_view p(path);
   out << (p.size() >= 5 && p.substr(p.size() - 5) == ".json" ? snap.to_json()
                                                              : snap.to_text());
   return out.good();

@@ -14,10 +14,11 @@
 // and safe to cache.  `Registry::global()` is the instance the engine
 // instruments; tests may `reset()` it between cases.
 //
-// A snapshot renders as text (one metric per line) or JSON; if the
-// MRMC_METRICS environment variable names a file, `Registry::
-// write_global_if_configured()` dumps the global registry there (JSON when
-// the path ends in .json, text otherwise).
+// A snapshot renders as text (one metric per line), JSON, or Prometheus
+// text exposition; if the MRMC_METRICS environment variable names a file,
+// `Registry::write_global_if_configured()` dumps the global registry there
+// (JSON when the path ends in .json, Prometheus when the value is
+// "prom:<path>", text otherwise).
 #pragma once
 
 #include <atomic>
@@ -133,6 +134,12 @@ struct MetricsSnapshot {
 
   [[nodiscard]] std::string to_text() const;
   [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition (version 0.0.4, label-free): every metric
+  /// gets an `mrmc_`-prefixed name sanitized to [a-zA-Z0-9_:] and a
+  /// `# TYPE` line; histograms export as label-free summaries (`_count`,
+  /// `_sum`).  Exported via MRMC_METRICS=prom:<path> — groundwork for the
+  /// query-service /metrics health endpoint.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 class Registry {

@@ -1,0 +1,720 @@
+#include "obs/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/timer.hpp"
+
+namespace mrmc::obs::pipeline {
+
+// ------------------------------------------------------- lineage context
+
+namespace {
+
+// The innermost live scope of this thread, plus the claim the most recent
+// claim() call produced (so the job runner can read the lineage its
+// simulate_job call just stamped without re-threading it).
+thread_local PipelineScope* tl_scope = nullptr;
+thread_local std::optional<Claim> tl_last_claim;
+
+// Process-wide serial so two pipelines in one process never share an id.
+std::atomic<std::uint64_t>& pipeline_serial() {
+  static std::atomic<std::uint64_t> serial{0};
+  return serial;
+}
+
+}  // namespace
+
+PipelineScope::PipelineScope(std::string_view name)
+    : id_(std::string(name) + "#" +
+          std::to_string(pipeline_serial().fetch_add(1) + 1)),
+      prev_(tl_scope) {
+  tl_scope = this;
+}
+
+PipelineScope::~PipelineScope() { tl_scope = prev_; }
+
+StageScope::StageScope(std::string stage, int round) : scope_(tl_scope) {
+  if (scope_ == nullptr) return;
+  saved_stage_ = std::move(scope_->stage_);
+  saved_round_ = scope_->round_;
+  scope_->stage_ = std::move(stage);
+  scope_->round_ = round;
+}
+
+StageScope::~StageScope() {
+  if (scope_ == nullptr) return;
+  scope_->stage_ = std::move(saved_stage_);
+  scope_->round_ = saved_round_;
+}
+
+bool active() noexcept { return tl_scope != nullptr; }
+
+std::optional<Claim> claim() {
+  if (tl_scope == nullptr) {
+    tl_last_claim.reset();
+    return std::nullopt;
+  }
+  Claim claimed;
+  claimed.pipeline = tl_scope->id_;
+  claimed.stage = tl_scope->stage_;
+  claimed.round = tl_scope->round_;
+  claimed.sequence = tl_scope->next_sequence_++;
+  tl_last_claim = claimed;
+  return claimed;
+}
+
+const std::optional<Claim>& last_claim() noexcept { return tl_last_claim; }
+
+FlowLink take_flow_link() noexcept {
+  if (tl_scope == nullptr || !tl_scope->link_valid_) return {};
+  FlowLink link;
+  link.pid = tl_scope->link_pid_;
+  link.end_ts_us = tl_scope->link_end_ts_us_;
+  link.valid = true;
+  tl_scope->link_valid_ = false;
+  return link;
+}
+
+void set_flow_link(std::uint32_t pid, double end_ts_us) noexcept {
+  if (tl_scope == nullptr) return;
+  tl_scope->link_pid_ = pid;
+  tl_scope->link_end_ts_us_ = end_ts_us;
+  tl_scope->link_valid_ = true;
+}
+
+std::uint64_t flow_event_id(const Claim& claim) noexcept {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const char c : claim.pipeline) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash ^ static_cast<std::uint64_t>(claim.sequence);
+}
+
+// ------------------------------------------------------- pipeline doctor
+
+namespace {
+
+/// %.17g — round-trips through strtod exactly (same contract as the trace).
+std::string f17(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string f2(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.2f", value);
+  return buf;
+}
+
+std::string pct(double fraction) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string html_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+constexpr const char* kReset = "\x1b[0m";
+
+const char* severity_color(report::Severity severity) {
+  switch (severity) {
+    case report::Severity::kInfo: return "\x1b[36m";      // cyan
+    case report::Severity::kWarning: return "\x1b[33m";   // yellow
+    case report::Severity::kCritical: return "\x1b[31m";  // red
+  }
+  return "";
+}
+
+/// Group collected stage records into pipelines: first-appearance order of
+/// pipeline ids, stages sorted by claim sequence.  Shared by the in-process
+/// Collector and the trace-reconstruction path so both produce identical
+/// PipelineInput orderings.
+std::vector<PipelineInput> group_stages(std::vector<StageRecord> records) {
+  std::vector<PipelineInput> out;
+  for (StageRecord& record : records) {
+    if (record.job.pipeline.empty()) continue;  // standalone job
+    auto it = std::find_if(out.begin(), out.end(), [&](const PipelineInput& p) {
+      return p.id == record.job.pipeline;
+    });
+    if (it == out.end()) {
+      out.emplace_back();
+      it = out.end() - 1;
+      it->id = record.job.pipeline;
+    }
+    it->stages.push_back(std::move(record));
+  }
+  for (PipelineInput& input : out) {
+    std::stable_sort(input.stages.begin(), input.stages.end(),
+                     [](const StageRecord& a, const StageRecord& b) {
+                       return a.job.sequence < b.job.sequence;
+                     });
+  }
+  return out;
+}
+
+}  // namespace
+
+PipelineReport analyze(const PipelineInput& input,
+                       const PipelineAnalyzeOptions& options) {
+  PipelineReport out;
+  out.id = input.id;
+  out.stages.reserve(input.stages.size());
+
+  // Per-stage job reports plus the aggregate critical path, every sum
+  // accumulated left to right in stage-sequence order (the byte-identity
+  // contract between the in-process and trace-reconstructed paths).  Sort
+  // here rather than trusting the caller: hand-built inputs may arrive in
+  // arrival order.
+  std::vector<const StageRecord*> ordered;
+  ordered.reserve(input.stages.size());
+  for (const StageRecord& record : input.stages) ordered.push_back(&record);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const StageRecord* a, const StageRecord* b) {
+                     return a->job.sequence < b->job.sequence;
+                   });
+
+  bool all_wall = options.include_wall && !input.stages.empty();
+  for (const StageRecord* record_ptr : ordered) {
+    const StageRecord& record = *record_ptr;
+    StageReport stage;
+    stage.job = report::analyze(record.job, options.job);
+    out.sim_total_s += stage.job.total_s;
+    out.startup_s += stage.job.startup_s;
+    out.map_s += stage.job.map_phase.makespan_s;
+    out.shuffle_s += stage.job.shuffle_s;
+    out.reduce_s += stage.job.reduce_phase.makespan_s;
+    out.shuffle_bytes += stage.job.shuffle_bytes;
+    all_wall = all_wall && record.has_wall();
+    out.stages.push_back(std::move(stage));
+  }
+  for (StageReport& stage : out.stages) {
+    stage.sim_share =
+        out.sim_total_s > 0.0 ? stage.job.total_s / out.sim_total_s : 0.0;
+  }
+
+  // Real wall-clock layer: per-stage duration, inter-job driver gaps, and
+  // the end-to-end window.  Only meaningful when every stage carried a wall
+  // window; callers comparing across runs disable it (include_wall=false).
+  out.has_wall = all_wall;
+  if (out.has_wall) {
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      const StageRecord& record = *ordered[i];
+      StageReport& stage = out.stages[i];
+      stage.has_wall = true;
+      stage.wall_s = (record.wall_end_us - record.wall_start_us) * 1e-6;
+      if (i > 0) {
+        stage.gap_before_s = std::max(
+            0.0, (record.wall_start_us - ordered[i - 1]->wall_end_us) * 1e-6);
+      }
+      out.driver_gap_s += stage.gap_before_s;
+    }
+    out.wall_total_s =
+        (ordered.back()->wall_end_us - ordered.front()->wall_start_us) * 1e-6;
+  }
+
+  // ------------------------------------------------------------- findings
+  for (const StageReport& stage : out.stages) {
+    if (out.stages.size() > 1 && stage.sim_share > options.dominant_share) {
+      out.findings.push_back(
+          {"stage-dominant", report::Severity::kWarning,
+           "stage \"" + stage.job.stage + "\" is " + pct(stage.sim_share) +
+               " of the simulated pipeline makespan (" +
+               f2(stage.job.total_s) + "s of " + f2(out.sim_total_s) + "s)",
+           "scale or restructure this stage first — the other stages are "
+           "not the bottleneck"});
+    }
+  }
+  for (const StageReport& stage : out.stages) {
+    if (out.stages.size() > 1 && out.shuffle_bytes > 0.0 &&
+        stage.job.shuffle_bytes / out.shuffle_bytes > options.shuffle_share) {
+      out.findings.push_back(
+          {"shuffle-concentration", report::Severity::kInfo,
+           "stage \"" + stage.job.stage + "\" moves " +
+               pct(stage.job.shuffle_bytes / out.shuffle_bytes) +
+               " of the pipeline's shuffle bytes (" +
+               f2(stage.job.shuffle_bytes / 1e6) + " MB of " +
+               f2(out.shuffle_bytes / 1e6) + " MB)",
+           "compress or combine this stage's map output first — the other "
+           "exchanges are noise in comparison"});
+    }
+  }
+  if (out.sim_total_s > 0.0 &&
+      out.startup_s / out.sim_total_s > options.startup_fraction) {
+    out.findings.push_back(
+        {"startup-bound-pipeline", report::Severity::kWarning,
+         "fixed job startup is " + pct(out.startup_s / out.sim_total_s) +
+             " of the simulated pipeline (" + f2(out.startup_s) + "s over " +
+             std::to_string(out.stages.size()) + " jobs)",
+         "chain stages into fewer jobs or batch more input per run — the "
+         "cluster mostly waits for job launches"});
+  }
+  if (out.has_wall && out.wall_total_s > 0.0 &&
+      out.driver_gap_s / out.wall_total_s > options.gap_fraction) {
+    out.findings.push_back(
+        {"driver-gap", report::Severity::kWarning,
+         "the driver spends " + pct(out.driver_gap_s / out.wall_total_s) +
+             " of the pipeline wall time between jobs (" +
+             f2(out.driver_gap_s) + "s across " +
+             std::to_string(out.stages.size() - 1) + " gap(s))",
+         "overlap stage setup with the previous job or keep intermediate "
+         "results in memory between stages"});
+  }
+  std::stable_sort(out.findings.begin(), out.findings.end(),
+                   [](const report::Finding& a, const report::Finding& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return out;
+}
+
+// ---------------------------------------------------------- offline intake
+
+std::vector<PipelineInput> pipelines_from_trace(const common::JsonValue& root) {
+  // The job doctor already reconstructs every sim job (lineage included);
+  // regroup the ones that carry a pipeline id, then join the "job_wall"
+  // instants the job runner emitted on the real-clock track.
+  std::vector<StageRecord> records;
+  for (report::JobInput& job : report::jobs_from_trace(root)) {
+    StageRecord record;
+    record.job = std::move(job);
+    records.push_back(std::move(record));
+  }
+  std::vector<PipelineInput> pipelines = group_stages(std::move(records));
+  if (pipelines.empty()) return pipelines;
+
+  const common::JsonValue& events = root.at("traceEvents");
+  for (const common::JsonValue& event : events.array) {
+    if (event.at("ph").string != "i" ||
+        event.at("name").string != "job_wall") {
+      continue;
+    }
+    const common::JsonValue& args = event.at("args");
+    const std::string& pipeline_id = args.at("pipeline").string;
+    const auto sequence = static_cast<std::size_t>(
+        std::strtod(args.at("sequence").string.c_str(), nullptr));
+    for (PipelineInput& input : pipelines) {
+      if (input.id != pipeline_id) continue;
+      for (StageRecord& stage : input.stages) {
+        if (stage.job.sequence != sequence) continue;
+        // %.17g strings restore the tracer's microsecond doubles exactly.
+        stage.wall_start_us =
+            std::strtod(args.at("start_us").string.c_str(), nullptr);
+        stage.wall_end_us =
+            std::strtod(args.at("end_us").string.c_str(), nullptr);
+      }
+    }
+  }
+  return pipelines;
+}
+
+std::vector<PipelineReport> analyze_trace_file(
+    const std::string& path, const PipelineAnalyzeOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const common::JsonValue root = common::parse_json(buffer.str());
+  std::vector<PipelineReport> reports;
+  for (const PipelineInput& input : pipelines_from_trace(root)) {
+    reports.push_back(analyze(input, options));
+  }
+  return reports;
+}
+
+// -------------------------------------------------------------- renderers
+
+std::string to_text(const PipelineReport& report, bool color) {
+  std::string out;
+  out += "pipeline \"" + report.id + "\" — " +
+         std::to_string(report.stages.size()) + " stage(s), sim total " +
+         common::format_duration(report.sim_total_s) + "\n";
+  auto leg = [&](const char* name, double seconds) {
+    out += std::string(name) + " " + f2(seconds) + "s";
+    if (report.sim_total_s > 0.0) {
+      out += " (" + pct(seconds / report.sim_total_s) + ")";
+    }
+  };
+  out += "  critical path: ";
+  leg("startup", report.startup_s);
+  out += " | ";
+  leg("map", report.map_s);
+  out += " | ";
+  leg("shuffle", report.shuffle_s);
+  out += " | ";
+  leg("reduce", report.reduce_s);
+  out += "\n";
+  if (report.shuffle_bytes > 0.0) {
+    out += "  shuffle bytes: " + f2(report.shuffle_bytes / 1e6) + " MB\n";
+  }
+  if (report.has_wall) {
+    out += "  wall: " + f2(report.wall_total_s) + "s end to end, driver gaps " +
+           f2(report.driver_gap_s) + "s";
+    if (report.wall_total_s > 0.0) {
+      out += " (" + pct(report.driver_gap_s / report.wall_total_s) + ")";
+    }
+    out += "\n";
+  }
+  out += "  stages:\n";
+  for (std::size_t i = 0; i < report.stages.size(); ++i) {
+    const StageReport& stage = report.stages[i];
+    out += "    #" + std::to_string(stage.job.sequence) + " \"" +
+           stage.job.stage + "\"";
+    if (stage.job.round >= 0) {
+      out += " round " + std::to_string(stage.job.round);
+    }
+    out += "  sim " + f2(stage.job.total_s) + "s (" + pct(stage.sim_share) +
+           ")";
+    if (stage.job.shuffle_bytes > 0.0) {
+      out += "  shuffle " + f2(stage.job.shuffle_bytes / 1e6) + " MB";
+    }
+    if (stage.has_wall) {
+      out += "  wall " + f2(stage.wall_s) + "s";
+      if (i > 0) out += " (gap " + f2(stage.gap_before_s) + "s)";
+    }
+    out += "\n";
+  }
+  if (report.findings.empty()) {
+    out += "  findings: none — no stage dominates and the driver keeps up\n";
+  } else {
+    out += "  findings:\n";
+    for (const report::Finding& finding : report.findings) {
+      out += "    [";
+      if (color) out += severity_color(finding.severity);
+      out += report::severity_name(finding.severity);
+      if (color) out += kReset;
+      out += "] " + finding.id + ": " + finding.message + "\n";
+      out += "        -> " + finding.recommendation + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_text(std::span<const PipelineReport> reports, bool color) {
+  std::string out;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += to_text(reports[i], color);
+  }
+  return out;
+}
+
+std::string to_json(const PipelineReport& report) {
+  std::string out = "{\"id\": ";
+  append_json_string(out, report.id);
+  out += ", \"sim_total_s\": " + f17(report.sim_total_s) +
+         ", \"critical_path\": {\"startup_s\": " + f17(report.startup_s) +
+         ", \"map_s\": " + f17(report.map_s) +
+         ", \"shuffle_s\": " + f17(report.shuffle_s) +
+         ", \"reduce_s\": " + f17(report.reduce_s) + "}" +
+         ", \"shuffle_bytes\": " + f17(report.shuffle_bytes);
+  if (report.has_wall) {
+    out += ", \"wall\": {\"total_s\": " + f17(report.wall_total_s) +
+           ", \"driver_gap_s\": " + f17(report.driver_gap_s) + "}";
+  }
+  out += ", \"stages\": [";
+  for (std::size_t i = 0; i < report.stages.size(); ++i) {
+    const StageReport& stage = report.stages[i];
+    if (i > 0) out += ", ";
+    out += "{\"stage\": ";
+    append_json_string(out, stage.job.stage);
+    out += ", \"round\": " + std::to_string(stage.job.round) +
+           ", \"sequence\": " + std::to_string(stage.job.sequence) +
+           ", \"sim_share\": " + f17(stage.sim_share);
+    if (stage.has_wall) {
+      out += ", \"wall_s\": " + f17(stage.wall_s) +
+             ", \"gap_before_s\": " + f17(stage.gap_before_s);
+    }
+    // The full per-stage job report nests verbatim, so every single-job
+    // byte-identity guarantee carries into the pipeline view.
+    out += ", \"job\": " + report::to_json(stage.job) + "}";
+  }
+  out += "], \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const report::Finding& finding = report.findings[i];
+    if (i > 0) out += ", ";
+    out += "{\"id\": ";
+    append_json_string(out, finding.id);
+    out += ", \"severity\": ";
+    append_json_string(out, report::severity_name(finding.severity));
+    out += ", \"message\": ";
+    append_json_string(out, finding.message);
+    out += ", \"recommendation\": ";
+    append_json_string(out, finding.recommendation);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_json(std::span<const PipelineReport> reports) {
+  std::string out = "{\"pipelines\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += "  " + to_json(reports[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string to_html(std::span<const PipelineReport> reports) {
+  std::string body;
+  for (const PipelineReport& report : reports) {
+    body += "<section>\n<h2>" + html_escape(report.id) + "</h2>\n";
+    body += "<p class=\"sum\">sim total <b>" + f2(report.sim_total_s) +
+            "s</b> over " + std::to_string(report.stages.size()) + " stages";
+    if (report.has_wall) {
+      body += " · wall " + f2(report.wall_total_s) + "s · driver gaps " +
+              f2(report.driver_gap_s) + "s";
+    }
+    body += "</p>\n";
+    // Stacked stage-share bar: each stage's slice of the sim makespan.
+    if (report.sim_total_s > 0.0) {
+      static const char* kColors[] = {"#4e79a7", "#f28e2b", "#59a14f",
+                                      "#e15759", "#b07aa1", "#76b7b2"};
+      body += "<div class=\"cpbar\">";
+      for (std::size_t i = 0; i < report.stages.size(); ++i) {
+        const StageReport& stage = report.stages[i];
+        if (stage.sim_share <= 0.0) continue;
+        body += "<span style=\"background:" + std::string(kColors[i % 6]) +
+                ";width:" + f2(stage.sim_share * 100.0) + "%\" title=\"" +
+                html_escape(stage.job.stage) + " " + f2(stage.job.total_s) +
+                "s\"></span>";
+      }
+      body += "</div>\n";
+    }
+    body += "<table><tr><th>stage</th><th>sim</th><th>share</th>"
+            "<th>shuffle MB</th><th>wall</th><th>gap</th></tr>\n";
+    for (const StageReport& stage : report.stages) {
+      body += "<tr><td>#" + std::to_string(stage.job.sequence) + " " +
+              html_escape(stage.job.stage) +
+              (stage.job.round >= 0
+                   ? " (round " + std::to_string(stage.job.round) + ")"
+                   : "") +
+              "</td><td>" + f2(stage.job.total_s) + "s</td><td>" +
+              pct(stage.sim_share) + "</td><td>" +
+              f2(stage.job.shuffle_bytes / 1e6) + "</td><td>" +
+              (stage.has_wall ? f2(stage.wall_s) + "s" : "—") + "</td><td>" +
+              (stage.has_wall ? f2(stage.gap_before_s) + "s" : "—") +
+              "</td></tr>\n";
+    }
+    body += "</table>\n<ul>\n";
+    for (const report::Finding& finding : report.findings) {
+      const char* cls =
+          finding.severity == report::Severity::kCritical ? "critical"
+          : finding.severity == report::Severity::kWarning ? "warning"
+                                                           : "info";
+      body += "<li class=\"" + std::string(cls) + "\"><b>" +
+              html_escape(finding.id) + "</b>: " +
+              html_escape(finding.message) + "<br>&rarr; " +
+              html_escape(finding.recommendation) + "</li>\n";
+    }
+    body += "</ul>\n</section>\n";
+  }
+  return "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+         "<title>mrmc pipeline doctor</title>\n<style>\n"
+         "body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;"
+         "max-width:920px;color:#202124}\n"
+         "h2{border-bottom:1px solid #dadce0;padding-bottom:.2em}\n"
+         ".sum{color:#5f6368}\n"
+         ".cpbar{display:flex;height:18px;border-radius:3px;overflow:hidden;"
+         "margin:.5em 0}\n"
+         ".cpbar span{display:block;height:100%}\n"
+         "table{border-collapse:collapse}\n"
+         "td,th{border:1px solid #dadce0;padding:.2em .6em;text-align:left}\n"
+         "li.warning{color:#b06000}\nli.critical{color:#c5221f}\n"
+         "li{margin-bottom:.5em}\n"
+         "</style></head><body>\n<h1>mrmc pipeline doctor</h1>\n" +
+         body + "</body></html>\n";
+}
+
+std::string to_bench_json(std::span<const PipelineReport> reports) {
+  // Schema-v1 BENCH record for the regression doctor.  Simulated per-leg
+  // seconds contain "sim" so obs::regress tight-gates them; wall seconds
+  // contain "wall" so shared-runner noise gets the open noisy threshold.
+  std::string out =
+      "{\"bench\": \"pipeline\", \"schema_version\": 1, "
+      "\"keys\": [\"pipeline\", \"stage\"], \"rows\": [\n";
+  bool first = true;
+  auto row = [&](const std::string& pipeline, const std::string& stage,
+                 double sim_total, double sim_map, double sim_shuffle,
+                 double sim_reduce, double shuffle_bytes, double wall_s,
+                 bool has_wall) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"pipeline\": ";
+    append_json_string(out, pipeline);
+    out += ", \"stage\": ";
+    append_json_string(out, stage);
+    out += ", \"sim_total_s\": " + f17(sim_total) +
+           ", \"sim_map_s\": " + f17(sim_map) +
+           ", \"sim_shuffle_s\": " + f17(sim_shuffle) +
+           ", \"sim_reduce_s\": " + f17(sim_reduce) +
+           ", \"shuffle_bytes\": " + f17(shuffle_bytes);
+    if (has_wall) out += ", \"wall_s\": " + f17(wall_s);
+    out += "}";
+  };
+  for (const PipelineReport& report : reports) {
+    // Strip the process-local "#serial" so baseline and candidate rows from
+    // different runs key to the same (pipeline, stage) pair.
+    std::string key = report.id.substr(0, report.id.rfind('#'));
+    for (const StageReport& stage : report.stages) {
+      row(key, stage.job.stage, stage.job.total_s,
+          stage.job.map_phase.makespan_s, stage.job.shuffle_s,
+          stage.job.reduce_phase.makespan_s, stage.job.shuffle_bytes,
+          stage.wall_s, stage.has_wall);
+    }
+    row(key, "<total>", report.sim_total_s, report.map_s, report.shuffle_s,
+        report.reduce_s, report.shuffle_bytes, report.wall_total_s,
+        report.has_wall);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// -------------------------------------------------------------- collector
+
+Collector::Collector() {
+  if (const char* path = std::getenv("MRMC_PIPELINE");
+      path != nullptr && *path != '\0') {
+    enabled_ = true;
+    output_path_ = path;
+  }
+}
+
+Collector& Collector::global() {
+  static Collector instance;
+  return instance;
+}
+
+bool Collector::enabled() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void Collector::set_enabled(bool enabled) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+void Collector::set_output_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  output_path_ = std::move(path);
+  if (!output_path_.empty()) enabled_ = true;
+}
+
+std::string Collector::output_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return output_path_;
+}
+
+void Collector::add(StageRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+std::size_t Collector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void Collector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::vector<PipelineInput> Collector::pipelines() const {
+  std::vector<StageRecord> records;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records = records_;
+  }
+  return group_stages(std::move(records));
+}
+
+std::vector<PipelineReport> Collector::reports(
+    const PipelineAnalyzeOptions& options) const {
+  std::vector<PipelineReport> out;
+  for (const PipelineInput& input : pipelines()) {
+    out.push_back(analyze(input, options));
+  }
+  return out;
+}
+
+bool Collector::flush() const {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!enabled_ || output_path_.empty() || records_.empty()) return false;
+    path = output_path_;
+  }
+  const std::vector<PipelineReport> rendered = reports();
+  if (rendered.empty()) return false;
+  const std::span<const PipelineReport> span(rendered);
+  std::string body;
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".html") == 0) {
+    body = to_html(span);
+  } else if (path.size() >= 5 &&
+             path.compare(path.size() - 5, 5, ".json") == 0) {
+    body = to_json(span);
+  } else {
+    body = to_text(span);
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << body;
+  return out.good();
+}
+
+bool Collector::write_global_if_configured() {
+  const char* path = std::getenv("MRMC_PIPELINE");
+  if (path == nullptr || *path == '\0') return false;
+  return global().flush();
+}
+
+}  // namespace mrmc::obs::pipeline

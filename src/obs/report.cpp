@@ -205,6 +205,11 @@ JobReport analyze(const JobInput& input, const AnalyzeOptions& options) {
   report.shuffle_s = input.shuffle_s;
   report.shuffle_bytes = input.shuffle_bytes;
   report.bytes = input.bytes;
+  report.pipeline = input.pipeline;
+  report.stage = input.stage;
+  report.round = input.round;
+  report.sequence = input.sequence;
+  report.trace_pid = input.trace_pid;
   report.map_phase = analyze_phase("map", input.map_tasks, input.nodes,
                                    input.map_slots_per_node);
   report.reduce_phase = analyze_phase("reduce", input.reduce_tasks, input.nodes,
@@ -453,6 +458,15 @@ std::vector<JobInput> jobs_from_trace(const common::JsonValue& root) {
       fault.recover_s = parse_exact(args.at("recover_s").string);
       fault.blacklisted = args.at("blacklisted").string == "true";
       jobs[pid].fault_events.push_back(fault);
+    } else if (ph == "i" && name == "job_lineage") {
+      // obs v3: the pipeline claim the engine stamped onto this job.
+      const common::JsonValue& args = event.at("args");
+      JobInput& job = jobs[pid];
+      job.pipeline = args.at("pipeline").string;
+      job.stage = args.at("stage").string;
+      job.round = static_cast<int>(parse_exact(args.at("round").string));
+      job.sequence =
+          static_cast<std::size_t>(parse_exact(args.at("sequence").string));
     } else if (ph == "i" && name == "lost_attempt") {
       const common::JsonValue& args = event.at("args");
       LostAttemptSample lost;
@@ -517,6 +531,7 @@ std::vector<JobInput> jobs_from_trace(const common::JsonValue& root) {
       max_node = std::max(max_node, static_cast<std::size_t>(task.node));
     }
     job.nodes = std::max(job.nodes, max_node + 1);
+    job.trace_pid = pid;  // lets mrmc_doctor list/select jobs by sim track
     // Tasks were appended in trace order; restore phase-index order so the
     // analyzer's sums run in the same order as the in-process path.
     auto by_index = [](const TaskSample& a, const TaskSample& b) {
@@ -590,6 +605,12 @@ std::string to_text(const JobReport& report, bool color) {
          common::format_duration(report.total_s) + " on " +
          std::to_string(report.nodes) + " nodes, parallel efficiency " +
          pct(report.parallel_efficiency) + "\n";
+  if (!report.pipeline.empty()) {
+    out += "  lineage: pipeline \"" + report.pipeline + "\" stage \"" +
+           report.stage + "\" seq " + std::to_string(report.sequence);
+    if (report.round >= 0) out += " round " + std::to_string(report.round);
+    out += "\n";
+  }
   auto leg = [&](const char* name, double seconds) {
     out += std::string(name) + " " + f2(seconds) + "s";
     if (report.total_s > 0.0) out += " (" + pct(seconds / report.total_s) + ")";
@@ -707,8 +728,18 @@ void phase_json(std::string& out, const PhaseAnalysis& phase) {
 std::string to_json(const JobReport& report) {
   std::string out = "{\"name\": ";
   append_json_string(out, report.name);
-  out += ", \"nodes\": " + std::to_string(report.nodes) +
-         ", \"critical_path\": {\"startup_s\": " + f17(report.startup_s) +
+  out += ", \"nodes\": " + std::to_string(report.nodes);
+  if (!report.pipeline.empty()) {
+    // Lineage only when present, so standalone-job reports stay
+    // byte-identical to pre-pipeline builds.
+    out += ", \"lineage\": {\"pipeline\": ";
+    append_json_string(out, report.pipeline);
+    out += ", \"stage\": ";
+    append_json_string(out, report.stage);
+    out += ", \"round\": " + std::to_string(report.round) +
+           ", \"sequence\": " + std::to_string(report.sequence) + "}";
+  }
+  out += ", \"critical_path\": {\"startup_s\": " + f17(report.startup_s) +
          ", \"map_s\": " + f17(report.map_phase.makespan_s) +
          ", \"shuffle_s\": " + f17(report.shuffle_s) +
          ", \"reduce_s\": " + f17(report.reduce_phase.makespan_s) +
@@ -965,6 +996,13 @@ std::string job_html(const JobReport& report, const JobInput* input) {
          pct(report.overhead_fraction) + " · map " +
          std::to_string(report.map_phase.task_count) + " tasks · reduce " +
          std::to_string(report.reduce_phase.task_count) + " tasks</p>\n";
+  if (!report.pipeline.empty()) {
+    out += "<p class=\"sum\">pipeline <b>" + html_escape(report.pipeline) +
+           "</b> · stage <b>" + html_escape(report.stage) + "</b> · seq " +
+           std::to_string(report.sequence);
+    if (report.round >= 0) out += " · round " + std::to_string(report.round);
+    out += "</p>\n";
+  }
   critical_path_bar(out, report);
   if (input != nullptr) {
     std::vector<GanttRow> rows;

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <string>
@@ -106,6 +107,17 @@ struct JobInput {
   std::vector<TaskSample> reduce_tasks;
   std::vector<FaultEventSample> fault_events;    ///< crash order
   std::vector<LostAttemptSample> lost_attempts;  ///< discovery order
+  /// Cross-job lineage (obs v3): set when the job ran under an active
+  /// obs::pipeline scope; an empty pipeline id means a standalone job and
+  /// keeps the rendered report byte-identical to pre-lineage builds.
+  std::string pipeline;      ///< pipeline id, e.g. "pipeline-hierarchical#1"
+  std::string stage;         ///< stage name within the pipeline
+  int round = -1;            ///< iteration index for round drivers; -1 = none
+  std::size_t sequence = 0;  ///< 0-based position within the pipeline
+  /// Sim track the job occupies in a flushed trace (offline intake only;
+  /// 0 in-process).  mrmc_doctor's `jobs` listing and --job selector key
+  /// on it; never rendered into reports.
+  std::uint32_t trace_pid = 0;
 };
 
 /// Tunable thresholds for the heuristics.
@@ -192,6 +204,13 @@ struct JobReport {
   ByteSummary bytes;  ///< copied verbatim from the input (empty() = omitted)
   FaultAnalysis faults;
   std::vector<Finding> findings;
+  /// Lineage, copied verbatim from the input (empty pipeline = standalone;
+  /// the renderers then omit the lineage section entirely).
+  std::string pipeline;
+  std::string stage;
+  int round = -1;
+  std::size_t sequence = 0;
+  std::uint32_t trace_pid = 0;  ///< offline intake only; not rendered
 
   [[nodiscard]] bool has_finding(std::string_view id) const noexcept;
 };

@@ -153,13 +153,18 @@ void ResourceSampler::start_locked() {
 }
 
 void ResourceSampler::stop_thread() {
+  // Move the worker out under the lock so concurrent stop calls can never
+  // both reach join() on the same std::thread (which would be UB): exactly
+  // one caller owns the handle, everyone else sees it already gone.
+  std::thread worker;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!thread_.joinable()) return;
     stop_ = true;
+    worker = std::move(thread_);
   }
   cv_.notify_all();
-  thread_.join();
+  worker.join();
   std::lock_guard<std::mutex> lock(mutex_);
   stop_ = false;
 }

@@ -99,6 +99,26 @@ class ResourceSampler {
   double last_wall_us_ = 0.0;
 };
 
+/// RAII sampler bracket: flips the sampler to `enabled` at construction and
+/// restores the state it found at destruction — including when an exception
+/// unwinds mid-job, so the background thread is always joined (or left
+/// running) exactly as the caller found it.  Double-enabling is harmless:
+/// set_enabled(true) on a running sampler is a no-op start.
+class SamplerScope {
+ public:
+  explicit SamplerScope(ResourceSampler& sampler, bool enabled = true)
+      : sampler_(&sampler), previous_(sampler.enabled()) {
+    sampler_->set_enabled(enabled);
+  }
+  ~SamplerScope() { sampler_->set_enabled(previous_); }
+  SamplerScope(const SamplerScope&) = delete;
+  SamplerScope& operator=(const SamplerScope&) = delete;
+
+ private:
+  ResourceSampler* sampler_;
+  bool previous_;
+};
+
 /// Resident set size of this process in bytes (/proc/self/statm on Linux);
 /// 0.0 where unavailable.
 [[nodiscard]] double process_rss_bytes() noexcept;

@@ -254,6 +254,12 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
         buf += ", \"dur\": " + trace_double(event.dur_us);
       }
     }
+    if (event.phase == 's' || event.phase == 'f') {
+      buf += ", \"id\": " + std::to_string(event.flow_id);
+      // Bind the finish to the enclosing slice so viewers draw the arrow
+      // even when the finish timestamp precedes the slice start.
+      if (event.phase == 'f') buf += ", \"bp\": \"e\"";
+    }
     if (!event.args.empty()) {
       buf += ", \"args\": {";
       for (std::size_t i = 0; i < event.args.size(); ++i) {

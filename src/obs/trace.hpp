@@ -43,11 +43,15 @@ struct TraceEvent {
   std::string name;
   std::string category;  ///< "real", "sim", "counter", or "meta"
   char phase = 'X';      ///< Chrome ph: X=complete, i=instant, M=metadata,
-                         ///< C=counter (args are serialized as raw numbers)
+                         ///< C=counter (args are serialized as raw numbers),
+                         ///< s/f=flow start/finish (carry flow_id as "id")
   double ts_us = 0.0;    ///< microseconds on the event's own clock
   double dur_us = 0.0;
   std::uint32_t pid = kRealPid;
   std::uint32_t tid = 0;
+  /// Chrome flow-event binding id; serialized as "id" for 's'/'f' phases so
+  /// viewers draw an arrow from the flow start to its finish.
+  std::uint64_t flow_id = 0;
   std::vector<TraceArg> args;
 
   /// Value of the first arg named `key`, or "" when absent.

@@ -6,6 +6,7 @@
 #include "bio/fasta.hpp"
 #include "common/error.hpp"
 #include "obs/log.hpp"
+#include "obs/pipeline.hpp"
 #include "obs/trace.hpp"
 
 namespace mrmc::pig {
@@ -85,6 +86,7 @@ Relation PigContext::foreach_generate(const Relation& input, const Udf& udf) {
   obs::Tracer::Span span(obs::Tracer::global(),
                          std::string("pig FOREACH..GENERATE ") + udf.name(),
                          {{"tuples", std::to_string(input.size())}});
+  obs::pipeline::StageScope stage(std::string("foreach-") + udf.name());
   using ForeachJob = mr::Job<IndexedTuple, long, Tuple, std::pair<long, Tuple>>;
 
   const Udf* udf_ptr = &udf;
@@ -126,6 +128,7 @@ Relation PigContext::foreach_generate(const Relation& input, const Udf& udf) {
 Relation PigContext::group_all(const Relation& input) {
   obs::Tracer::Span span(obs::Tracer::global(), "pig GROUP ALL",
                          {{"tuples", std::to_string(input.size())}});
+  obs::pipeline::StageScope stage("group-all");
   using GroupJob =
       mr::Job<IndexedTuple, int, std::pair<long, Tuple>, Tuple>;
 
@@ -180,6 +183,7 @@ Relation PigContext::group_by(const Relation& input, std::size_t field) {
   obs::Tracer::Span span(obs::Tracer::global(), "pig GROUP BY",
                          {{"tuples", std::to_string(input.size())},
                           {"field", std::to_string(field)}});
+  obs::pipeline::StageScope stage("group-by");
   using GroupByJob =
       mr::Job<IndexedTuple, std::string, std::pair<long, Tuple>, Tuple>;
 
@@ -235,6 +239,7 @@ Algorithm3Result run_algorithm3(mr::SimDfs& dfs, const std::string& input_path,
                                 std::size_t threads) {
   obs::Tracer::Span script_span(obs::Tracer::global(), "pig script algorithm3",
                                 {{"input", input_path}});
+  obs::pipeline::PipelineScope lineage("algorithm3");
   PigContext ctx(&dfs, cluster, threads);
 
   // Step 1: A = LOAD '$INPUT' USING FastaStorage ...

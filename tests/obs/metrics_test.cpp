@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -191,6 +194,52 @@ TEST(Registry, SnapshotCoversAllKindsAndResetZeroes) {
 TEST(Registry, GlobalIsAProcessSingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }
+
+TEST(Prometheus, ExpositionSanitizesNamesAndTypesEveryMetric) {
+  Registry registry;
+  registry.counter("mr.shuffle_bytes").add(7);
+  registry.gauge("pool.queue-depth").set(2.5);
+  registry.histogram("phase.map_s").observe(0.25);
+  registry.histogram("phase.map_s").observe(0.75);
+  const std::string prom = registry.snapshot().to_prometheus();
+
+  // Dots and dashes are illegal in Prometheus names: sanitized + prefixed.
+  EXPECT_NE(prom.find("# TYPE mrmc_mr_shuffle_bytes counter\n"
+                      "mrmc_mr_shuffle_bytes 7\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE mrmc_pool_queue_depth gauge\n"
+                      "mrmc_pool_queue_depth 2.5\n"),
+            std::string::npos);
+  // Histograms export as label-free summaries: _count and _sum only.
+  EXPECT_NE(prom.find("# TYPE mrmc_phase_map_s summary\n"), std::string::npos);
+  EXPECT_NE(prom.find("mrmc_phase_map_s_count 2\n"), std::string::npos);
+  EXPECT_NE(prom.find("mrmc_phase_map_s_sum 1\n"), std::string::npos);
+  EXPECT_EQ(prom.find("{"), std::string::npos);  // label-free
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(Prometheus, MetricsEnvVarWithPromPrefixSelectsTheExposition) {
+  const std::string path = ::testing::TempDir() + "/mrmc_metrics.prom";
+  Registry::global().counter("prom.env_test").add(3);
+  ASSERT_EQ(setenv("MRMC_METRICS", ("prom:" + path).c_str(), 1), 0);
+  EXPECT_TRUE(Registry::write_global_if_configured());
+  unsetenv("MRMC_METRICS");
+
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("# TYPE mrmc_prom_env_test counter"),
+            std::string::npos);
+  EXPECT_NE(text.str().find("mrmc_prom_env_test 3"), std::string::npos);
+  Registry::global().reset();
+}
+
+TEST(Prometheus, EmptyPromPathIsRejected) {
+  ASSERT_EQ(setenv("MRMC_METRICS", "prom:", 1), 0);
+  EXPECT_FALSE(Registry::write_global_if_configured());
+  unsetenv("MRMC_METRICS");
+}
+#endif
 
 }  // namespace
 }  // namespace mrmc::obs

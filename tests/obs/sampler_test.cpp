@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -171,6 +172,41 @@ TEST_F(SamplerTest, BackgroundThreadSamplesOnItsOwn) {
   // Unregister the dangling probe by replacing it with a self-contained one.
   sampler.register_probe("test.background", [] { return 0.0; });
   EXPECT_GT(calls.load(), 0);
+}
+
+TEST_F(SamplerTest, ScopeRestoresTheStateItFound) {
+  auto& sampler = ResourceSampler::global();
+  sampler.set_period_ms(1e9);  // enabled, but the thread never ticks
+  ASSERT_FALSE(sampler.enabled());
+  {
+    SamplerScope scope(sampler);
+    EXPECT_TRUE(sampler.enabled());
+    {
+      // Nested double-enable is a no-op start; the inner scope restores the
+      // (enabled) state the outer scope established.
+      SamplerScope inner(sampler);
+      EXPECT_TRUE(sampler.enabled());
+    }
+    EXPECT_TRUE(sampler.enabled());
+  }
+  EXPECT_FALSE(sampler.enabled());
+}
+
+TEST_F(SamplerTest, ScopeRestoresWhenAnExceptionUnwinds) {
+  auto& sampler = ResourceSampler::global();
+  sampler.set_period_ms(1e9);
+  ASSERT_FALSE(sampler.enabled());
+  try {
+    SamplerScope scope(sampler);
+    EXPECT_TRUE(sampler.enabled());
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // The background thread is joined and the sampler is exactly as found —
+  // the regression this guards: a mid-job unwind used to leave the thread
+  // running with no owner to stop it.
+  EXPECT_FALSE(sampler.enabled());
+  sampler.set_enabled(false);  // idempotent double-stop is safe
 }
 
 }  // namespace

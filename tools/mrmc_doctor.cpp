@@ -10,6 +10,15 @@
 //   mrmc_doctor <trace.json> --format=html      # self-contained HTML page
 //   mrmc_doctor <trace.json> -o report.html     # format from extension
 //   mrmc_doctor <trace.json> --no-color
+//   mrmc_doctor <trace.json> --job <pid>        # one job only
+//   mrmc_doctor jobs <trace.json>               # one-line-per-job listing
+//
+// Pipeline mode stitches the lineage-carrying jobs of a trace back into
+// end-to-end PipelineReports (byte-identical to the in-process
+// obs::pipeline::Collector — asserted by tests/obs/pipeline_test.cpp):
+//
+//   mrmc_doctor pipeline <trace.json> [--format=...] [-o <path>]
+//       [--no-color] [--bench-json=<path>]
 //
 // Regression mode diffs two runs' telemetry (traces, report JSON, BENCH
 // records, metrics snapshots — any like pairing):
@@ -29,6 +38,7 @@
 // Exit status: 0 success, 1 unreadable/malformed input or bad usage,
 // 2 when compare/regress found at least one regression.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -40,6 +50,7 @@
 #include <vector>
 
 #include "common/mini_json.hpp"
+#include "obs/pipeline.hpp"
 #include "obs/regress.hpp"
 #include "obs/report.hpp"
 
@@ -51,14 +62,17 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <trace.json> [--format=text|json|html] [-o <path>]"
-      " [--no-color]\n"
+      " [--no-color] [--job <pid>]\n"
+      "       %s jobs <trace.json>\n"
+      "       %s pipeline <trace.json> [--format=text|json|html] [-o <path>]"
+      " [--no-color] [--bench-json=<path>]\n"
       "       %s compare <baseline.json> <candidate.json>"
       " [--threshold=R] [--noisy-threshold=R] [--abs-slack=S]"
       " [--format=text|json|html] [-o <path>] [--no-color]\n"
       "       %s regress --baseline-dir=<dir> [--candidate-dir=<dir>]"
       " [threshold flags] [-o <path>] [--no-color]\n"
       "       %s index <dir>\n",
-      argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 1;
 }
 
@@ -69,6 +83,8 @@ struct Options {
   std::string output_path;
   std::string baseline_dir;
   std::string candidate_dir = ".";
+  std::string bench_json_path;
+  long job_pid = -1;  ///< --job selector; -1 = all jobs
   regress::Thresholds thresholds;
   bool color = true;
   bool ok = true;
@@ -94,6 +110,16 @@ Options parse_options(int argc, char** argv, int first) {
       options.baseline_dir = base;
     } else if (const char* cand = value_of("--candidate-dir")) {
       options.candidate_dir = cand;
+    } else if (const char* bench = value_of("--bench-json")) {
+      options.bench_json_path = bench;
+    } else if (const char* pid = value_of("--job")) {
+      options.job_pid = std::atol(pid);
+    } else if (arg == "--job") {
+      if (++i >= argc) {
+        options.ok = false;
+        return options;
+      }
+      options.job_pid = std::atol(argv[i]);
     } else if (arg == "-o" || arg == "--output") {
       if (++i >= argc) {
         options.ok = false;
@@ -284,6 +310,93 @@ int run_index(const std::string& dir) {
   return 0;
 }
 
+/// `jobs <trace>`: one line per simulated job so a user can find the pid to
+/// pass to `--job` (or the pipeline a job belongs to) without a full report.
+int run_jobs(const Options& options) {
+  using namespace mrmc::obs;
+  std::vector<report::JobReport> reports;
+  const std::string& trace_path = options.positional[0];
+  try {
+    reports = report::analyze_trace_file(trace_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrmc_doctor: %s\n", error.what());
+    return 1;
+  }
+  if (reports.empty()) {
+    std::fprintf(stderr,
+                 "mrmc_doctor: no simulated jobs in %s (was the trace written "
+                 "with MRMC_TRACE by this library?)\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  std::string out;
+  for (const auto& job : reports) {
+    out += "pid " + std::to_string(job.trace_pid) + "  \"" + job.name +
+           "\"  sim total " + std::to_string(job.total_s) + "s  maps " +
+           std::to_string(job.map_phase.task_count) + "  reduces " +
+           std::to_string(job.reduce_phase.task_count);
+    if (!job.pipeline.empty()) {
+      out += "  pipeline \"" + job.pipeline + "\" stage \"" + job.stage +
+             "\" seq " + std::to_string(job.sequence);
+      if (job.round >= 0) out += " round " + std::to_string(job.round);
+    }
+    out += "\n";
+  }
+  if (!deliver(options, out, "job listing")) return 1;
+  return 0;
+}
+
+/// `pipeline <trace>`: stitch lineage-carrying jobs into PipelineReports.
+int run_pipeline_mode(const Options& options) {
+  const std::string format = resolve_format(options);
+  if (format != "text" && format != "json" && format != "html") return 1;
+
+  using namespace mrmc::obs;
+  std::vector<pipeline::PipelineReport> reports;
+  const std::string& trace_path = options.positional[0];
+  try {
+    reports = pipeline::analyze_trace_file(trace_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mrmc_doctor: %s\n", error.what());
+    return 1;
+  }
+  if (reports.empty()) {
+    std::fprintf(stderr,
+                 "mrmc_doctor: no pipelines in %s — no job carries lineage "
+                 "(drive the jobs through core::run_pipeline or a "
+                 "pig script, or open an obs::pipeline::PipelineScope)\n",
+                 trace_path.c_str());
+    return 1;
+  }
+
+  const std::span<const pipeline::PipelineReport> all(reports);
+  if (!options.bench_json_path.empty()) {
+    std::ofstream bench(options.bench_json_path);
+    if (!bench) {
+      std::fprintf(stderr, "mrmc_doctor: cannot write %s\n",
+                   options.bench_json_path.c_str());
+      return 1;
+    }
+    bench << pipeline::to_bench_json(all);
+    std::fprintf(stderr, "mrmc_doctor: wrote BENCH records to %s\n",
+                 options.bench_json_path.c_str());
+  }
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = pipeline::to_json(all);
+  } else if (format == "html") {
+    rendered = pipeline::to_html(all);
+  } else {
+    rendered =
+        pipeline::to_text(all, options.color && options.output_path.empty());
+  }
+  if (!deliver(options, rendered, (format + " pipeline report").c_str())) {
+    return 1;
+  }
+  return 0;
+}
+
 int run_single_trace(const Options& options) {
   const std::string format = resolve_format(options);
   if (format != "text" && format != "json" && format != "html") return 1;
@@ -303,6 +416,26 @@ int run_single_trace(const Options& options) {
                  "with MRMC_TRACE by this library?)\n",
                  trace_path.c_str());
     return 1;
+  }
+  if (options.job_pid >= 0) {
+    const auto pid = static_cast<std::uint32_t>(options.job_pid);
+    std::vector<report::JobReport> selected;
+    for (auto& job : reports) {
+      if (job.trace_pid == pid) selected.push_back(std::move(job));
+    }
+    if (selected.empty()) {
+      std::string available;
+      for (const auto& job : reports) {
+        if (!available.empty()) available += ", ";
+        available += std::to_string(job.trace_pid);
+      }
+      std::fprintf(stderr,
+                   "mrmc_doctor: no job with pid %ld in %s (available: %s — "
+                   "see `mrmc_doctor jobs`)\n",
+                   options.job_pid, trace_path.c_str(), available.c_str());
+      return 1;
+    }
+    reports = std::move(selected);
   }
 
   const std::span<const report::JobReport> all(reports);
@@ -327,6 +460,16 @@ int main(int argc, char** argv) {
     if (mode == "-h" || mode == "--help") {
       usage(argv[0]);
       return 0;
+    }
+    if (mode == "jobs") {
+      const Options options = parse_options(argc, argv, 2);
+      if (!options.ok || options.positional.size() != 1) return usage(argv[0]);
+      return run_jobs(options);
+    }
+    if (mode == "pipeline") {
+      const Options options = parse_options(argc, argv, 2);
+      if (!options.ok || options.positional.size() != 1) return usage(argv[0]);
+      return run_pipeline_mode(options);
     }
     if (mode == "compare") {
       const Options options = parse_options(argc, argv, 2);
