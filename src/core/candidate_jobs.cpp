@@ -1,0 +1,180 @@
+#include "core/candidate_jobs.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pipeline.hpp"
+
+namespace mrmc::core {
+
+namespace {
+
+mr::JobConfig job_config(const char* name, const ExecutionOptions& exec,
+                         std::size_t records_per_split) {
+  mr::JobConfig config;
+  config.name = name;
+  config.num_reducers = std::max<std::size_t>(1, exec.cluster.reduce_slots());
+  config.records_per_split = records_per_split;
+  config.threads = exec.threads;
+  config.isolated_pool = exec.isolated_pool;
+  config.fault_plan = exec.fault_plan;
+  config.cluster = exec.cluster;
+  return config;
+}
+
+}  // namespace
+
+CandidateJobResult run_candidate_job(
+    std::shared_ptr<const std::vector<Sketch>> sketches,
+    const candidates::Params& params, double theta,
+    const ExecutionOptions& exec) {
+  CandidateJobResult result;
+  const std::size_t n = sketches->size();
+  if (n < 2) return result;
+
+  if (params.backend == candidates::Backend::kExactAllPairs) {
+    result.pairs.reserve(n * (n - 1) / 2);
+    for (std::uint32_t i = 0; i + 1 < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) result.pairs.emplace_back(i, j);
+    }
+    return result;
+  }
+
+  obs::pipeline::StageScope stage("candidates");
+  const std::size_t sketch_size = sketches->front().size();
+  const candidates::BandShape shape =
+      candidates::resolve_band_shape(params, sketch_size, theta);
+  result.shape = shape;
+  const std::uint64_t seed = params.seed;
+
+  using BandJob = mr::Job<std::uint32_t, std::uint64_t, std::uint32_t,
+                          candidates::Pair>;
+  auto config = job_config("candidates", exec, exec.records_per_split);
+
+  auto& bucket_hist =
+      obs::Registry::global().histogram("pipeline.candidate_bucket_size");
+  BandJob job(
+      config,
+      [sketches, shape, seed](const std::uint32_t& id,
+                              mr::Emitter<std::uint64_t, std::uint32_t>& emit) {
+        const Sketch& sketch = (*sketches)[id];
+        MRMC_CHECK(sketch.size() == shape.bands * shape.rows,
+                   "sketch length mismatch");
+        for (std::size_t band = 0; band < shape.bands; ++band) {
+          emit.emit(candidates::band_bucket_key(sketch, band, shape, seed), id);
+        }
+        emit.count("candidates.band_entries",
+                   static_cast<long>(shape.bands));
+      },
+      [&bucket_hist](const std::uint64_t&, std::vector<std::uint32_t>& ids,
+                     std::vector<candidates::Pair>& out,
+                     mr::ReduceContext& context) {
+        bucket_hist.observe(static_cast<double>(ids.size()));
+        if (ids.size() < 2) return;
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+          for (std::size_t j = i + 1; j < ids.size(); ++j) {
+            out.emplace_back(ids[i], ids[j]);
+          }
+        }
+        context.count("candidates.bucket_pairs",
+                      static_cast<long>(ids.size() * (ids.size() - 1) / 2));
+      });
+  job.with_map_work([sketch_size](const std::uint32_t&) {
+    return cost::compare_work(sketch_size);  // one mix per component
+  });
+  job.with_reduce_work([](const std::uint64_t&, std::size_t count) {
+    const auto m = static_cast<double>(count);
+    return m * 20e-9 + m * (m - 1.0) * 1e-9;  // sort + pair emission
+  });
+
+  std::vector<std::uint32_t> input(n);
+  for (std::size_t i = 0; i < n; ++i) input[i] = static_cast<std::uint32_t>(i);
+  auto run = job.run(input);
+  result.stats = std::move(run.stats);
+
+  // Cross-bucket dedup happens driver-side: the same pair may surface from
+  // several bands (and reducers), so sort + unique fixes one canonical,
+  // order-independent candidate set.
+  result.pairs = std::move(run.output);
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.pairs.erase(std::unique(result.pairs.begin(), result.pairs.end()),
+                     result.pairs.end());
+  return result;
+}
+
+VerifyJobResult run_verify_job(
+    std::shared_ptr<const std::vector<Sketch>> sketches,
+    std::vector<candidates::Pair> pairs, SketchEstimator estimator,
+    const ExecutionOptions& exec) {
+  VerifyJobResult result;
+  result.graph.num_vertices = sketches->size();
+  if (pairs.empty()) return result;
+
+  obs::pipeline::StageScope stage("verify");
+  const std::size_t num_hashes = sketches->front().size();
+
+  // Shared read-only scoring structures, built once and visible to every
+  // map task (the sketch table plays Pig's GROUP-ALL broadcast relation).
+  const bool set_based = estimator == SketchEstimator::kSetBased;
+  auto store = set_based ? std::make_shared<const SortedSketchStore>(*sketches)
+                         : nullptr;
+  auto matrix = set_based
+                    ? nullptr
+                    : std::make_shared<const kernels::SketchMatrix>(
+                          kernels::SketchMatrix::from_sketches(*sketches));
+  const double inv_cols =
+      num_hashes == 0 ? 0.0 : 1.0 / static_cast<double>(num_hashes);
+
+  using Key = std::uint64_t;  // (a << 32) | b — orders exactly like (a, b)
+  using VerifyJob = mr::Job<candidates::Pair, Key, double, candidates::Edge>;
+  const std::size_t per_split = std::max<std::size_t>(
+      exec.records_per_split,
+      pairs.size() / std::max<std::size_t>(1, exec.cluster.map_slots() * 4));
+  auto config = job_config("verify", exec, per_split);
+
+  VerifyJob job(
+      config,
+      [store, matrix, set_based, inv_cols](const candidates::Pair& pair,
+                                           mr::Emitter<Key, double>& emit) {
+        const auto [a, b] = pair;
+        double sim = 0.0;
+        if (set_based) {
+          sim = store->jaccard(a, b);
+        } else if (matrix->cols() != 0) {
+          sim = static_cast<double>(
+                    kernels::count_equal(matrix->row(a), matrix->row(b))) *
+                inv_cols;
+        }
+        emit.emit((static_cast<Key>(a) << 32) | b, sim);
+        emit.count("verify.pairs_scored");
+      },
+      [](const Key& key, std::vector<double>& values,
+         std::vector<candidates::Edge>& out) {
+        MRMC_CHECK(values.size() == 1, "one similarity per candidate pair");
+        out.push_back(candidates::Edge{static_cast<std::uint32_t>(key >> 32),
+                                       static_cast<std::uint32_t>(key),
+                                       values.front()});
+      });
+  job.with_map_work([num_hashes](const candidates::Pair&) {
+    return cost::compare_work(num_hashes);
+  });
+
+  auto run = job.run(pairs);
+  result.stats = std::move(run.stats);
+
+  // Reducers are hash-partitioned, so concatenated output is not globally
+  // ordered; one sort restores the canonical (a, b) edge order.
+  result.graph.edges = std::move(run.output);
+  std::sort(result.graph.edges.begin(), result.graph.edges.end(),
+            [](const candidates::Edge& x, const candidates::Edge& y) {
+              return std::pair(x.a, x.b) < std::pair(y.a, y.b);
+            });
+  return result;
+}
+
+}  // namespace mrmc::core

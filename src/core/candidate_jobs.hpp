@@ -1,0 +1,56 @@
+// The candidate-generation MapReduce jobs (ScalLoPS-style LSH banding at
+// MapReduce scale, Sunarso et al.):
+//
+//   "candidates"  map: (read_id, sketch) -> per-band (bucket_key, read_id)
+//                 GROUP on bucket_key
+//                 reduce: emit the bucket's deduplicated candidate pairs
+//   "verify"      map: (a, b) -> ((a, b), similarity) scored with the
+//                 count_equal / SortedSketchStore kernels
+//                 reduce: identity -> sparse similarity graph edge
+//
+// Both drivers sort and deduplicate their outputs, so candidate sets and
+// edge lists are byte-identical across thread counts, record split orders,
+// fault plans that leave one live node, and scalar vs AVX2 kernels — and
+// identical to the local candidates::enumerate_pairs / verify_pairs path.
+// Each job claims a lineage stage ("candidates" / "verify") so
+// `mrmc_doctor pipeline` reports them like any other pipeline stage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/pipeline.hpp"
+#include "mr/job.hpp"
+
+namespace mrmc::core {
+
+struct CandidateJobResult {
+  std::vector<candidates::Pair> pairs;  ///< sorted by (a, b), unique
+  candidates::BandShape shape;          ///< resolved banding ({0, 0} for exact)
+  mr::JobStats stats;                   ///< empty for the exact backend
+};
+
+/// Enumerate candidate pairs for the sketch table.  The LSH backend runs the
+/// "candidates" MapReduce job on the simulated cluster; the exact backend
+/// enumerates all pairs driver-side (an all-pairs shuffle would itself be
+/// the O(n^2) wall this layer removes).
+CandidateJobResult run_candidate_job(
+    std::shared_ptr<const std::vector<Sketch>> sketches,
+    const candidates::Params& params, double theta,
+    const ExecutionOptions& exec);
+
+struct VerifyJobResult {
+  candidates::SparseSimilarityGraph graph;
+  mr::JobStats stats;
+};
+
+/// Score candidate pairs into a sparse similarity graph via the "verify"
+/// MapReduce job.  `pairs` must be sorted unique (run_candidate_job output).
+VerifyJobResult run_verify_job(
+    std::shared_ptr<const std::vector<Sketch>> sketches,
+    std::vector<candidates::Pair> pairs, SketchEstimator estimator,
+    const ExecutionOptions& exec);
+
+}  // namespace mrmc::core

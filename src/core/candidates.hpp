@@ -1,0 +1,176 @@
+// core::candidates — the pair-enumeration layer every clustering path goes
+// through.  The paper (and the seed reproduction) compares all O(n^2) sketch
+// pairs in the similarity job, the greedy sweep, and the hierarchical
+// matrix; this layer makes "which pairs do we even score?" a first-class,
+// swappable decision with two backends behind one interface:
+//
+//   * kExactAllPairs — every (i, j), i < j.  Today's behavior, the default
+//     for small inputs, and the recall oracle the LSH backend is measured
+//     against (eval/candidate_recall).
+//   * kLshBanded — minhash sketches are split into `bands` bands of `rows`
+//     components; two sketches land in the same bucket of some band with
+//     probability 1 - (1 - J^rows)^bands (the classic S-curve), so only
+//     bucket-mates become candidate pairs.  Near-linear in practice where
+//     all-pairs is quadratic (bench/ablation_lsh_index).
+//
+// Candidates are then *verified*: every pair is scored with the batched
+// sketch kernels (count_equal / SortedSketchStore) into a
+// SparseSimilarityGraph that greedy (greedy_cluster_graph), hierarchical
+// (similarity_matrix_from_graph), and pig's CalculatePairwiseSimilarity all
+// consume.  The S-curve / band-shape math lives here and only here;
+// core/lsh_index is a thin compatibility shim on top.
+//
+// Everything in this header is deterministic: candidate sets and edge lists
+// are sorted and deduplicated, so they are byte-identical across thread
+// counts, record split orders, local vs distributed execution, and scalar
+// vs AVX2 kernel backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/minhash.hpp"
+
+namespace mrmc::core::candidates {
+
+enum class Backend {
+  kExactAllPairs,  ///< every pair; the recall oracle
+  kLshBanded,      ///< banded minhash buckets propose pairs
+};
+
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+/// A resolved banding: bands * rows == sketch_size.
+struct BandShape {
+  std::size_t bands = 0;
+  std::size_t rows = 0;
+};
+
+/// Probability that two sketches with Jaccard similarity `jaccard` collide
+/// in at least one band: 1 - (1 - J^rows)^bands.
+[[nodiscard]] double lsh_collision_probability(double jaccard, std::size_t bands,
+                                               std::size_t rows) noexcept;
+
+/// The similarity at which the S-curve crosses 1/2 — the banding's effective
+/// threshold: (1/bands)^(1/rows) approximately.
+[[nodiscard]] double lsh_threshold(std::size_t bands, std::size_t rows) noexcept;
+
+/// Validates an explicit band count against the sketch length.  Throws
+/// common::InvalidArgument unless bands >= 1 and bands divides sketch_size.
+[[nodiscard]] BandShape validated_band_shape(std::size_t sketch_size,
+                                             std::size_t bands);
+
+/// θ-driven shape selection: among the divisor pairs (bands, rows) with
+/// bands * rows == sketch_size, pick the cheapest banding (fewest bands —
+/// fewest buckets, fewest candidates) whose S-curve still recovers pairs at
+/// similarity `theta` with probability >= `target_recall`.  The collision
+/// probability at fixed J rises monotonically with the band count, so the
+/// answer is unique; when even the most sensitive shape (rows == 1) misses
+/// the target, that shape is returned.
+[[nodiscard]] BandShape select_band_shape(std::size_t sketch_size, double theta,
+                                          double target_recall = 0.95);
+
+struct Params {
+  Backend backend = Backend::kExactAllPairs;
+  /// Explicit band count for the LSH backend; 0 = choose from θ via
+  /// select_band_shape.  Must divide the sketch length when nonzero.
+  std::size_t bands = 0;
+  /// Auto band-shape target: minimum S-curve collision probability at θ.
+  double target_recall = 0.95;
+  std::uint64_t seed = 0x5ca1ab1eULL;
+};
+
+/// Resolve `params` against a concrete sketch length (validates explicit
+/// band counts, runs the S-curve selection for bands == 0).
+[[nodiscard]] BandShape resolve_band_shape(const Params& params,
+                                           std::size_t sketch_size,
+                                           double theta);
+
+/// The banding hash: bucket key of `sketch`'s band `band` under `shape`.
+/// Every consumer — the incremental index, the batch enumerator, and the
+/// candidate MapReduce job — must call this exact function so their bucket
+/// structure (and therefore their candidate sets) agree.
+[[nodiscard]] std::uint64_t band_bucket_key(std::span<const std::uint64_t> sketch,
+                                            std::size_t band,
+                                            const BandShape& shape,
+                                            std::uint64_t seed) noexcept;
+
+/// An unordered candidate pair, stored with a < b.
+using Pair = std::pair<std::uint32_t, std::uint32_t>;
+
+/// Incremental banded bucket index (the grown core of the old LshIndex):
+/// supports interleaved insert / candidate queries, as the indexed greedy
+/// sweep needs.  Batch enumeration should prefer enumerate_pairs.
+class LshBucketIndex {
+ public:
+  LshBucketIndex(std::size_t sketch_size, BandShape shape, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t bands() const noexcept { return shape_.bands; }
+  [[nodiscard]] std::size_t rows() const noexcept { return shape_.rows; }
+
+  void insert(int id, std::span<const std::uint64_t> sketch);
+
+  /// All ids sharing at least one band bucket with `sketch`, deduplicated,
+  /// in insertion order.
+  [[nodiscard]] std::vector<int> candidates(
+      std::span<const std::uint64_t> sketch) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return inserted_; }
+
+ private:
+  BandShape shape_;
+  std::uint64_t seed_;
+  std::size_t inserted_ = 0;
+  std::vector<std::unordered_map<std::uint64_t, std::vector<int>>> buckets_;
+};
+
+/// Enumerate candidate pairs for the whole sketch matrix under `params`:
+/// all pairs (exact backend) or bucket-mates in at least one band (LSH
+/// backend).  The result is sorted by (a, b) and deduplicated — identical
+/// at any `pool` size, and identical to what the candidate MapReduce job
+/// produces for the same inputs.
+[[nodiscard]] std::vector<Pair> enumerate_pairs(
+    const kernels::SketchMatrix& sketches, const Params& params, double theta,
+    common::ThreadPool* pool = nullptr);
+
+/// A verified candidate edge.  `similarity` is kept in double, computed with
+/// the same reciprocal-multiply the batched kernels use, so densifying an
+/// exact-backend graph (one float cast per edge) reproduces the all-pairs
+/// similarity matrix bit-for-bit, while threshold comparisons in the graph
+/// sweep see the same doubles the exhaustive sweep sees.
+struct Edge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  double similarity = 0.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// The sparse output of candidate verification: edges sorted by (a, b),
+/// a < b, unique.  Consumed by greedy_cluster_graph, by
+/// similarity_matrix_from_graph (hierarchical), and by pig's
+/// CalculatePairwiseSimilarity.
+struct SparseSimilarityGraph {
+  std::size_t num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+/// Score every candidate pair with the sketch kernels.  Pairs must be
+/// sorted unique (enumerate_pairs output); edges come back in the same
+/// order.  Bit-identical at any pool size and under scalar or AVX2 kernel
+/// dispatch.
+[[nodiscard]] SparseSimilarityGraph verify_pairs(
+    const kernels::SketchMatrix& sketches, std::span<const Pair> pairs,
+    SketchEstimator estimator, common::ThreadPool* pool = nullptr);
+
+/// enumerate_pairs + verify_pairs in one call.
+[[nodiscard]] SparseSimilarityGraph build_graph(
+    const kernels::SketchMatrix& sketches, const Params& params, double theta,
+    SketchEstimator estimator, common::ThreadPool* pool = nullptr);
+
+}  // namespace mrmc::core::candidates

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/candidates.hpp"
 #include "core/minhash.hpp"
 
 namespace mrmc::core {
@@ -38,5 +39,16 @@ GreedyResult greedy_cluster(const kernels::SketchMatrix& sketches,
 
 GreedyResult greedy_cluster(std::span<const Sketch> sketches,
                             const GreedyParams& params);
+
+/// Algorithm 1 over a verified candidate graph instead of raw sketches: a
+/// sequence only ever joins a representative it shares a graph edge with,
+/// so the sweep is O(V + E) instead of O(N * #clusters) comparisons.  When
+/// the graph contains every pair with similarity >= theta (always true for
+/// the exact backend), labels, representatives and cluster count are
+/// identical to greedy_cluster on the underlying sketches; `comparisons`
+/// counts edge inspections.  `params.estimator` is unused — similarities
+/// were fixed at verification time.
+GreedyResult greedy_cluster_graph(const candidates::SparseSimilarityGraph& graph,
+                                  const GreedyParams& params);
 
 }  // namespace mrmc::core

@@ -94,6 +94,20 @@ SimilarityMatrix pairwise_similarity_matrix(std::span<const Sketch> sketches,
   return matrix;
 }
 
+SimilarityMatrix similarity_matrix_from_graph(
+    const candidates::SparseSimilarityGraph& graph) {
+  SimilarityMatrix matrix(graph.num_vertices, 0.0F);
+  for (std::size_t i = 0; i < graph.num_vertices; ++i) matrix.set(i, i, 1.0F);
+  for (const auto& edge : graph.edges) {
+    MRMC_REQUIRE(edge.a < edge.b && edge.b < graph.num_vertices,
+                 "graph edge out of range");
+    // The one float narrowing in the sparse path — the same cast the dense
+    // similarity job applies, so exact-backend graphs densify bit-for-bit.
+    matrix.set(edge.a, edge.b, static_cast<float>(edge.similarity));
+  }
+  return matrix;
+}
+
 Dendrogram agglomerate(const SimilarityMatrix& matrix, Linkage linkage) {
   const std::size_t n = matrix.size();
   Dendrogram dendrogram;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/candidates.hpp"
 #include "core/minhash.hpp"
 
 namespace mrmc::core {
@@ -62,6 +63,15 @@ SimilarityMatrix pairwise_similarity_matrix(const kernels::SketchMatrix& sketche
 SimilarityMatrix pairwise_similarity_matrix(std::span<const Sketch> sketches,
                                             SketchEstimator estimator,
                                             common::ThreadPool* pool = nullptr);
+
+/// Densify a verified candidate graph for the agglomerative path: edge
+/// similarities land in their cells, the diagonal is 1, and absent pairs
+/// stay 0 (i.e. maximally distant — candidate pruning can only keep
+/// clusters apart, never merge them).  With an exact-backend graph this
+/// reproduces pairwise_similarity_matrix bit-for-bit.  Note the dendrogram
+/// stage remains O(n^2) memory; LSH only removes the pair-scoring wall.
+SimilarityMatrix similarity_matrix_from_graph(
+    const candidates::SparseSimilarityGraph& graph);
 
 /// Bottom-up merge tree.  Leaves are 0..num_leaves-1; the i-th merge creates
 /// node num_leaves + i.

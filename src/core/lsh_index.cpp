@@ -1,64 +1,11 @@
 #include "core/lsh_index.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "bio/kmer.hpp"
 #include "common/error.hpp"
-#include "common/prng.hpp"
 
 namespace mrmc::core {
-
-double lsh_collision_probability(double jaccard, std::size_t bands,
-                                 std::size_t rows) noexcept {
-  return 1.0 - std::pow(1.0 - std::pow(jaccard, static_cast<double>(rows)),
-                        static_cast<double>(bands));
-}
-
-double lsh_threshold(std::size_t bands, std::size_t rows) noexcept {
-  return std::pow(1.0 / static_cast<double>(bands),
-                  1.0 / static_cast<double>(rows));
-}
-
-LshIndex::LshIndex(std::size_t sketch_size, const LshParams& params)
-    : bands_(params.bands), seed_(params.seed) {
-  MRMC_REQUIRE(params.bands >= 1, "need at least one band");
-  MRMC_REQUIRE(sketch_size % params.bands == 0,
-               "bands must divide the sketch length");
-  rows_ = sketch_size / params.bands;
-  buckets_.resize(bands_);
-}
-
-std::uint64_t LshIndex::bucket_key(const Sketch& sketch, std::size_t band) const {
-  std::uint64_t h = common::mix64(seed_ ^ (band * 0x9e3779b97f4a7c15ULL));
-  for (std::size_t r = band * rows_; r < (band + 1) * rows_; ++r) {
-    h = common::mix64(h ^ sketch[r]);
-  }
-  return h;
-}
-
-void LshIndex::insert(int id, const Sketch& sketch) {
-  MRMC_REQUIRE(sketch.size() == bands_ * rows_, "sketch length mismatch");
-  for (std::size_t band = 0; band < bands_; ++band) {
-    buckets_[band][bucket_key(sketch, band)].push_back(id);
-  }
-  ++inserted_;
-}
-
-std::vector<int> LshIndex::candidates(const Sketch& sketch) const {
-  MRMC_REQUIRE(sketch.size() == bands_ * rows_, "sketch length mismatch");
-  std::vector<int> out;
-  for (std::size_t band = 0; band < bands_; ++band) {
-    const auto it = buckets_[band].find(bucket_key(sketch, band));
-    if (it == buckets_[band].end()) continue;
-    for (const int id : it->second) {
-      if (std::find(out.begin(), out.end(), id) == out.end()) {
-        out.push_back(id);
-      }
-    }
-  }
-  return out;
-}
 
 GreedyResult greedy_cluster_indexed(std::span<const Sketch> sketches,
                                     const GreedyParams& params,
@@ -86,7 +33,10 @@ GreedyResult greedy_cluster_indexed(std::span<const Sketch> sketches,
                : component_match_similarity(sketches[rep], sketches[query]);
   };
 
-  LshIndex index(sketches.front().size(), lsh);
+  candidates::LshBucketIndex index(
+      sketches.front().size(),
+      candidates::validated_band_shape(sketches.front().size(), lsh.bands),
+      lsh.seed);
 
   // Single pass in input order: unlike Algorithm 1's repeated sweeps, the
   // index hands each query only representatives it can plausibly join.

@@ -1,66 +1,59 @@
-// LSH banding index over minhash sketches — the scalability extension the
-// paper points to for terabyte-scale data.  The greedy algorithm's O(N * C)
-// representative scan becomes near-linear: sketches are split into `bands`
-// of `rows` components; two sketches land in the same bucket of some band
-// with probability 1 - (1 - J^rows)^bands, the classic S-curve that lets a
-// threshold θ be targeted by choosing (bands, rows).
+// Compatibility shim over core::candidates — the banding math, bucket
+// hashing, and S-curve live there now (see candidates.hpp); this header
+// keeps the original LshIndex / greedy_cluster_indexed surface working.
 //
 // greedy_cluster_indexed() is a drop-in for greedy_cluster() that consults
-// the index for candidate representatives instead of scanning all of them;
-// with a well-matched band shape it returns the same clustering orders of
-// magnitude faster on large, diverse inputs (see bench/ablation_lsh_index).
+// the banded bucket index for candidate representatives instead of scanning
+// all of them; with a well-matched band shape it returns the same clustering
+// orders of magnitude faster on large, diverse inputs (see
+// bench/ablation_lsh_index).
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "core/candidates.hpp"
 #include "core/greedy.hpp"
 #include "core/minhash.hpp"
 
 namespace mrmc::core {
+
+// The S-curve helpers moved to candidates.hpp; re-exported for existing
+// callers.
+using candidates::lsh_collision_probability;
+using candidates::lsh_threshold;
 
 struct LshParams {
   std::size_t bands = 10;  ///< must divide the sketch length
   std::uint64_t seed = 0x5ca1ab1eULL;
 };
 
-/// Probability that two sketches with Jaccard similarity `jaccard` collide
-/// in at least one band: 1 - (1 - J^rows)^bands.
-double lsh_collision_probability(double jaccard, std::size_t bands,
-                                 std::size_t rows) noexcept;
-
-/// The similarity at which the S-curve crosses 1/2 — the index's effective
-/// threshold: (1/bands)^(1/rows) approximately.
-double lsh_threshold(std::size_t bands, std::size_t rows) noexcept;
-
-/// Buckets sketch ids by banded hashes.
+/// Buckets sketch ids by banded hashes.  Thin wrapper over
+/// candidates::LshBucketIndex with the historical constructor/signature.
 class LshIndex {
  public:
-  LshIndex(std::size_t sketch_size, const LshParams& params);
+  LshIndex(std::size_t sketch_size, const LshParams& params)
+      : index_(sketch_size,
+               candidates::validated_band_shape(sketch_size, params.bands),
+               params.seed) {}
 
-  [[nodiscard]] std::size_t bands() const noexcept { return bands_; }
-  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t bands() const noexcept { return index_.bands(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return index_.rows(); }
 
   /// Insert a sketch under `id`.
-  void insert(int id, const Sketch& sketch);
+  void insert(int id, const Sketch& sketch) { index_.insert(id, sketch); }
 
   /// All ids sharing at least one band bucket with `sketch`, deduplicated,
   /// in insertion order.
-  [[nodiscard]] std::vector<int> candidates(const Sketch& sketch) const;
+  [[nodiscard]] std::vector<int> candidates(const Sketch& sketch) const {
+    return index_.candidates(sketch);
+  }
 
-  [[nodiscard]] std::size_t size() const noexcept { return inserted_; }
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
 
  private:
-  [[nodiscard]] std::uint64_t bucket_key(const Sketch& sketch,
-                                         std::size_t band) const;
-
-  std::size_t bands_;
-  std::size_t rows_;
-  std::uint64_t seed_;
-  std::size_t inserted_ = 0;
-  std::vector<std::unordered_map<std::uint64_t, std::vector<int>>> buckets_;
+  candidates::LshBucketIndex index_;
 };
 
 /// Algorithm 1 with LSH candidate pruning: identical semantics to

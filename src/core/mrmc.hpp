@@ -20,6 +20,8 @@
 #include "bio/gotoh.hpp"
 #include "bio/kmer.hpp"
 #include "bio/seq_stats.hpp"
+#include "core/candidate_jobs.hpp"
+#include "core/candidates.hpp"
 #include "core/greedy.hpp"
 #include "core/hierarchical.hpp"
 #include "core/incremental.hpp"

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/candidate_jobs.hpp"
 #include "mr/runtime.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -196,10 +197,13 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
 }
 
 /// Job 3 (greedy): GROUP ALL -> one reducer runs Algorithm 1 over the
-/// sketch table (Algorithm 3, step 9).
-std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketches,
-                                const PipelineParams& params,
-                                const ExecutionOptions& exec, mr::JobStats& stats) {
+/// sketch table (Algorithm 3, step 9) — or, when the LSH backend supplied a
+/// verified candidate graph, the graph-aware sweep over it.
+std::vector<int> run_greedy_job(
+    std::shared_ptr<const std::vector<Sketch>> sketches,
+    const PipelineParams& params, const ExecutionOptions& exec,
+    mr::JobStats& stats,
+    std::shared_ptr<const candidates::SparseSimilarityGraph> graph = nullptr) {
   obs::pipeline::StageScope stage("greedy-cluster");
   const std::size_t n = sketches->size();
   const GreedyParams greedy{params.theta, params.greedy_estimator};
@@ -221,13 +225,15 @@ std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketc
       [](const std::uint32_t& index, mr::Emitter<int, Value>& emit) {
         emit.emit(0, index);
       },
-      [sketches, greedy](const int&, std::vector<Value>& indices,
-                         std::vector<std::pair<std::uint32_t, int>>& out,
-                         mr::ReduceContext& context) {
+      [sketches, greedy, graph](const int&, std::vector<Value>& indices,
+                                std::vector<std::pair<std::uint32_t, int>>& out,
+                                mr::ReduceContext& context) {
         // Keep input order: values arrive in map-task order which follows
         // the original read order for our deterministic shuffle.
         std::sort(indices.begin(), indices.end());
-        const GreedyResult result = greedy_cluster(*sketches, greedy);
+        const GreedyResult result = graph != nullptr
+                                        ? greedy_cluster_graph(*graph, greedy)
+                                        : greedy_cluster(*sketches, greedy);
         for (const std::uint32_t index : indices) {
           out.emplace_back(index, result.labels[index]);
         }
@@ -235,7 +241,13 @@ std::vector<int> run_greedy_job(std::shared_ptr<const std::vector<Sketch>> sketc
                       static_cast<long>(count_clusters(result.labels)));
       });
   job.with_map_work([](const std::uint32_t&) { return 1e-7; });  // emit only
-  job.with_reduce_work([n](const int&, std::size_t) {
+  job.with_reduce_work([n, graph](const int&, std::size_t) {
+    if (graph != nullptr) {
+      // Graph sweep is O(V + E): each edge is inspected at most once.
+      return (static_cast<double>(n) +
+              static_cast<double>(graph->edges.size())) *
+             cost::compare_work(100);
+    }
     // Greedy comparisons are data dependent; model the observed ~N*sqrt(N)
     // envelope with the per-comparison sketch cost.
     return static_cast<double>(n) * std::max(1.0, std::sqrt(static_cast<double>(n))) *
@@ -350,7 +362,34 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
         run_sketch_job(reads, params, exec, result.sketch_stats));
     result.sim_total_s += result.sketch_stats.timeline.total_s;
 
-    if (params.mode == Mode::kGreedy) {
+    if (params.candidates.backend == candidates::Backend::kLshBanded) {
+      // LSH-banded path: candidates -> verify -> sparse-graph clustering.
+      auto enumerated =
+          run_candidate_job(sketches, params.candidates, params.theta, exec);
+      result.candidate_stats = std::move(enumerated.stats);
+      result.sim_total_s += result.candidate_stats.timeline.total_s;
+
+      const SketchEstimator estimator = params.mode == Mode::kGreedy
+                                            ? params.greedy_estimator
+                                            : params.estimator;
+      auto verified = run_verify_job(sketches, std::move(enumerated.pairs),
+                                     estimator, exec);
+      result.verify_stats = std::move(verified.stats);
+      result.sim_total_s += result.verify_stats.timeline.total_s;
+      result.candidate_pairs = verified.graph.edges.size();
+      auto graph = std::make_shared<const candidates::SparseSimilarityGraph>(
+          std::move(verified.graph));
+
+      if (params.mode == Mode::kGreedy) {
+        result.labels = run_greedy_job(sketches, params, exec,
+                                       result.cluster_stats, graph);
+      } else {
+        const SimilarityMatrix matrix = similarity_matrix_from_graph(*graph);
+        result.labels =
+            run_hierarchical_job(matrix, params, exec, result.cluster_stats);
+      }
+      result.sim_total_s += result.cluster_stats.timeline.total_s;
+    } else if (params.mode == Mode::kGreedy) {
       result.labels = run_greedy_job(sketches, params, exec, result.cluster_stats);
       result.sim_total_s += result.cluster_stats.timeline.total_s;
     } else {
@@ -371,7 +410,25 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
     const kernels::SketchMatrix sketches =
         hasher.sketch_matrix(seqs, &lease.pool());
 
-    if (params.mode == Mode::kGreedy) {
+    if (params.candidates.backend == candidates::Backend::kLshBanded) {
+      // Same candidates -> verify -> graph flow as the distributed path,
+      // computed in-process (byte-identical output either way).
+      const SketchEstimator estimator = params.mode == Mode::kGreedy
+                                            ? params.greedy_estimator
+                                            : params.estimator;
+      const candidates::SparseSimilarityGraph graph = candidates::build_graph(
+          sketches, params.candidates, params.theta, estimator, &lease.pool());
+      result.candidate_pairs = graph.edges.size();
+      if (params.mode == Mode::kGreedy) {
+        result.labels =
+            greedy_cluster_graph(graph, {params.theta, params.greedy_estimator})
+                .labels;
+      } else {
+        const SimilarityMatrix matrix = similarity_matrix_from_graph(graph);
+        result.labels = cut_dendrogram(agglomerate(matrix, params.linkage),
+                                       params.theta);
+      }
+    } else if (params.mode == Mode::kGreedy) {
       result.labels =
           greedy_cluster(sketches, {params.theta, params.greedy_estimator}).labels;
     } else {

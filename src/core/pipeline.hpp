@@ -1,13 +1,23 @@
 // End-to-end MrMC-MinH pipeline (Figure 1 of the paper): FASTA records ->
-// integer encoding -> k-mer feature sets -> minwise sketches -> greedy or
-// agglomerative hierarchical clustering, with each stage runnable either
-// locally or as a MapReduce job on the simulated cluster:
+// integer encoding -> k-mer feature sets -> minwise sketches -> pair
+// enumeration (core::candidates) -> greedy or agglomerative hierarchical
+// clustering, with each stage runnable either locally or as a MapReduce job
+// on the simulated cluster.  The job sequence depends on the candidate
+// backend (PipelineParams::candidates):
 //
-//   Job 1 "sketch"      map: read -> (read_index, sketch)   [map-heavy]
-//   Job 2 "similarity"  map: row  -> (row, sims[row+1..N))  [hierarchical only;
-//                        the paper's row-wise partition of the matrix]
-//   Job 3 "cluster"     GROUP ALL -> single reducer runs Algorithm 1 or the
-//                        dendrogram build + θ-cut (Algorithm 3, steps 6-9)
+//   "sketch"       map: read -> (read_index, sketch)        [always; map-heavy]
+//   -- exact all-pairs backend (the paper's shape, the default) --
+//   "similarity"   map: row  -> (row, sims[row+1..N))       [hierarchical only;
+//                   the paper's row-wise partition of the matrix]
+//   -- LSH-banded backend --
+//   "candidates"   map: (read, sketch) -> per-band (bucket_key, read);
+//                   GROUP on bucket; reduce emits candidate pairs
+//   "verify"       map: (a, b) -> ((a, b), kernel-scored similarity)
+//                   -> sparse similarity graph
+//   -- either backend --
+//   "…-cluster"    GROUP ALL -> single reducer runs Algorithm 1 (greedy,
+//                   graph-aware under LSH) or the dendrogram build + θ-cut
+//                   (Algorithm 3, steps 6-9)
 //
 // Simulated job timelines accumulate into PipelineResult::sim_total_s, the
 // number the paper's Table III/V "Time" columns report.
@@ -19,6 +29,7 @@
 
 #include "bio/fasta.hpp"
 #include "bio/fastq.hpp"
+#include "core/candidates.hpp"
 #include "core/greedy.hpp"
 #include "core/hierarchical.hpp"
 #include "mr/job.hpp"
@@ -36,6 +47,10 @@ struct PipelineParams {
   Linkage linkage = Linkage::kAverage;          ///< hierarchical only
   SketchEstimator estimator = SketchEstimator::kComponentMatch;
   SketchEstimator greedy_estimator = SketchEstimator::kSetBased;
+  /// Pair-enumeration backend.  The exact default keeps the paper's job
+  /// shapes (and bit-for-bit outputs); kLshBanded swaps in the
+  /// candidates + verify jobs and sparse-graph clustering.
+  candidates::Params candidates{};
 };
 
 struct ExecutionOptions {
@@ -60,8 +75,11 @@ struct PipelineResult {
   double wall_s = 0.0;       ///< real elapsed time of this process
   double sim_total_s = 0.0;  ///< simulated cluster time across all jobs
   mr::JobStats sketch_stats;
-  mr::JobStats similarity_stats;  ///< hierarchical mode only
+  mr::JobStats similarity_stats;  ///< hierarchical mode, exact backend only
+  mr::JobStats candidate_stats;   ///< LSH backend only
+  mr::JobStats verify_stats;      ///< LSH backend only
   mr::JobStats cluster_stats;
+  std::size_t candidate_pairs = 0;  ///< scored pairs (LSH backend only)
 };
 
 /// Cluster reads end to end.

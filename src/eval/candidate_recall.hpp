@@ -1,0 +1,39 @@
+// Candidate-generation quality harness: how many of the pairs that *matter*
+// (exact sketch similarity >= θ) does a candidate backend actually propose?
+//
+//   recall    = |candidates ∩ {pairs >= θ}| / |{pairs >= θ}|
+//   precision = |candidates ∩ {pairs >= θ}| / |candidates|
+//
+// The exact all-pairs sweep is the oracle, so this is O(n^2) scoring — run
+// it on a subsample (sample_rows) of a large input, as the 1 M-read
+// experiment does with its 100 K-read subsample (EXPERIMENTS.md).  The
+// report is deterministic for a given sketch matrix and parameters.
+#pragma once
+
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+#include "core/candidates.hpp"
+#include "core/minhash.hpp"
+
+namespace mrmc::eval {
+
+struct CandidateRecallReport {
+  std::size_t reads = 0;            ///< rows scored (after subsampling)
+  std::size_t true_pairs = 0;       ///< exact pairs with similarity >= θ
+  std::size_t candidate_pairs = 0;  ///< pairs the backend proposed
+  std::size_t recovered_pairs = 0;  ///< true pairs among the candidates
+  double recall = 1.0;              ///< 1.0 when there are no true pairs
+  double precision = 0.0;           ///< 0.0 when there are no candidates
+  core::candidates::BandShape shape;  ///< resolved banding ({0,0} for exact)
+};
+
+/// Score `params`' candidate set on the first min(rows, sample_rows) sketch
+/// rows against the exact >= θ oracle under `estimator`.  sample_rows == 0
+/// means all rows.
+[[nodiscard]] CandidateRecallReport candidate_recall(
+    const core::kernels::SketchMatrix& sketches, double theta,
+    const core::candidates::Params& params, core::SketchEstimator estimator,
+    std::size_t sample_rows = 0, common::ThreadPool* pool = nullptr);
+
+}  // namespace mrmc::eval

@@ -303,8 +303,16 @@ std::unique_ptr<Udf> make_udf(const Statement& statement, std::uint64_t seed,
         static_cast<std::size_t>(numeric[0]), *last_kmer, seed ^ div_seed);
   }
   if (name == "CalculatePairwiseSimilarity") {
+    // Optional extension args beyond the paper's script: an `lsh` word
+    // switches pair enumeration to the banded candidate backend, with the
+    // last numeric arg (if any) as the θ the band shape is chosen from.
+    core::candidates::Params candidates;
+    for (const auto& word : words) {
+      if (word == "lsh") candidates.backend = core::candidates::Backend::kLshBanded;
+    }
+    const double theta = numeric.empty() ? 0.9 : numeric.back();
     return std::make_unique<CalculatePairwiseSimilarity>(
-        core::SketchEstimator::kComponentMatch);
+        core::SketchEstimator::kComponentMatch, candidates, theta);
   }
   if (name == "AgglomerativeHierarchicalClustering") {
     core::Linkage linkage = core::Linkage::kAverage;

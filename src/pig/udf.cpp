@@ -6,6 +6,7 @@
 #include "bio/kmer.hpp"
 #include "common/error.hpp"
 #include "core/greedy.hpp"
+#include "core/kernels.hpp"
 
 namespace mrmc::pig {
 
@@ -95,8 +96,9 @@ Bag CalculateMinwiseHash::exec(const Tuple& input) const {
 // ------------------------------------------- CalculatePairwiseSimilarity
 
 CalculatePairwiseSimilarity::CalculatePairwiseSimilarity(
-    core::SketchEstimator estimator)
-    : estimator_(estimator) {}
+    core::SketchEstimator estimator, core::candidates::Params candidates,
+    double theta)
+    : estimator_(estimator), candidates_(candidates), theta_(theta) {}
 
 Bag CalculatePairwiseSimilarity::exec(const Tuple& input) const {
   const auto& group = input.get<Bag>(0);
@@ -114,6 +116,35 @@ Bag CalculatePairwiseSimilarity::exec(const Tuple& input) const {
       sketches.begin(), sketches.end(), [&](const core::Sketch& s) {
         return s.size() == sketches.front().size();
       });
+  // LSH-banded candidate generation: score only bucket-mate pairs via the
+  // shared candidates layer; everything else keeps its 0 cell.  Ragged
+  // groups (never produced by CalculateMinwiseHash) cannot be banded and
+  // fall through to the exact path below.
+  if (candidates_.backend == core::candidates::Backend::kLshBanded && uniform &&
+      !sketches.empty() && !sketches.front().empty()) {
+    const auto matrix = core::kernels::SketchMatrix::from_sketches(
+        std::span<const core::Sketch>(sketches));
+    const core::candidates::SparseSimilarityGraph graph =
+        core::candidates::build_graph(matrix, candidates_, theta_, estimator_);
+    std::vector<std::vector<double>> sims(sketches.size());
+    for (std::size_t i = 0; i < sketches.size(); ++i) {
+      sims[i].assign(sketches.size() - i - 1, 0.0);
+    }
+    for (const auto& edge : graph.edges) {
+      sims[edge.a][edge.b - edge.a - 1] = edge.similarity;
+    }
+    Bag rows;
+    rows.reserve(group.size());
+    for (std::size_t i = 0; i < sketches.size(); ++i) {
+      Tuple row;
+      row.fields.emplace_back(static_cast<long>(i));
+      row.fields.emplace_back(std::move(sims[i]));
+      row.fields.push_back(group[i].fields.at(1));  // read id
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+
   const core::SortedSketchStore store =
       uniform && estimator_ == core::SketchEstimator::kSetBased
           ? core::SortedSketchStore(std::span<const core::Sketch>(sketches))

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/candidates.hpp"
 #include "core/hierarchical.hpp"
 #include "core/minhash.hpp"
 #include "pig/tuple.hpp"
@@ -59,10 +60,16 @@ class CalculateMinwiseHash final : public Udf {
 };
 
 /// Grouped sketches -> one similarity-matrix row per read (row-partitioned,
-/// j > row only).
+/// j > row only).  With the default exact backend every pair is scored;
+/// under core::candidates' LSH backend only candidate pairs are scored (the
+/// banding is resolved from `theta` via the S-curve) and non-candidate
+/// cells stay 0 — the row shape is unchanged, so downstream UDFs work with
+/// either backend.
 class CalculatePairwiseSimilarity final : public Udf {
  public:
-  explicit CalculatePairwiseSimilarity(core::SketchEstimator estimator);
+  explicit CalculatePairwiseSimilarity(core::SketchEstimator estimator,
+                                       core::candidates::Params candidates = {},
+                                       double theta = 0.9);
   [[nodiscard]] const char* name() const noexcept override {
     return "CalculatePairwiseSimilarity";
   }
@@ -70,6 +77,8 @@ class CalculatePairwiseSimilarity final : public Udf {
 
  private:
   core::SketchEstimator estimator_;
+  core::candidates::Params candidates_;
+  double theta_;
 };
 
 /// Grouped similarity rows -> (id, label) per read.

@@ -1,0 +1,468 @@
+// core::candidates — the pair-enumeration layer.  Covers the S-curve
+// properties, band-shape selection and validation, backend equivalence
+// (exact graphs reproduce the dense all-pairs matrix bit-for-bit and the
+// graph greedy sweep reproduces the exhaustive sweep), determinism of the
+// candidate MapReduce job across thread counts / split sizes / fault plans /
+// kernel backends, and the recall harness in eval/.  Kept as its own binary
+// so the TSan leg can build and run it in isolation.
+#include "core/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/candidate_jobs.hpp"
+#include "core/greedy.hpp"
+#include "core/hierarchical.hpp"
+#include "core/kernels.hpp"
+#include "core/pipeline.hpp"
+#include "eval/candidate_recall.hpp"
+#include "simdata/datasets.hpp"
+
+namespace mrmc::core {
+namespace {
+
+std::vector<Sketch> family_sketches(std::size_t families, std::size_t per_family,
+                                    std::size_t length, double noise,
+                                    std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<Sketch> sketches;
+  for (std::size_t f = 0; f < families; ++f) {
+    Sketch base(length);
+    for (auto& v : base) v = rng();
+    for (std::size_t m = 0; m < per_family; ++m) {
+      Sketch member = base;
+      for (auto& v : member) {
+        if (rng.chance(noise)) v = rng();
+      }
+      sketches.push_back(std::move(member));
+    }
+  }
+  return sketches;
+}
+
+kernels::SketchMatrix family_matrix(std::size_t families, std::size_t per_family,
+                                    std::size_t length, double noise,
+                                    std::uint64_t seed) {
+  const auto sketches = family_sketches(families, per_family, length, noise, seed);
+  return kernels::SketchMatrix::from_sketches(
+      std::span<const Sketch>(sketches));
+}
+
+// ---------------------------------------------------------------- the S-curve
+
+TEST(CollisionProbability, MonotoneInSimilarity) {
+  for (const auto [bands, rows] :
+       {std::pair<std::size_t, std::size_t>{8, 5}, {20, 2}, {4, 10}}) {
+    double previous = -1.0;
+    for (double j = 0.0; j <= 1.0; j += 0.05) {
+      const double p = candidates::lsh_collision_probability(j, bands, rows);
+      EXPECT_GE(p, previous) << "bands=" << bands << " J=" << j;
+      previous = p;
+    }
+  }
+}
+
+TEST(CollisionProbability, MonotoneInBandCountAtFixedRows) {
+  // More bands = more chances to collide, at every similarity level.
+  for (double j = 0.1; j < 1.0; j += 0.2) {
+    double previous = -1.0;
+    for (std::size_t bands = 1; bands <= 32; bands *= 2) {
+      const double p = candidates::lsh_collision_probability(j, bands, 4);
+      EXPECT_GE(p, previous) << "J=" << j << " bands=" << bands;
+      previous = p;
+    }
+  }
+}
+
+TEST(CollisionProbability, ThresholdIsTheSCurveMidpoint) {
+  // At J = lsh_threshold the collision probability approaches
+  // 1 - (1 - 1/b)^b, which lives in (0.5, 0.75) for b >= 2.
+  for (const auto [bands, rows] :
+       {std::pair<std::size_t, std::size_t>{8, 5}, {10, 4}, {20, 2}}) {
+    const double mid = candidates::lsh_collision_probability(
+        candidates::lsh_threshold(bands, rows), bands, rows);
+    EXPECT_GT(mid, 0.5) << "bands=" << bands;
+    EXPECT_LT(mid, 0.75) << "bands=" << bands;
+  }
+}
+
+// ------------------------------------------------------------ shape selection
+
+TEST(BandShape, ValidationErrors) {
+  EXPECT_THROW((void)candidates::validated_band_shape(40, 0),
+               common::InvalidArgument);
+  EXPECT_THROW((void)candidates::validated_band_shape(40, 7),
+               common::InvalidArgument);
+  EXPECT_THROW((void)candidates::validated_band_shape(0, 1),
+               common::InvalidArgument);
+  const auto shape = candidates::validated_band_shape(40, 8);
+  EXPECT_EQ(shape.bands, 8u);
+  EXPECT_EQ(shape.rows, 5u);
+}
+
+TEST(BandShape, SelectionMeetsTheRecallTargetAtTheta) {
+  for (const double theta : {0.5, 0.7, 0.9, 0.95}) {
+    const auto shape = candidates::select_band_shape(40, theta, 0.95);
+    EXPECT_EQ(shape.bands * shape.rows, 40u);
+    EXPECT_GE(candidates::lsh_collision_probability(theta, shape.bands,
+                                                    shape.rows),
+              0.95)
+        << "theta=" << theta;
+  }
+}
+
+TEST(BandShape, SelectionPrefersTheCheapestQualifyingShape) {
+  // 40 hashes at theta 0.9: (4,10) catches only ~0.82, (5,8) ~0.945,
+  // (8,5) ~0.9992 — the first shape at or above 0.95 recall is bands=8.
+  const auto shape = candidates::select_band_shape(40, 0.9, 0.95);
+  EXPECT_EQ(shape.bands, 8u);
+  EXPECT_EQ(shape.rows, 5u);
+  // Everything collides at any banding when theta = 1.
+  EXPECT_EQ(candidates::select_band_shape(40, 1.0, 0.95).bands, 1u);
+}
+
+TEST(BandShape, LowThetaNeedsMoreBands) {
+  const auto high = candidates::select_band_shape(40, 0.9, 0.95);
+  const auto low = candidates::select_band_shape(40, 0.5, 0.95);
+  EXPECT_GT(low.bands, high.bands);
+}
+
+TEST(BandShape, ResolveHonorsExplicitBands) {
+  candidates::Params params;
+  params.backend = candidates::Backend::kLshBanded;
+  params.bands = 20;
+  const auto shape = candidates::resolve_band_shape(params, 40, 0.9);
+  EXPECT_EQ(shape.bands, 20u);
+  params.bands = 6;  // does not divide 40
+  EXPECT_THROW((void)candidates::resolve_band_shape(params, 40, 0.9),
+               common::InvalidArgument);
+}
+
+// -------------------------------------------------------------- enumeration
+
+TEST(EnumeratePairs, ExactBackendIsAllPairs) {
+  const auto matrix = family_matrix(3, 4, 40, 0.1, 11);
+  const auto pairs = candidates::enumerate_pairs(matrix, {}, 0.9);
+  ASSERT_EQ(pairs.size(), 12u * 11u / 2u);
+  std::size_t k = 0;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    for (std::uint32_t j = i + 1; j < 12; ++j) {
+      EXPECT_EQ(pairs[k++], (candidates::Pair{i, j}));
+    }
+  }
+}
+
+TEST(EnumeratePairs, LshIsASortedUniqueSubsetContainingTruePairs) {
+  const auto matrix = family_matrix(8, 6, 40, 0.02, 12);
+  candidates::Params params;
+  params.backend = candidates::Backend::kLshBanded;
+  const auto pairs = candidates::enumerate_pairs(matrix, params, 0.9);
+  EXPECT_LT(pairs.size(), 48u * 47u / 2u);
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+  EXPECT_EQ(std::adjacent_find(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [a, b] : pairs) {
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, matrix.rows());
+  }
+  // Identical sketches collide in every band, so within-family pairs of the
+  // low-noise families must all be present.
+  std::size_t family_pairs = 0;
+  for (const auto& [a, b] : pairs) family_pairs += a / 6 == b / 6 ? 1 : 0;
+  EXPECT_GE(family_pairs, 8u * 3u);  // well over half of each family's 15
+}
+
+TEST(EnumeratePairs, IdenticalAtAnyPoolSize) {
+  const auto matrix = family_matrix(6, 5, 40, 0.05, 13);
+  candidates::Params params;
+  params.backend = candidates::Backend::kLshBanded;
+  common::ThreadPool one(1);
+  common::ThreadPool four(4);
+  const auto serial = candidates::enumerate_pairs(matrix, params, 0.9);
+  EXPECT_EQ(candidates::enumerate_pairs(matrix, params, 0.9, &one), serial);
+  EXPECT_EQ(candidates::enumerate_pairs(matrix, params, 0.9, &four), serial);
+}
+
+// ------------------------------------------------------------- verification
+
+TEST(VerifyPairs, ExactGraphReproducesTheDenseMatrixBitForBit) {
+  const auto matrix = family_matrix(4, 5, 40, 0.2, 14);
+  for (const auto estimator :
+       {SketchEstimator::kComponentMatch, SketchEstimator::kSetBased}) {
+    const auto graph = candidates::build_graph(matrix, {}, 0.9, estimator);
+    const SimilarityMatrix dense = pairwise_similarity_matrix(matrix, estimator);
+    ASSERT_EQ(graph.edges.size(), 20u * 19u / 2u);
+    for (const auto& edge : graph.edges) {
+      // One float narrowing, exactly like the dense fill.
+      EXPECT_EQ(static_cast<float>(edge.similarity), dense.at(edge.a, edge.b));
+    }
+    const SimilarityMatrix densified =
+        similarity_matrix_from_graph(graph);
+    ASSERT_EQ(densified.size(), dense.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      for (std::size_t j = 0; j < dense.size(); ++j) {
+        EXPECT_EQ(densified.at(i, j), dense.at(i, j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(VerifyPairs, IdenticalUnderScalarAndActiveKernelBackends) {
+  const auto matrix = family_matrix(5, 6, 40, 0.1, 15);
+  candidates::Params params;
+  params.backend = candidates::Backend::kLshBanded;
+  const auto active = candidates::build_graph(
+      matrix, params, 0.9, SketchEstimator::kComponentMatch);
+  kernels::ScopedBackendOverride scalar(kernels::Backend::kScalar);
+  const auto forced = candidates::build_graph(
+      matrix, params, 0.9, SketchEstimator::kComponentMatch);
+  EXPECT_EQ(active.edges, forced.edges);
+}
+
+// ------------------------------------------------------------- graph greedy
+
+TEST(GreedyClusterGraph, MatchesExhaustiveSweepOnTheExactGraph) {
+  const auto sketches = family_sketches(6, 7, 40, 0.15, 16);
+  const auto matrix = kernels::SketchMatrix::from_sketches(
+      std::span<const Sketch>(sketches));
+  for (const auto estimator :
+       {SketchEstimator::kComponentMatch, SketchEstimator::kSetBased}) {
+    const GreedyParams params{.theta = 0.6, .estimator = estimator};
+    const auto graph = candidates::build_graph(matrix, {}, 0.6, estimator);
+    const auto from_graph = greedy_cluster_graph(graph, params);
+    const auto exhaustive = greedy_cluster(sketches, params);
+    EXPECT_EQ(from_graph.labels, exhaustive.labels);
+    EXPECT_EQ(from_graph.num_clusters, exhaustive.num_clusters);
+    EXPECT_EQ(from_graph.representatives, exhaustive.representatives);
+  }
+}
+
+TEST(GreedyClusterGraph, EmptyGraphIsAllSingletons) {
+  candidates::SparseSimilarityGraph graph;
+  graph.num_vertices = 4;
+  const auto result = greedy_cluster_graph(graph, {.theta = 0.9});
+  EXPECT_EQ(result.num_clusters, 4u);
+  EXPECT_EQ(result.labels, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(GreedyClusterGraph, RejectsOutOfRangeEdges) {
+  candidates::SparseSimilarityGraph graph;
+  graph.num_vertices = 3;
+  graph.edges.push_back({1, 5, 0.9});
+  EXPECT_THROW((void)greedy_cluster_graph(graph, {.theta = 0.5}),
+               common::InvalidArgument);
+}
+
+// ----------------------------------------------------- the MapReduce shape
+
+class CandidateJobTest : public ::testing::Test {
+ protected:
+  static std::shared_ptr<const std::vector<Sketch>> shared_family(
+      std::uint64_t seed) {
+    return std::make_shared<const std::vector<Sketch>>(
+        family_sketches(7, 6, 40, 0.05, seed));
+  }
+
+  static candidates::Params lsh_params() {
+    candidates::Params params;
+    params.backend = candidates::Backend::kLshBanded;
+    return params;
+  }
+};
+
+TEST_F(CandidateJobTest, MatchesLocalEnumerationExactAndLsh) {
+  const auto sketches = shared_family(21);
+  const auto matrix = kernels::SketchMatrix::from_sketches(
+      std::span<const Sketch>(*sketches));
+  ExecutionOptions exec;
+
+  const auto exact = run_candidate_job(sketches, {}, 0.9, exec);
+  EXPECT_EQ(exact.pairs, candidates::enumerate_pairs(matrix, {}, 0.9));
+
+  const auto lsh = run_candidate_job(sketches, lsh_params(), 0.9, exec);
+  EXPECT_EQ(lsh.pairs, candidates::enumerate_pairs(matrix, lsh_params(), 0.9));
+  EXPECT_EQ(lsh.shape.bands, 8u);
+  EXPECT_GT(lsh.stats.input_records, 0u);
+}
+
+TEST_F(CandidateJobTest, ByteIdenticalAcrossThreadsSplitsAndNodes) {
+  const auto sketches = shared_family(22);
+  ExecutionOptions base;
+  base.records_per_split = 16;
+  const auto reference = run_candidate_job(sketches, lsh_params(), 0.9, base);
+  ASSERT_FALSE(reference.pairs.empty());
+
+  for (const std::size_t threads : {1, 3}) {
+    for (const std::size_t split : {5, 11, 64}) {
+      for (const std::size_t nodes : {1, 4}) {
+        ExecutionOptions exec;
+        exec.threads = threads;
+        exec.records_per_split = split;
+        exec.cluster.nodes = nodes;
+        const auto got = run_candidate_job(sketches, lsh_params(), 0.9, exec);
+        EXPECT_EQ(got.pairs, reference.pairs)
+            << "threads=" << threads << " split=" << split
+            << " nodes=" << nodes;
+      }
+    }
+  }
+}
+
+TEST_F(CandidateJobTest, VerifyJobMatchesLocalScoring) {
+  const auto sketches = shared_family(23);
+  const auto matrix = kernels::SketchMatrix::from_sketches(
+      std::span<const Sketch>(*sketches));
+  ExecutionOptions exec;
+  exec.records_per_split = 16;
+  for (const auto estimator :
+       {SketchEstimator::kComponentMatch, SketchEstimator::kSetBased}) {
+    const auto pairs = candidates::enumerate_pairs(matrix, lsh_params(), 0.9);
+    const auto local = candidates::verify_pairs(matrix, pairs, estimator);
+    const auto job = run_verify_job(sketches, pairs, estimator, exec);
+    EXPECT_EQ(job.graph.num_vertices, local.num_vertices);
+    EXPECT_EQ(job.graph.edges, local.edges);
+  }
+}
+
+TEST_F(CandidateJobTest, FaultPlanLeavesCandidatesAndEdgesIdentical) {
+  const auto sketches = shared_family(24);
+  ExecutionOptions healthy;
+  healthy.records_per_split = 8;
+  const auto reference =
+      run_candidate_job(sketches, lsh_params(), 0.9, healthy);
+  const auto reference_edges =
+      run_verify_job(sketches, reference.pairs,
+                     SketchEstimator::kComponentMatch, healthy);
+
+  // Node 1 crashes early and never recovers; with 4 nodes at least one
+  // stays up and the job replays the lost splits.
+  ExecutionOptions faulty = healthy;
+  faulty.fault_plan =
+      mr::faults::FaultPlan({{1, 0.0001, mr::faults::kNever}});
+  const auto chaos = run_candidate_job(sketches, lsh_params(), 0.9, faulty);
+  EXPECT_EQ(chaos.pairs, reference.pairs);
+  const auto chaos_edges = run_verify_job(
+      sketches, chaos.pairs, SketchEstimator::kComponentMatch, faulty);
+  EXPECT_EQ(chaos_edges.graph.edges, reference_edges.graph.edges);
+}
+
+// ---------------------------------------------------------- pipeline routing
+
+class LshPipelineTest : public ::testing::Test {
+ protected:
+  static std::vector<bio::FastaRecord> sample_reads() {
+    return simdata::build_whole_metagenome(
+               simdata::whole_metagenome_spec("S8"), {.reads = 80, .seed = 1})
+        .reads;
+  }
+
+  static PipelineParams lsh_pipeline_params(Mode mode) {
+    PipelineParams params;
+    params.minhash = {.kmer = 5, .num_hashes = 64, .canonical = true,
+                      .seed = 1};
+    params.mode = mode;
+    params.theta = mode == Mode::kGreedy ? 0.34 : 0.5;
+    params.candidates.backend = candidates::Backend::kLshBanded;
+    return params;
+  }
+};
+
+TEST_F(LshPipelineTest, DistributedMatchesLocalInBothModes) {
+  const auto reads = sample_reads();
+  for (const Mode mode : {Mode::kGreedy, Mode::kHierarchical}) {
+    const auto params = lsh_pipeline_params(mode);
+    ExecutionOptions distributed;
+    distributed.distributed = true;
+    distributed.cluster.nodes = 4;
+    distributed.records_per_split = 16;
+    ExecutionOptions local;
+    local.distributed = false;
+    const auto a = run_pipeline(reads, params, distributed);
+    const auto b = run_pipeline(reads, params, local);
+    EXPECT_EQ(a.labels, b.labels) << mode_name(mode);
+    EXPECT_EQ(a.num_clusters, b.num_clusters);
+    EXPECT_GT(a.candidate_stats.input_records, 0u);
+    EXPECT_GT(a.verify_stats.input_records, 0u);
+    EXPECT_GT(a.candidate_pairs, 0u);
+  }
+}
+
+TEST_F(LshPipelineTest, ByteIdenticalAcrossThreadCountsAndSplits) {
+  const auto reads = sample_reads();
+  const auto params = lsh_pipeline_params(Mode::kGreedy);
+  ExecutionOptions base;
+  base.records_per_split = 16;
+  const auto reference = run_pipeline(reads, params, base);
+  for (const std::size_t threads : {1, 3}) {
+    for (const std::size_t split : {7, 40}) {
+      ExecutionOptions exec;
+      exec.threads = threads;
+      exec.records_per_split = split;
+      const auto got = run_pipeline(reads, params, exec);
+      EXPECT_EQ(got.labels, reference.labels)
+          << "threads=" << threads << " split=" << split;
+    }
+  }
+}
+
+TEST_F(LshPipelineTest, ExactBackendKeepsTodaysOutputs) {
+  // The default params (exact backend) must route through the legacy jobs
+  // and reproduce the pre-candidates pipeline exactly.
+  const auto reads = sample_reads();
+  PipelineParams params = lsh_pipeline_params(Mode::kHierarchical);
+  params.candidates = {};  // back to kExactAllPairs
+  ExecutionOptions exec;
+  exec.records_per_split = 16;
+  const auto result = run_pipeline(reads, params, exec);
+  EXPECT_EQ(result.candidate_stats.input_records, 0u);  // no candidate job ran
+  EXPECT_GT(result.similarity_stats.input_records, 0u);
+  EXPECT_EQ(result.candidate_pairs, 0u);
+}
+
+// ------------------------------------------------------------ recall harness
+
+TEST(CandidateRecall, ExactBackendIsPerfect) {
+  const auto matrix = family_matrix(5, 5, 40, 0.1, 31);
+  const auto report = eval::candidate_recall(
+      matrix, 0.9, {}, SketchEstimator::kComponentMatch);
+  EXPECT_EQ(report.reads, 25u);
+  EXPECT_EQ(report.candidate_pairs, 25u * 24u / 2u);
+  EXPECT_EQ(report.recovered_pairs, report.true_pairs);
+  EXPECT_DOUBLE_EQ(report.recall, 1.0);
+}
+
+TEST(CandidateRecall, LshMeetsTheTargetOnFamilyData) {
+  const auto matrix = family_matrix(10, 6, 40, 0.02, 32);
+  candidates::Params params;
+  params.backend = candidates::Backend::kLshBanded;
+  const auto report = eval::candidate_recall(
+      matrix, 0.9, params, SketchEstimator::kComponentMatch);
+  EXPECT_GT(report.true_pairs, 0u);
+  EXPECT_GE(report.recall, 0.95);
+  EXPECT_GT(report.precision, 0.0);
+  EXPECT_EQ(report.shape.bands, 8u);
+}
+
+TEST(CandidateRecall, SubsamplesAndParallelScoringAgree) {
+  const auto matrix = family_matrix(8, 8, 40, 0.1, 33);
+  candidates::Params params;
+  params.backend = candidates::Backend::kLshBanded;
+  common::ThreadPool pool(4);
+  const auto serial = eval::candidate_recall(
+      matrix, 0.8, params, SketchEstimator::kSetBased, 40);
+  const auto parallel = eval::candidate_recall(
+      matrix, 0.8, params, SketchEstimator::kSetBased, 40, &pool);
+  EXPECT_EQ(serial.reads, 40u);
+  EXPECT_EQ(serial.true_pairs, parallel.true_pairs);
+  EXPECT_EQ(serial.candidate_pairs, parallel.candidate_pairs);
+  EXPECT_EQ(serial.recovered_pairs, parallel.recovered_pairs);
+}
+
+}  // namespace
+}  // namespace mrmc::core

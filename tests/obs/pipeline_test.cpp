@@ -289,6 +289,38 @@ TEST_F(PipelineDoctorTest, TraceReconstructionIsByteIdenticalToInProcess) {
   EXPECT_EQ(to_text(in_process[0]), to_text(offline[0]));
 }
 
+TEST_F(PipelineDoctorTest, LshCandidateStagesAppearAndRoundTrip) {
+  // The LSH backend adds two jobs the doctor has never been taught about —
+  // "candidates" and "verify" — and the stage list must pick them up from
+  // lineage alone, with the trace reconstruction still byte-identical.
+  const std::string trace_path =
+      ::testing::TempDir() + "/mrmc_pipeline_candidates.json";
+  core::PipelineParams params;
+  params.minhash = {.kmer = 5, .num_hashes = 40, .canonical = true, .seed = 1};
+  params.mode = core::Mode::kGreedy;
+  params.theta = 0.3;
+  params.candidates.backend = core::candidates::Backend::kLshBanded;
+  core::ExecutionOptions exec;
+  exec.threads = 2;
+  exec.records_per_split = 16;
+  Tracer::global().set_output_path(trace_path);
+  core::run_pipeline(sample_reads(80), params, exec);
+
+  const std::vector<PipelineReport> in_process =
+      Collector::global().reports();
+  ASSERT_EQ(in_process.size(), 1u);
+  ASSERT_EQ(in_process[0].stages.size(), 4u);
+  EXPECT_EQ(in_process[0].stages[0].job.name, "sketch");
+  EXPECT_EQ(in_process[0].stages[1].job.name, "candidates");
+  EXPECT_EQ(in_process[0].stages[2].job.name, "verify");
+  EXPECT_EQ(in_process[0].stages[3].job.name, "greedy-cluster");
+
+  const std::vector<PipelineReport> offline = analyze_trace_file(trace_path);
+  ASSERT_EQ(offline.size(), 1u);
+  EXPECT_EQ(to_json(in_process[0]), to_json(offline[0]));
+  EXPECT_EQ(to_text(in_process[0]), to_text(offline[0]));
+}
+
 TEST_F(PipelineDoctorTest, SamplerProgressAndFaultsLeaveTheReportIdentical) {
   // Combined-feature round trip: resource sampler + fault plan + progress
   // tracking + lineage all on.  Counter and flow events ride along in the

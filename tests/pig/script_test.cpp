@@ -142,6 +142,35 @@ TEST(RunScript, Algorithm3TextMatchesBuiltInRunner) {
             (std::vector<std::string>{"/out1", "/out2"}));
 }
 
+TEST(RunScript, LshPairwiseSimilarityWordMatchesExactOnSmallSample) {
+  // The `lsh` extension word routes CalculatePairwiseSimilarity through the
+  // banded candidate backend.  On a small well-separated sample every >= θ
+  // pair is recovered, so the downstream clustering output is unchanged.
+  const auto sample = simdata::build_whole_metagenome(
+      simdata::whole_metagenome_spec("S6"), {.reads = 30, .seed = 21});
+  const char* script_template = R"(
+A = LOAD '$INPUT' USING FastaStorage;
+B = FOREACH A GENERATE FLATTEN(StringGenerator(seq, readid));
+C = FOREACH B GENERATE FLATTEN(TranslateToKmer(seq, seqid, 5));
+E = FOREACH C GENERATE FLATTEN(CalculateMinwiseHash(seqkmer, seqid2, 64, 0));
+I = GROUP E ALL;
+J = FOREACH I GENERATE FLATTEN(CalculatePairwiseSimilarity(minwise, F$EXTRA));
+K = FOREACH (GROUP J ALL) GENERATE FLATTEN(AgglomerativeHierarchicalClustering(similaritymatrix, average, 0.5));
+STORE K INTO '/out';
+)";
+  auto exact_dfs = make_dfs_with_sample(sample);
+  PigContext exact_ctx(&exact_dfs, {.nodes = 4});
+  run_script(exact_ctx, script_template,
+             {{"INPUT", "/in.fa"}, {"EXTRA", ""}}, /*udf_seed=*/3);
+
+  auto lsh_dfs = make_dfs_with_sample(sample);
+  PigContext lsh_ctx(&lsh_dfs, {.nodes = 4});
+  run_script(lsh_ctx, script_template,
+             {{"INPUT", "/in.fa"}, {"EXTRA", ", lsh, 0.5"}}, /*udf_seed=*/3);
+
+  EXPECT_EQ(lsh_dfs.read("/out"), exact_dfs.read("/out"));
+}
+
 TEST(RunScript, RelationalOperators) {
   // Build a tiny FASTA, load it, and exercise DISTINCT / ORDER / LIMIT /
   // FILTER on the clustering output (label field 1 is numeric).

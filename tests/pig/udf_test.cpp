@@ -107,6 +107,37 @@ TEST(CalculatePairwiseSimilarityUdf, EmitsUpperTriangularRows) {
   EXPECT_EQ(rows[0].get<std::string>(2), "r0");
 }
 
+TEST(CalculatePairwiseSimilarityUdf, LshBackendKeepsRowShapeAndExactCells) {
+  const std::vector<std::string> seqs{"ACGTACGTACGT", "ACGTACGTACGT",
+                                      "TTGGCCAATTGG", "GGGGCCCCAAAA"};
+  const Bag group = make_minwise_group(seqs);
+  Tuple input;
+  input.fields.emplace_back(group);
+  const CalculatePairwiseSimilarity exact(core::SketchEstimator::kComponentMatch);
+  core::candidates::Params params;
+  params.backend = core::candidates::Backend::kLshBanded;
+  const CalculatePairwiseSimilarity lsh(core::SketchEstimator::kComponentMatch,
+                                        params, 0.9);
+
+  const Bag exact_rows = exact.exec(input);
+  const Bag lsh_rows = lsh.exec(input);
+  ASSERT_EQ(lsh_rows.size(), exact_rows.size());
+  for (std::size_t i = 0; i < lsh_rows.size(); ++i) {
+    // Same tuple shape: row index, j > i similarity list, read id.
+    EXPECT_EQ(lsh_rows[i].get<long>(0), exact_rows[i].get<long>(0));
+    EXPECT_EQ(lsh_rows[i].get<std::string>(2), exact_rows[i].get<std::string>(2));
+    const auto& sparse = lsh_rows[i].get<std::vector<double>>(1);
+    const auto& dense = exact_rows[i].get<std::vector<double>>(1);
+    ASSERT_EQ(sparse.size(), dense.size());
+    // Candidate cells carry the exact value; non-candidates stay 0.
+    for (std::size_t j = 0; j < sparse.size(); ++j) {
+      if (sparse[j] != 0.0) EXPECT_DOUBLE_EQ(sparse[j], dense[j]);
+    }
+  }
+  // The identical pair collides in every band, so its cell must be scored.
+  EXPECT_DOUBLE_EQ(lsh_rows[0].get<std::vector<double>>(1)[0], 1.0);
+}
+
 TEST(AgglomerativeHierarchicalClusteringUdf, ClustersFromRows) {
   const Bag group =
       make_minwise_group({"ACGTACGTACGT", "ACGTACGTACGT", "TTGGCCAATTGG",
