@@ -17,6 +17,7 @@
 #include "baselines/mc_lsh.hpp"
 #include "baselines/metacluster_like.hpp"
 #include "baselines/uclust_like.hpp"
+#include "common/fsio.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "core/pipeline.hpp"
@@ -192,10 +193,9 @@ class BenchRecord {
   }
 
   bool write(const std::string& path) const {
-    std::ofstream file(path);
-    if (!file) return false;
-    file << to_json();
-    return file.good();
+    // Temp-then-rename: the regress doctor parses these artifacts, and a
+    // run killed mid-write must not leave it a truncated JSON.
+    return common::write_file_atomic(path, to_json());
   }
 
  private:

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace mrmc::bio {
 
@@ -20,18 +22,45 @@ void strip_cr(std::string& line) {
 
 }  // namespace
 
-std::vector<FastaRecord> read_fasta(std::istream& in) {
+namespace detail {
+
+// Called by the FASTA and FASTQ parsers for every quarantined record, so
+// both feed one metric the pipeline doctor and dashboards can watch.
+void note_malformed(ParseReport* report, const std::string& reason) {
+  obs::Registry::global().counter("bio.malformed_records").add();
+  if (report == nullptr) return;
+  ++report->skipped;
+  report->reasons.push_back(reason);
+}
+
+}  // namespace detail
+
+std::vector<FastaRecord> read_fasta(std::istream& in,
+                                    const ParseOptions& options,
+                                    ParseReport* report) {
   std::vector<FastaRecord> records;
   std::string line;
   FastaRecord current;
-  bool in_record = false;
+  bool in_record = false;    // a valid header has been seen
+  bool quarantined = false;  // inside a record whose header was rejected
+  bool leading_junk = false; // already counted the pre-header garbage run
+  const bool lenient = options.on_error == OnParseError::kSkip;
+
+  // In strict mode `fail` throws; in lenient mode it quarantines and lets
+  // the caller's control flow skip the record.  The message strings are the
+  // strict-mode errors verbatim, so reasons read the same either way.
+  const auto fail = [&](std::string message) {
+    if (!lenient) throw common::IoError(message);
+    detail::note_malformed(report, message);
+  };
 
   auto flush = [&] {
     if (!in_record) return;
     if (current.seq.empty()) {
-      throw common::IoError("fasta: record '" + current.id + "' has no sequence");
+      fail("fasta: record '" + current.id + "' has no sequence");
+    } else {
+      records.push_back(std::move(current));
     }
-    records.push_back(std::move(current));
     current = {};
   };
 
@@ -40,32 +69,69 @@ std::vector<FastaRecord> read_fasta(std::istream& in) {
     if (line.empty()) continue;
     if (line.front() == '>') {
       flush();
-      in_record = true;
-      current.header = line.substr(1);
-      current.id = first_token(current.header);
-      if (current.id.empty()) {
-        throw common::IoError("fasta: record with empty id");
+      quarantined = false;
+      const std::string header = line.substr(1);
+      if (first_token(header).empty()) {
+        fail("fasta: record with empty id");
+        // Lenient: swallow this record's sequence lines too.
+        in_record = false;
+        quarantined = true;
+        continue;
       }
+      in_record = true;
+      current.header = header;
+      current.id = first_token(current.header);
     } else {
       if (!in_record) {
-        throw common::IoError("fasta: sequence data before first header");
+        if (quarantined) continue;  // body of an already-counted bad record
+        if (!leading_junk) {
+          fail("fasta: sequence data before first header");
+          leading_junk = true;  // one count per garbage run, not per line
+        }
+        continue;
       }
       current.seq += line;
     }
   }
   flush();
+  if (report != nullptr) report->records = records.size();
   return records;
 }
 
-std::vector<FastaRecord> read_fasta_string(std::string_view text) {
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  return read_fasta(in, ParseOptions{});
+}
+
+std::vector<FastaRecord> read_fasta_string(std::string_view text,
+                                           const ParseOptions& options,
+                                           ParseReport* report) {
   std::istringstream stream{std::string(text)};
-  return read_fasta(stream);
+  return read_fasta(stream, options, report);
+}
+
+std::vector<FastaRecord> read_fasta_string(std::string_view text) {
+  return read_fasta_string(text, ParseOptions{});
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         const ParseOptions& options,
+                                         ParseReport* report) {
+  std::ifstream file(path);
+  if (!file) throw common::IoError("fasta: cannot open '" + path + "'");
+  ParseReport local;
+  if (report == nullptr) report = &local;
+  auto records = read_fasta(file, options, report);
+  if (report->skipped > 0) {
+    static const obs::Logger logger("bio.fasta");
+    logger.warn("skipped malformed records", {{"path", path},
+                                              {"skipped", report->skipped},
+                                              {"kept", records.size()}});
+  }
+  return records;
 }
 
 std::vector<FastaRecord> read_fasta_file(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) throw common::IoError("fasta: cannot open '" + path + "'");
-  return read_fasta(file);
+  return read_fasta_file(path, ParseOptions{});
 }
 
 void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,

@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "bio/parse.hpp"
+
 namespace mrmc::bio {
 
 struct FastaRecord {
@@ -21,11 +23,28 @@ struct FastaRecord {
 /// (content before the first '>', or a record with an empty sequence).
 std::vector<FastaRecord> read_fasta(std::istream& in);
 
+/// Parse with an explicit error policy.  Under OnParseError::kSkip,
+/// malformed records (empty id, no sequence, data before the first header)
+/// are quarantined instead of fatal: each one adds a reason to `report`
+/// (optional) and bumps the "bio.malformed_records" counter.  Under kThrow
+/// this is byte-identical to the one-argument overload.
+std::vector<FastaRecord> read_fasta(std::istream& in,
+                                    const ParseOptions& options,
+                                    ParseReport* report = nullptr);
+
 /// Parse all records from an in-memory string.
 std::vector<FastaRecord> read_fasta_string(std::string_view text);
+std::vector<FastaRecord> read_fasta_string(std::string_view text,
+                                           const ParseOptions& options,
+                                           ParseReport* report = nullptr);
 
-/// Parse all records from a file path.  Throws IoError if unreadable.
+/// Parse all records from a file path.  Throws IoError if unreadable (in
+/// either mode — an unopenable file is never a per-record problem).  The
+/// lenient overload logs the file's skip count when any record was dropped.
 std::vector<FastaRecord> read_fasta_file(const std::string& path);
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         const ParseOptions& options,
+                                         ParseReport* report = nullptr);
 
 /// Write records, wrapping sequence lines at `width` characters (0 = no wrap).
 void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 
 namespace mrmc::bio {
 
@@ -39,48 +40,94 @@ double mean_error_probability(const FastqRecord& record) {
   return total / static_cast<double>(record.quality.size());
 }
 
-std::vector<FastqRecord> read_fastq(std::istream& in) {
+std::vector<FastqRecord> read_fastq(std::istream& in,
+                                    const ParseOptions& options,
+                                    ParseReport* report) {
   std::vector<FastqRecord> records;
   std::string header, seq, plus, quality;
+  const bool lenient = options.on_error == OnParseError::kSkip;
+  // Strict mode throws; lenient mode quarantines the current record (its
+  // lines are already consumed, so parsing resumes at the next header) with
+  // the strict-mode message as the reason.
+  const auto fail = [&](std::string message) {
+    if (!lenient) throw common::IoError(message);
+    detail::note_malformed(report, message);
+  };
+
   while (std::getline(in, header)) {
     strip_cr(header);
     if (header.empty()) continue;
     if (header.front() != '@') {
-      throw common::IoError("fastq: expected '@' header, got '" + header + "'");
+      // A desynced file (stray line between records): drop this line and
+      // rescan — the next '@' line restarts the 4-line cadence.
+      fail("fastq: expected '@' header, got '" + header + "'");
+      continue;
     }
-    if (!std::getline(in, seq)) throw common::IoError("fastq: truncated record");
-    if (!std::getline(in, plus)) throw common::IoError("fastq: truncated record");
-    if (!std::getline(in, quality)) throw common::IoError("fastq: truncated record");
+    if (!std::getline(in, seq) || !std::getline(in, plus) ||
+        !std::getline(in, quality)) {
+      fail("fastq: truncated record");
+      break;
+    }
     strip_cr(seq);
     strip_cr(plus);
     strip_cr(quality);
     if (plus.empty() || plus.front() != '+') {
-      throw common::IoError("fastq: expected '+' separator");
+      fail("fastq: expected '+' separator");
+      continue;
     }
     if (seq.size() != quality.size()) {
-      throw common::IoError("fastq: sequence/quality length mismatch for '" +
-                            header + "'");
+      fail("fastq: sequence/quality length mismatch for '" + header + "'");
+      continue;
     }
     FastqRecord record;
     record.header = header.substr(1);
     record.id = first_token(record.header);
-    if (record.id.empty()) throw common::IoError("fastq: record with empty id");
+    if (record.id.empty()) {
+      fail("fastq: record with empty id");
+      continue;
+    }
     record.seq = std::move(seq);
     record.quality = std::move(quality);
     records.push_back(std::move(record));
   }
+  if (report != nullptr) report->records = records.size();
   return records;
 }
 
-std::vector<FastqRecord> read_fastq_string(std::string_view text) {
+std::vector<FastqRecord> read_fastq(std::istream& in) {
+  return read_fastq(in, ParseOptions{});
+}
+
+std::vector<FastqRecord> read_fastq_string(std::string_view text,
+                                           const ParseOptions& options,
+                                           ParseReport* report) {
   std::istringstream stream{std::string(text)};
-  return read_fastq(stream);
+  return read_fastq(stream, options, report);
+}
+
+std::vector<FastqRecord> read_fastq_string(std::string_view text) {
+  return read_fastq_string(text, ParseOptions{});
+}
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path,
+                                         const ParseOptions& options,
+                                         ParseReport* report) {
+  std::ifstream file(path);
+  if (!file) throw common::IoError("fastq: cannot open '" + path + "'");
+  ParseReport local;
+  if (report == nullptr) report = &local;
+  auto records = read_fastq(file, options, report);
+  if (report->skipped > 0) {
+    static const obs::Logger logger("bio.fastq");
+    logger.warn("skipped malformed records", {{"path", path},
+                                              {"skipped", report->skipped},
+                                              {"kept", records.size()}});
+  }
+  return records;
 }
 
 std::vector<FastqRecord> read_fastq_file(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) throw common::IoError("fastq: cannot open '" + path + "'");
-  return read_fastq(file);
+  return read_fastq_file(path, ParseOptions{});
 }
 
 void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records) {

@@ -39,6 +39,22 @@ std::vector<FastqRecord> read_fastq(std::istream& in);
 std::vector<FastqRecord> read_fastq_string(std::string_view text);
 std::vector<FastqRecord> read_fastq_file(const std::string& path);
 
+/// Parse with an explicit error policy (see bio/parse.hpp).  Under kSkip a
+/// malformed record — bad '@' header, missing '+', length mismatch, empty
+/// id, or a record truncated by EOF — is quarantined: a reason lands in
+/// `report` (optional), "bio.malformed_records" is bumped, and parsing
+/// continues with the next record.  Under kThrow these are byte-identical
+/// to the plain overloads.
+std::vector<FastqRecord> read_fastq(std::istream& in,
+                                    const ParseOptions& options,
+                                    ParseReport* report = nullptr);
+std::vector<FastqRecord> read_fastq_string(std::string_view text,
+                                           const ParseOptions& options,
+                                           ParseReport* report = nullptr);
+std::vector<FastqRecord> read_fastq_file(const std::string& path,
+                                         const ParseOptions& options,
+                                         ParseReport* report = nullptr);
+
 void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records);
 std::string write_fastq_string(const std::vector<FastqRecord>& records);
 

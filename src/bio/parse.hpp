@@ -1,0 +1,38 @@
+// Shared error policy for the FASTA/FASTQ parsers.  Real sequencer dumps
+// routinely carry a few malformed records (empty ids, headers with no
+// sequence, stray text, CRLF line endings); strict mode throws on the first
+// one, lenient mode quarantines them and keeps the rest of the file.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mrmc::bio {
+
+enum class OnParseError {
+  kThrow,  ///< strict: first malformed record raises common::IoError
+  kSkip,   ///< lenient: quarantine malformed records, parse the rest
+};
+
+struct ParseOptions {
+  OnParseError on_error = OnParseError::kThrow;
+};
+
+/// What a lenient parse did: records kept, records quarantined, and one
+/// reason string per quarantined record (in file order).  Every skip also
+/// bumps the process-wide "bio.malformed_records" counter, and the *_file
+/// readers log a per-file skip count.
+struct ParseReport {
+  std::size_t records = 0;
+  std::size_t skipped = 0;
+  std::vector<std::string> reasons;
+};
+
+namespace detail {
+/// Count one quarantined record: bumps "bio.malformed_records" and appends
+/// the reason to `report` (nullptr ok).  Shared by the FASTA/FASTQ parsers.
+void note_malformed(ParseReport* report, const std::string& reason);
+}  // namespace detail
+
+}  // namespace mrmc::bio

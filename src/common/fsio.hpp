@@ -1,0 +1,40 @@
+// Atomic file emission.  Every artifact the toolchain later re-parses —
+// checkpoints, traces, metrics, BENCH_*.json, doctor reports — is written to
+// a same-directory temp file and committed with rename(2), so a process
+// killed mid-write never leaves a half-written file that a resumed driver,
+// the perf gate, or the regress doctor then mis-parses.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <ios>
+#include <string>
+
+#include <unistd.h>
+
+namespace mrmc::common {
+
+/// Write `body` to `path` via "<path>.tmp.<pid>" + atomic rename.  Returns
+/// false on any I/O failure; the temp file is removed best-effort so a
+/// failed write leaves neither a partial target nor droppings.
+inline bool write_file_atomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mrmc::common

@@ -18,10 +18,7 @@ mr::JobConfig job_config(const char* name, const ExecutionOptions& exec,
   config.name = name;
   config.num_reducers = std::max<std::size_t>(1, exec.cluster.reduce_slots());
   config.records_per_split = records_per_split;
-  config.threads = exec.threads;
-  config.isolated_pool = exec.isolated_pool;
-  config.fault_plan = exec.fault_plan;
-  config.cluster = exec.cluster;
+  detail::apply_exec_options(config, exec);
   return config;
 }
 

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/candidate_jobs.hpp"
+#include "mr/bytes.hpp"
 #include "mr/runtime.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -16,6 +17,22 @@
 #include "obs/trace.hpp"
 
 namespace mrmc::core {
+
+namespace detail {
+
+void apply_exec_options(mr::JobConfig& config, const ExecutionOptions& exec) {
+  config.threads = exec.threads;
+  config.isolated_pool = exec.isolated_pool;
+  config.fault_plan = exec.fault_plan;
+  config.cluster = exec.cluster;
+  config.heartbeat_interval_s = exec.heartbeat_interval_s;
+  config.max_job_attempts = exec.max_job_attempts;
+  config.job_timeout_s = exec.job_timeout_s;
+  config.backoff_base_s = exec.backoff_base_s;
+  config.backoff_cap_s = exec.backoff_cap_s;
+}
+
+}  // namespace detail
 
 const char* mode_name(Mode mode) noexcept {
   switch (mode) {
@@ -67,10 +84,7 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
   config.name = "sketch";
   config.num_reducers = std::max<std::size_t>(1, exec.cluster.reduce_slots());
   config.records_per_split = exec.records_per_split;
-  config.threads = exec.threads;
-  config.isolated_pool = exec.isolated_pool;
-  config.fault_plan = exec.fault_plan;
-  config.cluster = exec.cluster;
+  detail::apply_exec_options(config, exec);
 
   auto& sketch_bytes_hist =
       obs::Registry::global().histogram("pipeline.sketch_bytes");
@@ -134,10 +148,7 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
   config.num_reducers = std::max<std::size_t>(1, exec.cluster.reduce_slots());
   config.records_per_split =
       std::max<std::size_t>(1, n / std::max<std::size_t>(1, exec.cluster.map_slots() * 4));
-  config.threads = exec.threads;
-  config.isolated_pool = exec.isolated_pool;
-  config.fault_plan = exec.fault_plan;
-  config.cluster = exec.cluster;
+  detail::apply_exec_options(config, exec);
 
   // Set-based rows re-compare every sketch pair; pre-sort each sketch once
   // into a flat store shared (read-only) by all map tasks instead of sorting
@@ -215,10 +226,7 @@ std::vector<int> run_greedy_job(
   config.name = "greedy-cluster";
   config.num_reducers = 1;  // GROUP ALL semantics
   config.records_per_split = exec.records_per_split;
-  config.threads = exec.threads;
-  config.isolated_pool = exec.isolated_pool;
-  config.fault_plan = exec.fault_plan;
-  config.cluster = exec.cluster;
+  detail::apply_exec_options(config, exec);
 
   GreedyJob job(
       config,
@@ -279,10 +287,7 @@ std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
   config.name = "hierarchical-cluster";
   config.num_reducers = 1;  // GROUP ALL semantics
   config.records_per_split = std::max<std::size_t>(1, n / 8);
-  config.threads = exec.threads;
-  config.isolated_pool = exec.isolated_pool;
-  config.fault_plan = exec.fault_plan;
-  config.cluster = exec.cluster;
+  detail::apply_exec_options(config, exec);
 
   const Linkage linkage = params.linkage;
   const double theta = params.theta;
@@ -313,6 +318,270 @@ std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
   std::vector<int> labels(n, -1);
   for (const auto& [index, label] : result.output) labels[index] = label;
   return labels;
+}
+
+// ------------------------------------------------ checkpoint serialization
+// Stage results as mr::recovery checkpoint payloads.  Every encoder is an
+// exact byte function of its value (no floats printed, no maps iterated in
+// unstable order), so a deterministic recompute reproduces the identical
+// payload — the property that keeps downstream checkpoints valid after an
+// upstream invalidation.
+
+void encode_sketches(mr::recovery::PayloadWriter& writer,
+                     const std::vector<Sketch>& sketches) {
+  writer.u64(sketches.size());
+  for (const Sketch& sketch : sketches) {
+    writer.u64(sketch.size());
+    for (const std::uint64_t component : sketch) writer.u64(component);
+  }
+}
+
+std::vector<Sketch> decode_sketches(mr::recovery::PayloadReader& reader) {
+  std::vector<Sketch> sketches(reader.u64());
+  for (Sketch& sketch : sketches) {
+    sketch.resize(reader.u64());
+    for (std::uint64_t& component : sketch) component = reader.u64();
+  }
+  return sketches;
+}
+
+void encode_labels(mr::recovery::PayloadWriter& writer,
+                   const std::vector<int>& labels) {
+  writer.u64(labels.size());
+  for (const int label : labels) writer.i64(label);
+}
+
+std::vector<int> decode_labels(mr::recovery::PayloadReader& reader) {
+  std::vector<int> labels(reader.u64());
+  for (int& label : labels) label = static_cast<int>(reader.i64());
+  return labels;
+}
+
+void encode_candidates(mr::recovery::PayloadWriter& writer,
+                       const CandidateJobResult& candidates) {
+  writer.u64(candidates.shape.bands);
+  writer.u64(candidates.shape.rows);
+  writer.u64(candidates.pairs.size());
+  for (const auto& [a, b] : candidates.pairs) {
+    writer.u32(a);
+    writer.u32(b);
+  }
+}
+
+CandidateJobResult decode_candidates(mr::recovery::PayloadReader& reader) {
+  CandidateJobResult candidates;  // stats stay empty: the job never ran
+  candidates.shape.bands = reader.u64();
+  candidates.shape.rows = reader.u64();
+  candidates.pairs.resize(reader.u64());
+  for (auto& [a, b] : candidates.pairs) {
+    a = reader.u32();
+    b = reader.u32();
+  }
+  return candidates;
+}
+
+void encode_graph(mr::recovery::PayloadWriter& writer,
+                  const candidates::SparseSimilarityGraph& graph) {
+  writer.u64(graph.num_vertices);
+  writer.u64(graph.edges.size());
+  for (const candidates::Edge& edge : graph.edges) {
+    writer.u32(edge.a);
+    writer.u32(edge.b);
+    writer.f64(edge.similarity);
+  }
+}
+
+candidates::SparseSimilarityGraph decode_graph(
+    mr::recovery::PayloadReader& reader) {
+  candidates::SparseSimilarityGraph graph;
+  graph.num_vertices = reader.u64();
+  graph.edges.resize(reader.u64());
+  for (candidates::Edge& edge : graph.edges) {
+    edge.a = reader.u32();
+    edge.b = reader.u32();
+    edge.similarity = reader.f64();
+  }
+  return graph;
+}
+
+void encode_matrix(mr::recovery::PayloadWriter& writer,
+                   const SimilarityMatrix& matrix) {
+  const std::size_t n = matrix.size();
+  writer.u64(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const float value : matrix.row(i)) writer.f32(value);
+  }
+}
+
+SimilarityMatrix decode_matrix(mr::recovery::PayloadReader& reader) {
+  const std::size_t n = reader.u64();
+  SimilarityMatrix matrix(n, 0.0F);
+  float* data = matrix.mutable_data();
+  for (std::size_t i = 0; i < n * n; ++i) data[i] = reader.f32();
+  return matrix;
+}
+
+// ------------------------------------------------------------ fingerprints
+
+/// Every knob that can change any stage's output enters the params
+/// fingerprint; changing one invalidates the whole checkpoint chain.
+std::uint64_t params_fingerprint(const PipelineParams& params) {
+  mr::StableHasher hasher;
+  mr::stable_hash_append(hasher, params.minhash.kmer);
+  mr::stable_hash_append(hasher, params.minhash.num_hashes);
+  mr::stable_hash_append(hasher, params.minhash.canonical);
+  mr::stable_hash_append(hasher, params.minhash.seed);
+  mr::stable_hash_append(hasher, params.minhash.modulus);
+  mr::stable_hash_append(hasher, static_cast<int>(params.mode));
+  mr::stable_hash_append(hasher, params.theta);
+  mr::stable_hash_append(hasher, static_cast<int>(params.linkage));
+  mr::stable_hash_append(hasher, static_cast<int>(params.estimator));
+  mr::stable_hash_append(hasher, static_cast<int>(params.greedy_estimator));
+  mr::stable_hash_append(hasher,
+                         static_cast<int>(params.candidates.backend));
+  mr::stable_hash_append(hasher, params.candidates.bands);
+  mr::stable_hash_append(hasher, params.candidates.target_recall);
+  mr::stable_hash_append(hasher, params.candidates.seed);
+  return hasher.finish();
+}
+
+std::uint64_t input_fingerprint(std::span<const bio::FastaRecord> reads) {
+  mr::StableHasher hasher;
+  mr::stable_hash_append(hasher, static_cast<std::uint64_t>(reads.size()));
+  for (const bio::FastaRecord& read : reads) {
+    mr::stable_hash_append(hasher, read.id);
+    mr::stable_hash_append(hasher, read.seq);
+  }
+  return hasher.finish();
+}
+
+// ------------------------------------------------------- the staged driver
+
+/// The distributed pipeline as recovery-driver stages.  Stage names are the
+/// lineage stage names; each checkpointed stage runs exactly one MapReduce
+/// job when computed, so a checkpoint hit claims the job's lineage slot and
+/// downstream sequence numbers match an uninterrupted run.
+void run_pipeline_stages(std::span<const bio::FastaRecord> reads,
+                         const PipelineParams& params,
+                         const ExecutionOptions& exec,
+                         mr::recovery::StageDriver& driver,
+                         PipelineResult& result) {
+  // Degraded-cluster policy: a plan stranding every node would fail the
+  // first job's validation; a checkpointing driver parks for resume instead
+  // (an operator repairs the plan/cluster, re-runs, completed stages hit).
+  if (!exec.fault_plan.empty() && driver.checkpointing() &&
+      !exec.fault_plan.leaves_schedulable(exec.cluster.nodes)) {
+    driver.park("fault plan leaves no schedulable node");
+  }
+
+  auto sketches = std::make_shared<std::vector<Sketch>>(driver.run_stage(
+      "sketch",
+      [&] { return run_sketch_job(reads, params, exec, result.sketch_stats); },
+      encode_sketches, decode_sketches));
+  result.sim_total_s += result.sketch_stats.timeline.total_s;
+
+  if (params.candidates.backend == candidates::Backend::kLshBanded) {
+    // LSH-banded path: candidates -> verify -> sparse-graph clustering.
+    CandidateJobResult enumerated;
+    try {
+      enumerated = driver.run_stage(
+          "candidates",
+          [&] {
+            return run_candidate_job(sketches, params.candidates, params.theta,
+                                     exec);
+          },
+          encode_candidates, decode_candidates);
+    } catch (const mr::recovery::RetryExhausted& error) {
+      if (exec.lsh_fallback_max_reads == 0 ||
+          reads.size() > exec.lsh_fallback_max_reads) {
+        throw;
+      }
+      // Graceful degradation: banded enumeration keeps failing, but the
+      // input is small enough for the exact oracle — same pairs-at-θ
+      // semantics at O(n^2) cost, computed driver-side (no MR job, hence
+      // no lineage claim).
+      driver.record_lsh_fallback("candidates");
+      static const obs::Logger logger("core.pipeline");
+      logger.warn("candidates stage degraded to exact all-pairs",
+                  {{"reads", reads.size()},
+                   {"attempts", error.history().size()},
+                   {"error", error.what()}});
+      candidates::Params exact = params.candidates;
+      exact.backend = candidates::Backend::kExactAllPairs;
+      enumerated = driver.run_stage(
+          "candidates-exact-fallback",
+          [&] {
+            return run_candidate_job(sketches, exact, params.theta, exec);
+          },
+          encode_candidates, decode_candidates, {.claims_lineage = false});
+    }
+    result.candidate_stats = std::move(enumerated.stats);
+    result.sim_total_s += result.candidate_stats.timeline.total_s;
+
+    const SketchEstimator estimator = params.mode == Mode::kGreedy
+                                          ? params.greedy_estimator
+                                          : params.estimator;
+    // The compute closure must survive retries, so the verify job gets a
+    // copy of the pairs (its signature takes them by value).
+    candidates::SparseSimilarityGraph verified_graph = driver.run_stage(
+        "verify",
+        [&] {
+          auto verified =
+              run_verify_job(sketches, enumerated.pairs, estimator, exec);
+          result.verify_stats = std::move(verified.stats);
+          return std::move(verified.graph);
+        },
+        encode_graph, decode_graph);
+    result.sim_total_s += result.verify_stats.timeline.total_s;
+    result.candidate_pairs = verified_graph.edges.size();
+    auto graph = std::make_shared<const candidates::SparseSimilarityGraph>(
+        std::move(verified_graph));
+
+    if (params.mode == Mode::kGreedy) {
+      result.labels = driver.run_stage(
+          "greedy-cluster",
+          [&] {
+            return run_greedy_job(sketches, params, exec, result.cluster_stats,
+                                  graph);
+          },
+          encode_labels, decode_labels);
+    } else {
+      const SimilarityMatrix matrix = similarity_matrix_from_graph(*graph);
+      result.labels = driver.run_stage(
+          "hierarchical-cluster",
+          [&] {
+            return run_hierarchical_job(matrix, params, exec,
+                                        result.cluster_stats);
+          },
+          encode_labels, decode_labels);
+    }
+    result.sim_total_s += result.cluster_stats.timeline.total_s;
+  } else if (params.mode == Mode::kGreedy) {
+    result.labels = driver.run_stage(
+        "greedy-cluster",
+        [&] {
+          return run_greedy_job(sketches, params, exec, result.cluster_stats);
+        },
+        encode_labels, decode_labels);
+    result.sim_total_s += result.cluster_stats.timeline.total_s;
+  } else {
+    const SimilarityMatrix matrix = driver.run_stage(
+        "similarity",
+        [&] {
+          return run_similarity_job(sketches, params, exec,
+                                    result.similarity_stats);
+        },
+        encode_matrix, decode_matrix);
+    result.sim_total_s += result.similarity_stats.timeline.total_s;
+    result.labels = driver.run_stage(
+        "hierarchical-cluster",
+        [&] {
+          return run_hierarchical_job(matrix, params, exec,
+                                      result.cluster_stats);
+        },
+        encode_labels, decode_labels);
+    result.sim_total_s += result.cluster_stats.timeline.total_s;
+  }
 }
 
 }  // namespace
@@ -358,48 +627,37 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
     // back into one PipelineReport from the trace alone.
     obs::pipeline::PipelineScope lineage(std::string("pipeline-") +
                                          mode_name(params.mode));
-    auto sketches = std::make_shared<std::vector<Sketch>>(
-        run_sketch_job(reads, params, exec, result.sketch_stats));
-    result.sim_total_s += result.sketch_stats.timeline.total_s;
 
-    if (params.candidates.backend == candidates::Backend::kLshBanded) {
-      // LSH-banded path: candidates -> verify -> sparse-graph clustering.
-      auto enumerated =
-          run_candidate_job(sketches, params.candidates, params.theta, exec);
-      result.candidate_stats = std::move(enumerated.stats);
-      result.sim_total_s += result.candidate_stats.timeline.total_s;
-
-      const SketchEstimator estimator = params.mode == Mode::kGreedy
-                                            ? params.greedy_estimator
-                                            : params.estimator;
-      auto verified = run_verify_job(sketches, std::move(enumerated.pairs),
-                                     estimator, exec);
-      result.verify_stats = std::move(verified.stats);
-      result.sim_total_s += result.verify_stats.timeline.total_s;
-      result.candidate_pairs = verified.graph.edges.size();
-      auto graph = std::make_shared<const candidates::SparseSimilarityGraph>(
-          std::move(verified.graph));
-
-      if (params.mode == Mode::kGreedy) {
-        result.labels = run_greedy_job(sketches, params, exec,
-                                       result.cluster_stats, graph);
-      } else {
-        const SimilarityMatrix matrix = similarity_matrix_from_graph(*graph);
-        result.labels =
-            run_hierarchical_job(matrix, params, exec, result.cluster_stats);
-      }
-      result.sim_total_s += result.cluster_stats.timeline.total_s;
-    } else if (params.mode == Mode::kGreedy) {
-      result.labels = run_greedy_job(sketches, params, exec, result.cluster_stats);
-      result.sim_total_s += result.cluster_stats.timeline.total_s;
-    } else {
-      const SimilarityMatrix matrix =
-          run_similarity_job(sketches, params, exec, result.similarity_stats);
-      result.sim_total_s += result.similarity_stats.timeline.total_s;
-      result.labels =
-          run_hierarchical_job(matrix, params, exec, result.cluster_stats);
-      result.sim_total_s += result.cluster_stats.timeline.total_s;
+    mr::recovery::StageDriver::Options driver_options;
+    driver_options.label = std::string("pipeline-") + mode_name(params.mode);
+    driver_options.checkpoint_dir = exec.checkpoint_dir;
+    driver_options.retry.max_job_attempts = exec.max_job_attempts;
+    driver_options.retry.job_timeout_s = exec.job_timeout_s;
+    driver_options.retry.backoff_base_s = exec.backoff_base_s;
+    driver_options.retry.backoff_cap_s = exec.backoff_cap_s;
+    driver_options =
+        mr::recovery::StageDriver::Options::from_env(driver_options);
+    if (!driver_options.checkpoint_dir.empty()) {
+      // Only fingerprint when checkpointing: the input hash walks every
+      // read and is wasted work otherwise.
+      driver_options.params_fingerprint = params_fingerprint(params);
+      driver_options.input_fingerprint = input_fingerprint(reads);
     }
+    mr::recovery::StageDriver driver(driver_options);
+
+    try {
+      run_pipeline_stages(reads, params, exec, driver, result);
+    } catch (...) {
+      // A crashed/parked/exhausted driver still leaves complete artifacts
+      // behind — the resume run's doctor needs this run's trace.
+      result.recovery = driver.stats();
+      tracer.flush();
+      obs::Registry::write_global_if_configured();
+      obs::report::Collector::write_global_if_configured();
+      obs::pipeline::Collector::write_global_if_configured();
+      throw;
+    }
+    result.recovery = driver.stats();
   } else {
     const MinHasher hasher(params.minhash);
     std::vector<std::string_view> seqs;

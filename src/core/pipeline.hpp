@@ -33,6 +33,7 @@
 #include "core/greedy.hpp"
 #include "core/hierarchical.hpp"
 #include "mr/job.hpp"
+#include "mr/recovery.hpp"
 
 namespace mrmc::core {
 
@@ -67,6 +68,29 @@ struct ExecutionOptions {
   /// fault-free).  The clustering output is byte-identical either way; only
   /// the simulated timelines pay for the lost work.
   mr::faults::FaultPlan fault_plan{};
+  /// Heartbeat-detection interval override for the fault plan (forwarded to
+  /// every JobConfig); 0 = keep the plan's own FaultConfig value.
+  double heartbeat_interval_s = 0.0;
+  /// Driver-level retry policy around every stage's job (see
+  /// mr::recovery::RetryPolicy / JobConfig): attempts per job, per-attempt
+  /// wall deadline, exponential-backoff shape.  Exhaustion throws
+  /// mr::recovery::RetryExhausted with the attempt history.
+  int max_job_attempts = 1;
+  double job_timeout_s = 0.0;
+  double backoff_base_s = 0.5;
+  double backoff_cap_s = 30.0;
+  /// Durable stage checkpoints (mr::recovery): directory for checkpoint
+  /// files; "" falls back to MRMC_CHECKPOINT_DIR (unset = disabled).  With
+  /// checkpoints on, a restarted run serves completed stages from disk and
+  /// produces byte-identical labels; note sim/job stats of checkpoint-hit
+  /// stages stay empty (their jobs never ran), so sim_total_s covers only
+  /// the stages computed in *this* process.
+  std::string checkpoint_dir;
+  /// Graceful degradation: when the LshBanded candidates stage exhausts its
+  /// retry budget and the input has at most this many reads, rerun pair
+  /// enumeration with the ExactAllPairs backend instead of failing the
+  /// pipeline.  0 disables the fallback.
+  std::size_t lsh_fallback_max_reads = 20000;
 };
 
 struct PipelineResult {
@@ -80,6 +104,9 @@ struct PipelineResult {
   mr::JobStats verify_stats;      ///< LSH backend only
   mr::JobStats cluster_stats;
   std::size_t candidate_pairs = 0;  ///< scored pairs (LSH backend only)
+  /// What the recovery stage driver did: checkpoint hits/misses/writes,
+  /// retries, fallbacks (distributed path only; all-zero otherwise).
+  mr::recovery::RecoveryStats recovery;
 };
 
 /// Cluster reads end to end.
@@ -100,6 +127,14 @@ FastqPipelineResult run_pipeline_fastq(std::span<const bio::FastqRecord> reads,
                                        const bio::QualityFilter& qc,
                                        const PipelineParams& params,
                                        const ExecutionOptions& exec = {});
+
+namespace detail {
+/// Copy the execution knobs every pipeline job shares — threads, cluster,
+/// fault plan, heartbeat override, retry policy — onto a JobConfig.  Used
+/// by the pipeline's job builders and the candidate/verify jobs so a new
+/// ExecutionOptions knob cannot silently miss a stage.
+void apply_exec_options(mr::JobConfig& config, const ExecutionOptions& exec);
+}  // namespace detail
 
 /// Deterministic work models (simulated seconds on a reference node) used by
 /// the pipeline's jobs and by the Figure-2 analytic scalability bench.

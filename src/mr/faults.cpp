@@ -103,6 +103,29 @@ void FaultPlan::validate(std::size_t nodes) const {
                "whole job (never permanently down, never blacklisted)");
 }
 
+bool FaultPlan::leaves_schedulable(std::size_t nodes) const noexcept {
+  std::vector<double> up_since(nodes, 0.0);
+  for (const FaultEvent& event : events_) {
+    if (event.node < 0 || static_cast<std::size_t>(event.node) >= nodes) {
+      continue;  // structural problems are validate()'s to report
+    }
+    auto& since = up_since[static_cast<std::size_t>(event.node)];
+    if (since < kNever) since = event.recover_s;
+  }
+  for (std::size_t node = 0; node < nodes; ++node) {
+    if (up_since[node] < kNever && !blacklists(static_cast<int>(node))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::with_heartbeat_interval(double interval_s) const {
+  FaultConfig config = config_;
+  config.heartbeat_interval_s = interval_s;
+  return FaultPlan(events_, config);
+}
+
 NodeTracker::NodeTracker(const FaultPlan& plan, std::size_t nodes)
     : plan_(&plan), windows_(nodes), crashes_(nodes) {
   const std::size_t max_failures = plan.config().max_node_failures;

@@ -94,6 +94,17 @@ class FaultPlan {
   /// the condition under which any job eventually completes.
   void validate(std::size_t nodes) const;
 
+  /// validate()'s liveness condition alone, as a predicate: true when some
+  /// node stays schedulable for the whole job.  The recovery stage driver
+  /// uses this to *park* (checkpoint + resume later) instead of throwing
+  /// when the cluster has degraded below one schedulable node.
+  [[nodiscard]] bool leaves_schedulable(std::size_t nodes) const noexcept;
+
+  /// A copy of this plan with the heartbeat-detection interval replaced —
+  /// the JobConfig::heartbeat_interval_s override.  Revalidates the
+  /// resulting config (throws common::InvalidArgument on a negative value).
+  [[nodiscard]] FaultPlan with_heartbeat_interval(double interval_s) const;
+
  private:
   std::vector<FaultEvent> events_;  ///< sorted by (crash_s, node)
   FaultConfig config_{};

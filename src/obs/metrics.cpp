@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "common/fsio.hpp"
 #include "common/error.hpp"
 
 namespace mrmc::obs {
@@ -291,16 +292,12 @@ bool Registry::write_global_if_configured() {
     // MRMC_METRICS=prom:<path> selects the Prometheus text exposition.
     p.remove_prefix(5);
     if (p.empty()) return false;
-    std::ofstream out{std::string(p)};
-    if (!out) return false;
-    out << snap.to_prometheus();
-    return out.good();
+    return common::write_file_atomic(std::string(p), snap.to_prometheus());
   }
-  std::ofstream out(path);
-  if (!out) return false;
-  out << (p.size() >= 5 && p.substr(p.size() - 5) == ".json" ? snap.to_json()
-                                                             : snap.to_text());
-  return out.good();
+  return common::write_file_atomic(
+      path, p.size() >= 5 && p.substr(p.size() - 5) == ".json"
+                ? snap.to_json()
+                : snap.to_text());
 }
 
 }  // namespace mrmc::obs

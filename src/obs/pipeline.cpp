@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fsio.hpp"
 #include "common/timer.hpp"
 
 namespace mrmc::obs::pipeline {
@@ -57,6 +58,10 @@ StageScope::~StageScope() {
 }
 
 bool active() noexcept { return tl_scope != nullptr; }
+
+std::string current_id() {
+  return tl_scope == nullptr ? std::string() : tl_scope->id();
+}
 
 std::optional<Claim> claim() {
   if (tl_scope == nullptr) {
@@ -198,6 +203,27 @@ std::vector<PipelineInput> group_stages(std::vector<StageRecord> records) {
   return out;
 }
 
+/// Join recovery-driver checkpoint records onto their pipelines, shared by
+/// the in-process Collector and the trace-reconstruction path (the
+/// byte-identity contract).  A fully-resumed pipeline runs no jobs, so its
+/// id may carry recovery records only — such pipelines are appended after
+/// the stage-carrying ones, in record order.
+void attach_recovery(std::vector<PipelineInput>& pipelines,
+                     std::vector<RecoveryRecord> records) {
+  for (RecoveryRecord& record : records) {
+    if (record.pipeline.empty()) continue;
+    auto it = std::find_if(
+        pipelines.begin(), pipelines.end(),
+        [&](const PipelineInput& p) { return p.id == record.pipeline; });
+    if (it == pipelines.end()) {
+      pipelines.emplace_back();
+      it = pipelines.end() - 1;
+      it->id = record.pipeline;
+    }
+    it->recovery.push_back(std::move(record));
+  }
+}
+
 }  // namespace
 
 PipelineReport analyze(const PipelineInput& input,
@@ -258,7 +284,36 @@ PipelineReport analyze(const PipelineInput& input,
         (ordered.back()->wall_end_us - ordered.front()->wall_start_us) * 1e-6;
   }
 
+  // ------------------------------------------------------------- recovery
+  // Checkpoint decisions of the recovery stage driver, sorted by driver
+  // sequence (the collector and the trace both deliver them in that order
+  // already; sorting here keeps hand-built inputs honest too).
+  out.recovery.rows = input.recovery;
+  std::stable_sort(out.recovery.rows.begin(), out.recovery.rows.end(),
+                   [](const RecoveryRecord& a, const RecoveryRecord& b) {
+                     return a.sequence < b.sequence;
+                   });
+  for (const RecoveryRecord& row : out.recovery.rows) {
+    if (row.outcome == "hit") {
+      ++out.recovery.hits;
+    } else {
+      ++out.recovery.misses;
+      if (row.outcome == "miss+write") ++out.recovery.writes;
+    }
+  }
+
   // ------------------------------------------------------------- findings
+  if (out.recovery.hits > 0) {
+    out.findings.push_back(
+        {"checkpoint-resume", report::Severity::kInfo,
+         std::to_string(out.recovery.hits) + " of " +
+             std::to_string(out.recovery.rows.size()) +
+             " driver stage(s) were served from checkpoint — this is a "
+             "resumed run",
+         "sim/wall totals cover only the stages recomputed in this process; "
+         "compare against an uninterrupted run before reading them as "
+         "end-to-end cost"});
+  }
   for (const StageReport& stage : out.stages) {
     if (out.stages.size() > 1 && stage.sim_share > options.dominant_share) {
       out.findings.push_back(
@@ -326,7 +381,6 @@ std::vector<PipelineInput> pipelines_from_trace(const common::JsonValue& root) {
     records.push_back(std::move(record));
   }
   std::vector<PipelineInput> pipelines = group_stages(std::move(records));
-  if (pipelines.empty()) return pipelines;
 
   const common::JsonValue& events = root.at("traceEvents");
   for (const common::JsonValue& event : events.array) {
@@ -350,6 +404,30 @@ std::vector<PipelineInput> pipelines_from_trace(const common::JsonValue& root) {
       }
     }
   }
+
+  // Recovery-driver checkpoint decisions, emitted one "stage_checkpoint"
+  // instant per driver stage, in driver order.  A fully-resumed pipeline
+  // (every stage a hit) has no jobs in the trace — it enters `pipelines`
+  // here, recovery-only.
+  std::vector<RecoveryRecord> checkpoints;
+  for (const common::JsonValue& event : events.array) {
+    if (event.at("ph").string != "i" ||
+        event.at("name").string != "stage_checkpoint") {
+      continue;
+    }
+    const common::JsonValue& args = event.at("args");
+    RecoveryRecord record;
+    record.pipeline = args.at("pipeline").string;
+    record.stage = args.at("stage").string;
+    record.sequence = static_cast<std::size_t>(
+        std::strtod(args.at("sequence").string.c_str(), nullptr));
+    record.outcome = args.at("outcome").string;
+    record.attempts = static_cast<int>(
+        std::strtod(args.at("attempts").string.c_str(), nullptr));
+    record.key = args.at("key").string;
+    checkpoints.push_back(std::move(record));
+  }
+  attach_recovery(pipelines, std::move(checkpoints));
   return pipelines;
 }
 
@@ -419,6 +497,20 @@ std::string to_text(const PipelineReport& report, bool color) {
     }
     out += "\n";
   }
+  if (!report.recovery.rows.empty()) {
+    out += "  recovery: " + std::to_string(report.recovery.hits) +
+           " hit(s), " + std::to_string(report.recovery.misses) +
+           " miss(es), " + std::to_string(report.recovery.writes) +
+           " write(s)\n";
+    for (const RecoveryRecord& row : report.recovery.rows) {
+      out += "    #" + std::to_string(row.sequence) + " \"" + row.stage +
+             "\" " + row.outcome;
+      if (row.attempts > 1) {
+        out += " (" + std::to_string(row.attempts) + " attempts)";
+      }
+      out += "  key " + row.key + "\n";
+    }
+  }
   if (report.findings.empty()) {
     out += "  findings: none — no stage dominates and the driver keeps up\n";
   } else {
@@ -474,7 +566,31 @@ std::string to_json(const PipelineReport& report) {
     // byte-identity guarantee carries into the pipeline view.
     out += ", \"job\": " + report::to_json(stage.job) + "}";
   }
-  out += "], \"findings\": [";
+  out += "]";
+  // Key absent entirely without a recovery driver, so pre-recovery golden
+  // outputs stay byte-identical.
+  if (!report.recovery.rows.empty()) {
+    out += ", \"recovery\": {\"hits\": " +
+           std::to_string(report.recovery.hits) +
+           ", \"misses\": " + std::to_string(report.recovery.misses) +
+           ", \"writes\": " + std::to_string(report.recovery.writes) +
+           ", \"stages\": [";
+    for (std::size_t i = 0; i < report.recovery.rows.size(); ++i) {
+      const RecoveryRecord& row = report.recovery.rows[i];
+      if (i > 0) out += ", ";
+      out += "{\"stage\": ";
+      append_json_string(out, row.stage);
+      out += ", \"sequence\": " + std::to_string(row.sequence) +
+             ", \"outcome\": ";
+      append_json_string(out, row.outcome);
+      out += ", \"attempts\": " + std::to_string(row.attempts) +
+             ", \"key\": ";
+      append_json_string(out, row.key);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += ", \"findings\": [";
   for (std::size_t i = 0; i < report.findings.size(); ++i) {
     const report::Finding& finding = report.findings[i];
     if (i > 0) out += ", ";
@@ -543,7 +659,24 @@ std::string to_html(std::span<const PipelineReport> reports) {
               (stage.has_wall ? f2(stage.gap_before_s) + "s" : "—") +
               "</td></tr>\n";
     }
-    body += "</table>\n<ul>\n";
+    body += "</table>\n";
+    if (!report.recovery.rows.empty()) {
+      body += "<h3>recovery</h3>\n<p class=\"sum\">" +
+              std::to_string(report.recovery.hits) + " hit(s) · " +
+              std::to_string(report.recovery.misses) + " miss(es) · " +
+              std::to_string(report.recovery.writes) + " write(s)</p>\n";
+      body += "<table><tr><th>stage</th><th>outcome</th><th>attempts</th>"
+              "<th>key</th></tr>\n";
+      for (const RecoveryRecord& row : report.recovery.rows) {
+        body += "<tr><td>#" + std::to_string(row.sequence) + " " +
+                html_escape(row.stage) + "</td><td>" +
+                html_escape(row.outcome) + "</td><td>" +
+                std::to_string(row.attempts) + "</td><td><code>" +
+                html_escape(row.key) + "</code></td></tr>\n";
+      }
+      body += "</table>\n";
+    }
+    body += "<ul>\n";
     for (const report::Finding& finding : report.findings) {
       const char* cls =
           finding.severity == report::Severity::kCritical ? "critical"
@@ -658,6 +791,11 @@ void Collector::add(StageRecord record) {
   records_.push_back(std::move(record));
 }
 
+void Collector::add_recovery(RecoveryRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recovery_.push_back(std::move(record));
+}
+
 std::size_t Collector::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return records_.size();
@@ -666,15 +804,20 @@ std::size_t Collector::size() const {
 void Collector::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   records_.clear();
+  recovery_.clear();
 }
 
 std::vector<PipelineInput> Collector::pipelines() const {
   std::vector<StageRecord> records;
+  std::vector<RecoveryRecord> recovery;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     records = records_;
+    recovery = recovery_;
   }
-  return group_stages(std::move(records));
+  std::vector<PipelineInput> out = group_stages(std::move(records));
+  attach_recovery(out, std::move(recovery));
+  return out;
 }
 
 std::vector<PipelineReport> Collector::reports(
@@ -690,7 +833,12 @@ bool Collector::flush() const {
   std::string path;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!enabled_ || output_path_.empty() || records_.empty()) return false;
+    // recovery_ alone still flushes: a fully-resumed pipeline runs no jobs,
+    // but its checkpoint decisions are exactly what the doctor must show.
+    if (!enabled_ || output_path_.empty() ||
+        (records_.empty() && recovery_.empty())) {
+      return false;
+    }
     path = output_path_;
   }
   const std::vector<PipelineReport> rendered = reports();
@@ -705,10 +853,7 @@ bool Collector::flush() const {
   } else {
     body = to_text(span);
   }
-  std::ofstream out(path);
-  if (!out) return false;
-  out << body;
-  return out.good();
+  return common::write_file_atomic(path, body);
 }
 
 bool Collector::write_global_if_configured() {

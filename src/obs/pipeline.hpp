@@ -102,6 +102,11 @@ class StageScope {
 /// True when the calling thread has a live PipelineScope.
 [[nodiscard]] bool active() noexcept;
 
+/// The id of the calling thread's innermost live PipelineScope, or "" when
+/// none is active.  Lets the recovery driver label checkpoint events with
+/// the pipeline they belong to without claiming a lineage slot.
+[[nodiscard]] std::string current_id();
+
 /// Claim the next lineage slot of the innermost scope (bumping its sequence
 /// counter) and remember it as last_claim(); with no live scope, clears
 /// last_claim() and returns nullopt.  Called once per simulated job by the
@@ -147,10 +152,25 @@ struct StageRecord {
   }
 };
 
-/// All stages of one pipeline, sorted by claim sequence.
+/// One checkpoint decision of the recovery stage driver (mr::recovery), as
+/// fed to the Collector in-process and emitted as a "stage_checkpoint"
+/// instant on the trace — the pipeline doctor's "recovery" section is built
+/// from these, byte-identical along either path.
+struct RecoveryRecord {
+  std::string pipeline;      ///< PipelineScope id the driver ran under
+  std::string stage;         ///< stage name ("sketch", "similarity", ...)
+  std::size_t sequence = 0;  ///< 0-based driver stage sequence
+  std::string outcome;       ///< "hit", "miss+write", or "miss"
+  int attempts = 0;          ///< compute attempts (0 for a hit)
+  std::string key;           ///< 16-hex-digit checkpoint key
+};
+
+/// All stages of one pipeline, sorted by claim sequence, plus the recovery
+/// driver's checkpoint decisions in driver order (empty without recovery).
 struct PipelineInput {
   std::string id;
   std::vector<StageRecord> stages;
+  std::vector<RecoveryRecord> recovery;
 };
 
 struct PipelineAnalyzeOptions {
@@ -173,6 +193,16 @@ struct StageReport {
   bool has_wall = false;
 };
 
+/// The recovery driver's checkpoint decisions for one pipeline, summarized.
+/// Empty rows = the pipeline ran without a recovery driver; renderers omit
+/// the section entirely then, so pre-recovery reports are byte-identical.
+struct RecoverySummary {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t writes = 0;
+  std::vector<RecoveryRecord> rows;  ///< stable-sorted by driver sequence
+};
+
 /// The stitched end-to-end view.  All aggregate sums are accumulated left to
 /// right in stage-sequence order so in-process and trace-reconstructed
 /// reports are byte-identical.
@@ -188,6 +218,7 @@ struct PipelineReport {
   double driver_gap_s = 0.0;  ///< sum of inter-job gaps (real)
   bool has_wall = false;
   std::vector<StageReport> stages;
+  RecoverySummary recovery;
   std::vector<report::Finding> findings;
 };
 
@@ -233,6 +264,8 @@ class Collector {
   [[nodiscard]] std::string output_path() const;
 
   void add(StageRecord record);
+  /// Record a recovery-driver checkpoint decision (see RecoveryRecord).
+  void add_recovery(RecoveryRecord record);
   [[nodiscard]] std::size_t size() const;
   void clear();
 
@@ -256,6 +289,7 @@ class Collector {
   bool enabled_ = false;
   std::string output_path_;
   std::vector<StageRecord> records_;
+  std::vector<RecoveryRecord> recovery_;
 };
 
 }  // namespace mrmc::obs::pipeline

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <utility>
 
+#include "common/fsio.hpp"
 #include "common/timer.hpp"
 #include "obs/log.hpp"
 
@@ -1232,13 +1233,7 @@ bool Collector::flush() const {
     rendered = to_text(std::span<const JobReport>(reports));
   }
 
-  std::ofstream out(path);
-  if (!out) {
-    logger().warn("cannot open report output file", {{"path", path}});
-    return false;
-  }
-  out << rendered;
-  if (!out.good()) {
+  if (!common::write_file_atomic(path, rendered)) {
     logger().warn("failed writing report output file", {{"path", path}});
     return false;
   }

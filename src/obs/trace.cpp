@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "common/fsio.hpp"
 #include "obs/log.hpp"
 
 namespace mrmc::obs {
@@ -289,13 +291,12 @@ bool Tracer::flush() const {
     path = output_path_;
   }
   if (path.empty() || !enabled()) return false;
-  std::ofstream out(path);
-  if (!out) {
-    logger().warn("cannot open trace output file", {{"path", path}});
-    return false;
-  }
-  write_chrome_trace(out);
-  if (!out.good()) {
+  // Render fully in memory, then commit atomically: a process killed
+  // mid-flush (the recovery chaos tests do exactly this) must never leave a
+  // truncated trace for the resumed run's doctor to choke on.
+  std::ostringstream rendered;
+  write_chrome_trace(rendered);
+  if (!common::write_file_atomic(path, rendered.str())) {
     logger().warn("failed writing trace output file", {{"path", path}});
     return false;
   }

@@ -11,6 +11,7 @@
 
 #include "mr/cluster.hpp"
 #include "mr/job.hpp"
+#include "mr/recovery.hpp"
 #include "mr/simdfs.hpp"
 #include "pig/tuple.hpp"
 #include "pig/udf.hpp"
@@ -75,8 +76,12 @@ struct Algorithm3Params {
 struct Algorithm3Result {
   std::vector<std::pair<std::string, int>> hierarchical;  ///< (read id, label)
   std::vector<std::pair<std::string, int>> greedy;
+  /// Simulated time / job count of the jobs *this process* ran; a resumed
+  /// run (MRMC_CHECKPOINT_DIR) serves completed steps from checkpoint, so
+  /// both shrink while the stored outputs stay byte-identical.
   double sim_time_s = 0.0;
   std::size_t jobs_run = 0;
+  mr::recovery::RecoveryStats recovery;  ///< checkpoint hits/misses/retries
 };
 
 /// Execute Algorithm 3 end to end: LOAD -> StringGenerator ->

@@ -1,0 +1,170 @@
+// Lenient FASTA/FASTQ parsing (ParseOptions::on_error = kSkip): malformed
+// records are quarantined with the strict-mode message as the reason, the
+// "bio.malformed_records" counter advances, and the rest of the file
+// parses exactly as if the bad records were never there.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bio/fasta.hpp"
+#include "bio/fastq.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace mrmc::bio {
+namespace {
+
+constexpr ParseOptions kSkip{.on_error = OnParseError::kSkip};
+
+long malformed_counter() {
+  return obs::Registry::global().counter("bio.malformed_records").value();
+}
+
+// ----------------------------------------------------------------- FASTA
+
+TEST(LenientFasta, SkipsRecordWithNoSequence) {
+  const std::string text = ">a\nACGT\n>empty\n>b\nTTGG\n";
+  EXPECT_THROW((void)read_fasta_string(text), common::IoError);
+
+  const long before = malformed_counter();
+  ParseReport report;
+  const auto records = read_fasta_string(text, kSkip, &report);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "a");
+  EXPECT_EQ(records[1].id, "b");
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.skipped, 1u);
+  ASSERT_EQ(report.reasons.size(), 1u);
+  EXPECT_EQ(report.reasons[0], "fasta: record 'empty' has no sequence");
+  EXPECT_EQ(malformed_counter(), before + 1);
+}
+
+TEST(LenientFasta, SkipsEmptyIdAndSwallowsItsBody) {
+  const std::string text = ">\nACGT\nACGT\n>ok desc\nTTTT\n";
+  EXPECT_THROW((void)read_fasta_string(text), common::IoError);
+
+  ParseReport report;
+  const auto records = read_fasta_string(text, kSkip, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "ok");
+  // The bad record counts once, not once per swallowed sequence line.
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.reasons[0], "fasta: record with empty id");
+}
+
+TEST(LenientFasta, CountsLeadingJunkOncePerRun) {
+  const std::string text = "garbage\nmore garbage\n>a\nACGT\n";
+  EXPECT_THROW((void)read_fasta_string(text), common::IoError);
+
+  ParseReport report;
+  const auto records = read_fasta_string(text, kSkip, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.reasons[0], "fasta: sequence data before first header");
+}
+
+TEST(LenientFasta, ThrowModeMatchesThePlainOverloads) {
+  const std::string good = ">a\nACGT\n>b desc\nTT\nGG\n";
+  const auto plain = read_fasta_string(good);
+  ParseReport report;
+  const auto strict = read_fasta_string(good, ParseOptions{}, &report);
+  ASSERT_EQ(strict.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(strict[i].id, plain[i].id);
+    EXPECT_EQ(strict[i].header, plain[i].header);
+    EXPECT_EQ(strict[i].seq, plain[i].seq);
+  }
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.skipped, 0u);
+}
+
+TEST(LenientFasta, FileReaderReportsPerFileSkips) {
+  const std::string path = ::testing::TempDir() + "/mrmc_lenient.fa";
+  {
+    std::ofstream out(path);
+    out << ">a\nACGT\n>bad\n>b\nTT\n";
+  }
+  EXPECT_THROW((void)read_fasta_file(path), common::IoError);
+  ParseReport report;
+  const auto records = read_fasta_file(path, kSkip, &report);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(report.skipped, 1u);
+  std::remove(path.c_str());
+  // Missing files still throw in either mode: nothing was parsed.
+  EXPECT_THROW((void)read_fasta_file(path, kSkip), common::IoError);
+}
+
+// ----------------------------------------------------------------- FASTQ
+
+TEST(LenientFastq, SkipsDesyncedHeaderAndResynchronizes) {
+  const std::string text =
+      "@r1\nACGT\n+\nIIII\n"
+      "stray line\n"
+      "@r2\nTTGG\n+\nJJJJ\n";
+  EXPECT_THROW((void)read_fastq_string(text), common::IoError);
+
+  const long before = malformed_counter();
+  ParseReport report;
+  const auto records = read_fastq_string(text, kSkip, &report);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "r1");
+  EXPECT_EQ(records[1].id, "r2");
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.reasons[0], "fastq: expected '@' header, got 'stray line'");
+  EXPECT_EQ(malformed_counter(), before + 1);
+}
+
+TEST(LenientFastq, SkipsTruncatedFinalRecord) {
+  const std::string text = "@r1\nACGT\n+\nIIII\n@r2\nTTGG\n+\n";
+  EXPECT_THROW((void)read_fastq_string(text), common::IoError);
+
+  ParseReport report;
+  const auto records = read_fastq_string(text, kSkip, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "r1");
+  EXPECT_EQ(report.reasons[0], "fastq: truncated record");
+}
+
+TEST(LenientFastq, SkipsBadSeparatorLengthMismatchAndEmptyId) {
+  const std::string text =
+      "@r1\nACGT\nXXXX\nIIII\n"   // '+' separator missing
+      "@r2\nACGT\n+\nIII\n"       // quality shorter than sequence
+      "@ \nACGT\n+\nIIII\n"       // empty id
+      "@ok\nACGT\n+\nIIII\n";
+  ParseReport report;
+  const auto records = read_fastq_string(text, kSkip, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "ok");
+  EXPECT_EQ(report.skipped, 3u);
+  ASSERT_EQ(report.reasons.size(), 3u);
+  EXPECT_EQ(report.reasons[0], "fastq: expected '+' separator");
+  EXPECT_NE(report.reasons[1].find("length mismatch"), std::string::npos);
+  EXPECT_EQ(report.reasons[2], "fastq: record with empty id");
+}
+
+TEST(LenientFastq, FileReaderKeepsGoodRecordsAndCounts) {
+  const std::string path = ::testing::TempDir() + "/mrmc_lenient.fq";
+  {
+    std::ofstream out(path);
+    out << "@r1\nACGT\n+\nIIII\nnoise\n@r2\nTT\n+\nII\n";
+  }
+  ParseReport report;
+  const auto records = read_fastq_file(path, kSkip, &report);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.skipped, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(LenientFastq, CleanInputIsIdenticalAcrossModes) {
+  const std::string text = "@r1 desc\nACGT\n+\nIIII\n@r2\nTTGG\n+\nJJJJ\n";
+  const auto plain = read_fastq_string(text);
+  const auto lenient = read_fastq_string(text, kSkip);
+  EXPECT_EQ(plain, lenient);
+}
+
+}  // namespace
+}  // namespace mrmc::bio

@@ -1,0 +1,190 @@
+// Checkpoint invalidation at pipeline scope: a changed parameter or input,
+// a truncated or corrupted file, and a stale directory must all fall back
+// to recompute — never crash, never change the output.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "simdata/datasets.hpp"
+
+namespace mrmc::core {
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  static int serial = 0;
+  const std::string dir = ::testing::TempDir() + "/mrmc_invalidate_" + tag +
+                          std::to_string(serial++);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<bio::FastaRecord> sample_reads(std::uint64_t seed = 5) {
+  return simdata::build_whole_metagenome(simdata::whole_metagenome_spec("S8"),
+                                         {.reads = 40, .seed = seed})
+      .reads;
+}
+
+PipelineParams hier_params() {
+  PipelineParams params;
+  params.minhash = {.kmer = 5, .num_hashes = 32, .canonical = true, .seed = 1};
+  params.mode = Mode::kHierarchical;
+  params.theta = 0.5;
+  return params;
+}
+
+ExecutionOptions checkpointed(const std::string& dir) {
+  ExecutionOptions exec;
+  exec.threads = 2;
+  exec.records_per_split = 16;
+  exec.checkpoint_dir = dir;
+  return exec;
+}
+
+/// The on-disk checkpoint of driver sequence `sequence` ("<label>.<seq>-…").
+std::filesystem::path checkpoint_of(const std::string& dir,
+                                    std::size_t sequence) {
+  const std::string needle = "." + std::to_string(sequence) + "-";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(needle) != std::string::npos &&
+        entry.path().extension() == ".ckpt") {
+      return entry.path();
+    }
+  }
+  ADD_FAILURE() << "no checkpoint with sequence " << sequence << " in " << dir;
+  return {};
+}
+
+// The hierarchical pipeline drives 3 stages: sketch, similarity, cluster.
+constexpr std::size_t kStages = 3;
+
+TEST(Invalidation, UnchangedRerunServesEveryStageFromCheckpoint) {
+  const auto reads = sample_reads();
+  const std::string dir = fresh_dir("rerun");
+  const PipelineResult first =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+  EXPECT_EQ(first.recovery.checkpoint_misses, kStages);
+  EXPECT_EQ(first.recovery.checkpoint_writes, kStages);
+  EXPECT_GT(first.sim_total_s, 0.0);
+
+  const PipelineResult second =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+  EXPECT_EQ(second.labels, first.labels);
+  EXPECT_EQ(second.recovery.checkpoint_hits, kStages);
+  EXPECT_EQ(second.recovery.checkpoint_misses, 0u);
+  // Hit stages never ran a job, so no simulated time accrues.
+  EXPECT_EQ(second.sim_total_s, 0.0);
+}
+
+TEST(Invalidation, ParamChangeRecomputesEverything) {
+  const auto reads = sample_reads();
+  const std::string dir = fresh_dir("params");
+  (void)run_pipeline(reads, hier_params(), checkpointed(dir));
+
+  PipelineParams changed = hier_params();
+  changed.theta = 0.6;
+  const PipelineResult rerun =
+      run_pipeline(reads, changed, checkpointed(dir));
+  EXPECT_EQ(rerun.recovery.checkpoint_hits, 0u);
+  EXPECT_EQ(rerun.recovery.checkpoint_misses, kStages);
+  // The changed-params run matches its own uncheckpointed twin.
+  const PipelineResult uncheckpointed =
+      run_pipeline(reads, changed, ExecutionOptions{.threads = 2,
+                                                    .records_per_split = 16});
+  EXPECT_EQ(rerun.labels, uncheckpointed.labels);
+}
+
+TEST(Invalidation, InputChangeRecomputesEverything) {
+  const std::string dir = fresh_dir("input");
+  (void)run_pipeline(sample_reads(5), hier_params(), checkpointed(dir));
+
+  const auto other_reads = sample_reads(6);
+  const PipelineResult rerun =
+      run_pipeline(other_reads, hier_params(), checkpointed(dir));
+  EXPECT_EQ(rerun.recovery.checkpoint_hits, 0u);
+  EXPECT_EQ(rerun.recovery.checkpoint_misses, kStages);
+}
+
+TEST(Invalidation, TruncatedCheckpointRecomputesThatStageOnly) {
+  const auto reads = sample_reads();
+  const std::string dir = fresh_dir("truncate");
+  const PipelineResult first =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+
+  // Tear the "sketch" (sequence 0) file as a crashed write would.
+  const std::filesystem::path victim = checkpoint_of(dir, 0);
+  ASSERT_FALSE(victim.empty());
+  std::filesystem::resize_file(victim,
+                               std::filesystem::file_size(victim) / 2);
+
+  // The deterministic recompute reproduces the identical payload, so the
+  // chain stays intact and every downstream stage still hits.
+  const PipelineResult rerun =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+  EXPECT_EQ(rerun.labels, first.labels);
+  EXPECT_EQ(rerun.recovery.invalid_checkpoints, 1u);
+  EXPECT_EQ(rerun.recovery.checkpoint_misses, 1u);
+  EXPECT_EQ(rerun.recovery.checkpoint_hits, kStages - 1);
+
+  // The recompute rewrote the file: a third run hits everywhere again.
+  const PipelineResult third =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+  EXPECT_EQ(third.recovery.checkpoint_hits, kStages);
+}
+
+TEST(Invalidation, CorruptedCheckpointRecomputesThatStageOnly) {
+  const auto reads = sample_reads();
+  const std::string dir = fresh_dir("corrupt");
+  const PipelineResult first =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+
+  // Flip one payload byte of the "similarity" (sequence 1) checkpoint:
+  // right size, wrong checksum.
+  const std::filesystem::path victim = checkpoint_of(dir, 1);
+  ASSERT_FALSE(victim.empty());
+  {
+    std::fstream file(victim, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(-1, std::ios::end);
+    file.put('\x5a');
+  }
+
+  const PipelineResult rerun =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+  EXPECT_EQ(rerun.labels, first.labels);
+  EXPECT_EQ(rerun.recovery.invalid_checkpoints, 1u);
+  EXPECT_EQ(rerun.recovery.checkpoint_hits, kStages - 1);
+}
+
+TEST(Invalidation, StaleDirectoryFromOtherRunsIsHarmless) {
+  const auto reads = sample_reads();
+  const std::string dir = fresh_dir("stale");
+  const PipelineResult first =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+
+  // A different configuration reuses the same directory: its keys differ,
+  // so it recomputes everything and files from both runs coexist.
+  PipelineParams other = hier_params();
+  other.minhash.num_hashes = 48;
+  const PipelineResult second =
+      run_pipeline(reads, other, checkpointed(dir));
+  EXPECT_EQ(second.recovery.checkpoint_hits, 0u);
+  EXPECT_EQ(second.recovery.checkpoint_writes, kStages);
+
+  // Both configurations now resume fully from the shared directory.
+  const PipelineResult first_again =
+      run_pipeline(reads, hier_params(), checkpointed(dir));
+  EXPECT_EQ(first_again.labels, first.labels);
+  EXPECT_EQ(first_again.recovery.checkpoint_hits, kStages);
+  const PipelineResult second_again =
+      run_pipeline(reads, other, checkpointed(dir));
+  EXPECT_EQ(second_again.labels, second.labels);
+  EXPECT_EQ(second_again.recovery.checkpoint_hits, kStages);
+}
+
+}  // namespace
+}  // namespace mrmc::core

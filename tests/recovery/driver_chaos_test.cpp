@@ -1,0 +1,251 @@
+// Driver-scope chaos tests: the PR's headline invariant.  For every
+// pipeline shape, kill the driver (MRMC_CRASH_AFTER_STAGE) after each
+// stage in turn — across fault plans and thread counts — and the resumed
+// run must produce byte-identical cluster labels with every completed
+// stage served from checkpoint (asserted via the hit counters).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "mr/faults.hpp"
+#include "mr/recovery.hpp"
+#include "simdata/datasets.hpp"
+
+namespace mrmc::core {
+namespace {
+
+/// setenv/unsetenv with restore — the recovery hooks read the environment.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::string name, const std::string& value)
+      : name_(std::move(name)) {
+    if (const char* old = std::getenv(name_.c_str())) old_ = old;
+    ::setenv(name_.c_str(), value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (old_.has_value()) {
+      ::setenv(name_.c_str(), old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> old_;
+};
+
+std::string fresh_dir(const std::string& tag) {
+  static int serial = 0;
+  const std::string dir =
+      ::testing::TempDir() + "/mrmc_chaos_" + tag + std::to_string(serial++);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<bio::FastaRecord> sample_reads() {
+  return simdata::build_whole_metagenome(simdata::whole_metagenome_spec("S8"),
+                                         {.reads = 50, .seed = 5})
+      .reads;
+}
+
+struct PipelineCase {
+  std::string name;
+  PipelineParams params;
+  std::vector<std::string> stages;  ///< driver stage names, in order
+};
+
+std::vector<PipelineCase> pipeline_cases() {
+  MinHashParams minhash{.kmer = 5, .num_hashes = 32, .canonical = true,
+                        .seed = 1};
+  PipelineCase exact_greedy;
+  exact_greedy.name = "exact-greedy";
+  exact_greedy.params.minhash = minhash;
+  exact_greedy.params.mode = Mode::kGreedy;
+  exact_greedy.params.theta = 0.3;
+  exact_greedy.stages = {"sketch", "greedy-cluster"};
+
+  PipelineCase exact_hier;
+  exact_hier.name = "exact-hierarchical";
+  exact_hier.params.minhash = minhash;
+  exact_hier.params.mode = Mode::kHierarchical;
+  exact_hier.params.theta = 0.5;
+  exact_hier.stages = {"sketch", "similarity", "hierarchical-cluster"};
+
+  PipelineCase lsh_greedy;
+  lsh_greedy.name = "lsh-greedy";
+  lsh_greedy.params.minhash = minhash;
+  lsh_greedy.params.mode = Mode::kGreedy;
+  lsh_greedy.params.theta = 0.3;
+  lsh_greedy.params.candidates.backend = candidates::Backend::kLshBanded;
+  lsh_greedy.stages = {"sketch", "candidates", "verify", "greedy-cluster"};
+
+  return {exact_greedy, exact_hier, lsh_greedy};
+}
+
+ExecutionOptions exec_options(std::size_t threads,
+                              const mr::faults::FaultPlan& plan,
+                              const std::string& checkpoint_dir) {
+  ExecutionOptions exec;
+  exec.threads = threads;
+  exec.records_per_split = 16;
+  exec.fault_plan = plan;
+  exec.checkpoint_dir = checkpoint_dir;
+  return exec;
+}
+
+TEST(DriverChaos, KillAfterEveryStageResumesByteIdentical) {
+  const auto reads = sample_reads();
+  const std::vector<std::pair<std::string, mr::faults::FaultPlan>> plans = {
+      {"fault-free", {}},
+      {"recovering-node", mr::faults::FaultPlan({{1, 9.0, 40.0}})},
+  };
+
+  for (const PipelineCase& c : pipeline_cases()) {
+    // One uncheckpointed, fault-free baseline per shape; every kill/resume
+    // combination below must reproduce exactly these labels.
+    const PipelineResult baseline =
+        run_pipeline(reads, c.params, exec_options(2, {}, ""));
+    ASSERT_EQ(baseline.labels.size(), reads.size());
+
+    for (const auto& [plan_name, plan] : plans) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+        for (std::size_t kill = 0; kill < c.stages.size(); ++kill) {
+          SCOPED_TRACE(c.name + " / " + plan_name + " / threads=" +
+                       std::to_string(threads) + " / kill-after=" +
+                       c.stages[kill]);
+          const std::string dir = fresh_dir(c.name);
+          {
+            ScopedEnv crash("MRMC_CRASH_AFTER_STAGE", c.stages[kill]);
+            EXPECT_THROW(
+                run_pipeline(reads, c.params,
+                             exec_options(threads, plan, dir)),
+                mr::recovery::InjectedDriverCrash);
+          }
+          const PipelineResult resumed = run_pipeline(
+              reads, c.params, exec_options(threads, plan, dir));
+
+          EXPECT_EQ(resumed.labels, baseline.labels);
+          EXPECT_EQ(resumed.num_clusters, baseline.num_clusters);
+          // Every stage the crashed run completed is served from disk.
+          EXPECT_EQ(resumed.recovery.stages, c.stages.size());
+          EXPECT_EQ(resumed.recovery.checkpoint_hits, kill + 1);
+          EXPECT_EQ(resumed.recovery.checkpoint_misses,
+                    c.stages.size() - kill - 1);
+          EXPECT_EQ(resumed.recovery.checkpoint_writes,
+                    resumed.recovery.checkpoint_misses);
+          EXPECT_EQ(resumed.recovery.invalid_checkpoints, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(DriverChaos, ParkedDriverResumesAfterTheClusterIsRepaired) {
+  const auto reads = sample_reads();
+  const PipelineCase c = pipeline_cases()[0];  // exact-greedy
+  const PipelineResult baseline =
+      run_pipeline(reads, c.params, exec_options(2, {}, ""));
+
+  // Crash after "sketch" on a healthy cluster, then try to resume under a
+  // plan that strands every node: the driver parks instead of failing, and
+  // the sketch checkpoint survives for the repaired run.
+  const std::string dir = fresh_dir("park");
+  {
+    ScopedEnv crash("MRMC_CRASH_AFTER_STAGE", "sketch");
+    EXPECT_THROW(run_pipeline(reads, c.params, exec_options(2, {}, dir)),
+                 mr::recovery::InjectedDriverCrash);
+  }
+  const mr::faults::FaultPlan dead_cluster(
+      {{0, 0.0, mr::faults::kNever},
+       {1, 0.0, mr::faults::kNever},
+       {2, 0.0, mr::faults::kNever},
+       {3, 0.0, mr::faults::kNever}});
+  ASSERT_FALSE(dead_cluster.leaves_schedulable(4));
+  try {
+    (void)run_pipeline(reads, c.params, exec_options(2, dead_cluster, dir));
+    FAIL() << "expected DriverParked";
+  } catch (const mr::recovery::DriverParked& parked) {
+    EXPECT_NE(std::string(parked.what()).find("schedulable"),
+              std::string::npos);
+  }
+
+  // Operator repairs the plan; the resumed run hits the parked-run's
+  // checkpoints and matches the clean labels.
+  const PipelineResult resumed =
+      run_pipeline(reads, c.params, exec_options(2, {}, dir));
+  EXPECT_EQ(resumed.labels, baseline.labels);
+  EXPECT_EQ(resumed.recovery.checkpoint_hits, 1u);  // "sketch"
+  EXPECT_FALSE(resumed.recovery.parked);
+}
+
+TEST(DriverChaos, RetriedStageLeavesLabelsByteIdentical) {
+  const auto reads = sample_reads();
+  const PipelineCase c = pipeline_cases()[1];  // exact-hierarchical
+  const PipelineResult baseline =
+      run_pipeline(reads, c.params, exec_options(2, {}, ""));
+
+  ExecutionOptions exec = exec_options(2, {}, "");
+  exec.max_job_attempts = 3;
+  exec.backoff_base_s = 1e-3;
+  exec.backoff_cap_s = 2e-3;
+  ScopedEnv fail("MRMC_FAIL_STAGE", "similarity:2");
+  const PipelineResult retried = run_pipeline(reads, c.params, exec);
+  EXPECT_EQ(retried.labels, baseline.labels);
+  EXPECT_EQ(retried.recovery.retries, 2u);
+}
+
+TEST(DriverChaos, ExhaustedRetriesCarryTheAttemptHistory) {
+  const auto reads = sample_reads();
+  const PipelineCase c = pipeline_cases()[0];
+  ExecutionOptions exec = exec_options(2, {}, "");
+  exec.max_job_attempts = 2;
+  exec.backoff_base_s = 1e-3;
+  exec.backoff_cap_s = 2e-3;
+  ScopedEnv fail("MRMC_FAIL_STAGE", "sketch:5");
+  try {
+    (void)run_pipeline(reads, c.params, exec);
+    FAIL() << "expected RetryExhausted";
+  } catch (const mr::recovery::RetryExhausted& error) {
+    EXPECT_EQ(error.stage(), "sketch");
+    ASSERT_EQ(error.history().size(), 2u);
+    EXPECT_EQ(error.history()[0].outcome, "failed");
+  }
+}
+
+TEST(DriverChaos, LshCandidatesExhaustionDegradesToExactAllPairs) {
+  const auto reads = sample_reads();
+  const PipelineCase c = pipeline_cases()[2];  // lsh-greedy
+  ExecutionOptions exec = exec_options(2, {}, "");
+  exec.max_job_attempts = 2;
+  exec.backoff_base_s = 1e-3;
+  exec.backoff_cap_s = 2e-3;
+
+  ScopedEnv fail("MRMC_FAIL_STAGE", "candidates:2");
+  const PipelineResult degraded = run_pipeline(reads, c.params, exec);
+  EXPECT_EQ(degraded.recovery.lsh_fallbacks, 1u);
+  EXPECT_EQ(degraded.labels.size(), reads.size());
+  EXPECT_GT(degraded.num_clusters, 0u);
+
+  // The degraded path is itself deterministic.
+  const PipelineResult again = run_pipeline(reads, c.params, exec);
+  EXPECT_EQ(again.labels, degraded.labels);
+
+  // The size guard: with the fallback disabled the exhaustion propagates.
+  ExecutionOptions no_fallback = exec;
+  no_fallback.lsh_fallback_max_reads = 0;
+  EXPECT_THROW((void)run_pipeline(reads, c.params, no_fallback),
+               mr::recovery::RetryExhausted);
+}
+
+}  // namespace
+}  // namespace mrmc::core

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fsio.hpp"
 #include "common/mini_json.hpp"
 #include "obs/pipeline.hpp"
 #include "obs/regress.hpp"
@@ -157,13 +158,11 @@ bool deliver(const Options& options, const std::string& rendered,
     std::cout << rendered;
     return true;
   }
-  std::ofstream out(options.output_path);
-  if (!out) {
+  if (!mrmc::common::write_file_atomic(options.output_path, rendered)) {
     std::fprintf(stderr, "mrmc_doctor: cannot write %s\n",
                  options.output_path.c_str());
     return false;
   }
-  out << rendered;
   std::fprintf(stderr, "mrmc_doctor: wrote %s to %s\n", what,
                options.output_path.c_str());
   return true;
@@ -299,12 +298,10 @@ int run_index(const std::string& dir) {
   }
   out += "\n]}\n";
   const std::string path = dir + "/BENCH_index.json";
-  std::ofstream file(path);
-  if (!file) {
+  if (!mrmc::common::write_file_atomic(path, out)) {
     std::fprintf(stderr, "mrmc_doctor: cannot write %s\n", path.c_str());
     return 1;
   }
-  file << out;
   std::fprintf(stderr, "mrmc_doctor: indexed %zu bench artifact(s) into %s\n",
                benches.size(), path.c_str());
   return 0;
@@ -371,13 +368,12 @@ int run_pipeline_mode(const Options& options) {
 
   const std::span<const pipeline::PipelineReport> all(reports);
   if (!options.bench_json_path.empty()) {
-    std::ofstream bench(options.bench_json_path);
-    if (!bench) {
+    if (!mrmc::common::write_file_atomic(options.bench_json_path,
+                                         pipeline::to_bench_json(all))) {
       std::fprintf(stderr, "mrmc_doctor: cannot write %s\n",
                    options.bench_json_path.c_str());
       return 1;
     }
-    bench << pipeline::to_bench_json(all);
     std::fprintf(stderr, "mrmc_doctor: wrote BENCH records to %s\n",
                  options.bench_json_path.c_str());
   }
