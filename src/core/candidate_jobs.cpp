@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "core/kernels.hpp"
+#include "mr/block.hpp"
 #include "obs/metrics.hpp"
 #include "obs/pipeline.hpp"
 
@@ -107,7 +108,7 @@ CandidateJobResult run_candidate_job(
 VerifyJobResult run_verify_job(
     std::shared_ptr<const std::vector<Sketch>> sketches,
     std::vector<candidates::Pair> pairs, SketchEstimator estimator,
-    const ExecutionOptions& exec) {
+    std::size_t sketch_bits, const ExecutionOptions& exec) {
   VerifyJobResult result;
   result.graph.num_vertices = sketches->size();
   if (pairs.empty()) return result;
@@ -117,18 +118,35 @@ VerifyJobResult run_verify_job(
 
   // Shared read-only scoring structures, built once and visible to every
   // map task (the sketch table plays Pig's GROUP-ALL broadcast relation).
+  // Below 64 bits the rows are b-bit packed and scored with the packed
+  // count_equal kernel (the sketch job already truncated every value).
   const bool set_based = estimator == SketchEstimator::kSetBased;
   auto store = set_based ? std::make_shared<const SortedSketchStore>(*sketches)
                          : nullptr;
-  auto matrix = set_based
-                    ? nullptr
-                    : std::make_shared<const kernels::SketchMatrix>(
-                          kernels::SketchMatrix::from_sketches(*sketches));
+  std::shared_ptr<const kernels::SketchMatrix> matrix;
+  std::shared_ptr<const kernels::PackedSketchMatrix> packed;
+  if (!set_based) {
+    kernels::SketchMatrix full = kernels::SketchMatrix::from_sketches(*sketches);
+    if (sketch_bits < 64) {
+      packed = std::make_shared<const kernels::PackedSketchMatrix>(
+          kernels::PackedSketchMatrix::pack(full, sketch_bits));
+    } else {
+      matrix = std::make_shared<const kernels::SketchMatrix>(std::move(full));
+    }
+  }
   const double inv_cols =
       num_hashes == 0 ? 0.0 : 1.0 / static_cast<double>(num_hashes);
 
-  using Key = std::uint64_t;  // (a << 32) | b — orders exactly like (a, b)
-  using VerifyJob = mr::Job<candidates::Pair, Key, double, candidates::Edge>;
+  // Instead of one ((a, b), double) record per pair, each map task ships one
+  // BinaryBlock of integer counts per split — match counts (≤ K) in one
+  // column, or |∩|,|∪| (≤ 2K) in two — and the driver rebuilds the same
+  // doubles positionally: `pairs` is sorted unique and splits partition it
+  // in order, so split s covers pairs [s · per_split, ...) verbatim and the
+  // final edge list needs no re-sort.
+  const std::uint32_t lane_bits =
+      mr::min_lane_bits(set_based ? 2 * num_hashes : num_hashes);
+  using VerifyJob = mr::Job<candidates::Pair, std::uint32_t, mr::BinaryBlock,
+                            std::pair<std::uint32_t, mr::BinaryBlock>>;
   const std::size_t per_split = std::max<std::size_t>(
       exec.records_per_split,
       pairs.size() / std::max<std::size_t>(1, exec.cluster.map_slots() * 4));
@@ -136,26 +154,30 @@ VerifyJobResult run_verify_job(
 
   VerifyJob job(
       config,
-      [store, matrix, set_based, inv_cols](const candidates::Pair& pair,
-                                           mr::Emitter<Key, double>& emit) {
-        const auto [a, b] = pair;
-        double sim = 0.0;
-        if (set_based) {
-          sim = store->jaccard(a, b);
-        } else if (matrix->cols() != 0) {
-          sim = static_cast<double>(
-                    kernels::count_equal(matrix->row(a), matrix->row(b))) *
-                inv_cols;
+      [store, matrix, packed, set_based, lane_bits](
+          std::span<const candidates::Pair> split, std::size_t split_index,
+          mr::Emitter<std::uint32_t, mr::BinaryBlock>& emit) {
+        mr::BinaryBlock block(lane_bits, split.size(), set_based ? 2 : 1);
+        for (std::size_t r = 0; r < split.size(); ++r) {
+          const auto [a, b] = split[r];
+          if (set_based) {
+            const auto [inter, uni] = store->jaccard_counts(a, b);
+            block.set(0, r, inter);
+            block.set(1, r, uni);
+          } else if (packed != nullptr) {
+            block.set(0, r, packed->count_equal_rows(a, b));
+          } else if (matrix->cols() != 0) {
+            block.set(0, r,
+                      kernels::count_equal(matrix->row(a), matrix->row(b)));
+          }
+          emit.count("verify.pairs_scored");
         }
-        emit.emit((static_cast<Key>(a) << 32) | b, sim);
-        emit.count("verify.pairs_scored");
+        emit.emit(static_cast<std::uint32_t>(split_index), std::move(block));
       },
-      [](const Key& key, std::vector<double>& values,
-         std::vector<candidates::Edge>& out) {
-        MRMC_CHECK(values.size() == 1, "one similarity per candidate pair");
-        out.push_back(candidates::Edge{static_cast<std::uint32_t>(key >> 32),
-                                       static_cast<std::uint32_t>(key),
-                                       values.front()});
+      [](const std::uint32_t& key, std::vector<mr::BinaryBlock>& values,
+         std::vector<std::pair<std::uint32_t, mr::BinaryBlock>>& out) {
+        MRMC_CHECK(values.size() == 1, "one count block per pair split");
+        out.emplace_back(key, std::move(values.front()));
       });
   job.with_map_work([num_hashes](const candidates::Pair&) {
     return cost::compare_work(num_hashes);
@@ -164,13 +186,22 @@ VerifyJobResult run_verify_job(
   auto run = job.run(pairs);
   result.stats = std::move(run.stats);
 
-  // Reducers are hash-partitioned, so concatenated output is not globally
-  // ordered; one sort restores the canonical (a, b) edge order.
-  result.graph.edges = std::move(run.output);
-  std::sort(result.graph.edges.begin(), result.graph.edges.end(),
-            [](const candidates::Edge& x, const candidates::Edge& y) {
-              return std::pair(x.a, x.b) < std::pair(y.a, y.b);
-            });
+  // Positional rejoin against the sorted-unique input pairs: edges come out
+  // in canonical (a, b) order by construction.
+  result.graph.edges.resize(pairs.size());
+  for (const auto& [split_index, block] : run.output) {
+    const std::size_t base = static_cast<std::size_t>(split_index) * per_split;
+    for (std::uint64_t r = 0; r < block.rows(); ++r) {
+      const auto [a, b] = pairs[base + r];
+      double sim = 0.0;
+      if (set_based) {
+        sim = jaccard_from_counts(block.get(0, r), block.get(1, r));
+      } else {
+        sim = static_cast<double>(block.get(0, r)) * inv_cols;
+      }
+      result.graph.edges[base + r] = candidates::Edge{a, b, sim};
+    }
+  }
   return result;
 }
 

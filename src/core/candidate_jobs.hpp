@@ -4,9 +4,11 @@
 //   "candidates"  map: (read_id, sketch) -> per-band (bucket_key, read_id)
 //                 GROUP on bucket_key
 //                 reduce: emit the bucket's deduplicated candidate pairs
-//   "verify"      map: (a, b) -> ((a, b), similarity) scored with the
-//                 count_equal / SortedSketchStore kernels
-//                 reduce: identity -> sparse similarity graph edge
+//   "verify"      map: one packed BinaryBlock of integer counts per split
+//                 (match counts via count_equal / count_equal_packed, or
+//                 |∩|,|∪| lanes via SortedSketchStore::jaccard_counts)
+//                 reduce: identity; the driver rebuilds edges positionally
+//                 from the already-sorted candidate pair list
 //
 // Both drivers sort and deduplicate their outputs, so candidate sets and
 // edge lists are byte-identical across thread counts, record split orders,
@@ -48,9 +50,12 @@ struct VerifyJobResult {
 
 /// Score candidate pairs into a sparse similarity graph via the "verify"
 /// MapReduce job.  `pairs` must be sorted unique (run_candidate_job output).
+/// `sketch_bits` is PipelineParams::sketch_bits: below 64 the map tasks score
+/// b-bit packed sketch rows with the packed count_equal kernel (the sketches
+/// must already be b-bit truncated, as the sketch job leaves them).
 VerifyJobResult run_verify_job(
     std::shared_ptr<const std::vector<Sketch>> sketches,
     std::vector<candidates::Pair> pairs, SketchEstimator estimator,
-    const ExecutionOptions& exec);
+    std::size_t sketch_bits, const ExecutionOptions& exec);
 
 }  // namespace mrmc::core

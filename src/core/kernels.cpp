@@ -90,6 +90,83 @@ std::size_t count_equal_scalar(const std::uint64_t* a, const std::uint64_t* b,
   return matches;
 }
 
+/// s < 2p -> exact residue via one conditional subtract.
+inline std::uint64_t fold61(std::uint64_t s) noexcept {
+  return s >= kMersenne61 ? s - kMersenne61 : s;
+}
+
+/// C-MinHash pass 2 over premultiplied residues t[j] = (A·x_j) mod p: for
+/// each hash k, out[k] = min_j mix((t[j] + B_k) mod p) [% modulus].  Both
+/// addends are < p, so the sum fits u64 and fold61 finishes the reduction.
+/// The fold is NOT removable as an optimization: its conditional subtract
+/// is the only *data-dependent* nonlinearity between slots — without it
+/// slot k is the pure translation t + B_k and the scramble alone leaves
+/// the K orderings correlated (measurably biased estimates, seed-unstable
+/// clustering).  detail::cmin_mix64 (π's order-scrambling role) costs the
+/// only multiply in the inner loop — still far cheaper than the
+/// per-(feature × hash) Mersenne-61 product of the universal family
+/// (pass 1 amortized that over all K hashes).
+void cmin_sketch_scalar(std::span<const std::uint64_t> premul,
+                        std::span<const std::uint64_t> add,
+                        std::uint64_t modulus,
+                        std::span<std::uint64_t> out) {
+  const std::uint64_t* t = premul.data();
+  const std::size_t nf = premul.size();
+  for (std::size_t k = 0; k < add.size(); ++k) {
+    const std::uint64_t b = add[k];
+    // Mixed values span all of u64, so the accumulators start at the u64
+    // maximum (kMinSentinel = 2^62 only bounds unmixed residues).
+    std::uint64_t m0 = kEmptyFeatureMin, m1 = kEmptyFeatureMin;
+    std::uint64_t m2 = kEmptyFeatureMin, m3 = kEmptyFeatureMin;
+    std::size_t j = 0;
+    if (modulus == 0) {
+      for (; j + 4 <= nf; j += 4) {
+        m0 = std::min(m0, detail::cmin_mix64(fold61(t[j + 0] + b)));
+        m1 = std::min(m1, detail::cmin_mix64(fold61(t[j + 1] + b)));
+        m2 = std::min(m2, detail::cmin_mix64(fold61(t[j + 2] + b)));
+        m3 = std::min(m3, detail::cmin_mix64(fold61(t[j + 3] + b)));
+      }
+      for (; j < nf; ++j) m0 = std::min(m0, detail::cmin_mix64(fold61(t[j] + b)));
+    } else {
+      for (; j + 4 <= nf; j += 4) {
+        m0 = std::min(m0, detail::cmin_mix64(fold61(t[j + 0] + b)) % modulus);
+        m1 = std::min(m1, detail::cmin_mix64(fold61(t[j + 1] + b)) % modulus);
+        m2 = std::min(m2, detail::cmin_mix64(fold61(t[j + 2] + b)) % modulus);
+        m3 = std::min(m3, detail::cmin_mix64(fold61(t[j + 3] + b)) % modulus);
+      }
+      for (; j < nf; ++j) {
+        m0 = std::min(m0, detail::cmin_mix64(fold61(t[j] + b)) % modulus);
+      }
+    }
+    out[k] = std::min(std::min(m0, m1), std::min(m2, m3));
+  }
+}
+
+/// Lane-LSB mask for b-bit SWAR: bit set at positions 0, b, 2b, ...
+constexpr std::uint64_t packed_lsb_mask(std::size_t bits) noexcept {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < 64; i += bits) mask |= std::uint64_t{1} << i;
+  return mask;
+}
+
+/// Differing lanes between two packed rows: XOR, OR-fold each lane onto its
+/// LSB (shifts stay inside the lane because bits divides 64), popcount the
+/// lane LSBs.  Pad lanes are zero on both sides, so they never count.
+std::size_t count_diff_packed_scalar(const std::uint64_t* a,
+                                     const std::uint64_t* b,
+                                     std::size_t words, std::size_t bits,
+                                     std::uint64_t lsb) noexcept {
+  std::size_t diff = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t x = a[w] ^ b[w];
+    for (std::size_t shift = bits >> 1; shift != 0; shift >>= 1) {
+      x |= x >> shift;
+    }
+    diff += static_cast<std::size_t>(__builtin_popcountll(x & lsb));
+  }
+  return diff;
+}
+
 std::size_t argmin_scalar(std::span<const double> row) noexcept {
   std::size_t best = row.size();
   double best_value = std::numeric_limits<double>::infinity();
@@ -184,6 +261,100 @@ __attribute__((target("avx2"))) void min_sketch_avx2(
     min_sketch_scalar(mul.subspan(i), add.subspan(i), modulus,
                       features, out.subspan(i));
   }
+}
+
+/// C-MinHash pass 2, 4 hash lanes per chunk.  The heavy lifting (the one
+/// Mersenne-61 product per feature) happened in the shared scalar pass 1;
+/// here each lane is add + conditional-subtract (the fold's data-dependent
+/// nonlinearity — see cmin_sketch_scalar) + the cmin_mix64 scramble + min.
+/// Because kCMinMixMul's low half is 1, the 64-bit mix multiply is a
+/// single 32×32 vpmuludq (y + ((y·M_hi) << 32)) — one product per cell
+/// against the universal kernel's three-limb Mersenne-61 product.  Mixed
+/// values span all of u64, so the running min works in the sign-flipped
+/// domain where a signed compare orders unsigned values.  The outer
+/// modulus is pow2-only in this path (mask AND), same policy as
+/// min_sketch_avx2.
+__attribute__((target("avx2"))) void cmin_sketch_avx2(
+    std::span<const std::uint64_t> premul, std::span<const std::uint64_t> add,
+    std::uint64_t modulus, std::span<std::uint64_t> out) {
+  const __m256i p = _mm256_set1_epi64x(static_cast<long long>(kMersenne61));
+  const __m256i p_minus_1 =
+      _mm256_set1_epi64x(static_cast<long long>(kMersenne61 - 1));
+  const __m256i sign =
+      _mm256_set1_epi64x(static_cast<long long>(std::uint64_t{1} << 63));
+  // Biased u64 max: greater (signed) than every biased mixed value.
+  const __m256i sentinel = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(kEmptyFeatureMin)), sign);
+  const bool has_mod = modulus != 0;  // pow2-only in this path
+  const __m256i mod_mask =
+      _mm256_set1_epi64x(static_cast<long long>(modulus - 1));
+  static_assert((detail::kCMinMixMul & 0xffffffffULL) == 1,
+                "the one-vpmuludq mix below requires a low-half-1 multiplier");
+  const __m256i mix_hi =
+      _mm256_set1_epi64x(static_cast<long long>(detail::kCMinMixMul >> 32));
+
+  const std::size_t nh = add.size();
+  std::size_t i = 0;
+  for (; i + 4 <= nh; i += 4) {
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(add.data() + i));
+    __m256i best = sentinel;
+    for (const std::uint64_t x : premul) {
+      __m256i s = _mm256_add_epi64(
+          _mm256_set1_epi64x(static_cast<long long>(x)), b);
+      const __m256i ge = _mm256_cmpgt_epi64(s, p_minus_1);
+      s = _mm256_sub_epi64(s, _mm256_and_si256(ge, p));
+      // cmin_mix64: xor-fold, then y + ((y·M_hi) << 32) (low-half-1
+      // mullo64).  vpmuludq reads the low 32 bits of each lane, which is
+      // exactly the y_lo the product needs.
+      s = _mm256_xor_si256(s, _mm256_srli_epi64(s, 32));
+      s = _mm256_add_epi64(
+          s, _mm256_slli_epi64(_mm256_mul_epu32(s, mix_hi), 32));
+      if (has_mod) s = _mm256_and_si256(s, mod_mask);
+      s = _mm256_xor_si256(s, sign);
+      best = _mm256_blendv_epi8(best, s, _mm256_cmpgt_epi64(best, s));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.data() + i),
+                        _mm256_xor_si256(best, sign));
+  }
+  if (i < nh) {
+    cmin_sketch_scalar(premul, add.subspan(i), modulus, out.subspan(i));
+  }
+}
+
+/// Differing lanes, byte-aligned widths only (8/16/32/64): cmpeq per lane +
+/// movemask popcount of *equal* lanes, inverted per chunk.  Sub-byte widths
+/// stay on the scalar SWAR path.
+__attribute__((target("avx2"))) std::size_t count_diff_packed_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words,
+    std::size_t bits, std::uint64_t lsb) noexcept {
+  std::size_t i = 0;
+  std::size_t eq = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (bits == 8) {
+      eq += static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)))));
+    } else if (bits == 16) {
+      eq += static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(
+                _mm256_movemask_epi8(_mm256_cmpeq_epi16(va, vb))))) /
+            2;
+    } else if (bits == 32) {
+      eq += static_cast<std::size_t>(
+          __builtin_popcount(static_cast<unsigned>(_mm256_movemask_ps(
+              _mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb))))));
+    } else {
+      eq += static_cast<std::size_t>(
+          __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(
+              _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb))))));
+    }
+  }
+  std::size_t diff = i * (64 / bits) - eq;
+  diff += count_diff_packed_scalar(a + i, b + i, words - i, bits, lsb);
+  return diff;
 }
 
 __attribute__((target("avx2"))) std::size_t count_equal_avx2(
@@ -316,6 +487,36 @@ void min_sketch(std::span<const std::uint64_t> mul,
   min_sketch_scalar(mul, add, modulus, features, out);
 }
 
+void cmin_sketch(std::uint64_t mul, std::span<const std::uint64_t> add,
+                 std::uint64_t modulus,
+                 std::span<const std::uint64_t> features,
+                 std::span<std::uint64_t> out, Backend backend) {
+  MRMC_REQUIRE(add.size() == out.size(),
+               "per-hash offset span must match the output span");
+  if (features.empty()) {
+    std::fill(out.begin(), out.end(), kEmptyFeatureMin);
+    return;
+  }
+  // Pass 1, shared by both backends (bit-identity for free): the one
+  // Mersenne-61 product per feature, t[j] = (A·x_j) mod p.
+  thread_local std::vector<std::uint64_t> premul;
+  premul.resize(features.size());
+  for (std::size_t j = 0; j < features.size(); ++j) {
+    premul[j] = mod_mersenne61(static_cast<__uint128_t>(mul) * features[j]);
+  }
+#if MRMC_KERNELS_X86
+  // Same policy as min_sketch: a non-power-of-two outer modulus needs a
+  // per-lane remainder the vector ISA lacks.
+  if (backend == Backend::kAvx2 && (modulus == 0 || is_pow2(modulus))) {
+    cmin_sketch_avx2(premul, add, modulus, out);
+    return;
+  }
+#else
+  (void)backend;
+#endif
+  cmin_sketch_scalar(premul, add, modulus, out);
+}
+
 std::size_t count_equal(std::span<const std::uint64_t> a,
                         std::span<const std::uint64_t> b,
                         Backend backend) noexcept {
@@ -326,6 +527,28 @@ std::size_t count_equal(std::span<const std::uint64_t> a,
   (void)backend;
 #endif
   return count_equal_scalar(a.data(), b.data(), n);
+}
+
+std::size_t count_equal_packed(std::span<const std::uint64_t> a,
+                               std::span<const std::uint64_t> b,
+                               std::size_t cols, std::size_t bits,
+                               Backend backend) noexcept {
+  const std::size_t words = std::min(a.size(), b.size());
+  const std::uint64_t lsb = packed_lsb_mask(bits);
+  std::size_t diff = 0;
+#if MRMC_KERNELS_X86
+  if (backend == Backend::kAvx2 && bits >= 8) {
+    diff = count_diff_packed_avx2(a.data(), b.data(), words, bits, lsb);
+  } else
+#else
+  (void)backend;
+#endif
+  {
+    diff = count_diff_packed_scalar(a.data(), b.data(), words, bits, lsb);
+  }
+  // Pad lanes are zero on both sides (equal), so every differing lane lies
+  // within the first `cols`.
+  return cols - diff;
 }
 
 std::size_t argmin(std::span<const double> row, Backend backend) noexcept {
@@ -378,6 +601,35 @@ std::vector<std::vector<std::uint64_t>> SketchMatrix::to_sketches() const {
     out.emplace_back(r.begin(), r.end());
   }
   return out;
+}
+
+void mask_components(SketchMatrix& sketches, std::uint64_t mask) noexcept {
+  for (std::size_t i = 0; i < sketches.rows(); ++i) {
+    for (std::uint64_t& value : sketches.row(i)) value &= mask;
+  }
+}
+
+// -------------------------------------------------------- PackedSketchMatrix
+
+PackedSketchMatrix::PackedSketchMatrix(std::size_t rows, std::size_t cols,
+                                       std::size_t bits)
+    : rows_(rows),
+      cols_(cols),
+      bits_(bits),
+      wpr_((cols * bits + 63) / 64),
+      data_(rows * wpr_, 0) {
+  MRMC_REQUIRE(valid_pack_bits(bits),
+               "packed sketch width must be one of 1/2/4/8/16/32/64 bits");
+}
+
+PackedSketchMatrix PackedSketchMatrix::pack(const SketchMatrix& matrix,
+                                            std::size_t bits) {
+  PackedSketchMatrix packed(matrix.rows(), matrix.cols(), bits);
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    const auto row = matrix.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) packed.set(i, j, row[j]);
+  }
+  return packed;
 }
 
 void component_match_matrix(const SketchMatrix& sketches, float* out,

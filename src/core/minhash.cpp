@@ -8,11 +8,35 @@
 
 namespace mrmc::core {
 
+namespace {
+
+/// Shared parameter validation for both hash families.  A zero count or a
+/// degenerate / oversized modulus used to surface only as silently useless
+/// sketches (every component 0); fail loudly instead.
+void validate_family_params(std::size_t count, std::uint64_t m) {
+  MRMC_REQUIRE(count >= 1,
+               "hash family needs at least one hash function (count == 0 "
+               "would produce empty sketches)");
+  MRMC_REQUIRE(m == 0 || (m >= 2 && m <= UniversalHashFamily::kPrime),
+               "outer modulus must be 0 (full 61-bit range) or in "
+               "[2, 2^61 - 1]: m == 1 collapses every sketch component to "
+               "zero and m > p is incompatible with the Mersenne-61 family");
+}
+
+}  // namespace
+
+const char* sketch_scheme_name(SketchScheme scheme) noexcept {
+  switch (scheme) {
+    case SketchScheme::kUniversal: return "universal";
+    case SketchScheme::kCMinHash: return "cminhash";
+  }
+  return "?";
+}
+
 UniversalHashFamily::UniversalHashFamily(std::size_t count, std::uint64_t m,
                                          std::uint64_t seed)
     : m_(m) {
-  MRMC_REQUIRE(count >= 1, "need at least one hash function");
-  MRMC_REQUIRE(m == 0 || m <= kPrime, "outer modulus must be < p");
+  validate_family_params(count, m);
   a_.reserve(count);
   b_.reserve(count);
   common::Xoshiro256 rng(seed);
@@ -27,17 +51,62 @@ std::uint64_t UniversalHashFamily::hash(std::size_t i, std::uint64_t x) const no
   return m_ == 0 ? mod_p : mod_p % m_;
 }
 
+CMinHashFamily::CMinHashFamily(std::size_t count, std::uint64_t m,
+                               std::uint64_t seed)
+    : m_(m) {
+  validate_family_params(count, m);
+  common::Xoshiro256 rng(seed);
+  // σ(x) = (a1·x + b1) mod p and the affine layer (a2·y + b2) mod p of π;
+  // both bijections on GF(p) since a1, a2 ∈ [1, p) and p is prime.  π
+  // itself is that affine layer composed with the fixed non-linear
+  // kernels::detail::cmin_mix64 scramble — purely affine maps would
+  // collapse h_k into rotations of one point set (correlated minima).
+  const std::uint64_t a1 = 1 + rng.bounded(kPrime - 1);
+  const std::uint64_t b1 = rng.bounded(kPrime);
+  const std::uint64_t a2 = 1 + rng.bounded(kPrime - 1);
+  const std::uint64_t b2 = rng.bounded(kPrime);
+  // The affine part of h_k = π∘(σ + k) collapses to (A·x + B_k) mod p with
+  // A = a1·a2 and B_k = a2·b1 + b2 + k·a2, built incrementally (each step
+  // one add + conditional subtract, both operands < p); the scramble is
+  // applied after this map, once per evaluation.
+  a_ = kernels::detail::mod_mersenne61(static_cast<__uint128_t>(a1) * a2);
+  std::uint64_t bk = kernels::detail::cw_hash(a2, b2, b1);  // (a2·b1 + b2) mod p
+  b_.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    b_.push_back(bk);
+    bk += a2;
+    if (bk >= kPrime) bk -= kPrime;
+  }
+}
+
+std::uint64_t CMinHashFamily::hash(std::size_t k, std::uint64_t x) const noexcept {
+  // Affine core, then the fixed non-linear scramble (π's order-breaking
+  // role — without it every slot is a rotation of one point set and the
+  // minima correlate; see kernels::detail::cmin_mix64).
+  const std::uint64_t mixed =
+      kernels::detail::cmin_mix64(kernels::detail::cw_hash(a_, b_[k], x));
+  return m_ == 0 ? mixed : mixed % m_;
+}
+
 MinHasher::MinHasher(MinHashParams params)
     : params_(params), family_(params.num_hashes, params.modulus, params.seed) {
   MRMC_REQUIRE(params.kmer >= 1 && params.kmer <= bio::kMaxKmerK,
                "kmer size must be in [1, 31]");
+  if (params_.scheme == SketchScheme::kCMinHash) {
+    cmin_.emplace(params.num_hashes, params.modulus, params.seed);
+  }
 }
 
 void MinHasher::sketch_features_into(std::span<const std::uint64_t> features,
                                      std::span<std::uint64_t> out) const {
-  MRMC_REQUIRE(out.size() == family_.size(), "output span must hold one slot per hash");
-  kernels::min_sketch(family_.multipliers(), family_.offsets(),
-                      family_.modulus(), features, out);
+  MRMC_REQUIRE(out.size() == sketch_size(), "output span must hold one slot per hash");
+  if (cmin_.has_value()) {
+    kernels::cmin_sketch(cmin_->multiplier(), cmin_->offsets(),
+                         cmin_->modulus(), features, out);
+  } else {
+    kernels::min_sketch(family_.multipliers(), family_.offsets(),
+                        family_.modulus(), features, out);
+  }
 }
 
 Sketch MinHasher::sketch_features(std::span<const std::uint64_t> features) const {
@@ -67,14 +136,13 @@ std::vector<Sketch> MinHasher::sketch_all(
 
 kernels::SketchMatrix MinHasher::sketch_matrix(
     std::span<const std::string_view> seqs, common::ThreadPool* pool) const {
-  kernels::SketchMatrix matrix(seqs.size(), family_.size());
+  kernels::SketchMatrix matrix(seqs.size(), sketch_size());
   auto sketch_row = [&](std::size_t i) {
     thread_local std::vector<std::uint64_t> features;
     bio::kmer_set_into(seqs[i],
                        {.k = params_.kmer, .canonical = params_.canonical},
                        features);
-    kernels::min_sketch(family_.multipliers(), family_.offsets(),
-                        family_.modulus(), features, matrix.row(i));
+    sketch_features_into(features, matrix.row(i));
   };
   if (pool != nullptr && seqs.size() > 1) {
     pool->parallel_for(seqs.size(), sketch_row);
@@ -110,6 +178,29 @@ SortedSketchStore::SortedSketchStore(const kernels::SketchMatrix& sketches) {
   for (std::size_t i = 0; i < sketches.rows(); ++i) {
     append(sketches.row(i), scratch);
   }
+}
+
+std::pair<std::uint64_t, std::uint64_t> SortedSketchStore::jaccard_counts(
+    std::size_t i, std::size_t j) const noexcept {
+  const auto a = row(i);
+  const auto b = row(j);
+  // Same merge-count as bio::exact_jaccard; rows are sorted unique.
+  std::uint64_t inter = 0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] == b[ib]) {
+      ++inter;
+      ++ia;
+      ++ib;
+    } else if (a[ia] < b[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  const std::uint64_t uni = a.size() + b.size() - inter;
+  return {inter, uni};
 }
 
 // ------------------------------------------------------------------ estimators

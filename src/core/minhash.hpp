@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bio/kmer.hpp"
@@ -43,6 +45,14 @@ enum class SketchEstimator {
   kComponentMatch,  ///< mean of [min_i(A) == min_i(B)]
   kSetBased,        ///< Jaccard of the sets of minwise values
 };
+
+/// How the K sketch components are computed.
+enum class SketchScheme {
+  kUniversal,  ///< K independent Carter-Wegman hashes (Equation 5)
+  kCMinHash,   ///< C-MinHash: two shared permutations, circulant shifts
+};
+
+[[nodiscard]] const char* sketch_scheme_name(SketchScheme scheme) noexcept;
 
 /// Carter-Wegman universal hash family with p = 2^61 - 1 (Mersenne prime).
 /// Parameters a_i ∈ [1, p), b_i ∈ [0, p) are drawn from a seeded PRNG and
@@ -76,6 +86,46 @@ class UniversalHashFamily {
   std::uint64_t m_;
 };
 
+/// C-MinHash (Li & Li, NeurIPS 2021): instead of K independent hashes, one
+/// initial permutation σ and one circulant permutation π, with component k
+/// defined as min_x π((σ(x) + k) mod p).  Both permutations are affine maps
+/// over GF(p), so the composition collapses to a single affine map per
+/// component sharing one multiplier:
+///
+///   h_k(x) = π(σ(x) + k) = (A·x + B_k) mod p,
+///   A = a1·a2 mod p,  B_k = (a2·b1 + b2 + k·a2) mod p.
+///
+/// The shared multiplier is what kernels::cmin_sketch exploits: one
+/// Mersenne-61 product per feature amortized over all K components (the
+/// universal family pays K products per feature).  A is nonzero because p is
+/// prime and a1, a2 ∈ [1, p).  Estimator parity with the universal family
+/// is covered by the quality suite (Table III/IV samples).
+class CMinHashFamily {
+ public:
+  /// Same contract as UniversalHashFamily: `m` is the outer modulus
+  /// (0 = full 61-bit range), `count` the number of components K.
+  CMinHashFamily(std::size_t count, std::uint64_t m, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return b_.size(); }
+  [[nodiscard]] std::uint64_t modulus() const noexcept { return m_; }
+
+  /// h_k(x), the scalar reference the batched kernel must reproduce.
+  [[nodiscard]] std::uint64_t hash(std::size_t k, std::uint64_t x) const noexcept;
+
+  /// The shared multiplier A and per-component offsets B_k for the kernel.
+  [[nodiscard]] std::uint64_t multiplier() const noexcept { return a_; }
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
+    return b_;
+  }
+
+  static constexpr std::uint64_t kPrime = kernels::kMersenne61;
+
+ private:
+  std::uint64_t a_ = 1;             ///< A = a1·a2 mod p
+  std::vector<std::uint64_t> b_;    ///< B_k, k = 0..K-1
+  std::uint64_t m_;
+};
+
 struct MinHashParams {
   int kmer = 5;             ///< k-mer size (paper: 5 shotgun, 15 for 16S)
   std::size_t num_hashes = 100;  ///< sketch length n (paper: 100 / 50)
@@ -87,6 +137,9 @@ struct MinHashParams {
   /// (recommended, default).  Set to bio::kmer_space_size(k) for
   /// paper-literal behaviour.
   std::uint64_t modulus = 0;
+  /// Sketch-compute scheme; kCMinHash shares one multiplier across all
+  /// components (one Mersenne-61 product per feature instead of K).
+  SketchScheme scheme = SketchScheme::kUniversal;
 };
 
 /// Computes sketches for sequences.  Thread-safe after construction.
@@ -126,6 +179,7 @@ class MinHasher {
  private:
   MinHashParams params_;
   UniversalHashFamily family_;
+  std::optional<CMinHashFamily> cmin_;  ///< engaged when scheme == kCMinHash
 };
 
 /// Pre-sorted unique minima of a set of sketches, stored flat so repeated
@@ -147,6 +201,11 @@ class SortedSketchStore {
   [[nodiscard]] double jaccard(std::size_t i, std::size_t j) const noexcept {
     return bio::exact_jaccard(row(i), row(j));
   }
+  /// The integer (|∩|, |∪|) behind jaccard(i, j) — what the binary shuffle
+  /// blocks ship so the driver can rebuild the identical double via
+  /// jaccard_from_counts.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> jaccard_counts(
+      std::size_t i, std::size_t j) const noexcept;
 
  private:
   void append(std::span<const std::uint64_t> sketch,
@@ -167,5 +226,81 @@ class SortedSketchStore {
 /// Set-based estimator of Algorithm 1 line 9.  Sort work runs in reused
 /// thread-local scratch; for repeated comparisons prefer SortedSketchStore.
 [[nodiscard]] double set_based_similarity(const Sketch& a, const Sketch& b);
+
+// ---------------------------------------------------------- b-bit sketches
+//
+// Keeping only the low b bits of each minwise value shrinks the sketch
+// 64/b-fold but lets unrelated pairs collide by chance: for J = 0 a
+// component still matches with probability C = 2^-b.  E[m̂] = J + (1-J)·C,
+// so the standard correction Ĵ = (m̂ - C) / (1 - C) de-biases the match
+// fraction.  The correction is affine, so thresholding the *corrected*
+// estimate at θ is identical to thresholding the raw match fraction at
+// θ' = θ·(1-C) + C — the pipeline uses the θ' form internally (it commutes
+// with average linkage too) and exposes the corrected estimator for
+// benchmarks and tests.
+
+/// Valid --sketch-bits values: the packed widths of the b-bit kernels.
+[[nodiscard]] constexpr bool valid_sketch_bits(std::size_t bits) noexcept {
+  return kernels::valid_pack_bits(bits);
+}
+
+/// Truncation mask for b-bit sketches (all-ones at b = 64).
+[[nodiscard]] constexpr std::uint64_t sketch_bits_mask(std::size_t bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << bits) - 1;
+}
+
+/// Chance-collision probability C = 2^-b of a truncated component (0 at
+/// b = 64: full-width components never collide by chance in practice).
+[[nodiscard]] constexpr double bbit_collision_floor(std::size_t bits) noexcept {
+  return bits >= 64
+             ? 0.0
+             : 1.0 / static_cast<double>(std::uint64_t{1} << bits);
+}
+
+/// De-biased b-bit component-match estimate Ĵ = (m/K - C) / (1 - C),
+/// clamped to [0, 1].  At b = 64 this is exactly m/K.
+[[nodiscard]] constexpr double corrected_match_similarity(
+    std::size_t matches, std::size_t count, std::size_t bits) noexcept {
+  if (count == 0) return 0.0;
+  const double raw =
+      static_cast<double>(matches) / static_cast<double>(count);
+  const double c = bbit_collision_floor(bits);
+  if (c == 0.0) return raw;
+  const double corrected = (raw - c) / (1.0 - c);
+  return corrected < 0.0 ? 0.0 : (corrected > 1.0 ? 1.0 : corrected);
+}
+
+/// The θ' the pipeline compares *raw* b-bit match fractions against so that
+/// the decision equals thresholding the corrected estimate at θ.
+[[nodiscard]] constexpr double bbit_adjusted_threshold(
+    double theta, std::size_t bits) noexcept {
+  const double c = bbit_collision_floor(bits);
+  return theta * (1.0 - c) + c;
+}
+
+/// Component-match threshold equivalent to a set-based threshold θ.  With K
+/// independent hash families the two sketches share exactly the m matching
+/// minima (cross-family value collisions are negligible at 61 bits), so the
+/// set-based estimate is the monotone map J_set = m / (2K - m) of the match
+/// fraction — thresholding J_set at θ is the same decision as thresholding
+/// m/K at 2θ/(1+θ).  Truncated sketches cannot evaluate J_set directly
+/// (low-bit value collisions pollute the union), so the b-bit path scores
+/// component matches against this transformed threshold instead.
+[[nodiscard]] constexpr double set_based_equivalent_threshold(
+    double theta) noexcept {
+  return 2.0 * theta / (1.0 + theta);
+}
+
+/// Jaccard from integer (|∩|, |∪|) counts; |∪| == 0 means both sets were
+/// empty, which counts as identical — the same convention as
+/// bio::exact_jaccard, so driver-side reconstruction from shuffled counts is
+/// bit-identical to mapper-side doubles.
+[[nodiscard]] constexpr double jaccard_from_counts(
+    std::uint64_t intersection, std::uint64_t unions) noexcept {
+  return unions == 0 ? 1.0
+                     : static_cast<double>(intersection) /
+                           static_cast<double>(unions);
+}
 
 }  // namespace mrmc::core

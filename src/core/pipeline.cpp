@@ -8,6 +8,8 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/candidate_jobs.hpp"
+#include "core/kernels.hpp"
+#include "mr/block.hpp"
 #include "mr/bytes.hpp"
 #include "mr/runtime.hpp"
 #include "obs/log.hpp"
@@ -59,6 +61,9 @@ double dendrogram_work(std::size_t n) noexcept {
 double sketch_bytes(std::size_t num_hashes) noexcept {
   return static_cast<double>(num_hashes) * 8.0 + 8.0;
 }
+double packed_sketch_bytes(std::size_t num_hashes, std::size_t bits) noexcept {
+  return static_cast<double>((num_hashes * bits + 63) / 64) * 8.0;
+}
 
 }  // namespace cost
 
@@ -69,7 +74,52 @@ struct IndexedRead {
   std::string seq;
 };
 
-/// Job 1: sketch every read (map-only; identity reduce gathers by index).
+/// The knobs the clustering stages actually run with.  At b = 64 they are
+/// the user's params verbatim.  Below 64, estimators fall back to
+/// component-match (set semantics over truncated values are unsound) and
+/// every θ comparison moves to θ' = θ·(1-C) + C — the affine b-bit
+/// correction folded into the threshold, which is decision-identical to
+/// correcting each estimate (and commutes with average linkage).  LSH band
+/// *shape* selection keeps the original θ: truncation only increases
+/// collision probability, so a shape tuned for J ≥ θ keeps its recall floor.
+struct EffectiveKnobs {
+  double theta = 0.0;
+  double greedy_theta = 0.0;
+  SketchEstimator estimator = SketchEstimator::kComponentMatch;
+  SketchEstimator greedy_estimator = SketchEstimator::kComponentMatch;
+};
+
+/// A set-based estimator forced onto the component-match scale must carry
+/// its threshold across too (same m-decision, see
+/// set_based_equivalent_threshold); only then does the b-bit θ' adjustment
+/// apply.  Keeping the set-based θ verbatim would move the operating point
+/// from m/K = 2θ/(1+θ) down to m/K = θ and over-merge everything.
+double forced_component_threshold(double theta, SketchEstimator was,
+                                  std::size_t bits) noexcept {
+  const double component = was == SketchEstimator::kSetBased
+                               ? set_based_equivalent_threshold(theta)
+                               : theta;
+  return bbit_adjusted_threshold(component, bits);
+}
+
+EffectiveKnobs effective_knobs(const PipelineParams& params) noexcept {
+  if (params.sketch_bits >= 64) {
+    return {params.theta, params.theta, params.estimator,
+            params.greedy_estimator};
+  }
+  return {forced_component_threshold(params.theta, params.estimator,
+                                     params.sketch_bits),
+          forced_component_threshold(params.theta, params.greedy_estimator,
+                                     params.sketch_bits),
+          SketchEstimator::kComponentMatch, SketchEstimator::kComponentMatch};
+}
+
+/// Job 1: sketch every read.  Each map task emits ONE BinaryBlock per input
+/// split — K rows × (reads in split) columns of b-bit packed minima —
+/// instead of one vector<uint64_t> per read, so the shuffle moves the exact
+/// packed bytes (64/b-fold less at b < 64, and no per-record vector header
+/// even at b = 64).  The identity reduce passes blocks through; the driver
+/// rejoins them positionally via split_index · records_per_split.
 std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
                                    const PipelineParams& params,
                                    const ExecutionOptions& exec,
@@ -77,14 +127,17 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
   obs::pipeline::StageScope stage("sketch");
   auto hasher = std::make_shared<MinHasher>(params.minhash);
   const std::size_t num_hashes = params.minhash.num_hashes;
+  const std::size_t bits = params.sketch_bits;
+  const std::uint64_t mask = sketch_bits_mask(bits);
 
-  using SketchJob = mr::Job<IndexedRead, std::uint32_t, Sketch,
-                            std::pair<std::uint32_t, Sketch>>;
+  using SketchJob = mr::Job<IndexedRead, std::uint32_t, mr::BinaryBlock,
+                            std::pair<std::uint32_t, mr::BinaryBlock>>;
   mr::JobConfig config;
   config.name = "sketch";
   config.num_reducers = std::max<std::size_t>(1, exec.cluster.reduce_slots());
   config.records_per_split = exec.records_per_split;
   detail::apply_exec_options(config, exec);
+  const std::size_t per_split = config.records_per_split;
 
   auto& sketch_bytes_hist =
       obs::Registry::global().histogram("pipeline.sketch_bytes");
@@ -92,19 +145,32 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
       obs::Registry::global().histogram("pipeline.sketch_distinct_minima");
   SketchJob job(
       config,
-      [hasher, &sketch_bytes_hist, &sketch_minima_hist](
-          const IndexedRead& read, mr::Emitter<std::uint32_t, Sketch>& emit) {
-        Sketch sketch = hasher->sketch(read.seq);
-        sketch_bytes_hist.observe(mr::approx_bytes(sketch));
-        thread_local std::vector<std::uint64_t> scratch;
-        sketch_minima_hist.observe(
-            static_cast<double>(kernels::count_distinct(sketch, scratch)));
-        emit.emit(read.index, std::move(sketch));
-        emit.count("reads.sketched");
+      [hasher, num_hashes, bits, mask, &sketch_bytes_hist,
+       &sketch_minima_hist](std::span<const IndexedRead> split,
+                            std::size_t split_index,
+                            mr::Emitter<std::uint32_t, mr::BinaryBlock>& emit) {
+        mr::BinaryBlock block(static_cast<std::uint32_t>(bits), num_hashes,
+                              static_cast<std::uint32_t>(split.size()));
+        const double column_bytes = cost::packed_sketch_bytes(num_hashes, bits);
+        for (std::size_t c = 0; c < split.size(); ++c) {
+          Sketch sketch = hasher->sketch(split[c].seq);
+          // Truncate first: the histogram and every downstream consumer see
+          // the same b-bit values (at b = 64 the mask is a no-op).
+          for (std::uint64_t& value : sketch) value &= mask;
+          for (std::size_t k = 0; k < num_hashes; ++k) {
+            block.set(static_cast<std::uint32_t>(c), k, sketch[k]);
+          }
+          sketch_bytes_hist.observe(column_bytes);
+          thread_local std::vector<std::uint64_t> scratch;
+          sketch_minima_hist.observe(
+              static_cast<double>(kernels::count_distinct(sketch, scratch)));
+          emit.count("reads.sketched");
+        }
+        emit.emit(static_cast<std::uint32_t>(split_index), std::move(block));
       },
-      [](const std::uint32_t& key, std::vector<Sketch>& values,
-         std::vector<std::pair<std::uint32_t, Sketch>>& out) {
-        MRMC_CHECK(values.size() == 1, "one sketch per read index");
+      [](const std::uint32_t& key, std::vector<mr::BinaryBlock>& values,
+         std::vector<std::pair<std::uint32_t, mr::BinaryBlock>>& out) {
+        MRMC_CHECK(values.size() == 1, "one sketch block per split");
         out.emplace_back(key, std::move(values.front()));
       });
   job.with_map_work([num_hashes](const IndexedRead& read) {
@@ -120,28 +186,48 @@ std::vector<Sketch> run_sketch_job(std::span<const bio::FastaRecord> reads,
   auto result = job.run(input);
   stats = std::move(result.stats);
 
+  // Positional rejoin: split s covers reads [s · per_split, ...).
   std::vector<Sketch> sketches(reads.size());
-  for (auto& [index, sketch] : result.output) {
-    sketches[index] = std::move(sketch);
+  for (const auto& [split_index, block] : result.output) {
+    const std::size_t first = static_cast<std::size_t>(split_index) * per_split;
+    for (std::uint32_t c = 0; c < block.cols(); ++c) {
+      Sketch& sketch = sketches[first + c];
+      sketch.resize(num_hashes);
+      for (std::size_t k = 0; k < num_hashes; ++k) {
+        sketch[k] = block.get(c, k);
+      }
+    }
   }
   return sketches;
 }
 
-/// Job 2: all-pairs similarity, one matrix row per map record (the paper's
-/// row-wise partition).  The sketch table plays the role of Pig's GROUP-ALL
-/// broadcast relation.
+/// Job 2: all-pairs similarity, map tasks own contiguous row ranges (the
+/// paper's row-wise partition).  The sketch table plays the role of Pig's
+/// GROUP-ALL broadcast relation.  Instead of a vector<float> per row, each
+/// map task ships ONE BinaryBlock of *integer counts* per split —
+/// component-match: one match-count lane per pair (width 8/16/32 bits,
+/// whatever holds K); set-based: two lanes (|∩|, |∪|) — and the driver
+/// rebuilds the identical floats: float(count · (1/K)) uses the exact
+/// reciprocal multiply of the mapper, and jaccard_from_counts mirrors
+/// bio::exact_jaccard.  A pair costs one packed lane instead of a 4-byte
+/// float (≥ 4× fewer shuffle bytes at K ≤ 255).
 SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> sketches,
                                     const PipelineParams& params,
+                                    const EffectiveKnobs& knobs,
                                     const ExecutionOptions& exec,
                                     mr::JobStats& stats) {
   obs::pipeline::StageScope stage("similarity");
   const std::size_t n = sketches->size();
   const std::size_t num_hashes = params.minhash.num_hashes;
-  const SketchEstimator estimator = params.estimator;
+  const SketchEstimator estimator = knobs.estimator;
+  const bool set_based = estimator == SketchEstimator::kSetBased;
 
-  using Row = std::vector<float>;
-  using SimJob =
-      mr::Job<std::uint32_t, std::uint32_t, Row, std::pair<std::uint32_t, Row>>;
+  // Count lanes: match counts are ≤ K; set-based |∩| and |∪| are ≤ 2K.
+  const std::uint32_t lane_bits =
+      mr::min_lane_bits(set_based ? 2 * num_hashes : num_hashes);
+
+  using SimJob = mr::Job<std::uint32_t, std::uint32_t, mr::BinaryBlock,
+                         std::pair<std::uint32_t, mr::BinaryBlock>>;
 
   mr::JobConfig config;
   config.name = "similarity";
@@ -149,42 +235,61 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
   config.records_per_split =
       std::max<std::size_t>(1, n / std::max<std::size_t>(1, exec.cluster.map_slots() * 4));
   detail::apply_exec_options(config, exec);
+  const std::size_t per_split = config.records_per_split;
 
   // Set-based rows re-compare every sketch pair; pre-sort each sketch once
   // into a flat store shared (read-only) by all map tasks instead of sorting
   // two copies per pair inside the row loop.
-  auto store = estimator == SketchEstimator::kSetBased
-                   ? std::make_shared<const SortedSketchStore>(*sketches)
-                   : nullptr;
+  auto store = set_based ? std::make_shared<const SortedSketchStore>(*sketches)
+                         : nullptr;
+  const double inv_cols =
+      num_hashes == 0 ? 0.0 : 1.0 / static_cast<double>(num_hashes);
 
   // Per-row fan-out: how many of the row's pairs clear theta — the density
   // signal that decides whether sparse clustering would pay off.
   auto& fanout_hist =
       obs::Registry::global().histogram("pipeline.similarity_fanout");
-  const auto theta = static_cast<float>(params.theta);
+  const auto theta = static_cast<float>(knobs.theta);
   SimJob job(
       config,
-      [sketches, store, estimator, theta, &fanout_hist](
-          const std::uint32_t& row, mr::Emitter<std::uint32_t, Row>& emit) {
+      [sketches, store, set_based, inv_cols, lane_bits, theta, &fanout_hist](
+          std::span<const std::uint32_t> split, std::size_t split_index,
+          mr::Emitter<std::uint32_t, mr::BinaryBlock>& emit) {
         const auto& all = *sketches;
-        Row sims;
-        sims.reserve(all.size() - row - 1);
-        std::size_t fanout = 0;
-        for (std::size_t j = row + 1; j < all.size(); ++j) {
-          const double sim =
-              estimator == SketchEstimator::kSetBased
-                  ? store->jaccard(row, j)
-                  : component_match_similarity(all[row], all[j]);
-          sims.push_back(static_cast<float>(sim));
-          if (sims.back() >= theta) ++fanout;
+        const std::size_t n_reads = all.size();
+        // One ragged column: row r contributes n - r - 1 lanes, upper
+        // triangle in row order (the driver knows the lengths).
+        std::uint64_t total = 0;
+        for (const std::uint32_t row : split) total += n_reads - row - 1;
+        mr::BinaryBlock block(lane_bits, total, set_based ? 2 : 1);
+        std::uint64_t lane = 0;
+        for (const std::uint32_t row : split) {
+          std::size_t fanout = 0;
+          for (std::size_t j = row + 1; j < n_reads; ++j) {
+            double sim = 0.0;
+            if (set_based) {
+              const auto [inter, uni] = store->jaccard_counts(row, j);
+              block.set(0, lane, inter);
+              block.set(1, lane, uni);
+              sim = jaccard_from_counts(inter, uni);
+            } else {
+              const std::size_t eq = all[row].empty()
+                                         ? 0
+                                         : kernels::count_equal(all[row], all[j]);
+              block.set(0, lane, eq);
+              sim = static_cast<double>(eq) * inv_cols;
+            }
+            if (static_cast<float>(sim) >= theta) ++fanout;
+            ++lane;
+          }
+          fanout_hist.observe(static_cast<double>(fanout));
+          emit.count("matrix.rows");
         }
-        fanout_hist.observe(static_cast<double>(fanout));
-        emit.emit(row, std::move(sims));
-        emit.count("matrix.rows");
+        emit.emit(static_cast<std::uint32_t>(split_index), std::move(block));
       },
-      [](const std::uint32_t& key, std::vector<Row>& values,
-         std::vector<std::pair<std::uint32_t, Row>>& out) {
-        MRMC_CHECK(values.size() == 1, "one similarity row per index");
+      [](const std::uint32_t& key, std::vector<mr::BinaryBlock>& values,
+         std::vector<std::pair<std::uint32_t, mr::BinaryBlock>>& out) {
+        MRMC_CHECK(values.size() == 1, "one count block per row split");
         out.emplace_back(key, std::move(values.front()));
       });
   job.with_map_work([n, num_hashes](const std::uint32_t& row) {
@@ -197,11 +302,27 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
   auto result = job.run(rows);
   stats = std::move(result.stats);
 
+  // Positional rejoin: split s starts at row s · per_split; within the
+  // block, lanes follow the mapper's (row, j) iteration order exactly.
   SimilarityMatrix matrix(n, 0.0F);
-  for (auto& [row, sims] : result.output) {
-    matrix.set(row, row, 1.0F);
-    for (std::size_t j = 0; j < sims.size(); ++j) {
-      matrix.set(row, row + 1 + j, sims[j]);
+  for (const auto& [split_index, block] : result.output) {
+    const std::size_t first = static_cast<std::size_t>(split_index) * per_split;
+    const std::size_t last = std::min(first + per_split, n);
+    std::uint64_t lane = 0;
+    for (std::size_t row = first; row < last; ++row) {
+      matrix.set(row, row, 1.0F);
+      for (std::size_t j = row + 1; j < n; ++j) {
+        float sim = 0.0F;
+        if (set_based) {
+          sim = static_cast<float>(
+              jaccard_from_counts(block.get(0, lane), block.get(1, lane)));
+        } else {
+          sim = static_cast<float>(
+              static_cast<double>(block.get(0, lane)) * inv_cols);
+        }
+        matrix.set(row, j, sim);
+        ++lane;
+      }
     }
   }
   return matrix;
@@ -212,12 +333,12 @@ SimilarityMatrix run_similarity_job(std::shared_ptr<const std::vector<Sketch>> s
 /// verified candidate graph, the graph-aware sweep over it.
 std::vector<int> run_greedy_job(
     std::shared_ptr<const std::vector<Sketch>> sketches,
-    const PipelineParams& params, const ExecutionOptions& exec,
+    const EffectiveKnobs& knobs, const ExecutionOptions& exec,
     mr::JobStats& stats,
     std::shared_ptr<const candidates::SparseSimilarityGraph> graph = nullptr) {
   obs::pipeline::StageScope stage("greedy-cluster");
   const std::size_t n = sketches->size();
-  const GreedyParams greedy{params.theta, params.greedy_estimator};
+  const GreedyParams greedy{knobs.greedy_theta, knobs.greedy_estimator};
 
   using Value = std::uint32_t;  // read index; sketches travel via the table
   using GreedyJob = mr::Job<std::uint32_t, int, Value, std::pair<std::uint32_t, int>>;
@@ -276,6 +397,7 @@ std::vector<int> run_greedy_job(
 /// the dendrogram and cuts it at theta (Algorithm 3, step 8).
 std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
                                       const PipelineParams& params,
+                                      const EffectiveKnobs& knobs,
                                       const ExecutionOptions& exec,
                                       mr::JobStats& stats) {
   obs::pipeline::StageScope stage("hierarchical-cluster");
@@ -290,7 +412,7 @@ std::vector<int> run_hierarchical_job(const SimilarityMatrix& matrix,
   detail::apply_exec_options(config, exec);
 
   const Linkage linkage = params.linkage;
-  const double theta = params.theta;
+  const double theta = knobs.theta;
   HierJob job(
       config,
       [](const std::uint32_t& row, mr::Emitter<int, std::uint32_t>& emit) {
@@ -432,6 +554,8 @@ std::uint64_t params_fingerprint(const PipelineParams& params) {
   mr::stable_hash_append(hasher, params.minhash.canonical);
   mr::stable_hash_append(hasher, params.minhash.seed);
   mr::stable_hash_append(hasher, params.minhash.modulus);
+  mr::stable_hash_append(hasher, static_cast<int>(params.minhash.scheme));
+  mr::stable_hash_append(hasher, params.sketch_bits);
   mr::stable_hash_append(hasher, static_cast<int>(params.mode));
   mr::stable_hash_append(hasher, params.theta);
   mr::stable_hash_append(hasher, static_cast<int>(params.linkage));
@@ -466,6 +590,7 @@ void run_pipeline_stages(std::span<const bio::FastaRecord> reads,
                          const ExecutionOptions& exec,
                          mr::recovery::StageDriver& driver,
                          PipelineResult& result) {
+  const EffectiveKnobs knobs = effective_knobs(params);
   // Degraded-cluster policy: a plan stranding every node would fail the
   // first job's validation; a checkpointing driver parks for resume instead
   // (an operator repairs the plan/cluster, re-runs, completed stages hit).
@@ -519,15 +644,15 @@ void run_pipeline_stages(std::span<const bio::FastaRecord> reads,
     result.sim_total_s += result.candidate_stats.timeline.total_s;
 
     const SketchEstimator estimator = params.mode == Mode::kGreedy
-                                          ? params.greedy_estimator
-                                          : params.estimator;
+                                          ? knobs.greedy_estimator
+                                          : knobs.estimator;
     // The compute closure must survive retries, so the verify job gets a
     // copy of the pairs (its signature takes them by value).
     candidates::SparseSimilarityGraph verified_graph = driver.run_stage(
         "verify",
         [&] {
-          auto verified =
-              run_verify_job(sketches, enumerated.pairs, estimator, exec);
+          auto verified = run_verify_job(sketches, enumerated.pairs, estimator,
+                                         params.sketch_bits, exec);
           result.verify_stats = std::move(verified.stats);
           return std::move(verified.graph);
         },
@@ -541,7 +666,7 @@ void run_pipeline_stages(std::span<const bio::FastaRecord> reads,
       result.labels = driver.run_stage(
           "greedy-cluster",
           [&] {
-            return run_greedy_job(sketches, params, exec, result.cluster_stats,
+            return run_greedy_job(sketches, knobs, exec, result.cluster_stats,
                                   graph);
           },
           encode_labels, decode_labels);
@@ -550,7 +675,7 @@ void run_pipeline_stages(std::span<const bio::FastaRecord> reads,
       result.labels = driver.run_stage(
           "hierarchical-cluster",
           [&] {
-            return run_hierarchical_job(matrix, params, exec,
+            return run_hierarchical_job(matrix, params, knobs, exec,
                                         result.cluster_stats);
           },
           encode_labels, decode_labels);
@@ -560,7 +685,7 @@ void run_pipeline_stages(std::span<const bio::FastaRecord> reads,
     result.labels = driver.run_stage(
         "greedy-cluster",
         [&] {
-          return run_greedy_job(sketches, params, exec, result.cluster_stats);
+          return run_greedy_job(sketches, knobs, exec, result.cluster_stats);
         },
         encode_labels, decode_labels);
     result.sim_total_s += result.cluster_stats.timeline.total_s;
@@ -568,7 +693,7 @@ void run_pipeline_stages(std::span<const bio::FastaRecord> reads,
     const SimilarityMatrix matrix = driver.run_stage(
         "similarity",
         [&] {
-          return run_similarity_job(sketches, params, exec,
+          return run_similarity_job(sketches, params, knobs, exec,
                                     result.similarity_stats);
         },
         encode_matrix, decode_matrix);
@@ -576,7 +701,7 @@ void run_pipeline_stages(std::span<const bio::FastaRecord> reads,
     result.labels = driver.run_stage(
         "hierarchical-cluster",
         [&] {
-          return run_hierarchical_job(matrix, params, exec,
+          return run_hierarchical_job(matrix, params, knobs, exec,
                                       result.cluster_stats);
         },
         encode_labels, decode_labels);
@@ -612,6 +737,8 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
                             const PipelineParams& params,
                             const ExecutionOptions& exec) {
   common::Stopwatch watch;
+  MRMC_REQUIRE(valid_sketch_bits(params.sketch_bits),
+               "sketch_bits must be one of {1, 2, 4, 8, 16, 32, 64}");
   PipelineResult result;
   if (reads.empty()) return result;
 
@@ -659,40 +786,46 @@ PipelineResult run_pipeline(std::span<const bio::FastaRecord> reads,
     }
     result.recovery = driver.stats();
   } else {
+    const EffectiveKnobs knobs = effective_knobs(params);
     const MinHasher hasher(params.minhash);
     std::vector<std::string_view> seqs;
     seqs.reserve(reads.size());
     for (const auto& read : reads) seqs.emplace_back(read.seq);
 
     mr::runtime::PoolLease lease(exec.threads, exec.isolated_pool);
-    const kernels::SketchMatrix sketches =
-        hasher.sketch_matrix(seqs, &lease.pool());
+    kernels::SketchMatrix sketches = hasher.sketch_matrix(seqs, &lease.pool());
+    // The same b-bit truncation the sketch job applies before packing, so
+    // local and distributed runs score identical values at any b.
+    if (params.sketch_bits < 64) {
+      kernels::mask_components(sketches, sketch_bits_mask(params.sketch_bits));
+    }
 
     if (params.candidates.backend == candidates::Backend::kLshBanded) {
       // Same candidates -> verify -> graph flow as the distributed path,
-      // computed in-process (byte-identical output either way).
+      // computed in-process (byte-identical output either way).  Band-shape
+      // selection keeps the ORIGINAL theta (see EffectiveKnobs).
       const SketchEstimator estimator = params.mode == Mode::kGreedy
-                                            ? params.greedy_estimator
-                                            : params.estimator;
+                                            ? knobs.greedy_estimator
+                                            : knobs.estimator;
       const candidates::SparseSimilarityGraph graph = candidates::build_graph(
           sketches, params.candidates, params.theta, estimator, &lease.pool());
       result.candidate_pairs = graph.edges.size();
       if (params.mode == Mode::kGreedy) {
         result.labels =
-            greedy_cluster_graph(graph, {params.theta, params.greedy_estimator})
+            greedy_cluster_graph(graph, {knobs.greedy_theta, knobs.greedy_estimator})
                 .labels;
       } else {
         const SimilarityMatrix matrix = similarity_matrix_from_graph(graph);
         result.labels = cut_dendrogram(agglomerate(matrix, params.linkage),
-                                       params.theta);
+                                       knobs.theta);
       }
     } else if (params.mode == Mode::kGreedy) {
       result.labels =
-          greedy_cluster(sketches, {params.theta, params.greedy_estimator}).labels;
+          greedy_cluster(sketches, {knobs.greedy_theta, knobs.greedy_estimator}).labels;
     } else {
       result.labels = hierarchical_cluster(
                           sketches,
-                          {params.theta, params.linkage, params.estimator},
+                          {knobs.theta, params.linkage, knobs.estimator},
                           &lease.pool())
                           .labels;
     }

@@ -52,6 +52,15 @@ struct PipelineParams {
   /// shapes (and bit-for-bit outputs); kLshBanded swaps in the
   /// candidates + verify jobs and sparse-graph clustering.
   candidates::Params candidates{};
+  /// b-bit sketches: keep only the low `sketch_bits` of every minwise value
+  /// (∈ {1, 2, 4, 8, 16, 32, 64}).  64 (default) is today's full-width
+  /// behaviour, byte for byte.  Below 64, sketch shuffle blocks pack
+  /// 64/b-fold denser and every estimate is thresholded with the standard
+  /// b-bit chance-collision correction (see bbit_adjusted_threshold);
+  /// estimators are forced to component-match (set semantics over truncated
+  /// values are not meaningful).  Local and distributed runs stay
+  /// label-identical at any b.
+  std::size_t sketch_bits = 64;
 };
 
 struct ExecutionOptions {
@@ -147,6 +156,9 @@ double compare_work(std::size_t num_hashes) noexcept;
 double dendrogram_work(std::size_t n) noexcept;
 /// Serialized bytes of one sketch.
 double sketch_bytes(std::size_t num_hashes) noexcept;
+/// Exact packed payload bytes of one b-bit sketch column in a BinaryBlock:
+/// ceil(num_hashes · bits / 64) words of 8 bytes.
+double packed_sketch_bytes(std::size_t num_hashes, std::size_t bits) noexcept;
 }  // namespace cost
 
 }  // namespace mrmc::core

@@ -3,6 +3,7 @@
 // Matches what a Hadoop Writable would roughly occupy.
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -14,8 +15,16 @@
 
 namespace mrmc::mr {
 
+class StableHasher;
+
 template <typename T>
 double approx_bytes(const T& value);
+
+/// Every variable-length container (string, vector) is charged one 8-byte
+/// header on top of its elements — the u64 length prefix a Writable-style
+/// encoding (and our own stable_hash_append) would carry.  One shared
+/// constant so the string and vector branches can never drift apart again.
+inline constexpr double kContainerHeaderBytes = 8.0;
 
 namespace detail {
 
@@ -29,23 +38,40 @@ struct is_vector : std::false_type {};
 template <typename T, typename A>
 struct is_vector<std::vector<T, A>> : std::true_type {};
 
+/// Types that know their own exact wire size (e.g. mr::BinaryBlock) expose
+/// it via this member hook; approx_bytes dispatches to it so the shuffle
+/// accounting reports the true serialized volume, not a model.
+template <typename T>
+concept HasApproxSerializedBytes = requires(const T& value) {
+  { value.approx_serialized_bytes() } -> std::convertible_to<double>;
+};
+
+/// Matching member hook for stable_hash_append (shape + payload feed).
+template <typename T>
+concept HasStableHashInto = requires(const T& value, StableHasher& hasher) {
+  value.stable_hash_into(hasher);
+};
+
 }  // namespace detail
 
 /// Size estimate: arithmetic types by sizeof, strings by length + header,
-/// vectors and pairs recursively.  Unknown aggregates fall back to sizeof.
+/// vectors and pairs recursively, self-describing types (BinaryBlock) by
+/// their exact wire size.  Unknown aggregates fall back to sizeof.
 template <typename T>
 double approx_bytes(const T& value) {
   if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
     (void)value;
     return static_cast<double>(sizeof(T));
   } else if constexpr (std::is_same_v<T, std::string>) {
-    return static_cast<double>(value.size()) + 8.0;
+    return static_cast<double>(value.size()) + kContainerHeaderBytes;
   } else if constexpr (detail::is_pair<T>::value) {
     return approx_bytes(value.first) + approx_bytes(value.second);
   } else if constexpr (detail::is_vector<T>::value) {
-    double total = 8.0;
+    double total = kContainerHeaderBytes;
     for (const auto& element : value) total += approx_bytes(element);
     return total;
+  } else if constexpr (detail::HasApproxSerializedBytes<T>) {
+    return value.approx_serialized_bytes();
   } else {
     (void)value;
     return static_cast<double>(sizeof(T));
@@ -96,6 +122,8 @@ void stable_hash_append(StableHasher& hasher, const T& value) {
     const std::uint64_t size = value.size();
     hasher.write(&size, sizeof(size));
     for (const auto& element : value) stable_hash_append(hasher, element);
+  } else if constexpr (detail::HasStableHashInto<T>) {
+    value.stable_hash_into(hasher);
   } else {
     hasher.write(&value, sizeof(T));
   }

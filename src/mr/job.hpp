@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -177,6 +178,14 @@ template <typename In, typename K, typename V, typename Out>
 class Job {
  public:
   using Mapper = std::function<void(const In&, Emitter<K, V>&)>;
+  /// Whole-split mapper: one call per input split, with the split's global
+  /// index.  The batched shape behind the binary columnar shuffle — a job
+  /// can emit one packed block per split instead of one value per record
+  /// (the driver rejoins positionally via split_index × records_per_split).
+  /// Byte/work accounting stays per-record: input bytes and the map work
+  /// model are still charged for every record of the split.
+  using SplitMapper =
+      std::function<void(std::span<const In>, std::size_t, Emitter<K, V>&)>;
   using Reducer =
       std::function<void(const K&, std::vector<V>&, std::vector<Out>&)>;
   /// Reducer overload that can also bump named counters (ReduceContext).
@@ -198,6 +207,22 @@ class Job {
   Job(JobConfig config, Mapper mapper, ContextReducer reducer)
       : config_(std::move(config)),
         mapper_(std::move(mapper)),
+        context_reducer_(std::move(reducer)) {
+    validate();
+    MRMC_CHECK(context_reducer_ != nullptr, "reducer required");
+  }
+
+  Job(JobConfig config, SplitMapper mapper, Reducer reducer)
+      : config_(std::move(config)),
+        split_mapper_(std::move(mapper)),
+        reducer_(std::move(reducer)) {
+    validate();
+    MRMC_CHECK(reducer_ != nullptr, "reducer required");
+  }
+
+  Job(JobConfig config, SplitMapper mapper, ContextReducer reducer)
+      : config_(std::move(config)),
+        split_mapper_(std::move(mapper)),
         context_reducer_(std::move(reducer)) {
     validate();
     MRMC_CHECK(context_reducer_ != nullptr, "reducer required");
@@ -316,7 +341,7 @@ class Job {
             // The doomed attempt does the work, then loses it — real
             // re-execution, not a cost multiplier.
             MapTaskOutput output =
-                run_map_attempt(splits[m], preferred_nodes[m]);
+                run_map_attempt(splits[m], preferred_nodes[m], m);
             if (attempt < injection.failures) {
               throw runtime::TaskFailure("injected map-task failure");
             }
@@ -589,7 +614,8 @@ class Job {
     if (!config_.fault_plan.empty()) {
       config_.fault_plan.validate(config_.cluster.nodes);
     }
-    MRMC_CHECK(mapper_ != nullptr, "mapper required");
+    MRMC_CHECK(mapper_ != nullptr || split_mapper_ != nullptr,
+               "mapper required");
   }
 
   /// Draw order matches the pre-task-graph engine (one failure draw, then
@@ -731,7 +757,7 @@ class Job {
   /// One map attempt: map every record, combine, partition into per-reducer
   /// runs and sort each run by key (the "spill" a Hadoop mapper writes).
   MapTaskOutput run_map_attempt(const std::vector<In>& split,
-                                int preferred_node) {
+                                int preferred_node, std::size_t split_index) {
     MapTaskOutput task;
 
     // Thread CPU clock, not wall: the task shares a core with its siblings.
@@ -739,8 +765,12 @@ class Job {
     Emitter<K, V> emitter;
     double input_bytes = 0.0;
     double work = 0.0;
+    if (split_mapper_) {
+      split_mapper_(std::span<const In>(split.data(), split.size()),
+                    split_index, emitter);
+    }
     for (const In& record : split) {
-      mapper_(record, emitter);
+      if (mapper_) mapper_(record, emitter);
       input_bytes += approx_bytes(record);
       // Default work model: 1 microsecond of reference-node CPU per record
       // (typical lightweight Hadoop record processing).
@@ -860,6 +890,7 @@ class Job {
 
   JobConfig config_;
   Mapper mapper_;
+  SplitMapper split_mapper_;
   Reducer reducer_;
   ContextReducer context_reducer_;
   Combiner combiner_;

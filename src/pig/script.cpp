@@ -296,11 +296,18 @@ std::unique_ptr<Udf> make_udf(const Statement& statement, std::uint64_t seed,
   if (name == "CalculateMinwiseHash") {
     MRMC_REQUIRE(!numeric.empty(), "CalculateMinwiseHash needs $NUMHASH");
     // The paper's $DIV (a prime > feature-set size) parameterizes the hash
-    // family; we fold it into the seed of our fixed-prime family.
+    // family; we fold it into the seed of our fixed-prime family.  An
+    // optional `cminhash` word swaps in the C-MinHash affine-composition
+    // scheme (same dialect extension style as `lsh` below).
     const auto div_seed =
         numeric.size() > 1 ? static_cast<std::uint64_t>(numeric[1]) : 0;
+    auto scheme = core::SketchScheme::kUniversal;
+    for (const auto& word : words) {
+      if (word == "cminhash") scheme = core::SketchScheme::kCMinHash;
+    }
     return std::make_unique<CalculateMinwiseHash>(
-        static_cast<std::size_t>(numeric[0]), *last_kmer, seed ^ div_seed);
+        static_cast<std::size_t>(numeric[0]), *last_kmer, seed ^ div_seed,
+        scheme);
   }
   if (name == "CalculatePairwiseSimilarity") {
     // Optional extension args beyond the paper's script: an `lsh` word

@@ -76,9 +76,14 @@ Bag TranslateToKmer::exec(const Tuple& input) const {
 // ------------------------------------------------------- CalculateMinwiseHash
 
 CalculateMinwiseHash::CalculateMinwiseHash(std::size_t num_hashes, int kmer,
-                                           std::uint64_t seed)
-    : hasher_(std::make_shared<core::MinHasher>(
-          core::MinHashParams{kmer, num_hashes, false, seed})) {}
+                                           std::uint64_t seed,
+                                           core::SketchScheme scheme)
+    : hasher_(std::make_shared<core::MinHasher>(core::MinHashParams{
+          .kmer = kmer,
+          .num_hashes = num_hashes,
+          .canonical = false,
+          .seed = seed,
+          .scheme = scheme})) {}
 
 Bag CalculateMinwiseHash::exec(const Tuple& input) const {
   const auto& kmers = input.get<std::vector<long>>(0);

@@ -46,10 +46,12 @@ class TranslateToKmer final : public Udf {
   int k_;
 };
 
-/// k-mer set -> minwise sketch via the universal hash family (Equation 5).
+/// k-mer set -> minwise sketch via the universal hash family (Equation 5) or
+/// the C-MinHash affine-composition family (`scheme`).
 class CalculateMinwiseHash final : public Udf {
  public:
-  CalculateMinwiseHash(std::size_t num_hashes, int kmer, std::uint64_t seed);
+  CalculateMinwiseHash(std::size_t num_hashes, int kmer, std::uint64_t seed,
+                       core::SketchScheme scheme = core::SketchScheme::kUniversal);
   [[nodiscard]] const char* name() const noexcept override {
     return "CalculateMinwiseHash";
   }

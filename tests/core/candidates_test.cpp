@@ -324,7 +324,7 @@ TEST_F(CandidateJobTest, VerifyJobMatchesLocalScoring) {
        {SketchEstimator::kComponentMatch, SketchEstimator::kSetBased}) {
     const auto pairs = candidates::enumerate_pairs(matrix, lsh_params(), 0.9);
     const auto local = candidates::verify_pairs(matrix, pairs, estimator);
-    const auto job = run_verify_job(sketches, pairs, estimator, exec);
+    const auto job = run_verify_job(sketches, pairs, estimator, 64, exec);
     EXPECT_EQ(job.graph.num_vertices, local.num_vertices);
     EXPECT_EQ(job.graph.edges, local.edges);
   }
@@ -338,7 +338,7 @@ TEST_F(CandidateJobTest, FaultPlanLeavesCandidatesAndEdgesIdentical) {
       run_candidate_job(sketches, lsh_params(), 0.9, healthy);
   const auto reference_edges =
       run_verify_job(sketches, reference.pairs,
-                     SketchEstimator::kComponentMatch, healthy);
+                     SketchEstimator::kComponentMatch, 64, healthy);
 
   // Node 1 crashes early and never recovers; with 4 nodes at least one
   // stays up and the job replays the lost splits.
@@ -348,7 +348,7 @@ TEST_F(CandidateJobTest, FaultPlanLeavesCandidatesAndEdgesIdentical) {
   const auto chaos = run_candidate_job(sketches, lsh_params(), 0.9, faulty);
   EXPECT_EQ(chaos.pairs, reference.pairs);
   const auto chaos_edges = run_verify_job(
-      sketches, chaos.pairs, SketchEstimator::kComponentMatch, faulty);
+      sketches, chaos.pairs, SketchEstimator::kComponentMatch, 64, faulty);
   EXPECT_EQ(chaos_edges.graph.edges, reference_edges.graph.edges);
 }
 

@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "bio/kmer.hpp"
 #include "common/error.hpp"
@@ -236,6 +239,211 @@ TEST(EstimatorAccuracy, PaperLiteralModulusDegeneratesForSmallK) {
   // so disjoint sets collide on many components; the sound variant does not.
   EXPECT_GT(literal_sim, sound_sim + 0.2);
   EXPECT_LT(sound_sim, 0.1);
+}
+
+// --------------------------------------------------------- CMinHashFamily
+
+TEST(CMinHashFamily, DeterministicPerSeedAndDistinctPerComponent) {
+  const CMinHashFamily a(16, 0, 5), b(16, 0, 5), c(16, 0, 6);
+  std::set<std::uint64_t> values;
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(a.hash(k, 12345), b.hash(k, 12345));
+    EXPECT_NE(a.hash(k, 12345), c.hash(k, 12345));
+    values.insert(a.hash(k, 999));
+  }
+  EXPECT_EQ(values.size(), 16u);
+}
+
+TEST(CMinHashFamily, SharesOneMultiplierAcrossComponents) {
+  // The whole point of the scheme: underneath the fixed cmin_mix64
+  // scramble, h_k(x) = (A·x + B_k) mod p — so after inverting the mix, any
+  // two components differ only by an additive constant mod p.
+  const CMinHashFamily family(8, 0, 21);
+  const std::uint64_t p = CMinHashFamily::kPrime;
+  const std::uint64_t x = 987654321;
+  const std::uint64_t y = 123456789;
+  const auto affine = [&](std::size_t k, std::uint64_t v) {
+    return kernels::detail::cmin_unmix64(family.hash(k, v));
+  };
+  for (std::size_t k = 1; k < 8; ++k) {
+    const std::uint64_t dx = (affine(k, x) + p - affine(0, x)) % p;
+    const std::uint64_t dy = (affine(k, y) + p - affine(0, y)) % p;
+    EXPECT_EQ(dx, dy) << "k=" << k;
+  }
+}
+
+TEST(CMinHashFamily, MixIsABijectionAndBreaksTheRotationStructure) {
+  // The scramble must invert exactly (the test above depends on it) and
+  // must NOT be order-preserving — an order-preserving π would leave every
+  // component a rotation of the same point set (correlated minima).
+  common::Xoshiro256 rng(7);
+  bool descending_somewhere = false;
+  std::uint64_t prev = kernels::detail::cmin_mix64(0);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng();
+    EXPECT_EQ(kernels::detail::cmin_unmix64(kernels::detail::cmin_mix64(v)), v);
+    const std::uint64_t mixed = kernels::detail::cmin_mix64(v);
+    descending_somewhere |= mixed < prev;
+    prev = mixed;
+  }
+  EXPECT_TRUE(descending_somewhere);
+}
+
+TEST(CMinHashFamily, RespectsOuterModulusAndRange) {
+  const CMinHashFamily bounded(4, 1024, 8);
+  const CMinHashFamily full(4, 0, 8);
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::uint64_t x = 0; x < 100; ++x) {
+      EXPECT_LT(bounded.hash(k, x), 1024u);
+      // Mixed values span u64; the affine residue underneath stays < p.
+      EXPECT_LT(kernels::detail::cmin_unmix64(full.hash(k, x)),
+                CMinHashFamily::kPrime);
+    }
+  }
+}
+
+TEST(HashFamilies, RejectBadArgumentsWithClearErrors) {
+  // Satellite: both families share one validator — count 0 and degenerate /
+  // oversized moduli fail loudly instead of producing all-zero sketches.
+  EXPECT_THROW(UniversalHashFamily(0, 0, 1), common::InvalidArgument);
+  EXPECT_THROW(CMinHashFamily(0, 0, 1), common::InvalidArgument);
+  EXPECT_THROW(UniversalHashFamily(4, 1, 1), common::InvalidArgument);
+  EXPECT_THROW(CMinHashFamily(4, 1, 1), common::InvalidArgument);
+  EXPECT_THROW(UniversalHashFamily(4, UniversalHashFamily::kPrime + 1, 1),
+               common::InvalidArgument);
+  EXPECT_THROW(CMinHashFamily(4, CMinHashFamily::kPrime + 1, 1),
+               common::InvalidArgument);
+  // m == 2 and m == p are the boundary legal values.
+  EXPECT_NO_THROW(UniversalHashFamily(1, 2, 1));
+  EXPECT_NO_THROW(CMinHashFamily(1, UniversalHashFamily::kPrime, 1));
+}
+
+TEST(CMinHashScheme, SketchMatchesFamilyReference) {
+  const MinHasher hasher({.kmer = 5,
+                          .num_hashes = 32,
+                          .seed = 9,
+                          .scheme = SketchScheme::kCMinHash});
+  const std::string seq = "ACGTACGGTTCAACGGATCCGATCGGCTTAACGT";
+  thread_local std::vector<std::uint64_t> features;
+  bio::kmer_set_into(seq, {.k = 5}, features);
+  const Sketch sketch = hasher.sketch(seq);
+  const CMinHashFamily family(32, 0, 9);
+  for (std::size_t k = 0; k < 32; ++k) {
+    std::uint64_t expected = ~std::uint64_t{0};
+    for (const std::uint64_t x : features) {
+      expected = std::min(expected, family.hash(k, x));
+    }
+    EXPECT_EQ(sketch[k], expected);
+  }
+}
+
+TEST(CMinHashScheme, EstimatesConvergeLikeUniversal) {
+  // Jaccard-estimate parity: on controlled-overlap sets the C-MinHash
+  // estimator must track exact Jaccard within the same binomial envelope as
+  // the universal family (Table III/IV-style quality gate).
+  const std::size_t num_hashes = 200;
+  const MinHasher hasher({.kmer = 5,
+                          .num_hashes = num_hashes,
+                          .seed = 11,
+                          .scheme = SketchScheme::kCMinHash});
+  common::Xoshiro256 rng(300);
+  for (const double target : {0.2, 0.5, 0.8}) {
+    auto [a, b] = sets_with_jaccard(target, 400, rng);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    const double exact = bio::exact_jaccard(a, b);
+    const double estimate = component_match_similarity(
+        hasher.sketch_features(a), hasher.sketch_features(b));
+    const double sigma =
+        std::sqrt(exact * (1 - exact) / static_cast<double>(num_hashes));
+    EXPECT_NEAR(estimate, exact, 4 * sigma + 0.02) << "target=" << target;
+  }
+}
+
+TEST(SketchScheme, NamesAreStable) {
+  EXPECT_STREQ(sketch_scheme_name(SketchScheme::kUniversal), "universal");
+  EXPECT_STREQ(sketch_scheme_name(SketchScheme::kCMinHash), "cminhash");
+}
+
+// --------------------------------------------------------- b-bit arithmetic
+
+TEST(BBitCorrection, CollisionFloorAndCorrectedSimilarity) {
+  EXPECT_DOUBLE_EQ(bbit_collision_floor(1), 0.5);
+  EXPECT_DOUBLE_EQ(bbit_collision_floor(8), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(bbit_collision_floor(64), 0.0);
+
+  // m/K at the chance floor corrects to 0; at 1 corrects to 1.
+  EXPECT_DOUBLE_EQ(corrected_match_similarity(128, 256, 1), 0.0);
+  EXPECT_DOUBLE_EQ(corrected_match_similarity(256, 256, 1), 1.0);
+  EXPECT_DOUBLE_EQ(corrected_match_similarity(100, 100, 8), 1.0);
+  // Below the floor clamps to 0 rather than going negative.
+  EXPECT_DOUBLE_EQ(corrected_match_similarity(0, 256, 1), 0.0);
+  // b=64 is the uncorrected estimator.
+  EXPECT_DOUBLE_EQ(corrected_match_similarity(32, 64, 64), 0.5);
+}
+
+TEST(BBitCorrection, ThresholdAdjustmentIsDecisionIdentical) {
+  // corrected(m/K) >= θ  <=>  m/K >= θ' with θ' = θ(1-C) + C: the affine
+  // map the pipeline folds into its threshold instead of correcting every
+  // estimate.
+  for (const std::size_t bits : {1u, 2u, 4u, 8u, 16u}) {
+    for (const double theta : {0.3, 0.5, 0.9}) {
+      const double adjusted = bbit_adjusted_threshold(theta, bits);
+      for (std::size_t m = 0; m <= 64; ++m) {
+        const double raw = static_cast<double>(m) / 64.0;
+        const bool corrected_pass =
+            corrected_match_similarity(m, 64, bits) >= theta;
+        const bool adjusted_pass = raw >= adjusted;
+        EXPECT_EQ(corrected_pass, adjusted_pass)
+            << "bits=" << bits << " theta=" << theta << " m=" << m;
+      }
+    }
+  }
+  // b=64: no-op.
+  EXPECT_DOUBLE_EQ(bbit_adjusted_threshold(0.9, 64), 0.9);
+}
+
+TEST(BBitCorrection, SetBasedThresholdTransformKeepsTheMatchDecision) {
+  // With m shared minima out of K per sketch, the set-based estimate is
+  // m / (2K - m): thresholding it at θ must equal thresholding the match
+  // fraction m/K at 2θ/(1+θ).  This is the transform the pipeline applies
+  // when b-bit truncation forces a set-based estimator onto the
+  // component-match scale.
+  EXPECT_DOUBLE_EQ(set_based_equivalent_threshold(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(set_based_equivalent_threshold(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(set_based_equivalent_threshold(1.0 / 3.0), 0.5);
+  for (const std::size_t K : {16u, 64u, 100u}) {
+    for (const double theta : {0.1, 0.34, 0.5, 0.9}) {
+      const double equivalent = set_based_equivalent_threshold(theta);
+      for (std::size_t m = 0; m <= K; ++m) {
+        const double set_based = static_cast<double>(m) /
+                                 static_cast<double>(2 * K - m);
+        const bool set_pass = set_based >= theta;
+        const bool match_pass =
+            static_cast<double>(m) / static_cast<double>(K) >= equivalent;
+        EXPECT_EQ(set_pass, match_pass)
+            << "K=" << K << " theta=" << theta << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(SortedSketchStore, JaccardCountsRebuildTheExactDouble) {
+  common::Xoshiro256 rng(55);
+  std::vector<Sketch> sketches;
+  for (int i = 0; i < 6; ++i) {
+    Sketch s(40);
+    for (auto& v : s) v = rng.bounded(64);  // plenty of duplicates
+    sketches.push_back(std::move(s));
+  }
+  const SortedSketchStore store{std::span<const Sketch>(sketches)};
+  for (std::size_t i = 0; i < sketches.size(); ++i) {
+    for (std::size_t j = i; j < sketches.size(); ++j) {
+      const auto [inter, uni] = store.jaccard_counts(i, j);
+      EXPECT_DOUBLE_EQ(jaccard_from_counts(inter, uni), store.jaccard(i, j));
+    }
+  }
+  EXPECT_DOUBLE_EQ(jaccard_from_counts(0, 0), 1.0);  // both-empty convention
 }
 
 }  // namespace

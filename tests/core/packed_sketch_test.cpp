@@ -1,0 +1,238 @@
+// b-bit packed sketches: the packed count_equal kernel, PackedSketchMatrix,
+// the C-MinHash sketch kernel, and the end-to-end quality floor of b-bit
+// truncation (candidate recall on Table-III-style samples).
+//
+// Same contract as kernels_test.cpp: scalar and AVX2 paths must be
+// *bit-identical*, and packed counts must equal the unpacked counts over the
+// same truncated values for every supported width.
+
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "core/minhash.hpp"
+#include "eval/candidate_recall.hpp"
+#include "simdata/datasets.hpp"
+
+namespace mrmc::core {
+namespace {
+
+using kernels::Backend;
+
+bool avx2_available() { return kernels::backend_available(Backend::kAvx2); }
+
+constexpr std::size_t kPackWidths[] = {1, 2, 4, 8, 16, 32, 64};
+
+std::vector<std::uint64_t> random_values(common::Xoshiro256& rng,
+                                         std::size_t count,
+                                         std::uint64_t mask) {
+  std::vector<std::uint64_t> values(count);
+  for (auto& v : values) v = rng() & mask;
+  return values;
+}
+
+// ------------------------------------------------------- count_equal_packed
+
+TEST(CountEqualPacked, MatchesUnpackedCountsAtEveryWidthAndTail) {
+  common::Xoshiro256 rng(7);
+  // Lengths straddle the AVX2 4-word chunking and SWAR word boundaries.
+  for (const std::size_t bits : kPackWidths) {
+    const std::uint64_t mask = sketch_bits_mask(bits);
+    for (const std::size_t cols :
+         {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{100},
+          std::size_t{257}}) {
+      auto a = random_values(rng, cols, mask);
+      auto b = random_values(rng, cols, mask);
+      // Force a healthy number of equal lanes (narrow widths already
+      // collide; make wide widths collide too).
+      for (std::size_t i = 0; i < cols; i += 3) b[i] = a[i];
+
+      const std::size_t expected = kernels::count_equal(a, b, Backend::kScalar);
+
+      kernels::SketchMatrix matrix(2, cols);
+      std::copy(a.begin(), a.end(), matrix.row(0).begin());
+      std::copy(b.begin(), b.end(), matrix.row(1).begin());
+      const auto packed = kernels::PackedSketchMatrix::pack(matrix, bits);
+
+      EXPECT_EQ(kernels::count_equal_packed(packed.row(0), packed.row(1), cols,
+                                            bits, Backend::kScalar),
+                expected)
+          << "scalar bits=" << bits << " cols=" << cols;
+      if (avx2_available()) {
+        EXPECT_EQ(kernels::count_equal_packed(packed.row(0), packed.row(1),
+                                              cols, bits, Backend::kAvx2),
+                  expected)
+            << "avx2 bits=" << bits << " cols=" << cols;
+      }
+    }
+  }
+}
+
+TEST(CountEqualPacked, PadLanesNeverCount) {
+  // cols = 3 at 8 bits leaves 5 pad lanes per word; identical pads must not
+  // inflate the match count past cols.
+  kernels::SketchMatrix matrix(2, 3);
+  matrix.row(0)[0] = 1;
+  matrix.row(0)[1] = 2;
+  matrix.row(0)[2] = 3;
+  matrix.row(1)[0] = 1;
+  matrix.row(1)[1] = 9;
+  matrix.row(1)[2] = 3;
+  const auto packed = kernels::PackedSketchMatrix::pack(matrix, 8);
+  EXPECT_EQ(packed.count_equal_rows(0, 1, Backend::kScalar), 2u);
+  if (avx2_available()) {
+    EXPECT_EQ(packed.count_equal_rows(0, 1, Backend::kAvx2), 2u);
+  }
+}
+
+TEST(PackedSketchMatrix, PackRoundTripsTruncatedValues) {
+  common::Xoshiro256 rng(11);
+  kernels::SketchMatrix matrix(5, 37);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (auto& v : matrix.row(i)) v = rng();
+  }
+  for (const std::size_t bits : kPackWidths) {
+    const std::uint64_t mask = sketch_bits_mask(bits);
+    const auto packed = kernels::PackedSketchMatrix::pack(matrix, bits);
+    EXPECT_EQ(packed.rows(), 5u);
+    EXPECT_EQ(packed.cols(), 37u);
+    EXPECT_EQ(packed.bits(), bits);
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t j = 0; j < 37; ++j) {
+        EXPECT_EQ(packed.get(i, j), matrix.row(i)[j] & mask)
+            << "bits=" << bits;
+      }
+    }
+  }
+}
+
+TEST(PackedSketchMatrix, SixtyFourBitsIsLosslessIdentity) {
+  common::Xoshiro256 rng(13);
+  kernels::SketchMatrix matrix(3, 64);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (auto& v : matrix.row(i)) v = rng();
+  }
+  const auto packed = kernels::PackedSketchMatrix::pack(matrix, 64);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 64; ++j) {
+      EXPECT_EQ(packed.get(i, j), matrix.row(i)[j]);
+    }
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      EXPECT_EQ(packed.count_equal_rows(i, j),
+                kernels::count_equal(matrix.row(i), matrix.row(j)));
+    }
+  }
+}
+
+TEST(PackedSketchMatrix, RejectsInvalidWidth) {
+  kernels::SketchMatrix matrix(1, 4);
+  EXPECT_THROW(kernels::PackedSketchMatrix::pack(matrix, 0), common::Error);
+  EXPECT_THROW(kernels::PackedSketchMatrix::pack(matrix, 3), common::Error);
+  EXPECT_THROW(kernels::PackedSketchMatrix::pack(matrix, 33), common::Error);
+}
+
+TEST(MaskComponents, TruncatesEveryValueInPlace) {
+  common::Xoshiro256 rng(17);
+  kernels::SketchMatrix matrix(4, 19);
+  kernels::SketchMatrix reference(4, 19);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 19; ++j) {
+      const std::uint64_t v = rng();
+      matrix.row(i)[j] = v;
+      reference.row(i)[j] = v;
+    }
+  }
+  kernels::mask_components(matrix, sketch_bits_mask(8));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 19; ++j) {
+      EXPECT_EQ(matrix.row(i)[j], reference.row(i)[j] & 0xFF);
+    }
+  }
+}
+
+// ------------------------------------------------------------- cmin_sketch
+
+TEST(CMinSketch, ScalarMatchesFamilyReference) {
+  common::Xoshiro256 rng(23);
+  for (const std::uint64_t modulus : {std::uint64_t{0}, std::uint64_t{1} << 20,
+                                      std::uint64_t{1000003}}) {
+    const CMinHashFamily family(33, modulus, 42);
+    const auto features = random_values(rng, 101, ~std::uint64_t{0});
+    std::vector<std::uint64_t> out(33);
+    kernels::cmin_sketch(family.multiplier(), family.offsets(),
+                         family.modulus(), features, out, Backend::kScalar);
+    for (std::size_t k = 0; k < 33; ++k) {
+      std::uint64_t expected = ~std::uint64_t{0};
+      for (const std::uint64_t x : features) {
+        expected = std::min(expected, family.hash(k, x));
+      }
+      EXPECT_EQ(out[k], expected) << "modulus=" << modulus << " k=" << k;
+    }
+  }
+}
+
+TEST(CMinSketch, Avx2BitIdenticalToScalar) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 not available";
+  common::Xoshiro256 rng(29);
+  // Hash counts straddle the 4-lane chunking; pow2 and 0 moduli take the
+  // vector path, the prime modulus falls back to scalar inside dispatch.
+  for (const std::size_t count : {1u, 4u, 5u, 64u, 67u}) {
+    for (const std::uint64_t modulus :
+         {std::uint64_t{0}, std::uint64_t{1} << 16, std::uint64_t{1000003}}) {
+      const CMinHashFamily family(count, modulus, 7 + count);
+      const auto features = random_values(rng, 53, ~std::uint64_t{0});
+      std::vector<std::uint64_t> scalar_out(count);
+      std::vector<std::uint64_t> avx2_out(count);
+      kernels::cmin_sketch(family.multiplier(), family.offsets(),
+                           family.modulus(), features, scalar_out,
+                           Backend::kScalar);
+      kernels::cmin_sketch(family.multiplier(), family.offsets(),
+                           family.modulus(), features, avx2_out,
+                           Backend::kAvx2);
+      EXPECT_EQ(scalar_out, avx2_out)
+          << "count=" << count << " modulus=" << modulus;
+    }
+  }
+}
+
+TEST(CMinSketch, EmptyFeatureSetYieldsSentinels) {
+  const CMinHashFamily family(8, 0, 1);
+  std::vector<std::uint64_t> out(8, 0);
+  kernels::cmin_sketch(family.multiplier(), family.offsets(), family.modulus(),
+                       {}, out);
+  for (const std::uint64_t v : out) {
+    EXPECT_EQ(v, kernels::kEmptyFeatureMin);
+  }
+}
+
+// ----------------------------------------------- b-bit recall quality floor
+
+TEST(BBitQuality, CandidateRecallAboveFloorAtEightBits) {
+  // ISSUE acceptance: truncating sketches to b = 8 with the ORIGINAL θ
+  // driving LSH band-shape selection must keep candidate recall ≥ 0.95 on a
+  // Table-III-style staggered sample.
+  const auto data = simdata::build_whole_metagenome(
+      simdata::whole_metagenome_spec("S8"), {.reads = 150, .seed = 5});
+  std::vector<std::string_view> seqs;
+  seqs.reserve(data.reads.size());
+  for (const auto& read : data.reads) seqs.emplace_back(read.seq);
+  const MinHasher hasher({.kmer = 5, .num_hashes = 64, .canonical = true,
+                          .seed = 1});
+  kernels::SketchMatrix sketches = hasher.sketch_matrix(seqs);
+  kernels::mask_components(sketches, sketch_bits_mask(8));
+
+  const auto report = eval::candidate_recall(
+      sketches, 0.9, {.backend = candidates::Backend::kLshBanded},
+      SketchEstimator::kComponentMatch);
+  EXPECT_GE(report.recall, 0.95)
+      << "true=" << report.true_pairs << " recovered=" << report.recovered_pairs;
+}
+
+}  // namespace
+}  // namespace mrmc::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+#include "eval/external_indices.hpp"
 #include "simdata/datasets.hpp"
 
 namespace mrmc::core {
@@ -124,6 +126,116 @@ TEST(PipelineCost, ModelsArePositiveAndMonotone) {
   EXPECT_GT(cost::compare_work(100), cost::compare_work(50));
   EXPECT_GT(cost::dendrogram_work(1000), cost::dendrogram_work(100));
   EXPECT_GT(cost::sketch_bytes(100), cost::sketch_bytes(10));
+  // Packed bytes: exact words, 8x denser at b = 8, rounding up to a word.
+  EXPECT_DOUBLE_EQ(cost::packed_sketch_bytes(64, 64), 512.0);
+  EXPECT_DOUBLE_EQ(cost::packed_sketch_bytes(64, 8), 64.0);
+  EXPECT_DOUBLE_EQ(cost::packed_sketch_bytes(3, 8), 8.0);  // one word minimum
+}
+
+// ------------------------------------------------- sketch schemes and b-bit
+
+TEST(Pipeline, CMinHashDistributedMatchesLocal) {
+  const auto sample = small_sample();
+  ExecutionOptions distributed;
+  distributed.cluster.nodes = 4;
+  ExecutionOptions local;
+  local.distributed = false;
+  for (const Mode mode : {Mode::kGreedy, Mode::kHierarchical}) {
+    auto params = base_params(mode);
+    params.minhash.scheme = SketchScheme::kCMinHash;
+    const auto a = run_pipeline(sample.reads, params, distributed);
+    const auto b = run_pipeline(sample.reads, params, local);
+    EXPECT_EQ(a.labels, b.labels) << mode_name(mode);
+    EXPECT_GT(a.num_clusters, 1u);
+    EXPECT_LT(a.num_clusters, sample.reads.size());
+  }
+}
+
+TEST(Pipeline, BBitDistributedMatchesLocal) {
+  const auto sample = small_sample();
+  ExecutionOptions distributed;
+  distributed.cluster.nodes = 3;
+  ExecutionOptions local;
+  local.distributed = false;
+  for (const Mode mode : {Mode::kGreedy, Mode::kHierarchical}) {
+    for (const std::size_t bits : {std::size_t{8}, std::size_t{16}}) {
+      auto params = base_params(mode);
+      params.sketch_bits = bits;
+      const auto a = run_pipeline(sample.reads, params, distributed);
+      const auto b = run_pipeline(sample.reads, params, local);
+      EXPECT_EQ(a.labels, b.labels) << mode_name(mode) << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Pipeline, BBitLshDistributedMatchesLocal) {
+  const auto sample = small_sample();
+  ExecutionOptions distributed;
+  distributed.cluster.nodes = 4;
+  ExecutionOptions local;
+  local.distributed = false;
+  for (const Mode mode : {Mode::kGreedy, Mode::kHierarchical}) {
+    auto params = base_params(mode);
+    params.sketch_bits = 8;
+    params.candidates.backend = candidates::Backend::kLshBanded;
+    const auto a = run_pipeline(sample.reads, params, distributed);
+    const auto b = run_pipeline(sample.reads, params, local);
+    EXPECT_EQ(a.labels, b.labels) << mode_name(mode);
+  }
+}
+
+TEST(Pipeline, BBitPackingShrinksSketchShuffle) {
+  const auto sample = small_sample();
+  ExecutionOptions exec;
+  exec.cluster.nodes = 4;
+  auto wide = base_params(Mode::kHierarchical);
+  auto narrow = wide;
+  narrow.sketch_bits = 8;
+  const auto full = run_pipeline(sample.reads, wide, exec);
+  const auto packed = run_pipeline(sample.reads, narrow, exec);
+  // K=64 at b=8 packs 8 sketches per word slot: ≥ 4x fewer sketch-stage
+  // shuffle bytes even after block headers.
+  EXPECT_GT(full.sketch_stats.shuffle_bytes, 0.0);
+  EXPECT_LT(packed.sketch_stats.shuffle_bytes,
+            full.sketch_stats.shuffle_bytes / 4.0);
+}
+
+TEST(Pipeline, BBitLabelsStayFaithfulToFullWidth) {
+  // Truncation keeps the clustering decisions.  b = 16 labels must agree
+  // with the 64-bit labels at ARI >= 0.99 in both modes at the paper's
+  // K = 100: the chance-collision floor 2^-16 is far below the per-pair
+  // estimator resolution 1/K, so no merge decision should flip.  b = 8 gets
+  // a coarser sanity floor — its collision noise (sd ~ sqrt(C/K) per pair)
+  // genuinely flips borderline pairs on this boundary-dense sample, which
+  // cascades through average linkage; the quality-preserving recommendation
+  // the docs make is b = 16.
+  const auto sample = small_sample();
+  ExecutionOptions exec;
+  exec.cluster.nodes = 3;
+  for (const Mode mode : {Mode::kGreedy, Mode::kHierarchical}) {
+    auto wide = base_params(mode);
+    wide.minhash.num_hashes = 100;
+    auto narrow = wide;
+    narrow.sketch_bits = 16;
+    auto byte_wide = wide;
+    byte_wide.sketch_bits = 8;
+    const auto full = run_pipeline(sample.reads, wide, exec);
+    const auto packed = run_pipeline(sample.reads, narrow, exec);
+    const auto tiny = run_pipeline(sample.reads, byte_wide, exec);
+    EXPECT_GE(eval::adjusted_rand_index(packed.labels, full.labels), 0.99)
+        << mode_name(mode);
+    EXPECT_GE(eval::adjusted_rand_index(tiny.labels, full.labels), 0.75)
+        << mode_name(mode);
+  }
+}
+
+TEST(Pipeline, RejectsInvalidSketchBits) {
+  auto params = base_params(Mode::kGreedy);
+  params.sketch_bits = 7;
+  const auto sample = small_sample();
+  EXPECT_THROW(run_pipeline(sample.reads, params), common::InvalidArgument);
+  params.sketch_bits = 0;
+  EXPECT_THROW(run_pipeline(sample.reads, params), common::InvalidArgument);
 }
 
 }  // namespace

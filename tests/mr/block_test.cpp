@@ -1,0 +1,223 @@
+// mr::BinaryBlock — wire-format pinning, roundtrips, corruption detection,
+// the zero-copy view, and the byte-accounting / stable-hash member hooks.
+#include "mr/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mr/bytes.hpp"
+
+namespace mrmc::mr {
+namespace {
+
+constexpr std::uint32_t kAllWidths[] = {1, 2, 4, 8, 16, 32, 64};
+
+std::uint64_t lane_max(std::uint32_t bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+TEST(BinaryBlock, RoundTripsEveryWidth) {
+  for (const std::uint32_t bits : kAllWidths) {
+    BinaryBlock block(bits, 67, 3);  // 67 rows: never a whole number of words
+    const std::uint64_t mask = lane_max(bits);
+    for (std::uint32_t col = 0; col < block.cols(); ++col) {
+      for (std::uint64_t row = 0; row < block.rows(); ++row) {
+        block.set(col, row, (row * 2654435761u + col * 40503u) & mask);
+      }
+    }
+    for (std::uint32_t col = 0; col < block.cols(); ++col) {
+      for (std::uint64_t row = 0; row < block.rows(); ++row) {
+        EXPECT_EQ(block.get(col, row), (row * 2654435761u + col * 40503u) & mask)
+            << "bits=" << bits << " col=" << col << " row=" << row;
+      }
+    }
+  }
+}
+
+TEST(BinaryBlock, SetMasksToLaneWidthAndLeavesNeighborsAlone) {
+  BinaryBlock block(8, 16, 1);
+  block.set(0, 3, 0xAB);
+  block.set(0, 4, 0xFFFF);  // wider than a lane: masked to 0xFF
+  block.set(0, 5, 0x01);
+  EXPECT_EQ(block.get(0, 3), 0xABu);
+  EXPECT_EQ(block.get(0, 4), 0xFFu);
+  EXPECT_EQ(block.get(0, 5), 0x01u);
+}
+
+TEST(BinaryBlock, PinsColumnMajorLittleEndianLayout) {
+  // 8-bit lanes: row r of column c lands in byte r of word c — the layout
+  // contract downstream packed kernels rely on.
+  BinaryBlock block(8, 8, 2);
+  for (std::uint64_t row = 0; row < 8; ++row) {
+    block.set(0, row, row + 1);
+    block.set(1, row, 0x10 + row);
+  }
+  ASSERT_EQ(block.words_per_column(), 1u);
+  EXPECT_EQ(block.words()[0], 0x0807060504030201ull);
+  EXPECT_EQ(block.words()[1], 0x1716151413121110ull);
+}
+
+TEST(BinaryBlock, SerializedHeaderIsPinned) {
+  BinaryBlock block(16, 3, 1);
+  block.set(0, 0, 0x1111);
+  block.set(0, 1, 0x2222);
+  block.set(0, 2, 0x3333);
+  const auto bytes = block.serialize();
+  ASSERT_EQ(bytes.size(), BinaryBlock::kHeaderBytes + 8);
+  EXPECT_EQ(bytes[0], 'M');  // magic 0x4242524d little-endian: 'M','R','B','B'
+  EXPECT_EQ(bytes[1], 'R');
+  EXPECT_EQ(bytes[2], 'B');
+  EXPECT_EQ(bytes[3], 'B');
+  EXPECT_EQ(bytes[4], 1);  // version
+  EXPECT_EQ(bytes[8], 16);  // elem_bits
+  EXPECT_EQ(bytes[12], 1);  // cols
+  EXPECT_EQ(bytes[16], 3);  // rows
+  // Payload: 3 × 16-bit values packed low-to-high in one little-endian word.
+  EXPECT_EQ(bytes[32], 0x11);
+  EXPECT_EQ(bytes[34], 0x22);
+  EXPECT_EQ(bytes[36], 0x33);
+  EXPECT_EQ(bytes[38], 0x00);  // pad lane stays zero
+}
+
+TEST(BinaryBlock, SerializeDeserializeRoundTrips) {
+  for (const std::uint32_t bits : kAllWidths) {
+    BinaryBlock block(bits, 41, 2);
+    const std::uint64_t mask = lane_max(bits);
+    for (std::uint32_t col = 0; col < 2; ++col) {
+      for (std::uint64_t row = 0; row < 41; ++row) {
+        block.set(col, row, (row * 7919 + col) & mask);
+      }
+    }
+    const auto bytes = block.serialize();
+    EXPECT_EQ(BinaryBlock::deserialize(bytes), block) << "bits=" << bits;
+  }
+}
+
+TEST(BinaryBlock, DeserializeRejectsCorruption) {
+  BinaryBlock block(32, 9, 1);
+  for (std::uint64_t row = 0; row < 9; ++row) block.set(0, row, row * 3);
+  const auto good = block.serialize();
+
+  auto flipped = good;
+  flipped[BinaryBlock::kHeaderBytes + 2] ^= 0x40;  // payload bit flip
+  EXPECT_THROW(BinaryBlock::deserialize(flipped), common::Error);
+
+  auto bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(BinaryBlock::deserialize(bad_magic), common::Error);
+
+  auto truncated = good;
+  truncated.pop_back();
+  EXPECT_THROW(BinaryBlock::deserialize(truncated), common::Error);
+
+  auto bad_width = good;
+  bad_width[8] = 3;  // elem_bits = 3 is not a divisor of 64
+  EXPECT_THROW(BinaryBlock::deserialize(bad_width), common::Error);
+}
+
+TEST(BinaryBlock, ViewReadsSerializedBytesInPlace) {
+  BinaryBlock block(4, 33, 3);
+  for (std::uint32_t col = 0; col < 3; ++col) {
+    for (std::uint64_t row = 0; row < 33; ++row) {
+      block.set(col, row, (row + col) & 0xF);
+    }
+  }
+  const auto bytes = block.serialize();
+  const BinaryBlockView view{std::span<const std::uint8_t>(bytes)};
+  EXPECT_EQ(view.elem_bits(), 4u);
+  EXPECT_EQ(view.rows(), 33u);
+  EXPECT_EQ(view.cols(), 3u);
+  for (std::uint32_t col = 0; col < 3; ++col) {
+    for (std::uint64_t row = 0; row < 33; ++row) {
+      EXPECT_EQ(view.get(col, row), (row + col) & 0xF);
+    }
+  }
+  // The view validates eagerly: corrupt bytes fail at construction.
+  auto corrupt = bytes;
+  corrupt[BinaryBlock::kHeaderBytes] ^= 1;
+  EXPECT_THROW(BinaryBlockView{std::span<const std::uint8_t>(corrupt)},
+               common::Error);
+}
+
+TEST(BinaryBlock, InvalidWidthThrows) {
+  EXPECT_THROW(BinaryBlock(0, 4, 1), common::Error);
+  EXPECT_THROW(BinaryBlock(3, 4, 1), common::Error);
+  EXPECT_THROW(BinaryBlock(128, 4, 1), common::Error);
+}
+
+TEST(BinaryBlock, ApproxBytesIsExactWireSize) {
+  // The byte-accounting hook must agree with serialize() to the byte —
+  // that is what makes shuffle-byte counters report real packed volume.
+  for (const std::uint32_t bits : kAllWidths) {
+    const BinaryBlock block(bits, 100, 7);
+    EXPECT_DOUBLE_EQ(approx_bytes(block),
+                     static_cast<double>(block.serialize().size()))
+        << "bits=" << bits;
+  }
+  // b=8 sketch columns: 100 rows × 7 cols in 8·ceil(100·8/64)·7 payload
+  // bytes + 32 header = 8× less than the 64-bit payload would be.
+  const BinaryBlock wide(64, 100, 7);
+  const BinaryBlock narrow(8, 100, 7);
+  EXPECT_DOUBLE_EQ(approx_bytes(wide), 32.0 + 100.0 * 8.0 * 7.0);
+  EXPECT_DOUBLE_EQ(approx_bytes(narrow), 32.0 + 13.0 * 8.0 * 7.0);
+}
+
+TEST(BinaryBlock, StableHashSeparatesShapeAndPayload) {
+  BinaryBlock a(8, 16, 1);
+  BinaryBlock b(8, 16, 1);
+  a.set(0, 3, 7);
+  b.set(0, 3, 7);
+  StableHasher ha, hb;
+  stable_hash_append(ha, a);
+  stable_hash_append(hb, b);
+  EXPECT_EQ(ha.finish(), hb.finish());
+
+  // Same payload words, different geometry: distinct hashes.
+  BinaryBlock tall(8, 16, 1);
+  BinaryBlock flat(16, 8, 1);
+  StableHasher ht, hf;
+  stable_hash_append(ht, tall);
+  stable_hash_append(hf, flat);
+  EXPECT_NE(ht.finish(), hf.finish());
+
+  b.set(0, 4, 1);
+  StableHasher hc;
+  stable_hash_append(hc, b);
+  EXPECT_NE(ha.finish(), hc.finish());
+}
+
+TEST(BinaryBlock, MinLaneBitsCoversCountRanges) {
+  EXPECT_EQ(min_lane_bits(0), 8u);
+  EXPECT_EQ(min_lane_bits(255), 8u);
+  EXPECT_EQ(min_lane_bits(256), 16u);
+  EXPECT_EQ(min_lane_bits(65535), 16u);
+  EXPECT_EQ(min_lane_bits(65536), 32u);
+  EXPECT_EQ(min_lane_bits(0xFFFFFFFFull), 32u);
+  EXPECT_EQ(min_lane_bits(0x100000000ull), 64u);
+}
+
+// ------------------------------------------------- approx_bytes header model
+// Satellite of the binary-shuffle work: every container costs the SAME
+// 8-byte length header (kContainerHeaderBytes), nested or not.
+
+TEST(ApproxBytesHeaderModel, NestedShapesUseOneHeaderConstant) {
+  EXPECT_DOUBLE_EQ(kContainerHeaderBytes, 8.0);
+  // string: header + length
+  EXPECT_DOUBLE_EQ(approx_bytes(std::string("abc")), 8.0 + 3.0);
+  // vector<u64>: header + payload
+  EXPECT_DOUBLE_EQ(approx_bytes(std::vector<std::uint64_t>{1, 2}), 8.0 + 16.0);
+  // pair<string, vector<int>>: recursive, one header per container
+  const std::pair<std::string, std::vector<int>> p{"ab", {1, 2, 3}};
+  EXPECT_DOUBLE_EQ(approx_bytes(p), (8.0 + 2.0) + (8.0 + 12.0));
+  // vector<vector<string>>: headers at every nesting level
+  const std::vector<std::vector<std::string>> nested{{"a"}, {"bc", "d"}};
+  EXPECT_DOUBLE_EQ(approx_bytes(nested),
+                   8.0 + (8.0 + (8.0 + 1.0)) + (8.0 + (8.0 + 2.0) + (8.0 + 1.0)));
+}
+
+}  // namespace
+}  // namespace mrmc::mr

@@ -171,6 +171,46 @@ STORE K INTO '/out';
   EXPECT_EQ(lsh_dfs.read("/out"), exact_dfs.read("/out"));
 }
 
+TEST(RunScript, CMinHashWordSelectsTheScheme) {
+  // The `cminhash` extension word on CalculateMinwiseHash swaps in the
+  // C-MinHash family; the script output must match the UDF built with the
+  // scheme directly (and differ from the universal-family sketches).
+  const auto sample = simdata::build_whole_metagenome(
+      simdata::whole_metagenome_spec("S6"), {.reads = 20, .seed = 9});
+  const char* script_template = R"(
+A = LOAD '$INPUT' USING FastaStorage;
+B = FOREACH A GENERATE FLATTEN(StringGenerator(seq, readid));
+C = FOREACH B GENERATE FLATTEN(TranslateToKmer(seq, seqid, 5));
+E = FOREACH C GENERATE FLATTEN(CalculateMinwiseHash(seqkmer, seqid2, 32, 0$EXTRA));
+I = GROUP E ALL;
+J = FOREACH I GENERATE FLATTEN(CalculatePairwiseSimilarity(minwise, F));
+K = FOREACH (GROUP J ALL) GENERATE FLATTEN(AgglomerativeHierarchicalClustering(similaritymatrix, average, 0.5));
+STORE K INTO '/out';
+)";
+  auto universal_dfs = make_dfs_with_sample(sample);
+  PigContext universal_ctx(&universal_dfs, {.nodes = 2});
+  run_script(universal_ctx, script_template,
+             {{"INPUT", "/in.fa"}, {"EXTRA", ""}}, /*udf_seed=*/3);
+
+  auto cmin_dfs = make_dfs_with_sample(sample);
+  PigContext cmin_ctx(&cmin_dfs, {.nodes = 2});
+  const auto cmin_result =
+      run_script(cmin_ctx, script_template,
+                 {{"INPUT", "/in.fa"}, {"EXTRA", ", cminhash"}},
+                 /*udf_seed=*/3);
+
+  // Different hash family, different sketches — but the same reads still
+  // cluster into a sane partition stored at /out, deterministically.
+  EXPECT_FALSE(cmin_result.relations.at("K").empty());
+  EXPECT_NE(cmin_dfs.read("/out"), "");
+
+  auto again_dfs = make_dfs_with_sample(sample);
+  PigContext again_ctx(&again_dfs, {.nodes = 2});
+  run_script(again_ctx, script_template,
+             {{"INPUT", "/in.fa"}, {"EXTRA", ", cminhash"}}, /*udf_seed=*/3);
+  EXPECT_EQ(again_dfs.read("/out"), cmin_dfs.read("/out"));
+}
+
 TEST(RunScript, RelationalOperators) {
   // Build a tiny FASTA, load it, and exercise DISTINCT / ORDER / LIMIT /
   // FILTER on the clustering output (label field 1 is numeric).

@@ -79,6 +79,32 @@ TEST(CalculateMinwiseHashUdf, MatchesMinHasher) {
   }
 }
 
+TEST(CalculateMinwiseHashUdf, CMinHashSchemeMatchesMinHasher) {
+  const int k = 4;
+  const std::size_t n = 16;
+  const std::uint64_t seed = 3;
+  const std::string seq = "ACGTACGGTTAACGGA";
+
+  const StringGenerator encode;
+  const TranslateToKmer translate(k);
+  const CalculateMinwiseHash minwise(n, k, seed,
+                                     core::SketchScheme::kCMinHash);
+  const Bag out =
+      minwise.exec(translate.exec(encode.exec(seq_tuple(seq, "r"))[0])[0]);
+  ASSERT_EQ(out.size(), 1u);
+
+  const core::MinHasher hasher({.kmer = k,
+                                .num_hashes = n,
+                                .seed = seed,
+                                .scheme = core::SketchScheme::kCMinHash});
+  const core::Sketch expected = hasher.sketch(seq);
+  const auto& values = out[0].get<std::vector<long>>(0);
+  ASSERT_EQ(values.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(static_cast<std::uint64_t>(values[i]), expected[i]);
+  }
+}
+
 Bag make_minwise_group(const std::vector<std::string>& seqs) {
   const StringGenerator encode;
   const TranslateToKmer translate(4);
